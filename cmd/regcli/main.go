@@ -1,0 +1,152 @@
+// Command regcli runs a scripted sequence of operations against a simulated
+// register cluster and prints what happened, including the storage cost after
+// every command. It is a small debugging/demonstration tool.
+//
+// Commands are passed as arguments, separated by commas:
+//
+//	write:<client>:<text>   perform a write of the given text
+//	read:<client>           perform a read and print the value
+//	crash:<object>          crash a base object
+//	storage                 print the current storage breakdown
+//
+// Example:
+//
+//	regcli -algo adaptive -f 1 -k 2 -size 64 \
+//	    "write:1:hello, storage, crash:0, write:2:world, read:3, storage"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"spacebounds/internal/dsys"
+	"spacebounds/internal/register"
+	"spacebounds/internal/register/abd"
+	"spacebounds/internal/register/adaptive"
+	"spacebounds/internal/register/ecreg"
+	"spacebounds/internal/register/safereg"
+	"spacebounds/internal/value"
+)
+
+func main() {
+	var (
+		algo = flag.String("algo", "adaptive", "register algorithm: adaptive | ecreg | abd | safe")
+		f    = flag.Int("f", 1, "failures tolerated")
+		k    = flag.Int("k", 2, "code parameter k (n = 2f+k; abd forces k=1)")
+		size = flag.Int("size", 64, "value size in bytes")
+	)
+	flag.Parse()
+	script := strings.Join(flag.Args(), " ")
+	if script == "" {
+		script = "write:1:hello, read:2, storage"
+	}
+	if err := run(*algo, *f, *k, *size, script); err != nil {
+		fmt.Fprintf(os.Stderr, "regcli: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func newRegister(algo string, f, k, size int) (register.Register, error) {
+	cfg := register.Config{F: f, K: k, DataLen: size}
+	switch algo {
+	case "adaptive":
+		return adaptive.New(cfg)
+	case "ecreg":
+		return ecreg.New(cfg)
+	case "safe":
+		return safereg.New(cfg)
+	case "abd":
+		cfg.K = 1
+		return abd.New(cfg)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+func run(algo string, f, k, size int, script string) error {
+	reg, err := newRegister(algo, f, k, size)
+	if err != nil {
+		return err
+	}
+	cfg := reg.Config()
+	states, err := reg.InitialStates(value.Zero(cfg.DataLen))
+	if err != nil {
+		return err
+	}
+	// Live mode: commands execute immediately, which is what an interactive
+	// tool wants.
+	cluster := dsys.NewCluster(states, dsys.WithLiveMode(), dsys.WithDataBits(cfg.DataBits()))
+	defer cluster.Close()
+	fmt.Printf("cluster: %s, n=%d base objects, quorum=%d, D=%d bits\n", reg.Name(), cfg.N(), cfg.Quorum(), cfg.DataBits())
+
+	for _, raw := range strings.Split(script, ",") {
+		cmd := strings.TrimSpace(raw)
+		if cmd == "" {
+			continue
+		}
+		if err := runCommand(cluster, reg, cmd); err != nil {
+			return fmt.Errorf("command %q: %w", cmd, err)
+		}
+	}
+	return nil
+}
+
+func runCommand(cluster *dsys.Cluster, reg register.Register, cmd string) error {
+	cfg := reg.Config()
+	parts := strings.SplitN(cmd, ":", 3)
+	switch parts[0] {
+	case "write":
+		if len(parts) < 3 {
+			return fmt.Errorf("want write:<client>:<text>")
+		}
+		client, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return err
+		}
+		v := value.FromString(parts[2], cfg.DataLen)
+		th := cluster.Spawn(client, func(h *dsys.ClientHandle) error { return reg.Write(h, v) })
+		if err := th.Wait(); err != nil {
+			return err
+		}
+		fmt.Printf("write by client %d ok: %q\n", client, parts[2])
+	case "read":
+		if len(parts) < 2 {
+			return fmt.Errorf("want read:<client>")
+		}
+		client, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return err
+		}
+		var got value.Value
+		th := cluster.Spawn(client, func(h *dsys.ClientHandle) error {
+			var err error
+			got, err = reg.Read(h)
+			return err
+		})
+		if err := th.Wait(); err != nil {
+			return err
+		}
+		fmt.Printf("read by client %d: %q\n", client, strings.TrimRight(string(got.Bytes()), "\x00"))
+	case "crash":
+		if len(parts) < 2 {
+			return fmt.Errorf("want crash:<object>")
+		}
+		obj, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return err
+		}
+		if err := cluster.CrashObject(obj); err != nil {
+			return err
+		}
+		fmt.Printf("crashed base object %d (crashed so far: %v)\n", obj, cluster.CrashedObjects())
+	case "storage":
+		snap := cluster.SampleStorage()
+		fmt.Println(snap)
+	default:
+		return fmt.Errorf("unknown command %q", parts[0])
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+// Command spacebench runs the experiment suite that regenerates the paper's
+// analytic results (see DESIGN.md E1-E8 and EXPERIMENTS.md) and prints each
+// result as a table.
+//
+// Usage:
+//
+//	spacebench                 # run every experiment
+//	spacebench -exp E3,E4      # run a subset
+//	spacebench -list           # list experiments
+//	spacebench -markdown       # emit GitHub-flavoured markdown tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spacebounds/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "", "comma-separated experiment IDs to run (default: all)")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		markdown = flag.Bool("markdown", false, "emit markdown tables instead of plain text")
+	)
+	flag.Parse()
+	if err := run(*expFlag, *list, *markdown); err != nil {
+		fmt.Fprintf(os.Stderr, "spacebench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(expFlag string, list, markdown bool) error {
+	all := experiments.All()
+	if list {
+		for _, e := range all {
+			fmt.Printf("%-4s %-55s (%s)\n", e.ID, e.Title, e.PaperSource)
+		}
+		return nil
+	}
+	selected := all
+	if expFlag != "" {
+		selected = selected[:0]
+		for _, id := range strings.Split(expFlag, ",") {
+			e := experiments.ByID(strings.TrimSpace(id))
+			if e == nil {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, *e)
+		}
+	}
+	for i, e := range selected {
+		tbl, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if markdown {
+			fmt.Print(tbl.Markdown())
+		} else {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(tbl.Format())
+		}
+	}
+	return nil
+}

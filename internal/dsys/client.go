@@ -1,0 +1,205 @@
+package dsys
+
+import (
+	"fmt"
+)
+
+// ClientHandle is a client's interface to the cluster. Handles are created by
+// Spawn and must only be used from the spawned function's goroutine.
+type ClientHandle struct {
+	c    *Cluster
+	id   int
+	task *clientTask // nil in live mode
+
+	currentOp OpID
+}
+
+// ID returns the client's identifier.
+func (h *ClientHandle) ID() int { return h.id }
+
+// N returns the number of base objects in the cluster.
+func (h *ClientHandle) N() int { return h.c.N() }
+
+// BeginOp marks the start of a high-level operation of the given kind and
+// returns its identity. The cluster tracks outstanding operations so that
+// policies (the adversary in particular) can classify them.
+func (h *ClientHandle) BeginOp(kind OpKind) OpID {
+	c := h.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clientSeq[h.id]++
+	op := OpID{Client: h.id, Seq: c.clientSeq[h.id], Kind: kind}
+	h.currentOp = op
+	c.outstanding = append(c.outstanding, op)
+	return op
+}
+
+// EndOp marks the end of the client's current high-level operation and clears
+// any client-local block holdings registered for it.
+func (h *ClientHandle) EndOp() {
+	c := h.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, op := range c.outstanding {
+		if op == h.currentOp {
+			c.outstanding = append(c.outstanding[:i], c.outstanding[i+1:]...)
+			break
+		}
+	}
+	delete(c.clientLocal, h.id)
+	h.currentOp = OpID{}
+}
+
+// CurrentOp returns the client's current operation identity (zero if none).
+func (h *ClientHandle) CurrentOp() OpID { return h.currentOp }
+
+// SetLocalBlocks registers the code blocks the client currently holds in its
+// local state (e.g. the encoded WriteSet of an in-progress write) so the
+// storage accountant can charge them to the client's location.
+func (h *ClientHandle) SetLocalBlocks(refs []BlockRef) {
+	c := h.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(refs) == 0 {
+		delete(c.clientLocal, h.id)
+		return
+	}
+	cp := make([]BlockRef, len(refs))
+	copy(cp, refs)
+	c.clientLocal[h.id] = cp
+}
+
+// InvokeAll triggers makeRMW(i) on every base object i and waits until at
+// least quorum of them have taken effect. It returns the responses of all
+// RMWs that have taken effect by the time the client is rescheduled, keyed by
+// object ID. The remaining RMWs stay pending and may take effect later.
+func (h *ClientHandle) InvokeAll(makeRMW func(obj int) RMW, quorum int) (map[int]any, error) {
+	targets := make([]int, h.c.N())
+	for i := range targets {
+		targets[i] = i
+	}
+	return h.Invoke(targets, makeRMW, quorum)
+}
+
+// Invoke triggers makeRMW(obj) on each target object and waits until at least
+// quorum responses have been delivered (controlled mode) or applied (live
+// mode). In controlled mode the wait can only end early if the cluster is
+// closed, in which case ErrHalted is returned.
+func (h *ClientHandle) Invoke(targets []int, makeRMW func(obj int) RMW, quorum int) (map[int]any, error) {
+	if quorum > len(targets) {
+		return nil, fmt.Errorf("%w: quorum %d, targets %d", ErrBadQuorum, quorum, len(targets))
+	}
+	for _, obj := range targets {
+		if obj < 0 || obj >= h.c.N() {
+			return nil, fmt.Errorf("%w: %d", ErrUnknownObject, obj)
+		}
+	}
+	if h.c.opts.mode == Live {
+		return h.invokeLive(targets, makeRMW, quorum)
+	}
+	return h.invokeControlled(targets, makeRMW, quorum)
+}
+
+// invokeControlled registers pending RMWs and blocks until the scheduling
+// policy has applied a quorum of them and granted the client the run token
+// again.
+func (h *ClientHandle) invokeControlled(targets []int, makeRMW func(obj int) RMW, quorum int) (map[int]any, error) {
+	c := h.c
+	t := h.task
+	c.mu.Lock()
+	calls := make([]*Call, 0, len(targets))
+	for _, obj := range targets {
+		rmw := makeRMW(obj)
+		call := &Call{Object: obj}
+		calls = append(calls, call)
+		c.pending = append(c.pending, &pendingRMW{
+			seq:    c.nextSeq,
+			object: obj,
+			op:     h.currentOp,
+			rmw:    rmw,
+			call:   call,
+			owner:  t,
+		})
+		c.nextSeq++
+	}
+	t.waitCalls = calls
+	t.waitNeed = quorum
+	t.state = taskBlocked
+	c.runningTask = nil
+	c.idleReason = ""
+	c.cond.Broadcast()
+	for t.state != taskRunning {
+		if c.halted {
+			t.waitCalls, t.waitNeed = nil, 0
+			c.mu.Unlock()
+			c.cond.Broadcast()
+			return nil, ErrHalted
+		}
+		c.cond.Wait()
+	}
+	resp := make(map[int]any, len(calls))
+	for _, call := range calls {
+		if call.Done {
+			resp[call.Object] = call.Response
+		}
+	}
+	t.waitCalls, t.waitNeed = nil, 0
+	c.mu.Unlock()
+	return resp, nil
+}
+
+// invokeLive applies RMWs immediately, serialized per object, skipping
+// crashed objects. It returns an error if fewer than quorum objects are
+// alive, which models a client waiting forever for a quorum that cannot form.
+func (h *ClientHandle) invokeLive(targets []int, makeRMW func(obj int) RMW, quorum int) (map[int]any, error) {
+	c := h.c
+	resp := make(map[int]any, len(targets))
+	for _, objID := range targets {
+		c.mu.Lock()
+		obj := c.objects[objID]
+		crashed := obj.crashed
+		c.mu.Unlock()
+		if crashed {
+			continue
+		}
+		rmw := makeRMW(objID)
+		obj.liveMu.Lock()
+		r := rmw.Apply(obj.state)
+		obj.applied++
+		obj.liveMu.Unlock()
+		resp[objID] = r
+	}
+	if len(resp) < quorum {
+		return resp, fmt.Errorf("%w: only %d of %d required responses available", ErrStuck, len(resp), quorum)
+	}
+	return resp, nil
+}
+
+// Yield releases the run token and immediately requests it back, giving the
+// scheduling policy an opportunity to interleave other clients or RMWs.
+// Algorithms with internal retry loops (the reader of the adaptive register)
+// call it between retries so a controlled run cannot livelock the
+// coordinator. It is a no-op in live mode.
+func (h *ClientHandle) Yield() error {
+	if h.c.opts.mode == Live {
+		return nil
+	}
+	c := h.c
+	t := h.task
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t.state = taskReady
+	t.ticket = c.nextTicket
+	c.nextTicket++
+	c.readyQ = append(c.readyQ, t)
+	c.runningTask = nil
+	c.idleReason = ""
+	c.cond.Broadcast()
+	for t.state != taskRunning {
+		if c.halted {
+			return ErrHalted
+		}
+		c.cond.Wait()
+	}
+	return nil
+}

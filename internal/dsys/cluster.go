@@ -1,0 +1,412 @@
+package dsys
+
+import (
+	"fmt"
+	"sync"
+
+	"spacebounds/internal/oracle"
+	"spacebounds/internal/storagecost"
+)
+
+// Mode selects how RMW scheduling is performed.
+type Mode int
+
+// Cluster modes.
+const (
+	// Controlled routes every pending RMW through the scheduling Policy; it
+	// is deterministic for deterministic policies and client code, and it is
+	// the mode the adversary and the experiments use.
+	Controlled Mode = iota + 1
+	// Live applies RMWs immediately when triggered (serialized per object),
+	// trading scheduling control for throughput; used by benchmarks and
+	// interactive examples.
+	Live
+)
+
+type options struct {
+	mode       Mode
+	policy     Policy
+	maxSteps   int
+	dataBits   int
+	accounting bool
+	keepSeries bool
+	tracer     func(TraceEvent)
+}
+
+// Option configures a Cluster.
+type Option func(*options)
+
+// WithPolicy sets the scheduling policy for controlled mode. The default is
+// FairPolicy.
+func WithPolicy(p Policy) Option { return func(o *options) { o.policy = p } }
+
+// WithLiveMode switches the cluster to Live mode.
+func WithLiveMode() Option { return func(o *options) { o.mode = Live } }
+
+// WithMaxSteps bounds the number of scheduling decisions in controlled mode;
+// exceeding the bound marks the run stuck. Zero means unbounded.
+func WithMaxSteps(n int) Option { return func(o *options) { o.maxSteps = n } }
+
+// WithDataBits records D (the register value size in bits) so that policies
+// can classify writes into C⁻/C⁺.
+func WithDataBits(d int) Option { return func(o *options) { o.dataBits = d } }
+
+// WithoutAccounting disables per-step storage snapshots (controlled mode).
+func WithoutAccounting() Option { return func(o *options) { o.accounting = false } }
+
+// WithSeries retains the full time series of storage cost in the accountant.
+func WithSeries() Option { return func(o *options) { o.keepSeries = true } }
+
+// WithTracer installs a callback invoked on every scheduling event; the
+// Figure 3 trace example uses it to narrate the adversary's moves.
+func WithTracer(fn func(TraceEvent)) Option { return func(o *options) { o.tracer = fn } }
+
+// TraceEventKind enumerates scheduling events.
+type TraceEventKind string
+
+// Trace event kinds.
+const (
+	TraceApply TraceEventKind = "apply"
+	TraceRun   TraceEventKind = "run"
+	TraceStall TraceEventKind = "stall"
+	TraceCrash TraceEventKind = "crash"
+)
+
+// TraceEvent describes one scheduling event.
+type TraceEvent struct {
+	Step   int
+	Kind   TraceEventKind
+	Object int
+	Client int
+	Op     OpID
+}
+
+type taskState int
+
+const (
+	taskReady taskState = iota + 1
+	taskRunning
+	taskBlocked
+	taskDone
+)
+
+type clientTask struct {
+	ticket    int64
+	client    int
+	state     taskState
+	waitCalls []*Call
+	waitNeed  int
+}
+
+type pendingRMW struct {
+	seq    int64
+	object int
+	op     OpID
+	rmw    RMW
+	call   *Call
+	owner  *clientTask
+}
+
+type object struct {
+	id      int
+	state   State
+	crashed bool
+	applied int
+	liveMu  sync.Mutex // serializes Apply in live mode
+}
+
+// TaskHandle joins a spawned client task.
+type TaskHandle struct {
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks until the task's function returns and reports its error.
+func (t *TaskHandle) Wait() error {
+	<-t.done
+	return t.err
+}
+
+// Cluster is the fault-prone shared memory: a set of base objects plus the
+// scheduling machinery that decides when triggered RMWs take effect.
+type Cluster struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	opts options
+
+	objects []*object
+
+	started     bool
+	halted      bool
+	idleReason  IdleReason
+	steps       int
+	nextSeq     int64
+	nextTicket  int64
+	pending     []*pendingRMW
+	readyQ      []*clientTask
+	runningTask *clientTask
+	liveTasks   int
+
+	outstanding []OpID
+	clientLocal map[int][]BlockRef
+	clientSeq   map[int]int
+
+	acct *storagecost.Accountant
+	wg   sync.WaitGroup
+}
+
+// NewCluster creates a cluster with the given initial base-object states.
+// The default configuration is controlled mode with FairPolicy and storage
+// accounting enabled.
+func NewCluster(states []State, opts ...Option) *Cluster {
+	o := options{mode: Controlled, policy: FairPolicy{}, accounting: true}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	c := &Cluster{
+		opts:        o,
+		clientLocal: make(map[int][]BlockRef),
+		clientSeq:   make(map[int]int),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for i, s := range states {
+		c.objects = append(c.objects, &object{id: i, state: s})
+	}
+	if o.accounting {
+		c.acct = storagecost.NewAccountant(o.keepSeries)
+	}
+	if o.mode == Controlled {
+		c.wg.Add(1)
+		go c.coordinator()
+	}
+	return c
+}
+
+// N returns the number of base objects.
+func (c *Cluster) N() int { return len(c.objects) }
+
+// Mode returns the cluster's scheduling mode.
+func (c *Cluster) Mode() Mode { return c.opts.mode }
+
+// ObjectState returns the state of base object i; callers must not mutate it
+// concurrently with a running cluster. Tests and experiments use it to
+// inspect final states.
+func (c *Cluster) ObjectState(i int) State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.objects) {
+		return nil
+	}
+	return c.objects[i].state
+}
+
+// Accountant returns the storage accountant (nil if accounting is disabled).
+func (c *Cluster) Accountant() *storagecost.Accountant { return c.acct }
+
+// Steps returns the number of scheduling decisions made so far.
+func (c *Cluster) Steps() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.steps
+}
+
+// Start releases the coordinator. Spawn may be called before Start so that an
+// experiment can register all of its initial operations and obtain a
+// deterministic schedule; Spawn after Start is also permitted.
+func (c *Cluster) Start() {
+	c.mu.Lock()
+	c.started = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// Close halts the cluster: blocked clients are released with ErrHalted, the
+// coordinator exits, and all spawned goroutines are joined.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	c.halted = true
+	c.idleReason = IdleHalted
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	c.wg.Wait()
+}
+
+// CrashObject crashes base object id: pending and future RMWs on it never
+// take effect. Crashing more than f of the n = 2f+k objects removes the
+// ability to form quorums, exactly as in the model.
+func (c *Cluster) CrashObject(id int) error {
+	c.mu.Lock()
+	if id < 0 || id >= len(c.objects) {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrUnknownObject, id)
+	}
+	c.objects[id].crashed = true
+	c.idleReason = ""
+	step := c.steps
+	tracer := c.opts.tracer
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	if tracer != nil {
+		tracer(TraceEvent{Step: step, Kind: TraceCrash, Object: id})
+	}
+	return nil
+}
+
+// CrashedObjects returns the IDs of crashed base objects.
+func (c *Cluster) CrashedObjects() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for _, o := range c.objects {
+		if o.crashed {
+			out = append(out, o.id)
+		}
+	}
+	return out
+}
+
+// Spawn runs fn as a client task for the given client ID and returns a join
+// handle. In controlled mode the task runs only when the scheduling policy
+// grants it the run token.
+func (c *Cluster) Spawn(clientID int, fn func(h *ClientHandle) error) *TaskHandle {
+	th := &TaskHandle{done: make(chan struct{})}
+	if c.opts.mode == Live {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			defer close(th.done)
+			h := &ClientHandle{c: c, id: clientID}
+			th.err = fn(h)
+		}()
+		return th
+	}
+	c.mu.Lock()
+	t := &clientTask{ticket: c.nextTicket, client: clientID, state: taskReady}
+	c.nextTicket++
+	c.readyQ = append(c.readyQ, t)
+	c.liveTasks++
+	c.idleReason = ""
+	c.mu.Unlock()
+	c.cond.Broadcast()
+
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		defer close(th.done)
+		h := &ClientHandle{c: c, id: clientID, task: t}
+		// Wait for the first grant of the run token.
+		c.mu.Lock()
+		for t.state != taskRunning && !c.halted {
+			c.cond.Wait()
+		}
+		if t.state != taskRunning {
+			t.state = taskDone
+			c.removeReadyLocked(t)
+			c.liveTasks--
+			c.mu.Unlock()
+			c.cond.Broadcast()
+			th.err = ErrHalted
+			return
+		}
+		c.mu.Unlock()
+
+		th.err = fn(h)
+
+		c.mu.Lock()
+		t.state = taskDone
+		if c.runningTask == t {
+			c.runningTask = nil
+		}
+		c.liveTasks--
+		c.mu.Unlock()
+		c.cond.Broadcast()
+	}()
+	return th
+}
+
+// WaitIdle blocks until the cluster can make no further progress and reports
+// why: all tasks finished (IdleQuiesced), the policy stalled or the step
+// budget ran out while clients are still waiting (IdleStuck), or Close was
+// called (IdleHalted). In live mode there is no central scheduler, so WaitIdle
+// returns IdleQuiesced immediately; callers join their task handles instead.
+func (c *Cluster) WaitIdle() IdleReason {
+	if c.opts.mode == Live {
+		return IdleQuiesced
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.idleReason == "" {
+		c.cond.Wait()
+	}
+	return c.idleReason
+}
+
+// SampleStorage computes and records a storage snapshot outside the normal
+// per-step sampling; it is the way live-mode callers observe storage cost.
+func (c *Cluster) SampleStorage() *storagecost.Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := c.snapshotLocked()
+	if c.acct != nil {
+		c.acct.Observe(snap)
+	}
+	return snap
+}
+
+// snapshotLocked aggregates the storage reports of base objects, client-local
+// holdings, and pending RMW parameters. Callers must hold c.mu. Live-mode
+// callers additionally rely on object states only being mutated under
+// object.liveMu; the snapshot is therefore advisory in live mode.
+func (c *Cluster) snapshotLocked() *storagecost.Snapshot {
+	reporters := make([]storagecost.Reporter, 0, len(c.objects)+len(c.clientLocal)+len(c.pending))
+	for _, o := range c.objects {
+		reporters = append(reporters, blockReporter{
+			loc:  storagecost.Location{Kind: storagecost.BaseObject, ID: o.id},
+			refs: o.state.Blocks(),
+		})
+	}
+	for client, refs := range c.clientLocal {
+		reporters = append(reporters, blockReporter{
+			loc:  storagecost.Location{Kind: storagecost.Client, ID: client},
+			refs: refs,
+		})
+	}
+	for _, p := range c.pending {
+		reporters = append(reporters, blockReporter{
+			loc:  storagecost.Location{Kind: storagecost.Channel, ID: p.op.Client},
+			refs: p.rmw.Blocks(),
+		})
+	}
+	return storagecost.Collect(reporters, nil)
+}
+
+// outstandingWritesLocked returns outstanding write operations in invocation
+// order. Callers must hold c.mu.
+func (c *Cluster) outstandingWritesLocked() []oracle.WriteID {
+	var out []oracle.WriteID
+	for _, op := range c.outstanding {
+		if op.Kind == OpWrite {
+			out = append(out, op.WriteID())
+		}
+	}
+	return out
+}
+
+// OutstandingOps returns the currently outstanding high-level operations in
+// invocation order.
+func (c *Cluster) OutstandingOps() []OpID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]OpID, len(c.outstanding))
+	copy(out, c.outstanding)
+	return out
+}
+
+func (c *Cluster) removeReadyLocked(t *clientTask) {
+	for i, r := range c.readyQ {
+		if r == t {
+			c.readyQ = append(c.readyQ[:i], c.readyQ[i+1:]...)
+			return
+		}
+	}
+}

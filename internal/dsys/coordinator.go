@@ -1,0 +1,177 @@
+package dsys
+
+// coordinator is the controlled-mode scheduling loop. It runs while the
+// cluster is open and, whenever no client task holds the run token, asks the
+// policy for the next move: let a pending RMW take effect, let a ready client
+// run, or stall. It is the implementation of the model's "environment".
+func (c *Cluster) coordinator() {
+	defer c.wg.Done()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.halted {
+			c.idleReason = IdleHalted
+			c.cond.Broadcast()
+			return
+		}
+		if !c.started || c.runningTask != nil {
+			c.cond.Wait()
+			continue
+		}
+		if len(c.readyQ) == 0 && !c.hasApplicablePendingLocked() {
+			// Nothing the policy could schedule.
+			if c.liveTasks == 0 {
+				c.idleReason = IdleQuiesced
+			} else {
+				// Clients exist but are all blocked on RMWs that can never be
+				// applied (e.g. targets crashed): the run is stuck.
+				c.idleReason = IdleStuck
+			}
+			c.cond.Broadcast()
+			c.cond.Wait()
+			continue
+		}
+		if c.opts.maxSteps > 0 && c.steps >= c.opts.maxSteps {
+			c.idleReason = IdleStuck
+			c.cond.Broadcast()
+			c.cond.Wait()
+			continue
+		}
+
+		view := c.buildViewLocked()
+		decision := c.opts.policy.Decide(view)
+		c.steps++
+		switch decision.Kind {
+		case KindRun:
+			t := c.takeReadyLocked(decision.Ticket)
+			if t == nil {
+				// The policy named an unknown ticket; treat as a stall so a
+				// buggy policy cannot spin the coordinator.
+				c.stallLocked()
+				continue
+			}
+			t.state = taskRunning
+			c.runningTask = t
+			c.idleReason = ""
+			if c.opts.tracer != nil {
+				c.emitTrace(TraceEvent{Step: c.steps, Kind: TraceRun, Client: t.client})
+			}
+			c.cond.Broadcast()
+		case KindApply:
+			if decision.PendingIndex < 0 || decision.PendingIndex >= len(c.pending) {
+				c.stallLocked()
+				continue
+			}
+			c.applyPendingLocked(decision.PendingIndex)
+		default:
+			c.stallLocked()
+		}
+	}
+}
+
+// stallLocked records that the policy made no move and parks the coordinator
+// until the situation changes (new spawn, crash, or Close).
+func (c *Cluster) stallLocked() {
+	c.idleReason = IdleStuck
+	if c.opts.tracer != nil {
+		c.emitTrace(TraceEvent{Step: c.steps, Kind: TraceStall})
+	}
+	c.cond.Broadcast()
+	c.cond.Wait()
+}
+
+// hasApplicablePendingLocked reports whether any pending RMW targets a live
+// object.
+func (c *Cluster) hasApplicablePendingLocked() bool {
+	for _, p := range c.pending {
+		if !c.objects[p.object].crashed {
+			return true
+		}
+	}
+	return false
+}
+
+// takeReadyLocked removes and returns the ready task with the given ticket.
+func (c *Cluster) takeReadyLocked(ticket int64) *clientTask {
+	for i, t := range c.readyQ {
+		if t.ticket == ticket {
+			c.readyQ = append(c.readyQ[:i], c.readyQ[i+1:]...)
+			return t
+		}
+	}
+	return nil
+}
+
+// buildViewLocked assembles the policy's view of the system.
+func (c *Cluster) buildViewLocked() *View {
+	v := &View{
+		Step:              c.steps,
+		DataBits:          c.opts.dataBits,
+		OutstandingWrites: c.outstandingWritesLocked(),
+	}
+	for i, p := range c.pending {
+		v.Pending = append(v.Pending, PendingView{
+			Index:         i,
+			Seq:           p.seq,
+			Object:        p.object,
+			ObjectCrashed: c.objects[p.object].crashed,
+			Client:        p.op.Client,
+			Op:            p.op,
+		})
+	}
+	for _, t := range c.readyQ {
+		v.Ready = append(v.Ready, ReadyClient{Ticket: t.ticket, Client: t.client})
+	}
+	if c.acct != nil {
+		v.Storage = c.snapshotLocked()
+	}
+	return v
+}
+
+// applyPendingLocked lets the pending RMW at the given index take effect:
+// the state change is applied atomically, the response is recorded, storage
+// is re-sampled, and the owning task is made ready again if its quorum is now
+// satisfied.
+func (c *Cluster) applyPendingLocked(index int) {
+	p := c.pending[index]
+	c.pending = append(c.pending[:index], c.pending[index+1:]...)
+	obj := c.objects[p.object]
+	if obj.crashed {
+		// A policy should never pick a crashed object; drop the RMW silently
+		// (it can never take effect).
+		return
+	}
+	resp := p.rmw.Apply(obj.state)
+	obj.applied++
+	p.call.Done = true
+	p.call.Response = resp
+	c.idleReason = ""
+	if c.opts.tracer != nil {
+		c.emitTrace(TraceEvent{Step: c.steps, Kind: TraceApply, Object: p.object, Client: p.op.Client, Op: p.op})
+	}
+	if c.acct != nil {
+		c.acct.Observe(c.snapshotLocked())
+	}
+	if t := p.owner; t != nil && t.state == taskBlocked {
+		done := 0
+		for _, call := range t.waitCalls {
+			if call.Done {
+				done++
+			}
+		}
+		if done >= t.waitNeed {
+			t.state = taskReady
+			t.ticket = c.nextTicket
+			c.nextTicket++
+			c.readyQ = append(c.readyQ, t)
+		}
+	}
+	c.cond.Broadcast()
+}
+
+// emitTrace calls the tracer without holding the cluster lock assumptions the
+// tracer should not rely on; it is invoked with c.mu held, so tracers must
+// not call back into the cluster.
+func (c *Cluster) emitTrace(ev TraceEvent) {
+	c.opts.tracer(ev)
+}

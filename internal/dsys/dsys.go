@@ -1,0 +1,142 @@
+// Package dsys implements the paper's system model (Section 2): an
+// asynchronous fault-prone shared memory consisting of n base objects that
+// support atomic read-modify-write (RMW) access by an unbounded set of
+// clients, where up to f base objects and any number of clients may crash.
+//
+// Clients are ordinary blocking Go code run in goroutines. Every RMW is
+// *triggered* by a client and later *takes effect* atomically on its base
+// object, at which point its response is delivered. In the default
+// controlled mode, the moment at which each pending RMW takes effect is
+// chosen by a pluggable scheduling Policy; this is exactly the adversarial
+// power the model grants the environment, and it is what the lower-bound
+// adversary of Section 4 exploits. A live mode applies RMWs immediately for
+// throughput-oriented benchmarks.
+//
+// The runtime also implements the storage-cost bookkeeping of Section 3:
+// base-object states, client-held blocks, and the parameters of pending RMWs
+// all report the code blocks they contain, and the cluster aggregates them
+// into storagecost snapshots after every scheduling step.
+package dsys
+
+import (
+	"errors"
+	"fmt"
+
+	"spacebounds/internal/oracle"
+	"spacebounds/internal/storagecost"
+)
+
+// BlockRef describes one code block held somewhere in the system: which
+// write's oracle produced it (and with which block number), and its size in
+// bits. Locations are stamped by the cluster when it aggregates reports.
+type BlockRef struct {
+	Source oracle.SourceTag
+	Bits   int
+}
+
+// State is the algorithm-specific state of a base object. Implementations
+// must report every code block they currently store; meta-data (timestamps,
+// counters) is not reported and therefore not charged, per Definition 2.
+type State interface {
+	Blocks() []BlockRef
+}
+
+// RMW is a read-modify-write operation on a base object. Apply runs
+// atomically with respect to all other RMWs on the same object and returns
+// the response delivered to the triggering client. Blocks reports the code
+// blocks carried in the RMW's parameters; while the RMW is pending these
+// bits are charged to the channel (the paper counts in-flight information as
+// part of client/base-object state, which is how algorithms that push cost
+// into the network are still covered by the bound).
+type RMW interface {
+	Apply(s State) (response any)
+	Blocks() []BlockRef
+}
+
+// OpKind distinguishes the two high-level register operations.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpWrite OpKind = iota + 1
+	OpRead
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// OpID identifies a high-level operation: the client performing it, the
+// client-local sequence number, and its kind.
+type OpID struct {
+	Client int
+	Seq    int
+	Kind   OpKind
+}
+
+// WriteID converts a write operation's identity into the oracle's WriteID.
+func (o OpID) WriteID() oracle.WriteID { return oracle.WriteID{Client: o.Client, Seq: o.Seq} }
+
+// String implements fmt.Stringer.
+func (o OpID) String() string { return fmt.Sprintf("%v(c%d#%d)", o.Kind, o.Client, o.Seq) }
+
+// Call is the handle for one triggered RMW. It records whether the RMW has
+// taken effect and, if so, its response.
+type Call struct {
+	Object   int
+	Done     bool
+	Response any
+}
+
+// Errors returned by cluster operations.
+var (
+	// ErrHalted is returned from waits when the cluster has been closed.
+	ErrHalted = errors.New("dsys: cluster halted")
+	// ErrStuck is returned when the scheduling policy refuses to make
+	// further progress (the adversary has pinned the run) and a client is
+	// still waiting for responses.
+	ErrStuck = errors.New("dsys: run is stuck: scheduler refuses further progress")
+	// ErrBadQuorum indicates a quorum size larger than the number of targets.
+	ErrBadQuorum = errors.New("dsys: quorum larger than number of targets")
+	// ErrUnknownObject indicates an RMW aimed at a non-existent base object.
+	ErrUnknownObject = errors.New("dsys: unknown base object")
+)
+
+// IdleReason explains why WaitIdle returned.
+type IdleReason string
+
+// WaitIdle outcomes.
+const (
+	// IdleQuiesced means all spawned client tasks finished and no applicable
+	// RMW remains pending.
+	IdleQuiesced IdleReason = "quiesced"
+	// IdleStuck means the policy declined to schedule anything although
+	// clients are still waiting (an adversarial stall), or the step budget
+	// was exhausted.
+	IdleStuck IdleReason = "stuck"
+	// IdleHalted means Close was called.
+	IdleHalted IdleReason = "halted"
+)
+
+// blockReporter adapts a located set of BlockRefs to storagecost.Reporter.
+type blockReporter struct {
+	loc  storagecost.Location
+	refs []BlockRef
+}
+
+// StorageBlocks implements storagecost.Reporter.
+func (r blockReporter) StorageBlocks() []storagecost.BlockInfo {
+	out := make([]storagecost.BlockInfo, 0, len(r.refs))
+	for _, ref := range r.refs {
+		out = append(out, storagecost.BlockInfo{Location: r.loc, Source: ref.Source, Bits: ref.Bits})
+	}
+	return out
+}

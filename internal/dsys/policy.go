@@ -1,0 +1,180 @@
+package dsys
+
+import (
+	"math/rand"
+
+	"spacebounds/internal/oracle"
+	"spacebounds/internal/storagecost"
+)
+
+// PendingView describes one pending RMW to a scheduling policy.
+type PendingView struct {
+	// Index identifies the pending RMW within the View (pass it back in a
+	// Decision with KindApply).
+	Index int
+	// Seq is the global trigger order; lower means triggered earlier, which
+	// is what "longest pending" refers to.
+	Seq int64
+	// Object is the target base object.
+	Object int
+	// ObjectCrashed reports whether the target has crashed; crashed objects
+	// never apply RMWs, so choosing one is a scheduling error.
+	ObjectCrashed bool
+	// Client is the triggering client and Op the high-level operation the
+	// RMW belongs to.
+	Client int
+	Op     OpID
+}
+
+// ReadyClient describes a client task that is ready to execute local steps
+// (it has been unblocked or newly spawned and awaits the run token).
+type ReadyClient struct {
+	Ticket int64
+	Client int
+}
+
+// View is the information a Policy sees at each scheduling point.
+type View struct {
+	// Step counts scheduling decisions made so far.
+	Step int
+	// Pending lists RMWs that have been triggered but have not taken effect.
+	Pending []PendingView
+	// Ready lists client tasks waiting to run local code.
+	Ready []ReadyClient
+	// Storage is the current storage snapshot (nil when accounting disabled).
+	Storage *storagecost.Snapshot
+	// OutstandingWrites lists write operations that are invoked but not yet
+	// returned, in invocation order.
+	OutstandingWrites []oracle.WriteID
+	// DataBits is D, the register value size in bits (0 if not configured).
+	DataBits int
+}
+
+// DecisionKind enumerates the moves available to a policy.
+type DecisionKind int
+
+// Decision kinds.
+const (
+	// KindApply lets the pending RMW identified by PendingIndex take effect
+	// and delivers its response.
+	KindApply DecisionKind = iota + 1
+	// KindRun grants the run token to the ready client identified by Ticket,
+	// letting it execute local steps until it blocks again.
+	KindRun
+	// KindStall makes no move. If nothing else can change (no running
+	// client), the run is declared stuck.
+	KindStall
+)
+
+// Decision is a policy's choice at one scheduling point.
+type Decision struct {
+	Kind         DecisionKind
+	PendingIndex int
+	Ticket       int64
+}
+
+// Policy decides, at every scheduling point, whether to let a pending RMW
+// take effect, let a ready client run, or stall. The environment of the
+// paper's model is exactly such a policy.
+type Policy interface {
+	Decide(v *View) Decision
+}
+
+// FairPolicy is the default scheduler: it always lets ready clients run
+// first (lowest ticket, i.e. FIFO), and otherwise applies the
+// longest-pending RMW whose target object is alive. Runs scheduled by
+// FairPolicy are fair in the paper's sense: every triggered RMW on a correct
+// base object eventually takes effect and every correct client gets
+// infinitely many opportunities to take steps.
+type FairPolicy struct{}
+
+var _ Policy = FairPolicy{}
+
+// Decide implements Policy.
+func (FairPolicy) Decide(v *View) Decision {
+	if len(v.Ready) > 0 {
+		best := v.Ready[0]
+		for _, r := range v.Ready[1:] {
+			if r.Ticket < best.Ticket {
+				best = r
+			}
+		}
+		return Decision{Kind: KindRun, Ticket: best.Ticket}
+	}
+	bestIdx := -1
+	var bestSeq int64
+	for _, p := range v.Pending {
+		if p.ObjectCrashed {
+			continue
+		}
+		if bestIdx == -1 || p.Seq < bestSeq {
+			bestIdx, bestSeq = p.Index, p.Seq
+		}
+	}
+	if bestIdx >= 0 {
+		return Decision{Kind: KindApply, PendingIndex: bestIdx}
+	}
+	return Decision{Kind: KindStall}
+}
+
+// RandomPolicy chooses uniformly at random among all enabled moves (ready
+// clients and pending RMWs on live objects). It is seeded, so runs are
+// reproducible, and it is fair with probability 1, which makes it the
+// scheduler of choice for randomized consistency testing.
+type RandomPolicy struct {
+	rng *rand.Rand
+}
+
+var _ Policy = (*RandomPolicy)(nil)
+
+// NewRandomPolicy returns a RandomPolicy with the given seed.
+func NewRandomPolicy(seed int64) *RandomPolicy {
+	return &RandomPolicy{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Decide implements Policy.
+func (p *RandomPolicy) Decide(v *View) Decision {
+	type move struct {
+		kind   DecisionKind
+		index  int
+		ticket int64
+	}
+	moves := make([]move, 0, len(v.Ready)+len(v.Pending))
+	for _, r := range v.Ready {
+		moves = append(moves, move{kind: KindRun, ticket: r.Ticket})
+	}
+	for _, pd := range v.Pending {
+		if pd.ObjectCrashed {
+			continue
+		}
+		moves = append(moves, move{kind: KindApply, index: pd.Index})
+	}
+	if len(moves) == 0 {
+		return Decision{Kind: KindStall}
+	}
+	m := moves[p.rng.Intn(len(moves))]
+	return Decision{Kind: m.kind, PendingIndex: m.index, Ticket: m.ticket}
+}
+
+// DelayObjectsPolicy wraps an inner policy but refuses to apply RMWs on a
+// fixed set of base objects, modelling objects that are arbitrarily slow
+// (but not crashed). Experiments use it to stress quorum paths.
+type DelayObjectsPolicy struct {
+	Inner   Policy
+	Delayed map[int]bool
+}
+
+var _ Policy = (*DelayObjectsPolicy)(nil)
+
+// Decide implements Policy.
+func (p *DelayObjectsPolicy) Decide(v *View) Decision {
+	filtered := *v
+	filtered.Pending = make([]PendingView, 0, len(v.Pending))
+	for _, pd := range v.Pending {
+		if p.Delayed[pd.Object] {
+			continue
+		}
+		filtered.Pending = append(filtered.Pending, pd)
+	}
+	return p.Inner.Decide(&filtered)
+}

@@ -1,0 +1,171 @@
+// Package erasure implements the symmetric black-box coding schemes of the
+// paper (Section 3): replication, k-of-n Reed-Solomon erasure codes, an XOR
+// parity code, and a rateless random-linear code.
+//
+// All codes implement the Code interface and satisfy the paper's symmetric
+// encoding assumption (Definition 3): the size of block i depends only on i
+// and on the domain size D, never on the encoded value. The register
+// emulations in internal/register treat codes strictly as black boxes — they
+// store and move blocks but never inspect their contents — which is the
+// setting in which the paper's lower bound applies.
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Block is a single code block: the output of the encoding function
+// E(v, Index). Index is 1-based, matching the paper's block numbering.
+type Block struct {
+	// Index is the block number i such that Data = E(v, i).
+	Index int
+	// Data is the block contents.
+	Data []byte
+}
+
+// SizeBits returns the number of bits in the block, the quantity the storage
+// cost model counts (Definition 2).
+func (b Block) SizeBits() int { return 8 * len(b.Data) }
+
+// Clone returns a deep copy of the block.
+func (b Block) Clone() Block {
+	d := make([]byte, len(b.Data))
+	copy(d, b.Data)
+	return Block{Index: b.Index, Data: d}
+}
+
+// Errors shared by the code implementations.
+var (
+	// ErrNotEnoughBlocks is returned by Decode when fewer than k distinct
+	// blocks are supplied; it corresponds to the oracle returning ⊥.
+	ErrNotEnoughBlocks = errors.New("erasure: not enough distinct blocks to decode")
+	// ErrBlockIndex is returned when a block index is outside the code's range.
+	ErrBlockIndex = errors.New("erasure: block index out of range")
+	// ErrBlockSize is returned when a supplied block has an unexpected size.
+	ErrBlockSize = errors.New("erasure: block has unexpected size")
+)
+
+// Code is a symmetric coding scheme over the value domain.
+//
+// K is the number of distinct blocks sufficient (and necessary) to decode;
+// N is the number of distinct block indexes the scheme natively produces —
+// one per base object in the register emulations. Rateless codes can produce
+// blocks for any index via EncodeBlock, but still advertise a nominal N.
+type Code interface {
+	// Name identifies the scheme, e.g. "rs(3,7)".
+	Name() string
+	// K returns the decode threshold.
+	K() int
+	// N returns the nominal number of distinct blocks produced by Encode.
+	N() int
+	// BlockSizeBytes returns the size of block index for a value of dataLen
+	// bytes. Symmetry (Definition 3) means the result is independent of the
+	// value itself.
+	BlockSizeBytes(dataLen, index int) int
+	// Encode produces blocks 1..N for the given data.
+	Encode(data []byte) ([]Block, error)
+	// EncodeBlock produces the single block with the given index; it is the
+	// oracle's get(i) operation (Definition 1).
+	EncodeBlock(data []byte, index int) (Block, error)
+	// Decode reconstructs a dataLen-byte value from at least K distinct
+	// blocks, or returns ErrNotEnoughBlocks (the oracle's ⊥).
+	Decode(dataLen int, blocks []Block) ([]byte, error)
+}
+
+// DistinctBlocks filters blocks to one per index, preserving first
+// occurrence order. Register algorithms use it before attempting a decode.
+func DistinctBlocks(blocks []Block) []Block {
+	seen := make(map[int]bool, len(blocks))
+	out := make([]Block, 0, len(blocks))
+	for _, b := range blocks {
+		if seen[b.Index] {
+			continue
+		}
+		seen[b.Index] = true
+		out = append(out, b)
+	}
+	return out
+}
+
+// CheckSymmetry verifies Definition 3 empirically for a code: it encodes two
+// different values of the same length and checks that every block index has
+// the same size in both encodings. Register constructors call it once at
+// setup so a non-conforming code is rejected early.
+func CheckSymmetry(c Code, dataLen int) error {
+	if dataLen <= 0 {
+		return fmt.Errorf("erasure: CheckSymmetry requires positive data length, got %d", dataLen)
+	}
+	a := make([]byte, dataLen)
+	b := make([]byte, dataLen)
+	for i := range b {
+		b[i] = byte(i*31 + 7)
+	}
+	blocksA, err := c.Encode(a)
+	if err != nil {
+		return fmt.Errorf("erasure: CheckSymmetry encode: %w", err)
+	}
+	blocksB, err := c.Encode(b)
+	if err != nil {
+		return fmt.Errorf("erasure: CheckSymmetry encode: %w", err)
+	}
+	if len(blocksA) != len(blocksB) {
+		return fmt.Errorf("erasure: code %s produced %d and %d blocks for equal-size values", c.Name(), len(blocksA), len(blocksB))
+	}
+	for i := range blocksA {
+		if len(blocksA[i].Data) != len(blocksB[i].Data) {
+			return fmt.Errorf("erasure: code %s block %d size depends on value (%d vs %d bytes)",
+				c.Name(), blocksA[i].Index, len(blocksA[i].Data), len(blocksB[i].Data))
+		}
+		if sz := c.BlockSizeBytes(dataLen, blocksA[i].Index); sz != len(blocksA[i].Data) {
+			return fmt.Errorf("erasure: code %s BlockSizeBytes(%d, %d) = %d but Encode produced %d bytes",
+				c.Name(), dataLen, blocksA[i].Index, sz, len(blocksA[i].Data))
+		}
+	}
+	return nil
+}
+
+// TotalEncodedBits returns the total number of bits across all N blocks of a
+// dataLen-byte value; experiments use it to express analytic storage bounds.
+func TotalEncodedBits(c Code, dataLen int) int {
+	total := 0
+	for i := 1; i <= c.N(); i++ {
+		total += 8 * c.BlockSizeBytes(dataLen, i)
+	}
+	return total
+}
+
+// shardLen returns the per-shard length when splitting dataLen bytes into k
+// equal shards, padding the tail shard with zeros.
+func shardLen(dataLen, k int) int {
+	return (dataLen + k - 1) / k
+}
+
+// splitShards splits data into k shards of equal length, zero-padding the
+// last shard. The returned shards reference freshly allocated memory.
+func splitShards(data []byte, k int) [][]byte {
+	sl := shardLen(len(data), k)
+	shards := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		shards[i] = make([]byte, sl)
+		start := i * sl
+		if start >= len(data) {
+			continue
+		}
+		end := start + sl
+		if end > len(data) {
+			end = len(data)
+		}
+		copy(shards[i], data[start:end])
+	}
+	return shards
+}
+
+// joinShards concatenates shards and truncates to dataLen bytes.
+func joinShards(shards [][]byte, dataLen int) []byte {
+	out := make([]byte, 0, dataLen)
+	for _, s := range shards {
+		out = append(out, s...)
+	}
+	return out[:dataLen]
+}

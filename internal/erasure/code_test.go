@@ -1,0 +1,354 @@
+package erasure
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// allCodes returns one instance of every implemented code with the given
+// decode threshold k and width n (replication ignores k).
+func allCodes(t *testing.T, k, n int) []Code {
+	t.Helper()
+	rs, err := NewReedSolomon(k, n)
+	if err != nil {
+		t.Fatalf("NewReedSolomon(%d,%d): %v", k, n, err)
+	}
+	repl, err := NewReplication(n)
+	if err != nil {
+		t.Fatalf("NewReplication(%d): %v", n, err)
+	}
+	xorc, err := NewXORParity(n)
+	if err != nil {
+		t.Fatalf("NewXORParity(%d): %v", n, err)
+	}
+	rl, err := NewRateless(k, n, 12345)
+	if err != nil {
+		t.Fatalf("NewRateless(%d,%d): %v", k, n, err)
+	}
+	return []Code{rs, repl, xorc, rl}
+}
+
+func TestEncodeDecodeRoundTripAllCodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, c := range allCodes(t, 3, 7) {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			for _, dataLen := range []int{1, 3, 16, 100, 1024, 4096} {
+				data := make([]byte, dataLen)
+				if _, err := rng.Read(data); err != nil {
+					t.Fatalf("rand: %v", err)
+				}
+				blocks, err := c.Encode(data)
+				if err != nil {
+					t.Fatalf("Encode(%d bytes): %v", dataLen, err)
+				}
+				if len(blocks) != c.N() {
+					t.Fatalf("Encode produced %d blocks, want %d", len(blocks), c.N())
+				}
+				got, err := c.Decode(dataLen, blocks)
+				if err != nil {
+					t.Fatalf("Decode(%d bytes): %v", dataLen, err)
+				}
+				if string(got) != string(data) {
+					t.Fatalf("round trip mismatch for %d bytes", dataLen)
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeFromAnyKSubset(t *testing.T) {
+	const dataLen = 257
+	rng := rand.New(rand.NewSource(23))
+	data := make([]byte, dataLen)
+	if _, err := rng.Read(data); err != nil {
+		t.Fatalf("rand: %v", err)
+	}
+	for _, c := range allCodes(t, 3, 7) {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			blocks, err := c.Encode(data)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			for trial := 0; trial < 50; trial++ {
+				perm := rng.Perm(len(blocks))[:c.K()]
+				subset := make([]Block, 0, c.K())
+				for _, i := range perm {
+					subset = append(subset, blocks[i])
+				}
+				got, err := c.Decode(dataLen, subset)
+				if err != nil {
+					t.Fatalf("Decode from subset %v: %v", perm, err)
+				}
+				if string(got) != string(data) {
+					t.Fatalf("Decode from subset %v returned wrong value", perm)
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeInsufficientBlocks(t *testing.T) {
+	data := []byte("a value that needs protecting")
+	for _, c := range allCodes(t, 4, 9) {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			blocks, err := c.Encode(data)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			_, err = c.Decode(len(data), blocks[:c.K()-1])
+			if !errors.Is(err, ErrNotEnoughBlocks) {
+				t.Fatalf("Decode with %d blocks returned %v, want ErrNotEnoughBlocks", c.K()-1, err)
+			}
+		})
+	}
+}
+
+func TestDuplicateBlocksDoNotHelp(t *testing.T) {
+	data := []byte("duplicate detection")
+	for _, c := range allCodes(t, 3, 5) {
+		if c.K() == 1 {
+			continue // replication decodes from one block by design
+		}
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			blocks, err := c.Encode(data)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			dups := []Block{blocks[0], blocks[0], blocks[0], blocks[0]}
+			if _, err := c.Decode(len(data), dups); !errors.Is(err, ErrNotEnoughBlocks) {
+				t.Fatalf("Decode from duplicates returned %v, want ErrNotEnoughBlocks", err)
+			}
+		})
+	}
+}
+
+func TestSymmetryAllCodes(t *testing.T) {
+	for _, c := range allCodes(t, 3, 7) {
+		if err := CheckSymmetry(c, 500); err != nil {
+			t.Errorf("CheckSymmetry(%s): %v", c.Name(), err)
+		}
+	}
+	if err := CheckSymmetry(MustReedSolomon(2, 4), 0); err == nil {
+		t.Error("CheckSymmetry accepted non-positive data length")
+	}
+}
+
+func TestEncodeBlockMatchesEncode(t *testing.T) {
+	data := []byte("per-block oracle access must match bulk encoding output.")
+	for _, c := range allCodes(t, 3, 6) {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			blocks, err := c.Encode(data)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			for _, want := range blocks {
+				got, err := c.EncodeBlock(data, want.Index)
+				if err != nil {
+					t.Fatalf("EncodeBlock(%d): %v", want.Index, err)
+				}
+				if string(got.Data) != string(want.Data) {
+					t.Fatalf("EncodeBlock(%d) differs from Encode output", want.Index)
+				}
+			}
+		})
+	}
+}
+
+func TestBlockSizeAccounting(t *testing.T) {
+	const dataLen = 1000
+	rs := MustReedSolomon(4, 10)
+	if sz := rs.BlockSizeBytes(dataLen, 1); sz != 250 {
+		t.Fatalf("rs block size = %d, want 250", sz)
+	}
+	if total := TotalEncodedBits(rs, dataLen); total != 10*250*8 {
+		t.Fatalf("rs total bits = %d, want %d", total, 10*250*8)
+	}
+	repl := MustReplication(3)
+	if total := TotalEncodedBits(repl, dataLen); total != 3*8*dataLen {
+		t.Fatalf("replication total bits = %d, want %d", total, 3*8*dataLen)
+	}
+}
+
+func TestBlockSizeBits(t *testing.T) {
+	b := Block{Index: 1, Data: make([]byte, 17)}
+	if b.SizeBits() != 136 {
+		t.Fatalf("SizeBits = %d, want 136", b.SizeBits())
+	}
+	c := b.Clone()
+	c.Data[0] = 0xFF
+	if b.Data[0] == 0xFF {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestDistinctBlocks(t *testing.T) {
+	in := []Block{{Index: 2}, {Index: 1}, {Index: 2}, {Index: 3}, {Index: 1}}
+	out := DistinctBlocks(in)
+	if len(out) != 3 {
+		t.Fatalf("DistinctBlocks returned %d blocks, want 3", len(out))
+	}
+	if out[0].Index != 2 || out[1].Index != 1 || out[2].Index != 3 {
+		t.Fatalf("DistinctBlocks did not preserve first-occurrence order: %v", out)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewReedSolomon(0, 5); err == nil {
+		t.Error("NewReedSolomon accepted k=0")
+	}
+	if _, err := NewReedSolomon(6, 5); err == nil {
+		t.Error("NewReedSolomon accepted k>n")
+	}
+	if _, err := NewReedSolomon(2, 256); err == nil {
+		t.Error("NewReedSolomon accepted n>255")
+	}
+	if _, err := NewReplication(0); err == nil {
+		t.Error("NewReplication accepted n=0")
+	}
+	if _, err := NewXORParity(1); err == nil {
+		t.Error("NewXORParity accepted n=1")
+	}
+	if _, err := NewRateless(0, 3, 1); err == nil {
+		t.Error("NewRateless accepted k=0")
+	}
+	if _, err := NewRateless(4, 3, 1); err == nil {
+		t.Error("NewRateless accepted k>n")
+	}
+}
+
+func TestMustConstructorsPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MustReedSolomon": func() { MustReedSolomon(0, 1) },
+		"MustReplication": func() { MustReplication(0) },
+		"MustXORParity":   func() { MustXORParity(1) },
+		"MustRateless":    func() { MustRateless(0, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with invalid parameters did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEncodeBlockIndexValidation(t *testing.T) {
+	data := []byte("x")
+	rs := MustReedSolomon(2, 4)
+	if _, err := rs.EncodeBlock(data, 0); !errors.Is(err, ErrBlockIndex) {
+		t.Errorf("rs EncodeBlock(0) err = %v, want ErrBlockIndex", err)
+	}
+	if _, err := rs.EncodeBlock(data, 5); !errors.Is(err, ErrBlockIndex) {
+		t.Errorf("rs EncodeBlock(5) err = %v, want ErrBlockIndex", err)
+	}
+	xorc := MustXORParity(4)
+	if _, err := xorc.EncodeBlock(data, 9); !errors.Is(err, ErrBlockIndex) {
+		t.Errorf("xor EncodeBlock(9) err = %v, want ErrBlockIndex", err)
+	}
+	repl := MustReplication(2)
+	if _, err := repl.EncodeBlock(data, -1); !errors.Is(err, ErrBlockIndex) {
+		t.Errorf("repl EncodeBlock(-1) err = %v, want ErrBlockIndex", err)
+	}
+	rl := MustRateless(2, 4, 1)
+	if _, err := rl.EncodeBlock(data, 0); !errors.Is(err, ErrBlockIndex) {
+		t.Errorf("rateless EncodeBlock(0) err = %v, want ErrBlockIndex", err)
+	}
+}
+
+func TestDecodeWrongBlockSize(t *testing.T) {
+	data := []byte("size validation for decode paths")
+	for _, c := range allCodes(t, 3, 6) {
+		blocks, err := c.Encode(data)
+		if err != nil {
+			t.Fatalf("%s Encode: %v", c.Name(), err)
+		}
+		blocks[0].Data = append(blocks[0].Data, 0xAA)
+		if _, err := c.Decode(len(data), blocks); !errors.Is(err, ErrBlockSize) {
+			t.Errorf("%s Decode with oversized block returned %v, want ErrBlockSize", c.Name(), err)
+		}
+	}
+}
+
+// TestReedSolomonQuick is a property-based round-trip over random payloads
+// and random k-subsets of blocks.
+func TestReedSolomonQuick(t *testing.T) {
+	rs := MustReedSolomon(3, 8)
+	rng := rand.New(rand.NewSource(99))
+	prop := func(data []byte) bool {
+		if len(data) == 0 {
+			data = []byte{0}
+		}
+		blocks, err := rs.Encode(data)
+		if err != nil {
+			return false
+		}
+		perm := rng.Perm(len(blocks))[:rs.K()]
+		subset := make([]Block, 0, rs.K())
+		for _, i := range perm {
+			subset = append(subset, blocks[i])
+		}
+		got, err := rs.Decode(len(data), subset)
+		if err != nil {
+			return false
+		}
+		return string(got) == string(data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Errorf("Reed-Solomon round-trip property failed: %v", err)
+	}
+}
+
+// TestRatelessHighIndices exercises indices beyond the nominal width n, the
+// defining capability of a rateless code.
+func TestRatelessHighIndices(t *testing.T) {
+	rl := MustRateless(4, 6, 7)
+	data := []byte("rateless codes can mint blocks for arbitrary indices in N")
+	blocks := make([]Block, 0, 4)
+	for _, idx := range []int{100, 2000, 31337, 500000} {
+		b, err := rl.EncodeBlock(data, idx)
+		if err != nil {
+			t.Fatalf("EncodeBlock(%d): %v", idx, err)
+		}
+		blocks = append(blocks, b)
+	}
+	got, err := rl.Decode(len(data), blocks)
+	if err != nil {
+		t.Fatalf("Decode from high-index blocks: %v", err)
+	}
+	if string(got) != string(data) {
+		t.Fatal("Decode from high-index blocks returned wrong value")
+	}
+}
+
+func TestXORParitySingleErasure(t *testing.T) {
+	xorc := MustXORParity(5)
+	data := []byte("parity protects against exactly one missing shard")
+	blocks, err := xorc.Encode(data)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	for drop := 0; drop < len(blocks); drop++ {
+		subset := make([]Block, 0, len(blocks)-1)
+		for i, b := range blocks {
+			if i != drop {
+				subset = append(subset, b)
+			}
+		}
+		got, err := xorc.Decode(len(data), subset)
+		if err != nil {
+			t.Fatalf("Decode with block %d dropped: %v", drop+1, err)
+		}
+		if string(got) != string(data) {
+			t.Fatalf("Decode with block %d dropped returned wrong value", drop+1)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package erasure
+
+import (
+	"fmt"
+
+	"spacebounds/internal/gf256"
+)
+
+// ReedSolomon is a systematic-free k-of-n erasure code over GF(2^8) built
+// from a Vandermonde generator matrix: block i is the i-th row of the
+// Vandermonde matrix applied to the k data shards. Any k distinct blocks
+// determine the value, which is exactly the decode function D of Section 3.
+type ReedSolomon struct {
+	k, n   int
+	matrix *gf256.Matrix
+}
+
+var _ Code = (*ReedSolomon)(nil)
+
+// NewReedSolomon constructs a k-of-n Reed-Solomon code. It returns an error
+// if the parameters are out of range (1 <= k <= n <= 255).
+func NewReedSolomon(k, n int) (*ReedSolomon, error) {
+	if k < 1 || n < k || n > 255 {
+		return nil, fmt.Errorf("erasure: invalid Reed-Solomon parameters k=%d n=%d", k, n)
+	}
+	return &ReedSolomon{k: k, n: n, matrix: gf256.Vandermonde(n, k)}, nil
+}
+
+// MustReedSolomon is NewReedSolomon for statically known parameters; it
+// panics on invalid input and is intended for tests and examples.
+func MustReedSolomon(k, n int) *ReedSolomon {
+	rs, err := NewReedSolomon(k, n)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+// Name implements Code.
+func (rs *ReedSolomon) Name() string { return fmt.Sprintf("rs(%d,%d)", rs.k, rs.n) }
+
+// K implements Code.
+func (rs *ReedSolomon) K() int { return rs.k }
+
+// N implements Code.
+func (rs *ReedSolomon) N() int { return rs.n }
+
+// BlockSizeBytes implements Code: every block is one shard of ceil(D/k) bytes.
+func (rs *ReedSolomon) BlockSizeBytes(dataLen, index int) int {
+	return shardLen(dataLen, rs.k)
+}
+
+// Encode implements Code.
+func (rs *ReedSolomon) Encode(data []byte) ([]Block, error) {
+	shards := splitShards(data, rs.k)
+	coded, err := rs.matrix.MulVec(shards)
+	if err != nil {
+		return nil, fmt.Errorf("erasure: rs encode: %w", err)
+	}
+	blocks := make([]Block, rs.n)
+	for i := 0; i < rs.n; i++ {
+		blocks[i] = Block{Index: i + 1, Data: coded[i]}
+	}
+	return blocks, nil
+}
+
+// EncodeBlock implements Code.
+func (rs *ReedSolomon) EncodeBlock(data []byte, index int) (Block, error) {
+	if index < 1 || index > rs.n {
+		return Block{}, fmt.Errorf("%w: %d not in [1,%d]", ErrBlockIndex, index, rs.n)
+	}
+	shards := splitShards(data, rs.k)
+	out := make([]byte, shardLen(len(data), rs.k))
+	row := rs.matrix.Row(index - 1)
+	for c := 0; c < rs.k; c++ {
+		gf256.MulAddSlice(row[c], out, shards[c])
+	}
+	return Block{Index: index, Data: out}, nil
+}
+
+// Decode implements Code. It reconstructs the original dataLen bytes from any
+// k distinct blocks by inverting the corresponding k-by-k Vandermonde
+// submatrix.
+func (rs *ReedSolomon) Decode(dataLen int, blocks []Block) ([]byte, error) {
+	distinct := DistinctBlocks(blocks)
+	if len(distinct) < rs.k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrNotEnoughBlocks, len(distinct), rs.k)
+	}
+	sl := shardLen(dataLen, rs.k)
+	rows := make([]int, 0, rs.k)
+	coded := make([][]byte, 0, rs.k)
+	for _, b := range distinct {
+		if b.Index < 1 || b.Index > rs.n {
+			return nil, fmt.Errorf("%w: %d not in [1,%d]", ErrBlockIndex, b.Index, rs.n)
+		}
+		if len(b.Data) != sl {
+			return nil, fmt.Errorf("%w: block %d has %d bytes, want %d", ErrBlockSize, b.Index, len(b.Data), sl)
+		}
+		rows = append(rows, b.Index-1)
+		coded = append(coded, b.Data)
+		if len(rows) == rs.k {
+			break
+		}
+	}
+	sub := rs.matrix.SubMatrix(rows)
+	inv, err := sub.Invert()
+	if err != nil {
+		return nil, fmt.Errorf("erasure: rs decode: %w", err)
+	}
+	shards, err := inv.MulVec(coded)
+	if err != nil {
+		return nil, fmt.Errorf("erasure: rs decode: %w", err)
+	}
+	return joinShards(shards, dataLen), nil
+}

@@ -1,0 +1,126 @@
+package erasure
+
+import (
+	"fmt"
+
+	"spacebounds/internal/gf256"
+)
+
+// XORParity is an (n-1)-of-n parity code: blocks 1..n-1 are the data shards
+// and block n is their XOR. It tolerates a single erasure with the minimum
+// possible redundancy, matching the introduction's single-failure example of
+// (k+2)D/k storage with k = n-2 objects of data plus parity.
+type XORParity struct {
+	n int
+}
+
+var _ Code = (*XORParity)(nil)
+
+// NewXORParity constructs an (n-1)-of-n XOR parity code. n must be at least 2.
+func NewXORParity(n int) (*XORParity, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("erasure: XOR parity needs n >= 2, got %d", n)
+	}
+	return &XORParity{n: n}, nil
+}
+
+// MustXORParity is NewXORParity for statically known parameters; it panics on
+// invalid input.
+func MustXORParity(n int) *XORParity {
+	c, err := NewXORParity(n)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name implements Code.
+func (x *XORParity) Name() string { return fmt.Sprintf("xor(%d,%d)", x.n-1, x.n) }
+
+// K implements Code.
+func (x *XORParity) K() int { return x.n - 1 }
+
+// N implements Code.
+func (x *XORParity) N() int { return x.n }
+
+// BlockSizeBytes implements Code.
+func (x *XORParity) BlockSizeBytes(dataLen, index int) int {
+	return shardLen(dataLen, x.n-1)
+}
+
+// Encode implements Code.
+func (x *XORParity) Encode(data []byte) ([]Block, error) {
+	k := x.n - 1
+	shards := splitShards(data, k)
+	parity := make([]byte, shardLen(len(data), k))
+	for _, s := range shards {
+		gf256.AddSlice(parity, s)
+	}
+	blocks := make([]Block, x.n)
+	for i := 0; i < k; i++ {
+		blocks[i] = Block{Index: i + 1, Data: shards[i]}
+	}
+	blocks[k] = Block{Index: x.n, Data: parity}
+	return blocks, nil
+}
+
+// EncodeBlock implements Code.
+func (x *XORParity) EncodeBlock(data []byte, index int) (Block, error) {
+	if index < 1 || index > x.n {
+		return Block{}, fmt.Errorf("%w: %d not in [1,%d]", ErrBlockIndex, index, x.n)
+	}
+	blocks, err := x.Encode(data)
+	if err != nil {
+		return Block{}, err
+	}
+	return blocks[index-1], nil
+}
+
+// Decode implements Code: with all n-1 data shards present the value is their
+// concatenation; with one data shard missing it is recovered from the parity.
+func (x *XORParity) Decode(dataLen int, blocks []Block) ([]byte, error) {
+	k := x.n - 1
+	distinct := DistinctBlocks(blocks)
+	if len(distinct) < k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrNotEnoughBlocks, len(distinct), k)
+	}
+	sl := shardLen(dataLen, k)
+	byIndex := make(map[int][]byte, len(distinct))
+	for _, b := range distinct {
+		if b.Index < 1 || b.Index > x.n {
+			return nil, fmt.Errorf("%w: %d not in [1,%d]", ErrBlockIndex, b.Index, x.n)
+		}
+		if len(b.Data) != sl {
+			return nil, fmt.Errorf("%w: block %d has %d bytes, want %d", ErrBlockSize, b.Index, len(b.Data), sl)
+		}
+		byIndex[b.Index] = b.Data
+	}
+	shards := make([][]byte, k)
+	missing := -1
+	for i := 1; i <= k; i++ {
+		if d, ok := byIndex[i]; ok {
+			shards[i-1] = d
+			continue
+		}
+		if missing != -1 {
+			return nil, fmt.Errorf("%w: two data shards missing", ErrNotEnoughBlocks)
+		}
+		missing = i - 1
+	}
+	if missing != -1 {
+		parity, ok := byIndex[x.n]
+		if !ok {
+			return nil, fmt.Errorf("%w: missing data shard %d and no parity", ErrNotEnoughBlocks, missing+1)
+		}
+		rec := make([]byte, sl)
+		copy(rec, parity)
+		for i, s := range shards {
+			if i == missing {
+				continue
+			}
+			gf256.AddSlice(rec, s)
+		}
+		shards[missing] = rec
+	}
+	return joinShards(shards, dataLen), nil
+}

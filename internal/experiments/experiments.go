@@ -1,0 +1,120 @@
+// Package experiments regenerates the paper's analytic results as measured
+// tables (see DESIGN.md's experiment index E1-E8 and EXPERIMENTS.md for the
+// recorded outcomes). Each experiment returns a Table that cmd/spacebench
+// prints and that the benchmark harness in the repository root exercises.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells formatted with fmt.Sprint.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Format renders the table as aligned plain text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "%s\n", t.Caption)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavoured markdown (EXPERIMENTS.md).
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "%s\n\n", t.Caption)
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Header, " | "))
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(row, " | "))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Experiment couples an experiment ID with its driver.
+type Experiment struct {
+	ID          string
+	Title       string
+	PaperSource string
+	Run         func() (*Table, error)
+}
+
+// All returns every experiment in the suite, in index order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Title: "Adaptive storage vs. concurrency", PaperSource: "Theorem 2, Corollary 3", Run: E1AdaptiveStorageVsConcurrency},
+		{ID: "E2", Title: "Adaptive quiescent storage", PaperSource: "Theorem 2 (final clause), Lemma 8", Run: E2QuiescentStorage},
+		{ID: "E3", Title: "Replication vs. coding vs. adaptive", PaperSource: "Section 1, Corollary 2", Run: E3StorageComparison},
+		{ID: "E4", Title: "Adversarial lower bound", PaperSource: "Theorem 1, Lemma 3", Run: E4AdversaryLowerBound},
+		{ID: "E5", Title: "Safe register storage", PaperSource: "Appendix E, Lemma 17", Run: E5SafeRegisterStorage},
+		{ID: "E6", Title: "Adversary schedule trace (Figure 3)", PaperSource: "Figure 3", Run: E6AdversaryTrace},
+		{ID: "E7", Title: "Ablation over the code parameter k", PaperSource: "Section 5 (choice of k)", Run: E7KAblation},
+		{ID: "E8", Title: "Operation latency in RMW rounds", PaperSource: "Section 2 (liveness)", Run: E8OperationLatency},
+	}
+}
+
+// ByID returns the experiment with the given ID (case-insensitive), or nil.
+func ByID(id string) *Experiment {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			exp := e
+			return &exp
+		}
+	}
+	return nil
+}

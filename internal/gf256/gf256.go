@@ -1,0 +1,160 @@
+// Package gf256 implements arithmetic over the finite field GF(2^8).
+//
+// The field is constructed as GF(2)[x] modulo the irreducible polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the polynomial conventionally used by
+// Reed-Solomon implementations. Addition is XOR; multiplication, division,
+// inversion, and exponentiation are implemented with precomputed log and
+// exponentiation tables keyed by the generator element 2.
+//
+// The package is the arithmetic substrate for the erasure codes in
+// internal/erasure. It is allocation-free and safe for concurrent use: the
+// tables are computed once at package initialization and never mutated.
+package gf256
+
+import "fmt"
+
+// Poly is the irreducible polynomial used to construct the field, expressed
+// with the x^8 term included (bit 8 set).
+const Poly = 0x11d
+
+// Order is the number of elements in the field.
+const Order = 256
+
+// generator is a primitive element of the field; successive powers of the
+// generator enumerate all non-zero field elements.
+const generator = 2
+
+var (
+	expTable [2 * Order]byte // expTable[i] = generator^i, doubled to avoid mod in Mul
+	logTable [Order]byte     // logTable[x] = i such that generator^i = x, for x != 0
+	invTable [Order]byte     // invTable[x] = multiplicative inverse of x, invTable[0] = 0
+)
+
+func init() {
+	x := 1
+	for i := 0; i < Order-1; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Poly
+		}
+	}
+	// Extend the exponent table so Mul can index logA+logB (< 510) directly.
+	for i := Order - 1; i < 2*Order; i++ {
+		expTable[i] = expTable[i-(Order-1)]
+	}
+	for i := 1; i < Order; i++ {
+		invTable[i] = expTable[Order-1-int(logTable[i])]
+	}
+}
+
+// Add returns the sum of a and b in GF(2^8). Addition and subtraction
+// coincide in characteristic-2 fields.
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns the difference of a and b in GF(2^8); identical to Add.
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns the product of a and b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a divided by b in GF(2^8). It panics if b is zero, mirroring
+// integer division semantics.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	diff := int(logTable[a]) - int(logTable[b])
+	if diff < 0 {
+		diff += Order - 1
+	}
+	return expTable[diff]
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a is zero.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return invTable[a]
+}
+
+// Exp returns base raised to the power n in GF(2^8). Exp(0, 0) is defined as
+// 1 by convention.
+func Exp(base byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if base == 0 {
+		return 0
+	}
+	logSum := (int(logTable[base]) * n) % (Order - 1)
+	if logSum < 0 {
+		logSum += Order - 1
+	}
+	return expTable[logSum]
+}
+
+// PowGenerator returns generator^n; it is the canonical way to obtain the
+// n-th distinct evaluation point for Vandermonde-style code matrices.
+func PowGenerator(n int) byte { return Exp(generator, n) }
+
+// MulSlice multiplies every byte of src by the scalar c and stores the result
+// in dst. dst and src must have equal length; MulSlice panics otherwise.
+func MulSlice(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("gf256: MulSlice length mismatch %d != %d", len(dst), len(src)))
+	}
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	logC := int(logTable[c])
+	for i, s := range src {
+		if s == 0 {
+			dst[i] = 0
+			continue
+		}
+		dst[i] = expTable[logC+int(logTable[s])]
+	}
+}
+
+// MulAddSlice computes dst[i] ^= c * src[i] for every index. dst and src must
+// have equal length; MulAddSlice panics otherwise.
+func MulAddSlice(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("gf256: MulAddSlice length mismatch %d != %d", len(dst), len(src)))
+	}
+	if c == 0 {
+		return
+	}
+	logC := int(logTable[c])
+	for i, s := range src {
+		if s == 0 {
+			continue
+		}
+		dst[i] ^= expTable[logC+int(logTable[s])]
+	}
+}
+
+// AddSlice computes dst[i] ^= src[i] for every index. dst and src must have
+// equal length; AddSlice panics otherwise.
+func AddSlice(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("gf256: AddSlice length mismatch %d != %d", len(dst), len(src)))
+	}
+	for i, s := range src {
+		dst[i] ^= s
+	}
+}

@@ -1,0 +1,194 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXOR(t *testing.T) {
+	cases := []struct{ a, b, want byte }{
+		{0, 0, 0},
+		{1, 1, 0},
+		{0x53, 0xca, 0x99},
+		{0xff, 0x0f, 0xf0},
+	}
+	for _, c := range cases {
+		if got := Add(c.a, c.b); got != c.want {
+			t.Errorf("Add(%#x, %#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+		if got := Sub(c.a, c.b); got != c.want {
+			t.Errorf("Sub(%#x, %#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	// Hand-checked products under polynomial 0x11d.
+	cases := []struct{ a, b, want byte }{
+		{0, 5, 0},
+		{5, 0, 0},
+		{1, 0xab, 0xab},
+		{2, 0x80, 0x1d}, // 0x100 reduced by 0x11d
+		{2, 2, 4},
+		{4, 4, 16},
+	}
+	for _, c := range cases {
+		if got := Mul(c.a, c.b); got != c.want {
+			t.Errorf("Mul(%#x, %#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulCommutativeAssociativeDistributive(t *testing.T) {
+	commutative := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(commutative, nil); err != nil {
+		t.Errorf("multiplication not commutative: %v", err)
+	}
+	associative := func(a, b, c byte) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+	if err := quick.Check(associative, nil); err != nil {
+		t.Errorf("multiplication not associative: %v", err)
+	}
+	distributive := func(a, b, c byte) bool { return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c)) }
+	if err := quick.Check(distributive, nil); err != nil {
+		t.Errorf("multiplication not distributive over addition: %v", err)
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	for a := 1; a < Order; a++ {
+		inv := Inv(byte(a))
+		if got := Mul(byte(a), inv); got != 1 {
+			t.Fatalf("Mul(%#x, Inv(%#x)) = %#x, want 1", a, a, got)
+		}
+	}
+}
+
+func TestDivMulRoundTrip(t *testing.T) {
+	prop := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Mul(Div(a, b), b) == a
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Errorf("Div is not the inverse of Mul: %v", err)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div(1, 0) did not panic")
+		}
+	}()
+	Div(1, 0)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestExp(t *testing.T) {
+	if got := Exp(0, 0); got != 1 {
+		t.Errorf("Exp(0, 0) = %d, want 1", got)
+	}
+	if got := Exp(0, 5); got != 0 {
+		t.Errorf("Exp(0, 5) = %d, want 0", got)
+	}
+	for _, base := range []byte{1, 2, 3, 0x1d, 0xff} {
+		acc := byte(1)
+		for n := 0; n < 300; n++ {
+			if got := Exp(base, n); got != acc {
+				t.Fatalf("Exp(%#x, %d) = %#x, want %#x", base, n, got, acc)
+			}
+			acc = Mul(acc, base)
+		}
+	}
+}
+
+func TestGeneratorIsPrimitive(t *testing.T) {
+	seen := make(map[byte]bool)
+	for i := 0; i < Order-1; i++ {
+		seen[PowGenerator(i)] = true
+	}
+	if len(seen) != Order-1 {
+		t.Fatalf("generator powers cover %d distinct elements, want %d", len(seen), Order-1)
+	}
+	if seen[0] {
+		t.Fatal("generator power produced 0")
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{0, 1, 2, 0x53, 0xff}
+	dst := make([]byte, len(src))
+	MulSlice(3, dst, src)
+	for i := range src {
+		if dst[i] != Mul(3, src[i]) {
+			t.Errorf("MulSlice mismatch at %d: got %#x want %#x", i, dst[i], Mul(3, src[i]))
+		}
+	}
+	MulSlice(0, dst, src)
+	for i := range dst {
+		if dst[i] != 0 {
+			t.Errorf("MulSlice by zero left non-zero byte at %d", i)
+		}
+	}
+}
+
+func TestMulAddSlice(t *testing.T) {
+	src := []byte{1, 2, 3, 4, 5}
+	dst := []byte{9, 8, 7, 6, 5}
+	want := make([]byte, len(src))
+	for i := range src {
+		want[i] = Add(dst[i], Mul(7, src[i]))
+	}
+	MulAddSlice(7, dst, src)
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Errorf("MulAddSlice mismatch at %d: got %#x want %#x", i, dst[i], want[i])
+		}
+	}
+	// Adding with coefficient zero must be a no-op.
+	before := append([]byte(nil), dst...)
+	MulAddSlice(0, dst, src)
+	for i := range dst {
+		if dst[i] != before[i] {
+			t.Errorf("MulAddSlice with zero coefficient modified dst at %d", i)
+		}
+	}
+}
+
+func TestAddSlice(t *testing.T) {
+	a := []byte{1, 2, 3}
+	b := []byte{4, 5, 6}
+	AddSlice(a, b)
+	want := []byte{5, 7, 5}
+	for i := range a {
+		if a[i] != want[i] {
+			t.Errorf("AddSlice mismatch at %d: got %#x want %#x", i, a[i], want[i])
+		}
+	}
+}
+
+func TestSliceLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MulSlice":    func() { MulSlice(1, make([]byte, 2), make([]byte, 3)) },
+		"MulAddSlice": func() { MulAddSlice(1, make([]byte, 2), make([]byte, 3)) },
+		"AddSlice":    func() { AddSlice(make([]byte, 2), make([]byte, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched lengths did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

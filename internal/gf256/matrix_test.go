@@ -1,0 +1,185 @@
+package gf256
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIdentityMultiplication(t *testing.T) {
+	id := Identity(4)
+	m := Vandermonde(4, 4)
+	prod, err := id.Mul(m)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if prod.At(r, c) != m.At(r, c) {
+				t.Fatalf("identity * m differs at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestNewMatrixFromRows(t *testing.T) {
+	rows := [][]byte{{1, 2}, {3, 4}}
+	m, err := NewMatrixFromRows(rows)
+	if err != nil {
+		t.Fatalf("NewMatrixFromRows: %v", err)
+	}
+	if m.Rows() != 2 || m.Cols() != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("unexpected matrix contents: %v", m)
+	}
+	if _, err := NewMatrixFromRows([][]byte{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if _, err := NewMatrixFromRows(nil); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}
+
+func TestInvertIdentity(t *testing.T) {
+	id := Identity(5)
+	inv, err := id.Invert()
+	if err != nil {
+		t.Fatalf("Invert: %v", err)
+	}
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 5; c++ {
+			want := byte(0)
+			if r == c {
+				want = 1
+			}
+			if inv.At(r, c) != want {
+				t.Fatalf("identity inverse differs at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestInvertRandomMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		m := NewMatrix(n, n)
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				m.Set(r, c, byte(rng.Intn(256)))
+			}
+		}
+		inv, err := m.Invert()
+		if err != nil {
+			continue // singular matrices are possible with random entries
+		}
+		prod, err := m.Mul(inv)
+		if err != nil {
+			t.Fatalf("Mul: %v", err)
+		}
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				want := byte(0)
+				if r == c {
+					want = 1
+				}
+				if prod.At(r, c) != want {
+					t.Fatalf("trial %d: m * m^-1 != I at (%d,%d)", trial, r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 2)
+	if _, err := m.Invert(); err != ErrSingular {
+		t.Fatalf("Invert of singular matrix returned %v, want ErrSingular", err)
+	}
+}
+
+func TestInvertNonSquare(t *testing.T) {
+	if _, err := NewMatrix(2, 3).Invert(); err == nil {
+		t.Fatal("Invert of non-square matrix succeeded")
+	}
+}
+
+func TestVandermondeSubmatricesInvertible(t *testing.T) {
+	// Every k-row subset of a Vandermonde matrix with distinct evaluation
+	// points must be invertible; this is the property erasure decoding needs.
+	const n, k = 10, 4
+	v := Vandermonde(n, k)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		rows := rng.Perm(n)[:k]
+		sub := v.SubMatrix(rows)
+		if _, err := sub.Invert(); err != nil {
+			t.Fatalf("Vandermonde submatrix with rows %v is singular", rows)
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := Vandermonde(5, 3)
+	in := [][]byte{{1, 2, 3, 4}, {5, 6, 7, 8}, {9, 10, 11, 12}}
+	out, err := m.MulVec(in)
+	if err != nil {
+		t.Fatalf("MulVec: %v", err)
+	}
+	if len(out) != 5 || len(out[0]) != 4 {
+		t.Fatalf("MulVec output has shape %dx%d, want 5x4", len(out), len(out[0]))
+	}
+	// Cross-check one entry against scalar arithmetic.
+	for r := 0; r < 5; r++ {
+		for col := 0; col < 4; col++ {
+			var want byte
+			for c := 0; c < 3; c++ {
+				want = Add(want, Mul(m.At(r, c), in[c][col]))
+			}
+			if out[r][col] != want {
+				t.Fatalf("MulVec mismatch at (%d,%d): got %#x want %#x", r, col, out[r][col], want)
+			}
+		}
+	}
+}
+
+func TestMulVecErrors(t *testing.T) {
+	m := Vandermonde(3, 2)
+	if _, err := m.MulVec([][]byte{{1}}); err == nil {
+		t.Fatal("MulVec accepted wrong number of rows")
+	}
+	if _, err := m.MulVec([][]byte{{1, 2}, {3}}); err == nil {
+		t.Fatal("MulVec accepted ragged rows")
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Fatal("Mul accepted incompatible dimensions")
+	}
+}
+
+func TestNewMatrixPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMatrix(0, 1) did not panic")
+		}
+	}()
+	NewMatrix(0, 1)
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	m := Vandermonde(3, 3)
+	c := m.Clone()
+	c.Set(0, 0, 0xEE)
+	if m.At(0, 0) == 0xEE {
+		t.Fatal("Clone shares storage with original")
+	}
+	if c.String() == "" {
+		t.Fatal("String returned empty output")
+	}
+}

@@ -1,0 +1,172 @@
+// Package history records high-level register operation histories and checks
+// them against the consistency conditions the paper works with: weak
+// regularity (MWRegWeak), strong regularity (MWRegWO), and strong safety
+// (Appendix A). The checkers assume that distinct write operations write
+// distinct values, which the workload generators guarantee; this makes the
+// "which write produced this returned value" relation unambiguous.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"spacebounds/internal/value"
+)
+
+// OpKind distinguishes reads from writes.
+type OpKind int
+
+// Operation kinds.
+const (
+	Write OpKind = iota + 1
+	Read
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	if k == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Op is one recorded high-level operation. Invoked and Returned are logical
+// times drawn from a shared monotonic counter: if op1.Returned < op2.Invoked
+// then op1 precedes op2 in real time.
+type Op struct {
+	ID       int
+	Client   int
+	Kind     OpKind
+	Value    value.Value // written value, or value returned by a read
+	Invoked  int64
+	Returned int64 // 0 while outstanding
+}
+
+// Completed reports whether the operation has returned.
+func (o *Op) Completed() bool { return o.Returned != 0 }
+
+// Precedes reports whether o completed before other was invoked (the ≺r
+// relation of Appendix A).
+func (o *Op) Precedes(other *Op) bool {
+	return o.Completed() && o.Returned < other.Invoked
+}
+
+// String implements fmt.Stringer.
+func (o *Op) String() string {
+	return fmt.Sprintf("%v[c%d#%d %v @%d-%d]", o.Kind, o.Client, o.ID, o.Value, o.Invoked, o.Returned)
+}
+
+// Recorder collects operations as they are invoked and return. It is safe for
+// concurrent use by many client goroutines.
+type Recorder struct {
+	mu      sync.Mutex
+	counter int64
+	nextID  int
+	ops     []*Op
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+func (r *Recorder) tick() int64 {
+	r.counter++
+	return r.counter
+}
+
+// BeginWrite records the invocation of a write of v by the given client.
+func (r *Recorder) BeginWrite(client int, v value.Value) *Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	op := &Op{ID: r.nextID, Client: client, Kind: Write, Value: v, Invoked: r.tick()}
+	r.ops = append(r.ops, op)
+	return op
+}
+
+// EndWrite records the return of a write.
+func (r *Recorder) EndWrite(op *Op) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op.Returned = r.tick()
+}
+
+// BeginRead records the invocation of a read by the given client.
+func (r *Recorder) BeginRead(client int) *Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	op := &Op{ID: r.nextID, Client: client, Kind: Read, Invoked: r.tick()}
+	r.ops = append(r.ops, op)
+	return op
+}
+
+// EndRead records the return of a read together with the value it returned.
+func (r *Recorder) EndRead(op *Op, v value.Value) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op.Value = v
+	op.Returned = r.tick()
+}
+
+// History returns an immutable view of the recorded operations together with
+// the initial value v0.
+func (r *Recorder) History(v0 value.Value) *History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ops := make([]*Op, len(r.ops))
+	copy(ops, r.ops)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Invoked < ops[j].Invoked })
+	return &History{V0: v0, Ops: ops}
+}
+
+// History is a recorded run: the initial value and all operations.
+type History struct {
+	V0  value.Value
+	Ops []*Op
+}
+
+// Writes returns all write operations in invocation order.
+func (h *History) Writes() []*Op {
+	var out []*Op
+	for _, op := range h.Ops {
+		if op.Kind == Write {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// CompletedReads returns all completed read operations in invocation order.
+func (h *History) CompletedReads() []*Op {
+	var out []*Op
+	for _, op := range h.Ops {
+		if op.Kind == Read && op.Completed() {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// writeOfValue returns the write whose value matches v, or nil if no write
+// wrote v (which for our workloads means v must be the initial value).
+func (h *History) writeOfValue(v value.Value) *Op {
+	for _, op := range h.Ops {
+		if op.Kind == Write && op.Value.Equal(v) {
+			return op
+		}
+	}
+	return nil
+}
+
+// Violation describes a consistency violation found by a checker.
+type Violation struct {
+	Condition string
+	Read      *Op
+	Detail    string
+}
+
+// Error implements the error interface.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%s violated: %s (read %v)", v.Condition, v.Detail, v.Read)
+}

@@ -1,0 +1,210 @@
+package history
+
+import (
+	"testing"
+
+	"spacebounds/internal/value"
+)
+
+func v(s string) value.Value { return value.FromString(s, 32) }
+
+func TestRecorderOrdering(t *testing.T) {
+	r := NewRecorder()
+	w1 := r.BeginWrite(1, v("a"))
+	r.EndWrite(w1)
+	rd := r.BeginRead(2)
+	r.EndRead(rd, v("a"))
+	w2 := r.BeginWrite(1, v("b"))
+
+	h := r.History(value.Zero(16))
+	if len(h.Ops) != 3 {
+		t.Fatalf("recorded %d ops, want 3", len(h.Ops))
+	}
+	if !w1.Precedes(rd) {
+		t.Fatal("w1 should precede rd")
+	}
+	if w2.Completed() {
+		t.Fatal("w2 should be outstanding")
+	}
+	if w1.Precedes(w2) != true {
+		t.Fatal("w1 should precede w2")
+	}
+	if rd.Precedes(w1) {
+		t.Fatal("rd should not precede w1")
+	}
+	if len(h.Writes()) != 2 || len(h.CompletedReads()) != 1 {
+		t.Fatalf("Writes/CompletedReads = %d/%d", len(h.Writes()), len(h.CompletedReads()))
+	}
+	if w1.String() == "" || Write.String() != "write" || Read.String() != "read" {
+		t.Fatal("string forms broken")
+	}
+}
+
+// sequentialHistory builds: write(a); read->a; write(b); read->b.
+func sequentialHistory() *History {
+	r := NewRecorder()
+	w1 := r.BeginWrite(1, v("a"))
+	r.EndWrite(w1)
+	rd1 := r.BeginRead(2)
+	r.EndRead(rd1, v("a"))
+	w2 := r.BeginWrite(1, v("b"))
+	r.EndWrite(w2)
+	rd2 := r.BeginRead(2)
+	r.EndRead(rd2, v("b"))
+	return r.History(value.Zero(16))
+}
+
+func TestCheckersAcceptSequentialHistory(t *testing.T) {
+	h := sequentialHistory()
+	if err := CheckWeakRegularity(h); err != nil {
+		t.Errorf("weak regularity: %v", err)
+	}
+	if err := CheckStrongRegularity(h); err != nil {
+		t.Errorf("strong regularity: %v", err)
+	}
+	if err := CheckStrongSafety(h); err != nil {
+		t.Errorf("strong safety: %v", err)
+	}
+}
+
+func TestWeakRegularityViolations(t *testing.T) {
+	// Stale read: write(a) completes, write(b) completes, then a read returns a.
+	r := NewRecorder()
+	w1 := r.BeginWrite(1, v("a"))
+	r.EndWrite(w1)
+	w2 := r.BeginWrite(1, v("b"))
+	r.EndWrite(w2)
+	rd := r.BeginRead(2)
+	r.EndRead(rd, v("a"))
+	h := r.History(value.Zero(16))
+	if err := CheckWeakRegularity(h); err == nil {
+		t.Error("stale read accepted by weak regularity")
+	}
+
+	// Unwritten value.
+	r = NewRecorder()
+	rd = r.BeginRead(2)
+	r.EndRead(rd, v("ghost"))
+	if err := CheckWeakRegularity(r.History(value.Zero(16))); err == nil {
+		t.Error("read of never-written value accepted")
+	}
+
+	// v0 after a completed write.
+	r = NewRecorder()
+	w := r.BeginWrite(1, v("a"))
+	r.EndWrite(w)
+	rd = r.BeginRead(2)
+	r.EndRead(rd, value.Zero(16))
+	if err := CheckWeakRegularity(r.History(value.Zero(16))); err == nil {
+		t.Error("read of v0 after a completed write accepted")
+	}
+
+	// Read returning a value whose write started after the read returned.
+	r = NewRecorder()
+	rd = r.BeginRead(2)
+	r.EndRead(rd, v("future"))
+	w = r.BeginWrite(1, v("future"))
+	r.EndWrite(w)
+	if err := CheckWeakRegularity(r.History(value.Zero(16))); err == nil {
+		t.Error("read from the future accepted")
+	}
+}
+
+func TestWeakRegularityAllowsConcurrentChoice(t *testing.T) {
+	// write(a) is concurrent with the read; the read may return either v0 or a.
+	r := NewRecorder()
+	w := r.BeginWrite(1, v("a"))
+	rd := r.BeginRead(2)
+	r.EndRead(rd, v("a"))
+	r.EndWrite(w)
+	if err := CheckWeakRegularity(r.History(value.Zero(16))); err != nil {
+		t.Errorf("concurrent read rejected: %v", err)
+	}
+
+	r = NewRecorder()
+	w = r.BeginWrite(1, v("a"))
+	rd = r.BeginRead(2)
+	r.EndRead(rd, value.Zero(16))
+	r.EndWrite(w)
+	if err := CheckWeakRegularity(r.History(value.Zero(16))); err != nil {
+		t.Errorf("concurrent read returning v0 rejected: %v", err)
+	}
+}
+
+func TestStrongRegularityDetectsDisagreement(t *testing.T) {
+	// Two writes concurrent with each other; both complete. Two later reads
+	// disagree on their order: rd1 returns b (so a is before b), rd2 returns a
+	// (so b is before a). Weak regularity holds for each read separately, but
+	// no single write order explains both.
+	r := NewRecorder()
+	wa := r.BeginWrite(1, v("a"))
+	wb := r.BeginWrite(2, v("b"))
+	r.EndWrite(wa)
+	r.EndWrite(wb)
+	rd1 := r.BeginRead(3)
+	r.EndRead(rd1, v("b"))
+	rd2 := r.BeginRead(4)
+	r.EndRead(rd2, v("a"))
+	h := r.History(value.Zero(16))
+	if err := CheckWeakRegularity(h); err != nil {
+		t.Fatalf("weak regularity should hold: %v", err)
+	}
+	if err := CheckStrongRegularity(h); err == nil {
+		t.Error("strong regularity accepted reads that disagree on the write order")
+	}
+}
+
+func TestStrongSafety(t *testing.T) {
+	// A read concurrent with a write may return garbage under safe semantics.
+	r := NewRecorder()
+	w := r.BeginWrite(1, v("a"))
+	rd := r.BeginRead(2)
+	r.EndRead(rd, v("garbage-not-written"))
+	r.EndWrite(w)
+	if err := CheckStrongSafety(r.History(value.Zero(16))); err != nil {
+		t.Errorf("safe semantics should allow arbitrary values under concurrency: %v", err)
+	}
+	// ... but the same garbage read without concurrency is a violation.
+	r = NewRecorder()
+	w = r.BeginWrite(1, v("a"))
+	r.EndWrite(w)
+	rd = r.BeginRead(2)
+	r.EndRead(rd, v("garbage-not-written"))
+	if err := CheckStrongSafety(r.History(value.Zero(16))); err == nil {
+		t.Error("write-free garbage read accepted by strong safety")
+	}
+	// A write-free read must return the latest preceding write.
+	r = NewRecorder()
+	w1 := r.BeginWrite(1, v("a"))
+	r.EndWrite(w1)
+	w2 := r.BeginWrite(1, v("b"))
+	r.EndWrite(w2)
+	rd = r.BeginRead(2)
+	r.EndRead(rd, v("a"))
+	if err := CheckStrongSafety(r.History(value.Zero(16))); err == nil {
+		t.Error("stale write-free read accepted by strong safety")
+	}
+	// Returning v0 with no preceding writes is fine.
+	r = NewRecorder()
+	rd = r.BeginRead(2)
+	r.EndRead(rd, value.Zero(16))
+	if err := CheckStrongSafety(r.History(value.Zero(16))); err != nil {
+		t.Errorf("v0 read rejected: %v", err)
+	}
+	// Returning v0 after a completed write (write-free read) is a violation.
+	r = NewRecorder()
+	w = r.BeginWrite(1, v("a"))
+	r.EndWrite(w)
+	rd = r.BeginRead(2)
+	r.EndRead(rd, value.Zero(16))
+	if err := CheckStrongSafety(r.History(value.Zero(16))); err == nil {
+		t.Error("v0 read after completed write accepted by strong safety")
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	viol := &Violation{Condition: "weak regularity", Detail: "detail", Read: &Op{ID: 1, Kind: Read}}
+	if viol.Error() == "" {
+		t.Fatal("empty violation message")
+	}
+}

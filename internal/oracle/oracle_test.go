@@ -1,0 +1,113 @@
+package oracle
+
+import (
+	"errors"
+	"testing"
+
+	"spacebounds/internal/erasure"
+	"spacebounds/internal/value"
+)
+
+func TestEncoderGetAndGetAll(t *testing.T) {
+	code := erasure.MustReedSolomon(2, 5)
+	v := value.FromString("oracle test value", 64)
+	w := WriteID{Client: 3, Seq: 1}
+	enc := NewEncoder(code, w, v)
+	if enc.Write() != w {
+		t.Fatalf("Write() = %v, want %v", enc.Write(), w)
+	}
+
+	b, tag, err := enc.Get(2)
+	if err != nil {
+		t.Fatalf("Get(2): %v", err)
+	}
+	if tag.Write != w || tag.Index != 2 || b.Index != 2 {
+		t.Fatalf("unexpected tag %v / block index %d", tag, b.Index)
+	}
+
+	blocks, tags, err := enc.GetAll()
+	if err != nil {
+		t.Fatalf("GetAll: %v", err)
+	}
+	if len(blocks) != code.N() || len(tags) != code.N() {
+		t.Fatalf("GetAll returned %d blocks, want %d", len(blocks), code.N())
+	}
+	produced := enc.Produced()
+	for i := 1; i <= code.N(); i++ {
+		if !produced[i] {
+			t.Fatalf("index %d not recorded as produced", i)
+		}
+	}
+
+	// Round-trip through a decoder.
+	dec := NewDecoder(code, v.SizeBytes())
+	for _, b := range blocks[:code.K()] {
+		if err := dec.Push(b); err != nil {
+			t.Fatalf("Push: %v", err)
+		}
+	}
+	if dec.Pushed() != code.K() {
+		t.Fatalf("Pushed = %d, want %d", dec.Pushed(), code.K())
+	}
+	got, err := dec.Done()
+	if err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+	if !got.Equal(v) {
+		t.Fatal("decoded value differs from written value")
+	}
+}
+
+func TestEncoderExpire(t *testing.T) {
+	code := erasure.MustReplication(3)
+	enc := NewEncoder(code, WriteID{Client: 1, Seq: 1}, value.FromString("x", 8))
+	enc.Expire()
+	if _, _, err := enc.Get(1); !errors.Is(err, ErrExpired) {
+		t.Fatalf("Get after Expire returned %v, want ErrExpired", err)
+	}
+	if _, _, err := enc.GetAll(); !errors.Is(err, ErrExpired) {
+		t.Fatalf("GetAll after Expire returned %v, want ErrExpired", err)
+	}
+}
+
+func TestEncoderInvalidIndex(t *testing.T) {
+	code := erasure.MustReedSolomon(2, 4)
+	enc := NewEncoder(code, WriteID{Client: 1, Seq: 1}, value.FromString("x", 8))
+	if _, _, err := enc.Get(0); err == nil {
+		t.Fatal("Get(0) succeeded")
+	}
+}
+
+func TestDecoderNotEnoughBlocks(t *testing.T) {
+	code := erasure.MustReedSolomon(3, 5)
+	v := value.FromString("needs three blocks", 32)
+	enc := NewEncoder(code, WriteID{Client: 2, Seq: 7}, v)
+	dec := NewDecoder(code, v.SizeBytes())
+	b, _, err := enc.Get(1)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if err := dec.Push(b); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	if _, err := dec.Done(); !errors.Is(err, erasure.ErrNotEnoughBlocks) {
+		t.Fatalf("Done with 1 block returned %v, want ErrNotEnoughBlocks", err)
+	}
+	// The oracle expired with the read; further use must fail.
+	if err := dec.Push(b); !errors.Is(err, ErrExpired) {
+		t.Fatalf("Push after Done returned %v, want ErrExpired", err)
+	}
+	if _, err := dec.Done(); !errors.Is(err, ErrExpired) {
+		t.Fatalf("second Done returned %v, want ErrExpired", err)
+	}
+}
+
+func TestWriteIDAndSourceTagStrings(t *testing.T) {
+	if InitialWrite.String() != "w0" {
+		t.Errorf("InitialWrite.String() = %q", InitialWrite.String())
+	}
+	w := WriteID{Client: 4, Seq: 9}
+	if w.String() == "" || (SourceTag{Write: w, Index: 3}).String() == "" {
+		t.Error("empty string rendering")
+	}
+}

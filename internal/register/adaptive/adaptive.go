@@ -1,0 +1,182 @@
+// Package adaptive implements the paper's main algorithmic contribution
+// (Section 5, Algorithms 1-3 and Appendices C-D): a strongly regular,
+// FW-terminating MWMR register emulation that combines a k-of-n erasure code
+// with full replication so that its storage cost is O(min(f, c) · D).
+//
+// Each base object bo_i holds three fields:
+//
+//   - Vp: a set of timestamped code pieces, at most one per write, capped at
+//     k entries. While concurrency is below k the algorithm behaves like a
+//     pure erasure-coded store.
+//   - Vf: a full replica of a single value, represented as k pieces with one
+//     timestamp. When Vp is full (concurrency at least k), writers fall back
+//     to storing a full replica here — this is the replication end of the
+//     trade-off, and it is what caps the per-object storage at O(D)
+//     independently of the concurrency level.
+//   - storedTS: the highest timestamp whose write is known to have completed
+//     its update round; updates with timestamps at most storedTS are ignored
+//     and stale pieces below it are garbage collected.
+//
+// A write performs three rounds (read-timestamp, update, garbage-collect),
+// each waiting for n-f responses. A read repeatedly collects the contents of
+// n-f objects until it sees k distinct pieces of a single value whose
+// timestamp is at least the highest storedTS it observed, then decodes.
+package adaptive
+
+import (
+	"fmt"
+
+	"spacebounds/internal/dsys"
+	"spacebounds/internal/register"
+	"spacebounds/internal/value"
+)
+
+// DefaultReadRetryBudget bounds the number of read rounds before Read gives
+// up with register.ErrReadStarved. FW-termination only promises that reads
+// terminate in runs with finitely many writes; the budget keeps tests and
+// experiments from spinning forever if that assumption is violated.
+const DefaultReadRetryBudget = 10_000
+
+// Register is the adaptive register emulation. It is stateless apart from its
+// configuration: all mutable state lives in the base objects.
+type Register struct {
+	cfg             register.Config
+	readRetryBudget int
+}
+
+var _ register.Register = (*Register)(nil)
+
+// New builds an adaptive register for the given configuration.
+func New(cfg register.Config) (*Register, error) {
+	v, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	return &Register{cfg: v, readRetryBudget: DefaultReadRetryBudget}, nil
+}
+
+// Name implements register.Register.
+func (r *Register) Name() string { return fmt.Sprintf("adaptive(f=%d,k=%d)", r.cfg.F, r.cfg.K) }
+
+// Config implements register.Register.
+func (r *Register) Config() register.Config { return r.cfg }
+
+// SetReadRetryBudget overrides the read retry budget (tests use small values).
+func (r *Register) SetReadRetryBudget(n int) { r.readRetryBudget = n }
+
+// InitialStates implements register.Register: base object i starts with the
+// i-th piece of v0 in Vp under the zero timestamp (Algorithm 1, line 9).
+func (r *Register) InitialStates(v0 value.Value) ([]dsys.State, error) {
+	chunks, err := register.InitialChunks(r.cfg, v0)
+	if err != nil {
+		return nil, err
+	}
+	states := make([]dsys.State, r.cfg.N())
+	for i := 0; i < r.cfg.N(); i++ {
+		states[i] = &objectState{
+			index:    i,
+			storedTS: register.ZeroTS,
+			vp:       []register.Chunk{chunks[i]},
+		}
+	}
+	return states, nil
+}
+
+// Write implements register.Register (Algorithm 2, lines 3-15).
+func (r *Register) Write(h *dsys.ClientHandle, v value.Value) error {
+	if v.SizeBytes() != r.cfg.DataLen {
+		return fmt.Errorf("%w: value has %d bytes, config says %d", register.ErrConfig, v.SizeBytes(), r.cfg.DataLen)
+	}
+	op := h.BeginOp(dsys.OpWrite)
+	defer h.EndOp()
+
+	// Encode v into n pieces via the write oracle; the client holds the
+	// WriteSet locally for the duration of the operation.
+	writeSet, enc, err := register.EncodeWrite(r.cfg, op.WriteID(), v)
+	if err != nil {
+		return err
+	}
+	defer enc.Expire()
+	h.SetLocalBlocks(register.ChunkRefs(writeSet))
+
+	// Round 1: read timestamps (line 5-7).
+	storedTS, readSet, err := readValue(h, r.cfg)
+	if err != nil {
+		return err
+	}
+	maxNum := storedTS.Num
+	for _, c := range readSet {
+		if c.TS.Num > maxNum {
+			maxNum = c.TS.Num
+		}
+	}
+	ts := register.Timestamp{Num: maxNum + 1, Client: h.ID()}
+	for i := range writeSet {
+		writeSet[i].TS = ts
+	}
+	full := register.CloneChunks(writeSet[:r.cfg.K])
+
+	// Round 2: update (lines 8-10).
+	if _, err := h.InvokeAll(func(obj int) dsys.RMW {
+		return &updateRMW{
+			k:        r.cfg.K,
+			ts:       ts,
+			storedTS: storedTS,
+			piece:    writeSet[obj],
+			full:     register.CloneChunks(full),
+		}
+	}, r.cfg.Quorum()); err != nil {
+		return err
+	}
+
+	// Round 3: garbage collection (lines 11-13).
+	if _, err := h.InvokeAll(func(obj int) dsys.RMW {
+		return &gcRMW{ts: ts, piece: writeSet[obj]}
+	}, r.cfg.Quorum()); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Read implements register.Register (Algorithm 2, lines 16-22).
+func (r *Register) Read(h *dsys.ClientHandle) (value.Value, error) {
+	h.BeginOp(dsys.OpRead)
+	defer h.EndOp()
+
+	for attempt := 0; attempt < r.readRetryBudget; attempt++ {
+		storedTS, readSet, err := readValue(h, r.cfg)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if chunks, _, ok := register.BestDecodable(readSet, storedTS, r.cfg.K); ok {
+			return register.DecodeChunks(r.cfg, chunks)
+		}
+	}
+	return value.Value{}, register.ErrReadStarved
+}
+
+// readValue is the shared read round (Algorithm 3, lines 23-31): it collects
+// Vp, Vf and storedTS from n-f base objects and returns the highest observed
+// storedTS together with the union of the collected chunks.
+func readValue(h *dsys.ClientHandle, cfg register.Config) (register.Timestamp, []register.Chunk, error) {
+	resp, err := h.InvokeAll(func(obj int) dsys.RMW { return &readValueRMW{} }, cfg.Quorum())
+	if err != nil {
+		return register.ZeroTS, nil, err
+	}
+	maxTS := register.ZeroTS
+	var readSet []register.Chunk
+	// Iterate objects in ID order for determinism.
+	for obj := 0; obj < cfg.N(); obj++ {
+		raw, ok := resp[obj]
+		if !ok {
+			continue
+		}
+		rv, ok := raw.(readValueResp)
+		if !ok {
+			return register.ZeroTS, nil, fmt.Errorf("adaptive: unexpected readValue response %T", raw)
+		}
+		maxTS = maxTS.Max(rv.StoredTS)
+		readSet = append(readSet, rv.Chunks...)
+	}
+	return maxTS, readSet, nil
+}

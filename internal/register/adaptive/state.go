@@ -1,0 +1,184 @@
+package adaptive
+
+import (
+	"spacebounds/internal/dsys"
+	"spacebounds/internal/register"
+)
+
+// objectState is the state of one base object (Algorithm 1, lines 7-9).
+type objectState struct {
+	index    int // base-object index i (0-based); piece i+1 belongs here
+	storedTS register.Timestamp
+	vp       []register.Chunk // at most k pieces of distinct writes
+	vf       []register.Chunk // full replica: k pieces sharing one timestamp
+}
+
+var _ dsys.State = (*objectState)(nil)
+
+// Blocks implements dsys.State: every piece in Vp and Vf is charged;
+// storedTS and the timestamps inside chunks are meta-data and are not.
+func (s *objectState) Blocks() []dsys.BlockRef {
+	refs := make([]dsys.BlockRef, 0, len(s.vp)+len(s.vf))
+	for _, c := range s.vp {
+		refs = append(refs, c.Ref())
+	}
+	for _, c := range s.vf {
+		refs = append(refs, c.Ref())
+	}
+	return refs
+}
+
+// StoredTS exposes the object's storedTS for tests and experiments.
+func (s *objectState) StoredTS() register.Timestamp { return s.storedTS }
+
+// VpLen and VfLen expose the piece counts for tests and experiments.
+func (s *objectState) VpLen() int { return len(s.vp) }
+
+// VfLen reports the number of pieces in the full-replica field.
+func (s *objectState) VfLen() int { return len(s.vf) }
+
+// readValueResp is the response of the read round.
+type readValueResp struct {
+	StoredTS register.Timestamp
+	Chunks   []register.Chunk
+}
+
+// readValueRMW reads storedTS, Vp and Vf without modifying the object
+// (Algorithm 3, lines 25-28).
+type readValueRMW struct{}
+
+var _ dsys.RMW = (*readValueRMW)(nil)
+
+// Apply implements dsys.RMW.
+func (*readValueRMW) Apply(state dsys.State) any {
+	s := state.(*objectState)
+	all := make([]register.Chunk, 0, len(s.vp)+len(s.vf))
+	all = append(all, s.vp...)
+	all = append(all, s.vf...)
+	return readValueResp{StoredTS: s.storedTS, Chunks: register.CloneChunks(all)}
+}
+
+// Blocks implements dsys.RMW: a read round carries no code blocks.
+func (*readValueRMW) Blocks() []dsys.BlockRef { return nil }
+
+// updateRMW is the second write round (Algorithm 3, lines 32-39): store the
+// object's piece in Vp if there is room, otherwise fall back to storing a
+// full replica in Vf, and propagate the caller's storedTS.
+type updateRMW struct {
+	k        int
+	ts       register.Timestamp
+	storedTS register.Timestamp
+	piece    register.Chunk
+	full     []register.Chunk
+}
+
+var _ dsys.RMW = (*updateRMW)(nil)
+
+// Apply implements dsys.RMW.
+func (u *updateRMW) Apply(state dsys.State) any {
+	s := state.(*objectState)
+	if u.ts.LessEq(s.storedTS) {
+		// Lines 33-34: a newer write already completed its update round; this
+		// write's value (or a newer one) is already durable, so ignore.
+		return updateResp{Stored: false}
+	}
+	resp := updateResp{}
+	switch {
+	case len(s.vp) < u.k:
+		// Lines 35-36: store the piece and drop pieces of writes older than
+		// the caller's storedTS (they are superseded).
+		kept := s.vp[:0]
+		for _, c := range s.vp {
+			if !c.TS.Less(u.storedTS) {
+				kept = append(kept, c)
+			}
+		}
+		s.vp = append(kept, u.piece)
+		resp = updateResp{Stored: true, ToVp: true}
+	case len(s.vf) == 0 || maxChunkTS(s.vf).Less(u.ts):
+		// Lines 37-38: Vp is full; store a full replica if Vf is empty or
+		// holds an older value.
+		s.vf = register.CloneChunks(u.full)
+		resp = updateResp{Stored: true, ToVp: false}
+	}
+	// Line 39: propagate the caller's storedTS.
+	s.storedTS = s.storedTS.Max(u.storedTS)
+	return resp
+}
+
+// Blocks implements dsys.RMW: the update carries the object's piece plus the
+// k pieces of the full replica as parameters.
+func (u *updateRMW) Blocks() []dsys.BlockRef {
+	refs := make([]dsys.BlockRef, 0, 1+len(u.full))
+	refs = append(refs, u.piece.Ref())
+	for _, c := range u.full {
+		refs = append(refs, c.Ref())
+	}
+	return refs
+}
+
+// updateResp reports what the update round did; the writer does not depend on
+// it, but tests and traces do.
+type updateResp struct {
+	Stored bool
+	ToVp   bool
+}
+
+// gcRMW is the third write round (Algorithm 3, lines 40-45): drop everything
+// older than ts, shrink a full replica of this very write down to the single
+// piece that belongs on this object, and raise storedTS to ts.
+type gcRMW struct {
+	ts    register.Timestamp
+	piece register.Chunk
+}
+
+var _ dsys.RMW = (*gcRMW)(nil)
+
+// Apply implements dsys.RMW.
+func (g *gcRMW) Apply(state dsys.State) any {
+	s := state.(*objectState)
+	keepVp := s.vp[:0]
+	for _, c := range s.vp {
+		if !c.TS.Less(g.ts) {
+			keepVp = append(keepVp, c)
+		}
+	}
+	s.vp = keepVp
+	keepVf := s.vf[:0]
+	for _, c := range s.vf {
+		if !c.TS.Less(g.ts) {
+			keepVf = append(keepVf, c)
+		}
+	}
+	s.vf = keepVf
+	// Lines 43-44: if Vf holds the full replica of this write, keep only the
+	// single piece destined for this object.
+	holdsMine := false
+	for _, c := range s.vf {
+		if c.TS == g.ts {
+			holdsMine = true
+			break
+		}
+	}
+	if holdsMine {
+		s.vf = []register.Chunk{g.piece}
+	}
+	s.storedTS = s.storedTS.Max(g.ts)
+	return gcResp{}
+}
+
+// Blocks implements dsys.RMW: the GC round carries this object's piece (used
+// to replace a full replica).
+func (g *gcRMW) Blocks() []dsys.BlockRef { return []dsys.BlockRef{g.piece.Ref()} }
+
+// gcResp is the (empty) response of the GC round.
+type gcResp struct{}
+
+// maxChunkTS returns the largest timestamp among chunks (ZeroTS when empty).
+func maxChunkTS(chunks []register.Chunk) register.Timestamp {
+	max := register.ZeroTS
+	for _, c := range chunks {
+		max = max.Max(c.TS)
+	}
+	return max
+}

@@ -1,0 +1,178 @@
+// Package spacebounds is the public facade of a reproduction of
+// "Space Bounds for Reliable Storage: Fundamental Limits of Coding"
+// (Spiegelman, Cassuto, Chockler, Keidar — PODC 2016).
+//
+// The paper proves that any lock-free regular register emulation over
+// asynchronous fault-prone storage that treats its (symmetric) coding scheme
+// as a black box must use Ω(min(f, c)·D) bits of storage, and gives an
+// adaptive algorithm combining erasure coding with replication that matches
+// the bound with O(min(f, c)·D) bits. This module implements the adaptive
+// algorithm, the baselines it is compared against, the lower-bound adversary,
+// and the simulation substrate they run on; see DESIGN.md for the full
+// inventory and EXPERIMENTS.md for the reproduced results.
+//
+// The facade exposes the most common entry point: a Store that binds a
+// register emulation to a simulated cluster and offers Write/Read/Crash with
+// storage-cost introspection. Lower-level control (custom scheduling
+// policies, the adversary, workload generation, consistency checking) lives
+// in the internal packages and is exercised through cmd/spacebench,
+// cmd/adversary and the examples.
+package spacebounds
+
+import (
+	"fmt"
+
+	"spacebounds/internal/dsys"
+	"spacebounds/internal/register"
+	"spacebounds/internal/register/abd"
+	"spacebounds/internal/register/adaptive"
+	"spacebounds/internal/register/ecreg"
+	"spacebounds/internal/register/safereg"
+	"spacebounds/internal/storagecost"
+	"spacebounds/internal/value"
+)
+
+// Algorithm selects a register emulation.
+type Algorithm string
+
+// Available algorithms.
+const (
+	// Adaptive is the paper's algorithm: erasure coding with a replication
+	// fallback, storage O(min(f, c)·D), strongly regular, FW-terminating.
+	Adaptive Algorithm = "adaptive"
+	// Replication is the ABD baseline: 2f+1 full replicas, storage O(f·D).
+	Replication Algorithm = "replication"
+	// ErasureCoded is the pure coded baseline: storage Θ(c·D) under
+	// concurrency.
+	ErasureCoded Algorithm = "erasure"
+	// Safe is the Appendix E wait-free safe register: storage n·D/k, but only
+	// safe (not regular) semantics.
+	Safe Algorithm = "safe"
+)
+
+// Options configure a Store.
+type Options struct {
+	// Algorithm selects the emulation; default Adaptive.
+	Algorithm Algorithm
+	// F is the number of storage-node crashes tolerated (default 1).
+	F int
+	// K is the erasure-code decode threshold; n = 2F+K nodes are simulated
+	// (default K = F; forced to 1 for Replication).
+	K int
+	// ValueSize is the register value size in bytes (default 1024).
+	ValueSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Algorithm == "" {
+		o.Algorithm = Adaptive
+	}
+	if o.F == 0 {
+		o.F = 1
+	}
+	if o.K == 0 {
+		o.K = o.F
+	}
+	if o.Algorithm == Replication {
+		o.K = 1
+	}
+	if o.ValueSize == 0 {
+		o.ValueSize = 1024
+	}
+	return o
+}
+
+// Store is a fault-tolerant single-register store over a simulated cluster of
+// base objects. It is safe for concurrent use by multiple goroutines, each of
+// which acts as a distinct client.
+type Store struct {
+	reg     register.Register
+	cluster *dsys.Cluster
+	cfg     register.Config
+}
+
+// Open builds a register emulation and its simulated cluster.
+func Open(opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	cfg := register.Config{F: opts.F, K: opts.K, DataLen: opts.ValueSize}
+	var (
+		reg register.Register
+		err error
+	)
+	switch opts.Algorithm {
+	case Adaptive:
+		reg, err = adaptive.New(cfg)
+	case Replication:
+		reg, err = abd.New(cfg)
+	case ErasureCoded:
+		reg, err = ecreg.New(cfg)
+	case Safe:
+		reg, err = safereg.New(cfg)
+	default:
+		return nil, fmt.Errorf("spacebounds: unknown algorithm %q", opts.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	vcfg := reg.Config()
+	states, err := reg.InitialStates(value.Zero(vcfg.DataLen))
+	if err != nil {
+		return nil, err
+	}
+	cluster := dsys.NewCluster(states, dsys.WithLiveMode(), dsys.WithDataBits(vcfg.DataBits()))
+	return &Store{reg: reg, cluster: cluster, cfg: vcfg}, nil
+}
+
+// Algorithm returns the name of the underlying emulation.
+func (s *Store) Algorithm() string { return s.reg.Name() }
+
+// Nodes returns the number of simulated base objects (2f+k).
+func (s *Store) Nodes() int { return s.cfg.N() }
+
+// FaultTolerance returns f, the number of node crashes tolerated.
+func (s *Store) FaultTolerance() int { return s.cfg.F }
+
+// ValueSize returns the register value size in bytes.
+func (s *Store) ValueSize() int { return s.cfg.DataLen }
+
+// Write stores val (padded with zeros to the register's value size) on behalf
+// of the given client ID. It returns an error if val exceeds the value size
+// or if a quorum of nodes is unreachable.
+func (s *Store) Write(client int, val []byte) error {
+	if len(val) > s.cfg.DataLen {
+		return fmt.Errorf("spacebounds: value of %d bytes exceeds register size %d", len(val), s.cfg.DataLen)
+	}
+	padded := make([]byte, s.cfg.DataLen)
+	copy(padded, val)
+	return s.cluster.Spawn(client, func(h *dsys.ClientHandle) error {
+		return s.reg.Write(h, value.FromBytes(padded))
+	}).Wait()
+}
+
+// Read returns the register's current value on behalf of the given client ID.
+func (s *Store) Read(client int) ([]byte, error) {
+	var got value.Value
+	err := s.cluster.Spawn(client, func(h *dsys.ClientHandle) error {
+		var err error
+		got, err = s.reg.Read(h)
+		return err
+	}).Wait()
+	if err != nil {
+		return nil, err
+	}
+	return got.Bytes(), nil
+}
+
+// CrashNode crashes one simulated base object. Up to FaultTolerance() nodes
+// may be crashed while preserving availability.
+func (s *Store) CrashNode(id int) error { return s.cluster.CrashObject(id) }
+
+// StorageBits returns the current storage cost in bits: the code-block bits
+// held by the base objects (meta-data excluded), per the paper's Definition 2.
+func (s *Store) StorageBits() int { return s.cluster.SampleStorage().BaseObjectBits }
+
+// StorageSnapshot returns the full storage breakdown.
+func (s *Store) StorageSnapshot() *storagecost.Snapshot { return s.cluster.SampleStorage() }
+
+// Close shuts the simulated cluster down.
+func (s *Store) Close() { s.cluster.Close() }

@@ -1,0 +1,104 @@
+package spacebounds
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestStoreDefaults(t *testing.T) {
+	s, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Nodes() != 3 || s.FaultTolerance() != 1 || s.ValueSize() != 1024 {
+		t.Fatalf("defaults wrong: n=%d f=%d size=%d", s.Nodes(), s.FaultTolerance(), s.ValueSize())
+	}
+	if s.Algorithm() == "" {
+		t.Fatal("empty algorithm name")
+	}
+}
+
+func TestStoreWriteReadCrash(t *testing.T) {
+	for _, algo := range []Algorithm{Adaptive, Replication, ErasureCoded, Safe} {
+		algo := algo
+		t.Run(string(algo), func(t *testing.T) {
+			s, err := Open(Options{Algorithm: algo, F: 1, K: 2, ValueSize: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			want := []byte("the quick brown fox")
+			if err := s.Write(1, want); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			if err := s.CrashNode(0); err != nil {
+				t.Fatalf("crash: %v", err)
+			}
+			got, err := s.Read(2)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			if !bytes.Equal(got[:len(want)], want) {
+				t.Fatalf("read %q, want prefix %q", got, want)
+			}
+			if s.StorageBits() <= 0 {
+				t.Fatal("storage accounting returned nothing")
+			}
+			if s.StorageSnapshot().BaseObjectBits != s.StorageBits() {
+				t.Fatal("snapshot and StorageBits disagree")
+			}
+		})
+	}
+}
+
+func TestStoreRejectsOversizedValue(t *testing.T) {
+	s, err := Open(Options{ValueSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Write(1, make([]byte, 9)); err == nil {
+		t.Fatal("oversized value accepted")
+	}
+}
+
+func TestStoreUnknownAlgorithm(t *testing.T) {
+	if _, err := Open(Options{Algorithm: "nope"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestStoreConcurrentClients(t *testing.T) {
+	s, err := Open(Options{Algorithm: Adaptive, F: 2, K: 2, ValueSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for client := 1; client <= 6; client++ {
+		client := client
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				if err := s.Write(client, []byte(fmt.Sprintf("client-%d-gen-%d", client, i))); err != nil {
+					t.Errorf("client %d write: %v", client, err)
+					return
+				}
+				if _, err := s.Read(client); err != nil {
+					t.Errorf("client %d read: %v", client, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// After quiescence the adaptive register stores one piece per node.
+	cfgWant := s.Nodes() * 8 * (128 / 2)
+	if got := s.StorageBits(); got != cfgWant {
+		t.Fatalf("quiescent storage = %d bits, want %d", got, cfgWant)
+	}
+}
