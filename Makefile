@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: build test race bench fmt-check examples
+
+# Compile everything and run static checks.
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+# Full unit and integration test suite.
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrent core.
+race:
+	$(GO) test -race ./internal/... .
+
+# Smoke-compile and smoke-run every benchmark once so perf code keeps working.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Fail if any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Run every example end-to-end with a tiny step budget.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/concurrencystorm -max-writers 2 -writes 1
+	$(GO) run ./examples/kvstore
+	$(GO) run ./cmd/spacebench -throughput -shards 2 -clients 2 -ops 50 -keys 8

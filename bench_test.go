@@ -1,14 +1,17 @@
 // Benchmark harness: one benchmark per experiment in DESIGN.md's index
 // (E1-E8), plus micro-benchmarks for the coding and register substrates.
 // The experiment benchmarks report the measured storage (bits) through
-// b.ReportMetric so that `go test -bench` regenerates the quantities that
-// EXPERIMENTS.md records; absolute ns/op numbers only characterize the
-// simulator, not the paper's testbed.
+// b.ReportMetric so that `go test -bench` regenerates the paper's analytic
+// quantities; absolute ns/op numbers only characterize the simulator, not
+// the paper's testbed.
 package spacebounds_test
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"spacebounds"
 	"spacebounds/internal/adversary"
@@ -68,9 +71,13 @@ func BenchmarkAdaptiveQuiescentStorage(b *testing.B) {
 func BenchmarkStorageComparison(b *testing.B) {
 	const f, c = 2, 8
 	algorithms := map[string]func() (register.Register, error){
-		"abd":      func() (register.Register, error) { return abd.New(register.Config{F: f, K: 1, DataLen: benchDataLen}) },
-		"ecreg":    func() (register.Register, error) { return ecreg.New(register.Config{F: f, K: f, DataLen: benchDataLen}) },
-		"adaptive": func() (register.Register, error) { return adaptive.New(register.Config{F: f, K: f, DataLen: benchDataLen}) },
+		"abd": func() (register.Register, error) { return abd.New(register.Config{F: f, K: 1, DataLen: benchDataLen}) },
+		"ecreg": func() (register.Register, error) {
+			return ecreg.New(register.Config{F: f, K: f, DataLen: benchDataLen})
+		},
+		"adaptive": func() (register.Register, error) {
+			return adaptive.New(register.Config{F: f, K: f, DataLen: benchDataLen})
+		},
 	}
 	for _, name := range []string{"abd", "ecreg", "adaptive"} {
 		mk := algorithms[name]
@@ -244,6 +251,75 @@ func BenchmarkReedSolomon(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkShardedLiveThroughput compares the throughput of a single
+// register against a sharded store on the same keyed workload: 8 concurrent
+// clients, 64 keys, 90% writes, over storage nodes with a 50µs RMW service
+// time (Options.NodeLatency — the finite-capacity cluster model). With one
+// shard every key lands on the same 2f+k = 6 nodes, so the clients saturate
+// that shard's aggregate service capacity and queue behind each other; with
+// 8 shards the keys spread over 8× the nodes and clients on different shards
+// share neither locks nor node capacity. The ops/s metric is the acceptance
+// quantity: 8 shards must deliver at least 2× the single-register figure.
+func BenchmarkShardedLiveThroughput(b *testing.B) {
+	const (
+		clients   = 8
+		keys      = 64
+		valueSize = 4096
+	)
+	// Give every client its own scheduling context even on small machines so
+	// the concurrent quorum rounds actually overlap.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(max(clients, runtime.NumCPU())))
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d/clients=%d", shards, clients), func(b *testing.B) {
+			specs := make([]spacebounds.ShardSpec, 0, shards)
+			for i := 0; i < shards; i++ {
+				specs = append(specs, spacebounds.ShardSpec{Name: fmt.Sprintf("s%d", i)})
+			}
+			store, err := spacebounds.Open(spacebounds.Options{
+				Algorithm: spacebounds.Adaptive, F: 2, K: 2, ValueSize: valueSize,
+				Shards:      specs,
+				NodeLatency: 50 * time.Microsecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for cl := 1; cl <= clients; cl++ {
+				cl := cl
+				ops := b.N / clients
+				if cl <= b.N%clients {
+					ops++
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					payload := make([]byte, valueSize)
+					for i := 0; i < ops; i++ {
+						key := fmt.Sprintf("key-%d", (cl-1)+clients*(i%(keys/clients)))
+						if i%10 == 9 {
+							if _, err := store.ReadKey(cl, key); err != nil {
+								b.Error(err)
+								return
+							}
+							continue
+						}
+						payload[0] = byte(i)
+						if err := store.WriteKey(cl, key, payload); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
 		})
 	}
 }

@@ -1,6 +1,7 @@
 // Command spacebench runs the experiment suite that regenerates the paper's
-// analytic results (see DESIGN.md E1-E8 and EXPERIMENTS.md) and prints each
-// result as a table.
+// analytic results (see DESIGN.md E1-E8) and prints each result as a table,
+// or — with -throughput — drives a sharded multi-register store with a keyed,
+// optionally Zipf-skewed workload and reports ops/sec.
 //
 // Usage:
 //
@@ -8,15 +9,26 @@
 //	spacebench -exp E3,E4      # run a subset
 //	spacebench -list           # list experiments
 //	spacebench -markdown       # emit GitHub-flavoured markdown tables
+//	spacebench -throughput -shards 8 -skew 1.2 -clients 8 -ops 2000
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
+	"spacebounds/internal/dsys"
 	"spacebounds/internal/experiments"
+	"spacebounds/internal/register"
+	_ "spacebounds/internal/register/abd"
+	_ "spacebounds/internal/register/adaptive"
+	_ "spacebounds/internal/register/ecreg"
+	_ "spacebounds/internal/register/safereg"
+	"spacebounds/internal/shard"
+	"spacebounds/internal/workload"
 )
 
 func main() {
@@ -24,12 +36,93 @@ func main() {
 		expFlag  = flag.String("exp", "", "comma-separated experiment IDs to run (default: all)")
 		list     = flag.Bool("list", false, "list available experiments and exit")
 		markdown = flag.Bool("markdown", false, "emit markdown tables instead of plain text")
+
+		throughput  = flag.Bool("throughput", false, "run the sharded live-throughput workload instead of the experiments")
+		shards      = flag.Int("shards", 8, "number of register shards (throughput mode)")
+		skew        = flag.Float64("skew", 0, "Zipf key-skew exponent; > 1 skews, otherwise uniform (throughput mode)")
+		clients     = flag.Int("clients", 8, "concurrent clients (throughput mode)")
+		ops         = flag.Int("ops", 2000, "operations per client (throughput mode)")
+		keys        = flag.Int("keys", 64, "distinct keys (throughput mode)")
+		reads       = flag.Float64("reads", 0.1, "fraction of operations that are reads (throughput mode)")
+		valueSize   = flag.Int("valuesize", 1024, "value size in bytes (throughput mode)")
+		algo        = flag.String("algo", "adaptive", "register provider per shard: adaptive, abd, ecreg, safereg (throughput mode)")
+		f           = flag.Int("f", 2, "crash failures tolerated per shard (throughput mode)")
+		k           = flag.Int("k", 2, "erasure decode threshold per shard (throughput mode)")
+		nodeLatency = flag.Duration("node-latency", 0, "per-RMW service time of each storage node, e.g. 50us (throughput mode)")
+		seed        = flag.Int64("seed", 1, "workload seed (throughput mode)")
 	)
 	flag.Parse()
-	if err := run(*expFlag, *list, *markdown); err != nil {
+	var err error
+	if *throughput {
+		err = runThroughput(*shards, *clients, *ops, *keys, *skew, *reads, *valueSize, *algo, *f, *k, *nodeLatency, *seed)
+	} else {
+		err = run(*expFlag, *list, *markdown)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "spacebench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runThroughput drives a sharded store with a keyed workload and prints
+// ops/sec, the per-shard operation distribution, and the storage breakdown.
+func runThroughput(shards, clients, ops, keys int, skew, reads float64, valueSize int, algo string, f, k int, nodeLatency time.Duration, seed int64) error {
+	if shards < 1 {
+		return fmt.Errorf("-shards must be at least 1")
+	}
+	specs := make([]shard.Spec, 0, shards)
+	for i := 0; i < shards; i++ {
+		cfg := register.Config{F: f, K: k, DataLen: valueSize}
+		if algo == "abd" {
+			cfg.K = 1
+		}
+		specs = append(specs, shard.Spec{Name: fmt.Sprintf("s%d", i), Algorithm: algo, Config: cfg})
+	}
+	var opts []dsys.Option
+	if nodeLatency > 0 {
+		opts = append(opts, dsys.WithLiveLatency(nodeLatency))
+	}
+	set, err := shard.New(specs, opts...)
+	if err != nil {
+		return err
+	}
+	defer set.Close()
+
+	spec := workload.ShardedSpec{
+		Clients:      clients,
+		OpsPerClient: ops,
+		ReadFraction: reads,
+		Keys:         keys,
+		ZipfS:        skew,
+		Seed:         seed,
+	}
+	start := time.Now()
+	res, err := workload.RunSharded(set, spec)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	total := res.CompletedWrites + res.CompletedReads
+	fmt.Printf("sharded throughput: %d shards (%s, f=%d, k=%d), %d clients × %d ops, %d keys, skew %.2f, node latency %v\n",
+		shards, algo, f, k, clients, ops, keys, skew, nodeLatency)
+	fmt.Printf("  completed: %d ops (%d writes, %d reads) in %v  ->  %.0f ops/s\n",
+		total, res.CompletedWrites, res.CompletedReads, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds())
+	if res.WriteErrors+res.ReadErrors > 0 {
+		fmt.Printf("  errors: %d writes, %d reads\n", res.WriteErrors, res.ReadErrors)
+	}
+	names := make([]string, 0, len(res.PerShardOps))
+	for name := range res.PerShardOps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("  per-shard ops / storage bits:")
+	for _, name := range names {
+		fmt.Printf("    %-6s %6d ops  %8d bits\n", name, res.PerShardOps[name], res.PerShardBits[name])
+	}
+	fmt.Printf("  total base-object storage: %d bits\n", res.FinalSnapshot.BaseObjectBits)
+	return nil
 }
 
 func run(expFlag string, list, markdown bool) error {

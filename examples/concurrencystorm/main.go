@@ -9,6 +9,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -20,27 +21,33 @@ import (
 )
 
 func main() {
-	const (
-		f       = 2
-		dataLen = 1024 // 1 KiB values
+	var (
+		maxWriters = flag.Int("max-writers", 16, "largest concurrency level in the sweep (CI uses a tiny budget)")
+		writes     = flag.Int("writes", 2, "writes per writer")
+		dataLen    = flag.Int("valuesize", 1024, "value size in bytes")
 	)
-	fmt.Printf("peak storage (KiB) while c clients write 1 KiB values concurrently, f = %d\n\n", f)
+	flag.Parse()
+	const f = 2
+	fmt.Printf("peak storage (KiB) while c clients write %d-byte values concurrently, f = %d\n\n", *dataLen, f)
 	fmt.Printf("%4s  %12s  %12s  %12s\n", "c", "replication", "pure coding", "adaptive")
 
 	for _, c := range []int{1, 2, 4, 6, 8, 12, 16} {
-		replication, err := abd.New(register.Config{F: f, K: 1, DataLen: dataLen})
+		if c > *maxWriters {
+			break
+		}
+		replication, err := abd.New(register.Config{F: f, K: 1, DataLen: *dataLen})
 		if err != nil {
 			log.Fatal(err)
 		}
-		coded, err := ecreg.New(register.Config{F: f, K: f, DataLen: dataLen})
+		coded, err := ecreg.New(register.Config{F: f, K: f, DataLen: *dataLen})
 		if err != nil {
 			log.Fatal(err)
 		}
-		adapt, err := adaptive.New(register.Config{F: f, K: f, DataLen: dataLen})
+		adapt, err := adaptive.New(register.Config{F: f, K: f, DataLen: *dataLen})
 		if err != nil {
 			log.Fatal(err)
 		}
-		spec := workload.Spec{Writers: c, WritesPerWriter: 2}
+		spec := workload.Spec{Writers: c, WritesPerWriter: *writes}
 		rRes, err := workload.Run(replication, spec)
 		if err != nil {
 			log.Fatal(err)

@@ -1,8 +1,9 @@
-// kvstore builds a tiny fault-tolerant key-value store on top of the adaptive
-// register emulation: each key is backed by its own register over its own set
-// of simulated base objects. Several clients update and read keys
-// concurrently, one storage node per key is crashed midway, and the program
-// prints the final contents together with the storage cost per key.
+// kvstore builds a tiny fault-tolerant key-value store on the facade's real
+// sharded API: one Store multiplexes four named register shards over a single
+// shared simulated cluster, keys route to shards by name, several clients
+// update and read keys concurrently, one storage node per shard is crashed
+// midway (within each shard's f = 1 budget), and the program prints the final
+// contents together with the per-shard and total storage cost.
 package main
 
 import (
@@ -12,103 +13,29 @@ import (
 	"strings"
 	"sync"
 
-	"spacebounds/internal/dsys"
-	"spacebounds/internal/register"
-	"spacebounds/internal/register/adaptive"
-	"spacebounds/internal/value"
+	"spacebounds"
 )
 
-// kvEntry is one key's register and cluster.
-type kvEntry struct {
-	reg     *adaptive.Register
-	cluster *dsys.Cluster
-}
-
-// kvStore maps keys to independent register emulations.
-type kvStore struct {
-	cfg     register.Config
-	mu      sync.Mutex
-	entries map[string]*kvEntry
-}
-
-func newKVStore(cfg register.Config) *kvStore {
-	return &kvStore{cfg: cfg, entries: make(map[string]*kvEntry)}
-}
-
-// entry returns (creating on demand) the register backing a key.
-func (s *kvStore) entry(key string) (*kvEntry, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if e, ok := s.entries[key]; ok {
-		return e, nil
-	}
-	reg, err := adaptive.New(s.cfg)
-	if err != nil {
-		return nil, err
-	}
-	states, err := reg.InitialStates(value.Zero(s.cfg.DataLen))
-	if err != nil {
-		return nil, err
-	}
-	cluster := dsys.NewCluster(states, dsys.WithLiveMode(), dsys.WithDataBits(s.cfg.DataBits()))
-	e := &kvEntry{reg: reg, cluster: cluster}
-	s.entries[key] = e
-	return e, nil
-}
-
-// Put writes a value under a key on behalf of a client.
-func (s *kvStore) Put(client int, key, val string) error {
-	e, err := s.entry(key)
-	if err != nil {
-		return err
-	}
-	return e.cluster.Spawn(client, func(h *dsys.ClientHandle) error {
-		return e.reg.Write(h, value.FromString(val, s.cfg.DataLen))
-	}).Wait()
-}
-
-// Get reads the value under a key on behalf of a client.
-func (s *kvStore) Get(client int, key string) (string, error) {
-	e, err := s.entry(key)
-	if err != nil {
-		return "", err
-	}
-	var got value.Value
-	if err := e.cluster.Spawn(client, func(h *dsys.ClientHandle) error {
-		var err error
-		got, err = e.reg.Read(h)
-		return err
-	}).Wait(); err != nil {
-		return "", err
-	}
-	return strings.TrimRight(string(got.Bytes()), "\x00"), nil
-}
-
-// CrashNode crashes one base object of the register backing a key.
-func (s *kvStore) CrashNode(key string, node int) error {
-	e, err := s.entry(key)
-	if err != nil {
-		return err
-	}
-	return e.cluster.CrashObject(node)
-}
-
-// Close shuts down every per-key cluster.
-func (s *kvStore) Close() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, e := range s.entries {
-		e.cluster.Close()
-	}
-}
-
 func main() {
-	store := newKVStore(register.Config{F: 1, K: 2, DataLen: 128})
-	defer store.Close()
-
 	keys := []string{"alpha", "beta", "gamma", "delta"}
+	shards := make([]spacebounds.ShardSpec, 0, len(keys))
+	for _, key := range keys {
+		shards = append(shards, spacebounds.ShardSpec{Name: key})
+	}
+	store, err := spacebounds.Open(spacebounds.Options{
+		F:         1,
+		K:         2,
+		ValueSize: 128,
+		Shards:    shards,
+	})
+	if err != nil {
+		log.Fatalf("opening store: %v", err)
+	}
+	defer store.Close()
+	fmt.Printf("opened %d shards over %d shared base objects\n", len(store.Shards()), store.Nodes())
 
-	// Phase 1: several clients write to all keys concurrently.
+	// Phase 1: several clients write to all keys concurrently. Clients on
+	// different keys proceed in parallel — the shards share no locks.
 	var wg sync.WaitGroup
 	for client := 1; client <= 3; client++ {
 		client := client
@@ -117,7 +44,7 @@ func main() {
 			defer wg.Done()
 			for _, key := range keys {
 				val := fmt.Sprintf("%s=v%d-by-client-%d", key, client, client)
-				if err := store.Put(client, key, val); err != nil {
+				if err := store.WriteKey(client, key, []byte(val)); err != nil {
 					log.Printf("put %s by %d: %v", key, client, err)
 				}
 			}
@@ -126,23 +53,28 @@ func main() {
 	wg.Wait()
 	fmt.Println("three clients wrote every key concurrently")
 
-	// Phase 2: crash one storage node per key — within the f=1 budget.
-	for i, key := range keys {
-		if err := store.CrashNode(key, i%4); err != nil {
+	// Phase 2: crash one storage node per shard — within the f=1 budget.
+	for _, key := range keys {
+		if err := store.CrashShardNode(key, 0); err != nil {
 			log.Fatalf("crash node for %s: %v", key, err)
 		}
 	}
-	fmt.Println("crashed one storage node per key")
+	fmt.Println("crashed one storage node per shard")
 
 	// Phase 3: a fourth client reads everything back.
 	fmt.Println("\nfinal contents:")
-	sort.Strings(keys)
-	for _, key := range keys {
-		val, err := store.Get(9, key)
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	perShard := store.PerShardStorageBits()
+	total := 0
+	for _, key := range sorted {
+		raw, err := store.ReadKey(9, key)
 		if err != nil {
 			log.Fatalf("get %s: %v", key, err)
 		}
-		snap := store.entries[key].cluster.SampleStorage()
-		fmt.Printf("  %-6s -> %-24q  (base-object storage: %d bits)\n", key, val, snap.BaseObjectBits)
+		val := strings.TrimRight(string(raw), "\x00")
+		fmt.Printf("  %-6s -> %-24q  (shard storage: %d bits)\n", key, val, perShard[key])
+		total += perShard[key]
 	}
+	fmt.Printf("\ntotal base-object storage: %d bits\n", total)
 }

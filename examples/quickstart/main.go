@@ -1,6 +1,6 @@
-// Quickstart: emulate a fault-tolerant register over 2f+k simulated storage
-// nodes with the paper's adaptive algorithm, write a value, crash f nodes,
-// and read the value back.
+// Quickstart: open a fault-tolerant register store over 2f+k simulated
+// storage nodes with the paper's adaptive algorithm, write a value, crash f
+// nodes, and read the value back — all through the public spacebounds facade.
 package main
 
 import (
@@ -8,54 +8,42 @@ import (
 	"log"
 	"strings"
 
-	"spacebounds/internal/dsys"
-	"spacebounds/internal/register"
-	"spacebounds/internal/register/adaptive"
-	"spacebounds/internal/value"
+	"spacebounds"
 )
 
 func main() {
 	// f = 1 failure tolerated, k = 2 erasure-code threshold => n = 4 nodes,
 	// 64-byte values.
-	cfg := register.Config{F: 1, K: 2, DataLen: 64}
-	reg, err := adaptive.New(cfg)
+	store, err := spacebounds.Open(spacebounds.Options{
+		Algorithm: spacebounds.Adaptive,
+		F:         1,
+		K:         2,
+		ValueSize: 64,
+	})
 	if err != nil {
-		log.Fatalf("building register: %v", err)
+		log.Fatalf("opening store: %v", err)
 	}
-	states, err := reg.InitialStates(value.Zero(cfg.DataLen))
-	if err != nil {
-		log.Fatalf("initial states: %v", err)
-	}
-	cluster := dsys.NewCluster(states, dsys.WithLiveMode(), dsys.WithDataBits(cfg.DataBits()))
-	defer cluster.Close()
-	fmt.Printf("started %s over %d base objects (quorum %d)\n", reg.Name(), cfg.N(), cfg.Quorum())
+	defer store.Close()
+	fmt.Printf("started %s over %d base objects\n", store.Algorithm(), store.Nodes())
 
 	// Client 1 writes.
 	msg := "erasure codes meet replication"
-	write := cluster.Spawn(1, func(h *dsys.ClientHandle) error {
-		return reg.Write(h, value.FromString(msg, cfg.DataLen))
-	})
-	if err := write.Wait(); err != nil {
+	if err := store.Write(1, []byte(msg)); err != nil {
 		log.Fatalf("write: %v", err)
 	}
 	fmt.Printf("client 1 wrote %q\n", msg)
-	fmt.Printf("storage after write: %v\n", cluster.SampleStorage())
+	fmt.Printf("storage after write: %v\n", store.StorageSnapshot())
 
 	// Crash one base object — the register tolerates f = 1 such failures.
-	if err := cluster.CrashObject(0); err != nil {
+	if err := store.CrashNode(0); err != nil {
 		log.Fatalf("crash: %v", err)
 	}
 	fmt.Println("crashed base object 0")
 
 	// Client 2 reads despite the failure.
-	var got value.Value
-	read := cluster.Spawn(2, func(h *dsys.ClientHandle) error {
-		var err error
-		got, err = reg.Read(h)
-		return err
-	})
-	if err := read.Wait(); err != nil {
+	got, err := store.Read(2)
+	if err != nil {
 		log.Fatalf("read: %v", err)
 	}
-	fmt.Printf("client 2 read  %q\n", strings.TrimRight(string(got.Bytes()), "\x00"))
+	fmt.Printf("client 2 read  %q\n", strings.TrimRight(string(got), "\x00"))
 }

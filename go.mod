@@ -1,0 +1,3 @@
+module spacebounds
+
+go 1.24

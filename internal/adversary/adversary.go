@@ -119,8 +119,8 @@ type Result struct {
 	// LowerBoundBits is the analytic target min(f+1, c) * min(ℓ, D-ℓ).
 	LowerBoundBits int
 	// FullObjects is |Fℓ| and HeavyWrites is |C⁺ℓ| at the pinned point.
-	FullObjects  int
-	HeavyWrites  int
+	FullObjects int
+	HeavyWrites int
 	// CompletedWrites counts writes that returned despite the adversary.
 	CompletedWrites int
 	// Steps is the number of scheduling decisions taken.

@@ -2,14 +2,21 @@ package dsys
 
 import (
 	"fmt"
+	"time"
 )
 
 // ClientHandle is a client's interface to the cluster. Handles are created by
-// Spawn and must only be used from the spawned function's goroutine.
+// Spawn, SpawnScoped or RunScoped and must only be used from their task's
+// goroutine. A handle is scoped to the contiguous object region
+// [base, base+span): N() reports span and all object IDs it accepts and
+// returns are region-local, which is how several register emulations
+// multiplex over one cluster without knowing about each other.
 type ClientHandle struct {
 	c    *Cluster
 	id   int
 	task *clientTask // nil in live mode
+	base int
+	span int
 
 	currentOp OpID
 }
@@ -17,20 +24,27 @@ type ClientHandle struct {
 // ID returns the client's identifier.
 func (h *ClientHandle) ID() int { return h.id }
 
-// N returns the number of base objects in the cluster.
-func (h *ClientHandle) N() int { return h.c.N() }
+// N returns the number of base objects visible to this handle (the scope's
+// span; the whole cluster for handles created by Spawn).
+func (h *ClientHandle) N() int { return h.span }
 
 // BeginOp marks the start of a high-level operation of the given kind and
-// returns its identity. The cluster tracks outstanding operations so that
-// policies (the adversary in particular) can classify them.
+// returns its identity. In controlled mode the cluster tracks outstanding
+// operations so that policies (the adversary in particular) can classify
+// them; in live mode only the striped per-client sequence counter is touched.
 func (h *ClientHandle) BeginOp(kind OpKind) OpID {
 	c := h.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.clientSeq[h.id]++
-	op := OpID{Client: h.id, Seq: c.clientSeq[h.id], Kind: kind}
+	st := c.stripeFor(h.id)
+	st.mu.Lock()
+	st.seq[h.id]++
+	op := OpID{Client: h.id, Seq: st.seq[h.id], Kind: kind}
+	st.mu.Unlock()
 	h.currentOp = op
-	c.outstanding = append(c.outstanding, op)
+	if c.opts.mode == Controlled {
+		c.mu.Lock()
+		c.outstanding = append(c.outstanding, op)
+		c.mu.Unlock()
+	}
 	return op
 }
 
@@ -38,15 +52,20 @@ func (h *ClientHandle) BeginOp(kind OpKind) OpID {
 // any client-local block holdings registered for it.
 func (h *ClientHandle) EndOp() {
 	c := h.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for i, op := range c.outstanding {
-		if op == h.currentOp {
-			c.outstanding = append(c.outstanding[:i], c.outstanding[i+1:]...)
-			break
+	if c.opts.mode == Controlled {
+		c.mu.Lock()
+		for i, op := range c.outstanding {
+			if op == h.currentOp {
+				c.outstanding = append(c.outstanding[:i], c.outstanding[i+1:]...)
+				break
+			}
 		}
+		c.mu.Unlock()
 	}
-	delete(c.clientLocal, h.id)
+	st := c.stripeFor(h.id)
+	st.mu.Lock()
+	delete(st.blocks, h.id)
+	st.mu.Unlock()
 	h.currentOp = OpID{}
 }
 
@@ -57,24 +76,25 @@ func (h *ClientHandle) CurrentOp() OpID { return h.currentOp }
 // local state (e.g. the encoded WriteSet of an in-progress write) so the
 // storage accountant can charge them to the client's location.
 func (h *ClientHandle) SetLocalBlocks(refs []BlockRef) {
-	c := h.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	st := h.c.stripeFor(h.id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if len(refs) == 0 {
-		delete(c.clientLocal, h.id)
+		delete(st.blocks, h.id)
 		return
 	}
 	cp := make([]BlockRef, len(refs))
 	copy(cp, refs)
-	c.clientLocal[h.id] = cp
+	st.blocks[h.id] = cp
 }
 
-// InvokeAll triggers makeRMW(i) on every base object i and waits until at
-// least quorum of them have taken effect. It returns the responses of all
-// RMWs that have taken effect by the time the client is rescheduled, keyed by
-// object ID. The remaining RMWs stay pending and may take effect later.
+// InvokeAll triggers makeRMW(i) on every base object i in the handle's scope
+// and waits until at least quorum of them have taken effect. It returns the
+// responses of all RMWs that have taken effect by the time the client is
+// rescheduled, keyed by scope-local object ID. The remaining RMWs stay
+// pending and may take effect later.
 func (h *ClientHandle) InvokeAll(makeRMW func(obj int) RMW, quorum int) (map[int]any, error) {
-	targets := make([]int, h.c.N())
+	targets := make([]int, h.span)
 	for i := range targets {
 		targets[i] = i
 	}
@@ -83,14 +103,15 @@ func (h *ClientHandle) InvokeAll(makeRMW func(obj int) RMW, quorum int) (map[int
 
 // Invoke triggers makeRMW(obj) on each target object and waits until at least
 // quorum responses have been delivered (controlled mode) or applied (live
-// mode). In controlled mode the wait can only end early if the cluster is
-// closed, in which case ErrHalted is returned.
+// mode). Targets and response keys are scope-local object IDs. In controlled
+// mode the wait can only end early if the cluster is closed, in which case
+// ErrHalted is returned.
 func (h *ClientHandle) Invoke(targets []int, makeRMW func(obj int) RMW, quorum int) (map[int]any, error) {
 	if quorum > len(targets) {
 		return nil, fmt.Errorf("%w: quorum %d, targets %d", ErrBadQuorum, quorum, len(targets))
 	}
 	for _, obj := range targets {
-		if obj < 0 || obj >= h.c.N() {
+		if obj < 0 || obj >= h.span {
 			return nil, fmt.Errorf("%w: %d", ErrUnknownObject, obj)
 		}
 	}
@@ -114,7 +135,7 @@ func (h *ClientHandle) invokeControlled(targets []int, makeRMW func(obj int) RMW
 		calls = append(calls, call)
 		c.pending = append(c.pending, &pendingRMW{
 			seq:    c.nextSeq,
-			object: obj,
+			object: h.base + obj,
 			op:     h.currentOp,
 			rmw:    rmw,
 			call:   call,
@@ -148,18 +169,21 @@ func (h *ClientHandle) invokeControlled(targets []int, makeRMW func(obj int) RMW
 	return resp, nil
 }
 
-// invokeLive applies RMWs immediately, serialized per object, skipping
-// crashed objects. It returns an error if fewer than quorum objects are
+// invokeLive is the batched live-mode fast path: it applies the whole round
+// of RMWs immediately, serialized only by the per-object apply mutexes.
+// Crashed objects are skipped via an atomic flag, so the cluster-wide mutex
+// is never touched — concurrent clients whose scopes cover disjoint objects
+// share no locks at all. It returns an error if fewer than quorum objects are
 // alive, which models a client waiting forever for a quorum that cannot form.
 func (h *ClientHandle) invokeLive(targets []int, makeRMW func(obj int) RMW, quorum int) (map[int]any, error) {
 	c := h.c
+	if c.opts.liveLatency > 0 {
+		return h.invokeLiveLatency(targets, makeRMW, quorum)
+	}
 	resp := make(map[int]any, len(targets))
 	for _, objID := range targets {
-		c.mu.Lock()
-		obj := c.objects[objID]
-		crashed := obj.crashed
-		c.mu.Unlock()
-		if crashed {
+		obj := c.objects[h.base+objID]
+		if obj.crashed.Load() {
 			continue
 		}
 		rmw := makeRMW(objID)
@@ -168,6 +192,61 @@ func (h *ClientHandle) invokeLive(targets []int, makeRMW func(obj int) RMW, quor
 		obj.applied++
 		obj.liveMu.Unlock()
 		resp[objID] = r
+	}
+	if len(resp) < quorum {
+		return resp, fmt.Errorf("%w: only %d of %d required responses available", ErrStuck, len(resp), quorum)
+	}
+	return resp, nil
+}
+
+// invokeLiveLatency is the live path under WithLiveLatency: the round's RMWs
+// are dispatched concurrently (the client "sends" to all targets at once, as
+// in the message-passing reading of the model) and each base object serves
+// them serially, staying busy for the configured service time per RMW. The
+// round returns as soon as a quorum of responses has arrived — matching
+// Invoke's contract and the registers' quorum logic — while stragglers keep
+// applying in the background (their RMWs still take effect, their responses
+// are dropped, exactly as for a client rescheduled in controlled mode). The
+// queueing this creates on busy objects is the point — it is how a
+// finite-capacity storage node behaves under load.
+func (h *ClientHandle) invokeLiveLatency(targets []int, makeRMW func(obj int) RMW, quorum int) (map[int]any, error) {
+	c := h.c
+	type result struct {
+		obj  int
+		resp any
+		ok   bool
+	}
+	ch := make(chan result, len(targets))
+	dispatched := 0
+	for _, objID := range targets {
+		obj := c.objects[h.base+objID]
+		if obj.crashed.Load() {
+			continue
+		}
+		rmw := makeRMW(objID)
+		dispatched++
+		c.wg.Add(1) // stragglers past the quorum are joined by Close
+		go func(objID int, obj *object) {
+			defer c.wg.Done()
+			obj.liveMu.Lock()
+			time.Sleep(c.opts.liveLatency)
+			if obj.crashed.Load() {
+				obj.liveMu.Unlock()
+				ch <- result{obj: objID}
+				return
+			}
+			r := rmw.Apply(obj.state)
+			obj.applied++
+			obj.liveMu.Unlock()
+			ch <- result{obj: objID, resp: r, ok: true}
+		}(objID, obj)
+	}
+	resp := make(map[int]any, dispatched)
+	for received := 0; received < dispatched && len(resp) < quorum; received++ {
+		r := <-ch
+		if r.ok {
+			resp[r.obj] = r.resp
+		}
 	}
 	if len(resp) < quorum {
 		return resp, fmt.Errorf("%w: only %d of %d required responses available", ErrStuck, len(resp), quorum)

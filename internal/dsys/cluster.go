@@ -3,6 +3,8 @@ package dsys
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"spacebounds/internal/oracle"
 	"spacebounds/internal/storagecost"
@@ -24,13 +26,14 @@ const (
 )
 
 type options struct {
-	mode       Mode
-	policy     Policy
-	maxSteps   int
-	dataBits   int
-	accounting bool
-	keepSeries bool
-	tracer     func(TraceEvent)
+	mode        Mode
+	policy      Policy
+	maxSteps    int
+	dataBits    int
+	accounting  bool
+	keepSeries  bool
+	tracer      func(TraceEvent)
+	liveLatency time.Duration
 }
 
 // Option configures a Cluster.
@@ -46,6 +49,16 @@ func WithLiveMode() Option { return func(o *options) { o.mode = Live } }
 // WithMaxSteps bounds the number of scheduling decisions in controlled mode;
 // exceeding the bound marks the run stuck. Zero means unbounded.
 func WithMaxSteps(n int) Option { return func(o *options) { o.maxSteps = n } }
+
+// WithLiveLatency gives every base object a fixed RMW service time in live
+// mode: each object applies its RMWs serially, holding itself busy for d per
+// application, and clients dispatch each round's RMWs concurrently and wait
+// for the quorum. This turns the live runtime into a queueing model of a real
+// storage cluster — n base objects provide n·(1/d) aggregate service capacity
+// — so throughput experiments see shards scale capacity the way added
+// storage nodes do. Zero (the default) keeps the synchronous in-process fast
+// path.
+func WithLiveLatency(d time.Duration) Option { return func(o *options) { o.liveLatency = d } }
 
 // WithDataBits records D (the register value size in bits) so that policies
 // can classify writes into C⁻/C⁺.
@@ -110,9 +123,23 @@ type pendingRMW struct {
 type object struct {
 	id      int
 	state   State
-	crashed bool
+	crashed atomic.Bool
 	applied int
 	liveMu  sync.Mutex // serializes Apply in live mode
+}
+
+// numClientStripes is the number of lock stripes for client bookkeeping
+// (per-client sequence numbers and client-local block holdings). Striping
+// keeps live-mode clients on different objects from serializing on a single
+// cluster-wide mutex; 32 stripes comfortably exceed any benchmarked client
+// count.
+const numClientStripes = 32
+
+// clientStripe guards the bookkeeping of the clients hashed onto it.
+type clientStripe struct {
+	mu     sync.Mutex
+	seq    map[int]int
+	blocks map[int][]BlockRef
 }
 
 // TaskHandle joins a spawned client task.
@@ -147,12 +174,21 @@ type Cluster struct {
 	runningTask *clientTask
 	liveTasks   int
 
+	// outstanding tracks invoked-but-unreturned high-level operations in
+	// invocation order. It is maintained only in controlled mode, where the
+	// scheduling policy (the adversary in particular) classifies operations;
+	// live mode skips it so the hot path carries no global serialization.
 	outstanding []OpID
-	clientLocal map[int][]BlockRef
-	clientSeq   map[int]int
+
+	stripes [numClientStripes]clientStripe
 
 	acct *storagecost.Accountant
 	wg   sync.WaitGroup
+}
+
+// stripeFor returns the bookkeeping stripe for a client ID.
+func (c *Cluster) stripeFor(client int) *clientStripe {
+	return &c.stripes[uint(client)%numClientStripes]
 }
 
 // NewCluster creates a cluster with the given initial base-object states.
@@ -163,12 +199,12 @@ func NewCluster(states []State, opts ...Option) *Cluster {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	c := &Cluster{
-		opts:        o,
-		clientLocal: make(map[int][]BlockRef),
-		clientSeq:   make(map[int]int),
-	}
+	c := &Cluster{opts: o}
 	c.cond = sync.NewCond(&c.mu)
+	for i := range c.stripes {
+		c.stripes[i].seq = make(map[int]int)
+		c.stripes[i].blocks = make(map[int][]BlockRef)
+	}
 	for i, s := range states {
 		c.objects = append(c.objects, &object{id: i, state: s})
 	}
@@ -240,7 +276,7 @@ func (c *Cluster) CrashObject(id int) error {
 		c.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrUnknownObject, id)
 	}
-	c.objects[id].crashed = true
+	c.objects[id].crashed.Store(true)
 	c.idleReason = ""
 	step := c.steps
 	tracer := c.opts.tracer
@@ -258,7 +294,7 @@ func (c *Cluster) CrashedObjects() []int {
 	defer c.mu.Unlock()
 	var out []int
 	for _, o := range c.objects {
-		if o.crashed {
+		if o.crashed.Load() {
 			out = append(out, o.id)
 		}
 	}
@@ -267,15 +303,24 @@ func (c *Cluster) CrashedObjects() []int {
 
 // Spawn runs fn as a client task for the given client ID and returns a join
 // handle. In controlled mode the task runs only when the scheduling policy
-// grants it the run token.
+// grants it the run token. The handle sees the whole cluster.
 func (c *Cluster) Spawn(clientID int, fn func(h *ClientHandle) error) *TaskHandle {
+	return c.SpawnScoped(clientID, 0, len(c.objects), fn)
+}
+
+// SpawnScoped is Spawn restricted to the contiguous object region
+// [base, base+span): the handle's N() reports span and its object IDs are
+// region-local. Shards use it to multiplex several register emulations over
+// one cluster — a register built for n objects runs unchanged inside an
+// n-object region.
+func (c *Cluster) SpawnScoped(clientID, base, span int, fn func(h *ClientHandle) error) *TaskHandle {
 	th := &TaskHandle{done: make(chan struct{})}
 	if c.opts.mode == Live {
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
 			defer close(th.done)
-			h := &ClientHandle{c: c, id: clientID}
+			h := &ClientHandle{c: c, id: clientID, base: base, span: span}
 			th.err = fn(h)
 		}()
 		return th
@@ -293,7 +338,7 @@ func (c *Cluster) Spawn(clientID int, fn func(h *ClientHandle) error) *TaskHandl
 	go func() {
 		defer c.wg.Done()
 		defer close(th.done)
-		h := &ClientHandle{c: c, id: clientID, task: t}
+		h := &ClientHandle{c: c, id: clientID, task: t, base: base, span: span}
 		// Wait for the first grant of the run token.
 		c.mu.Lock()
 		for t.state != taskRunning && !c.halted {
@@ -322,6 +367,23 @@ func (c *Cluster) Spawn(clientID int, fn func(h *ClientHandle) error) *TaskHandl
 		c.cond.Broadcast()
 	}()
 	return th
+}
+
+// RunScoped executes fn as a client over the object region [base, base+span)
+// and returns its error. In live mode it is the batched fast path: fn runs
+// inline in the caller's goroutine — no task goroutine, no join channel, no
+// cluster-wide lock — so concurrent callers on disjoint regions only ever
+// contend on the per-object apply mutexes. The call registers with the
+// cluster's join group, so Close still waits for in-flight operations. In
+// controlled mode it degenerates to SpawnScoped followed by Wait.
+func (c *Cluster) RunScoped(clientID, base, span int, fn func(h *ClientHandle) error) error {
+	if c.opts.mode == Live {
+		c.wg.Add(1)
+		defer c.wg.Done()
+		h := &ClientHandle{c: c, id: clientID, base: base, span: span}
+		return fn(h)
+	}
+	return c.SpawnScoped(clientID, base, span, fn).Wait()
 }
 
 // WaitIdle blocks until the cluster can make no further progress and reports
@@ -354,22 +416,32 @@ func (c *Cluster) SampleStorage() *storagecost.Snapshot {
 }
 
 // snapshotLocked aggregates the storage reports of base objects, client-local
-// holdings, and pending RMW parameters. Callers must hold c.mu. Live-mode
-// callers additionally rely on object states only being mutated under
-// object.liveMu; the snapshot is therefore advisory in live mode.
+// holdings, and pending RMW parameters. Callers must hold c.mu; each object's
+// apply lock and the stripe locks are taken one at a time underneath it, so
+// live-mode snapshots never observe a state mid-Apply (the sample as a whole
+// is still advisory in live mode: objects are sampled one after another while
+// operations may be in flight).
 func (c *Cluster) snapshotLocked() *storagecost.Snapshot {
-	reporters := make([]storagecost.Reporter, 0, len(c.objects)+len(c.clientLocal)+len(c.pending))
+	reporters := make([]storagecost.Reporter, 0, len(c.objects)+len(c.pending))
 	for _, o := range c.objects {
+		o.liveMu.Lock()
+		refs := o.state.Blocks()
+		o.liveMu.Unlock()
 		reporters = append(reporters, blockReporter{
 			loc:  storagecost.Location{Kind: storagecost.BaseObject, ID: o.id},
-			refs: o.state.Blocks(),
-		})
-	}
-	for client, refs := range c.clientLocal {
-		reporters = append(reporters, blockReporter{
-			loc:  storagecost.Location{Kind: storagecost.Client, ID: client},
 			refs: refs,
 		})
+	}
+	for i := range c.stripes {
+		st := &c.stripes[i]
+		st.mu.Lock()
+		for client, refs := range st.blocks {
+			reporters = append(reporters, blockReporter{
+				loc:  storagecost.Location{Kind: storagecost.Client, ID: client},
+				refs: refs,
+			})
+		}
+		st.mu.Unlock()
 	}
 	for _, p := range c.pending {
 		reporters = append(reporters, blockReporter{
@@ -393,7 +465,9 @@ func (c *Cluster) outstandingWritesLocked() []oracle.WriteID {
 }
 
 // OutstandingOps returns the currently outstanding high-level operations in
-// invocation order.
+// invocation order. Outstanding operations are tracked in controlled mode
+// only (they exist for scheduling policies); in live mode the result is
+// always empty.
 func (c *Cluster) OutstandingOps() []OpID {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -84,7 +84,7 @@ func (c *Cluster) stallLocked() {
 // object.
 func (c *Cluster) hasApplicablePendingLocked() bool {
 	for _, p := range c.pending {
-		if !c.objects[p.object].crashed {
+		if !c.objects[p.object].crashed.Load() {
 			return true
 		}
 	}
@@ -114,7 +114,7 @@ func (c *Cluster) buildViewLocked() *View {
 			Index:         i,
 			Seq:           p.seq,
 			Object:        p.object,
-			ObjectCrashed: c.objects[p.object].crashed,
+			ObjectCrashed: c.objects[p.object].crashed.Load(),
 			Client:        p.op.Client,
 			Op:            p.op,
 		})
@@ -136,7 +136,7 @@ func (c *Cluster) applyPendingLocked(index int) {
 	p := c.pending[index]
 	c.pending = append(c.pending[:index], c.pending[index+1:]...)
 	obj := c.objects[p.object]
-	if obj.crashed {
+	if obj.crashed.Load() {
 		// A policy should never pick a crashed object; drop the RMW silently
 		// (it can never take effect).
 		return

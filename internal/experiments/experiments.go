@@ -1,7 +1,7 @@
 // Package experiments regenerates the paper's analytic results as measured
-// tables (see DESIGN.md's experiment index E1-E8 and EXPERIMENTS.md for the
-// recorded outcomes). Each experiment returns a Table that cmd/spacebench
-// prints and that the benchmark harness in the repository root exercises.
+// tables (see DESIGN.md's experiment index E1-E8). Each experiment returns a
+// Table that cmd/spacebench prints and that the benchmark harness in the
+// repository root exercises.
 package experiments
 
 import (
@@ -66,7 +66,7 @@ func (t *Table) Format() string {
 	return b.String()
 }
 
-// Markdown renders the table as GitHub-flavoured markdown (EXPERIMENTS.md).
+// Markdown renders the table as GitHub-flavoured markdown.
 func (t *Table) Markdown() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)

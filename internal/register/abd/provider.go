@@ -1,0 +1,9 @@
+package abd
+
+import "spacebounds/internal/register"
+
+func init() {
+	register.RegisterProvider("abd", func(cfg register.Config) (register.Register, error) {
+		return New(cfg)
+	})
+}

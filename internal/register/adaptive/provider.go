@@ -1,0 +1,9 @@
+package adaptive
+
+import "spacebounds/internal/register"
+
+func init() {
+	register.RegisterProvider("adaptive", func(cfg register.Config) (register.Register, error) {
+		return New(cfg)
+	})
+}

@@ -1,0 +1,9 @@
+package ecreg
+
+import "spacebounds/internal/register"
+
+func init() {
+	register.RegisterProvider("ecreg", func(cfg register.Config) (register.Register, error) {
+		return New(cfg)
+	})
+}

@@ -1,0 +1,9 @@
+package safereg
+
+import "spacebounds/internal/register"
+
+func init() {
+	register.RegisterProvider("safereg", func(cfg register.Config) (register.Register, error) {
+		return New(cfg)
+	})
+}

@@ -1,0 +1,173 @@
+// Package shard multiplexes many named register emulations over one shared
+// fault-prone cluster. Each shard owns a contiguous region of base objects
+// and an independently configured register emulation (the algorithms may
+// differ per shard), so a single simulated cluster serves a whole keyspace:
+// keys route to shards by name or hash, and clients on different shards never
+// share a lock on the live path because the scoped client handles of
+// internal/dsys touch only the shard's own objects.
+//
+// Storage accounting remains exact: the cluster's snapshot attributes bits to
+// base objects by global ID, and a shard's cost is the sum over its region,
+// so the paper's min(f, c)·D introspection holds per shard and, by summing,
+// in aggregate.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"spacebounds/internal/dsys"
+	"spacebounds/internal/register"
+	"spacebounds/internal/storagecost"
+	"spacebounds/internal/value"
+)
+
+// Spec describes one named shard: which register emulation backs it (a
+// provider name from internal/register) and its configuration.
+type Spec struct {
+	// Name identifies the shard; it must be unique within a Set.
+	Name string
+	// Algorithm is the register provider name ("adaptive", "abd", "ecreg",
+	// "safereg").
+	Algorithm string
+	// Config is the shard's register configuration (F, K, DataLen, Code).
+	Config register.Config
+}
+
+// Shard is one register emulation bound to a region of the shared cluster.
+type Shard struct {
+	// Name is the shard's unique name.
+	Name string
+	// Reg is the register emulation serving the shard.
+	Reg register.Register
+	// Base is the global ID of the shard's first base object.
+	Base int
+	// Span is the number of base objects the shard owns (its register's n).
+	Span int
+}
+
+// Set is a collection of shards multiplexed over one cluster.
+type Set struct {
+	cluster *dsys.Cluster
+	shards  []*Shard
+	byName  map[string]*Shard
+}
+
+// New builds the registers named by specs, concatenates their initial base
+// object states into one cluster, and returns the shard set. The cluster
+// defaults to live mode (the set exists for throughput); pass dsys options to
+// override. Each shard's initial value is the zero value of its size.
+func New(specs []Spec, opts ...dsys.Option) (*Set, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("shard: empty spec list")
+	}
+	s := &Set{byName: make(map[string]*Shard, len(specs))}
+	var states []dsys.State
+	maxDataBits := 0
+	for _, spec := range specs {
+		if spec.Name == "" {
+			return nil, fmt.Errorf("shard: shard with empty name")
+		}
+		if _, dup := s.byName[spec.Name]; dup {
+			return nil, fmt.Errorf("shard: duplicate shard name %q", spec.Name)
+		}
+		reg, err := register.NewByName(spec.Algorithm, spec.Config)
+		if err != nil {
+			return nil, fmt.Errorf("shard %q: %w", spec.Name, err)
+		}
+		cfg := reg.Config()
+		init, err := reg.InitialStates(value.Zero(cfg.DataLen))
+		if err != nil {
+			return nil, fmt.Errorf("shard %q: initial states: %w", spec.Name, err)
+		}
+		sh := &Shard{Name: spec.Name, Reg: reg, Base: len(states), Span: len(init)}
+		states = append(states, init...)
+		s.shards = append(s.shards, sh)
+		s.byName[spec.Name] = sh
+		if d := cfg.DataBits(); d > maxDataBits {
+			maxDataBits = d
+		}
+	}
+	all := append([]dsys.Option{dsys.WithLiveMode(), dsys.WithDataBits(maxDataBits)}, opts...)
+	s.cluster = dsys.NewCluster(states, all...)
+	return s, nil
+}
+
+// Cluster returns the shared cluster.
+func (s *Set) Cluster() *dsys.Cluster { return s.cluster }
+
+// Shards returns the shards in declaration order.
+func (s *Set) Shards() []*Shard { return s.shards }
+
+// Shard returns the shard with the given name, or nil.
+func (s *Set) Shard(name string) *Shard { return s.byName[name] }
+
+// ForKey routes a key to a shard: an exact shard name wins, any other key
+// hashes (FNV-1a) onto the shard list. Routing is deterministic across
+// processes and runs.
+func (s *Set) ForKey(key string) *Shard {
+	if sh, ok := s.byName[key]; ok {
+		return sh
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return s.shards[int(h.Sum32()%uint32(len(s.shards)))]
+}
+
+// Run executes fn as the given client scoped to the shard's object region.
+// On the live path fn runs inline in the caller's goroutine.
+func (s *Set) Run(client int, sh *Shard, fn func(h *dsys.ClientHandle) error) error {
+	return s.cluster.RunScoped(client, sh.Base, sh.Span, fn)
+}
+
+// Write performs a register write of v on the shard routed by key.
+func (s *Set) Write(client int, key string, v value.Value) error {
+	sh := s.ForKey(key)
+	return s.Run(client, sh, func(h *dsys.ClientHandle) error {
+		return sh.Reg.Write(h, v)
+	})
+}
+
+// Read performs a register read on the shard routed by key.
+func (s *Set) Read(client int, key string) (value.Value, error) {
+	sh := s.ForKey(key)
+	var got value.Value
+	err := s.Run(client, sh, func(h *dsys.ClientHandle) error {
+		var err error
+		got, err = sh.Reg.Read(h)
+		return err
+	})
+	return got, err
+}
+
+// CrashNode crashes the shard-local base object node of the named shard.
+func (s *Set) CrashNode(name string, node int) error {
+	sh := s.byName[name]
+	if sh == nil {
+		return fmt.Errorf("shard: unknown shard %q", name)
+	}
+	if node < 0 || node >= sh.Span {
+		return fmt.Errorf("shard %q: node %d out of range [0,%d)", name, node, sh.Span)
+	}
+	return s.cluster.CrashObject(sh.Base + node)
+}
+
+// StorageSnapshot samples the whole cluster's storage breakdown.
+func (s *Set) StorageSnapshot() *storagecost.Snapshot { return s.cluster.SampleStorage() }
+
+// ShardBits returns the base-object bits a snapshot attributes to the named
+// shard's object region (the per-shard storage cost of Definition 2).
+func (s *Set) ShardBits(snap *storagecost.Snapshot, name string) int {
+	sh := s.byName[name]
+	if sh == nil {
+		return 0
+	}
+	total := 0
+	for obj := sh.Base; obj < sh.Base+sh.Span; obj++ {
+		total += snap.PerObjectBits[obj]
+	}
+	return total
+}
+
+// Close shuts the shared cluster down.
+func (s *Set) Close() { s.cluster.Close() }

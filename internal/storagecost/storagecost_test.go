@@ -32,9 +32,9 @@ func TestCollectAggregates(t *testing.T) {
 			block(BaseObject, 1, w1, 2, 100),
 		},
 		staticReporter{
-			block(Client, 1, w1, 3, 100),  // writer's own client: excluded from outside bits
-			block(Channel, 2, w2, 2, 70),  // writer's own channel: excluded from outside bits
-			block(Client, 3, w2, 3, 30),   // another client's state: counted
+			block(Client, 1, w1, 3, 100), // writer's own client: excluded from outside bits
+			block(Channel, 2, w2, 2, 70), // writer's own channel: excluded from outside bits
+			block(Client, 3, w2, 3, 30),  // another client's state: counted
 		},
 		nil,
 	}

@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"spacebounds/internal/history"
+	"spacebounds/internal/shard"
+	"spacebounds/internal/storagecost"
+	"spacebounds/internal/value"
+)
+
+// ShardedSpec describes a multi-key workload over a shard set: concurrent
+// clients issue reads and writes against a keyspace whose keys hash onto the
+// shards, with optionally Zipf-skewed key popularity (hot keys model the
+// heavy-traffic regime the ROADMAP targets; uniform keys model a balanced
+// cache). Writes by one client use globally unique values so the per-shard
+// histories stay checkable against the paper's consistency conditions.
+type ShardedSpec struct {
+	// Clients is the number of concurrent client goroutines.
+	Clients int
+	// OpsPerClient is the number of operations each client performs.
+	OpsPerClient int
+	// ReadFraction is the probability an operation is a read (0 = write-only).
+	ReadFraction float64
+	// Keys is the number of distinct keys ("key-0" … "key-N-1"; default 16).
+	Keys int
+	// ZipfS is the Zipf skew exponent; values > 1 skew key popularity toward
+	// low-numbered keys, anything else means uniform. (math/rand's Zipf
+	// generator requires s > 1.)
+	ZipfS float64
+	// Seed makes the key and read/write choices reproducible.
+	Seed int64
+	// RecordHistory records one operation history per shard and enables
+	// CheckRegularity on the result.
+	RecordHistory bool
+}
+
+// Validate checks the spec and fills defaults.
+func (s ShardedSpec) Validate() (ShardedSpec, error) {
+	if s.Clients < 0 || s.OpsPerClient < 0 || s.Keys < 0 {
+		return s, fmt.Errorf("workload: negative counts in sharded spec %+v", s)
+	}
+	if s.ReadFraction < 0 || s.ReadFraction > 1 {
+		return s, fmt.Errorf("workload: read fraction %v outside [0,1]", s.ReadFraction)
+	}
+	if s.Keys == 0 {
+		s.Keys = 16
+	}
+	return s, nil
+}
+
+// ShardedResult is the outcome of a sharded workload run.
+type ShardedResult struct {
+	// CompletedWrites / CompletedReads count successful operations.
+	CompletedWrites int
+	CompletedReads  int
+	// WriteErrors / ReadErrors count failed operations.
+	WriteErrors int
+	ReadErrors  int
+	// PerShardOps counts completed operations per shard name; skewed
+	// workloads show up as imbalance here.
+	PerShardOps map[string]int
+	// Histories maps shard names to their recorded operation history
+	// (only when RecordHistory was set). Keys hashing to the same shard
+	// share one register and therefore one history.
+	Histories map[string]*history.History
+	// FinalSnapshot is the storage breakdown after the run.
+	FinalSnapshot *storagecost.Snapshot
+	// PerShardBits maps shard names to their base-object bits at the end of
+	// the run; the values sum to FinalSnapshot.BaseObjectBits.
+	PerShardBits map[string]int
+}
+
+// CheckRegularity verifies every recorded per-shard history against strong
+// regularity (the consistency condition the paper's adaptive algorithm
+// guarantees). It is only meaningful when every shard runs a regular
+// emulation — safe-register shards may legitimately fail it.
+func (r *ShardedResult) CheckRegularity() error {
+	names := make([]string, 0, len(r.Histories))
+	for name := range r.Histories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := history.CheckStrongRegularity(r.Histories[name]); err != nil {
+			return fmt.Errorf("shard %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// KeyName returns the i-th key of the sharded workload's keyspace.
+func KeyName(i int) string { return fmt.Sprintf("key-%d", i) }
+
+// RunSharded executes the workload against the shard set on its live path:
+// every client runs in its own goroutine and operations on different shards
+// proceed without shared locks. Client IDs start at 1.
+func RunSharded(set *shard.Set, spec ShardedSpec) (*ShardedResult, error) {
+	spec, err := spec.Validate()
+	if err != nil {
+		return nil, err
+	}
+	recorders := make(map[string]*history.Recorder)
+	if spec.RecordHistory {
+		for _, sh := range set.Shards() {
+			recorders[sh.Name] = history.NewRecorder()
+		}
+	}
+
+	type tally struct {
+		writes, reads, werrs, rerrs int
+		perShard                    map[string]int
+	}
+	tallies := make([]tally, spec.Clients)
+	var wg sync.WaitGroup
+	for cl := 1; cl <= spec.Clients; cl++ {
+		cl := cl
+		t := &tallies[cl-1]
+		t.perShard = make(map[string]int)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(spec.Seed + int64(cl)))
+			var zipf *rand.Zipf
+			if spec.ZipfS > 1 && spec.Keys > 1 {
+				zipf = rand.NewZipf(rng, spec.ZipfS, 1, uint64(spec.Keys-1))
+			}
+			seq := 0
+			for op := 0; op < spec.OpsPerClient; op++ {
+				var idx int
+				if zipf != nil {
+					idx = int(zipf.Uint64())
+				} else {
+					idx = rng.Intn(spec.Keys)
+				}
+				key := KeyName(idx)
+				sh := set.ForKey(key)
+				rec := recorders[sh.Name]
+				if rng.Float64() < spec.ReadFraction {
+					var hop *history.Op
+					if rec != nil {
+						hop = rec.BeginRead(cl)
+					}
+					v, err := set.Read(cl, key)
+					if err != nil {
+						t.rerrs++
+						continue
+					}
+					if rec != nil {
+						rec.EndRead(hop, v)
+					}
+					t.reads++
+				} else {
+					seq++
+					v := value.Sequenced(cl, seq, sh.Reg.Config().DataLen)
+					var hop *history.Op
+					if rec != nil {
+						hop = rec.BeginWrite(cl, v)
+					}
+					if err := set.Write(cl, key, v); err != nil {
+						t.werrs++
+						continue
+					}
+					if rec != nil {
+						rec.EndWrite(hop)
+					}
+					t.writes++
+				}
+				t.perShard[sh.Name]++
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := &ShardedResult{PerShardOps: make(map[string]int), PerShardBits: make(map[string]int)}
+	for i := range tallies {
+		t := &tallies[i]
+		res.CompletedWrites += t.writes
+		res.CompletedReads += t.reads
+		res.WriteErrors += t.werrs
+		res.ReadErrors += t.rerrs
+		for name, n := range t.perShard {
+			res.PerShardOps[name] += n
+		}
+	}
+	if spec.RecordHistory {
+		res.Histories = make(map[string]*history.History, len(recorders))
+		for _, sh := range set.Shards() {
+			res.Histories[sh.Name] = recorders[sh.Name].History(value.Zero(sh.Reg.Config().DataLen))
+		}
+	}
+	res.FinalSnapshot = set.StorageSnapshot()
+	for _, sh := range set.Shards() {
+		res.PerShardBits[sh.Name] = set.ShardBits(res.FinalSnapshot, sh.Name)
+	}
+	return res, nil
+}

@@ -1,0 +1,130 @@
+package workload_test
+
+import (
+	"fmt"
+	"testing"
+
+	"spacebounds/internal/register"
+	_ "spacebounds/internal/register/abd"
+	_ "spacebounds/internal/register/adaptive"
+	"spacebounds/internal/shard"
+	"spacebounds/internal/workload"
+)
+
+func newSet(t *testing.T, shards int) *shard.Set {
+	t.Helper()
+	specs := make([]shard.Spec, 0, shards)
+	for i := 0; i < shards; i++ {
+		specs = append(specs, shard.Spec{
+			Name:      fmt.Sprintf("s%d", i),
+			Algorithm: "adaptive",
+			Config:    register.Config{F: 1, K: 2, DataLen: 64},
+		})
+	}
+	set, err := shard.New(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(set.Close)
+	return set
+}
+
+func TestShardedSpecValidate(t *testing.T) {
+	if _, err := (workload.ShardedSpec{Clients: -1}).Validate(); err == nil {
+		t.Fatal("negative client count accepted")
+	}
+	if _, err := (workload.ShardedSpec{ReadFraction: 1.5}).Validate(); err == nil {
+		t.Fatal("read fraction > 1 accepted")
+	}
+	s, err := (workload.ShardedSpec{Clients: 1}).Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Keys == 0 {
+		t.Fatal("Keys default not applied")
+	}
+}
+
+// TestRunShardedRegularity drives concurrent clients over several shards and
+// checks every per-shard history against strong regularity.
+func TestRunShardedRegularity(t *testing.T) {
+	set := newSet(t, 4)
+	res, err := workload.RunSharded(set, workload.ShardedSpec{
+		Clients:       6,
+		OpsPerClient:  20,
+		ReadFraction:  0.4,
+		Keys:          12,
+		Seed:          7,
+		RecordHistory: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WriteErrors != 0 || res.ReadErrors != 0 {
+		t.Fatalf("errors: %d write, %d read", res.WriteErrors, res.ReadErrors)
+	}
+	if got := res.CompletedWrites + res.CompletedReads; got != 6*20 {
+		t.Fatalf("completed %d ops, want %d", got, 6*20)
+	}
+	if err := res.CheckRegularity(); err != nil {
+		t.Fatalf("per-shard regularity violated: %v", err)
+	}
+}
+
+// TestRunShardedStorageSum checks the aggregate storage cost equals the sum
+// of the per-shard costs after a multi-shard run.
+func TestRunShardedStorageSum(t *testing.T) {
+	set := newSet(t, 3)
+	res, err := workload.RunSharded(set, workload.ShardedSpec{
+		Clients: 4, OpsPerClient: 10, Keys: 9, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for name, bits := range res.PerShardBits {
+		if bits <= 0 {
+			t.Fatalf("shard %s reports %d bits", name, bits)
+		}
+		sum += bits
+	}
+	if sum != res.FinalSnapshot.BaseObjectBits {
+		t.Fatalf("per-shard bits sum to %d, snapshot says %d", sum, res.FinalSnapshot.BaseObjectBits)
+	}
+}
+
+// TestRunShardedZipfSkew checks that a skewed workload concentrates ops on
+// the shard owning the hottest keys while a uniform one spreads them.
+func TestRunShardedZipfSkew(t *testing.T) {
+	set := newSet(t, 4)
+	skewed, err := workload.RunSharded(set, workload.ShardedSpec{
+		Clients: 4, OpsPerClient: 50, Keys: 32, ZipfS: 2.5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := set.ForKey(workload.KeyName(0)).Name
+	total, hottest := 0, skewed.PerShardOps[hot]
+	for _, n := range skewed.PerShardOps {
+		total += n
+	}
+	if total != 4*50 {
+		t.Fatalf("ops across shards sum to %d, want %d", total, 4*50)
+	}
+	// Under s=2.5 Zipf, key-0's shard must dominate: more than half of all ops.
+	if hottest*2 <= total {
+		t.Fatalf("skewed run not skewed: hottest shard %q got %d of %d ops (%v)", hot, hottest, total, skewed.PerShardOps)
+	}
+
+	uniform, err := workload.RunSharded(set, workload.ShardedSpec{
+		Clients: 4, OpsPerClient: 50, Keys: 32, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, n := range uniform.PerShardOps {
+		if n == 0 {
+			t.Fatalf("uniform run left shard %s idle: %v", name, uniform.PerShardOps)
+		}
+	}
+}

@@ -9,25 +9,29 @@
 // the bound with O(min(f, c)·D) bits. This module implements the adaptive
 // algorithm, the baselines it is compared against, the lower-bound adversary,
 // and the simulation substrate they run on; see DESIGN.md for the full
-// inventory and EXPERIMENTS.md for the reproduced results.
+// inventory.
 //
-// The facade exposes the most common entry point: a Store that binds a
-// register emulation to a simulated cluster and offers Write/Read/Crash with
-// storage-cost introspection. Lower-level control (custom scheduling
-// policies, the adversary, workload generation, consistency checking) lives
-// in the internal packages and is exercised through cmd/spacebench,
-// cmd/adversary and the examples.
+// The facade exposes the most common entry point: a Store that multiplexes
+// one or more named register shards over a shared simulated cluster and
+// offers keyed Write/Read with per-shard storage-cost introspection. A Store
+// opened without explicit shards behaves exactly like the original
+// single-register facade. Lower-level control (custom scheduling policies,
+// the adversary, workload generation, consistency checking) lives in the
+// internal packages and is exercised through cmd/spacebench, cmd/adversary
+// and the examples.
 package spacebounds
 
 import (
 	"fmt"
+	"time"
 
 	"spacebounds/internal/dsys"
 	"spacebounds/internal/register"
-	"spacebounds/internal/register/abd"
-	"spacebounds/internal/register/adaptive"
-	"spacebounds/internal/register/ecreg"
-	"spacebounds/internal/register/safereg"
+	_ "spacebounds/internal/register/abd"
+	_ "spacebounds/internal/register/adaptive"
+	_ "spacebounds/internal/register/ecreg"
+	_ "spacebounds/internal/register/safereg"
+	"spacebounds/internal/shard"
 	"spacebounds/internal/storagecost"
 	"spacebounds/internal/value"
 )
@@ -50,17 +54,57 @@ const (
 	Safe Algorithm = "safe"
 )
 
+// provider maps a facade algorithm to its register provider name.
+func (a Algorithm) provider() (string, error) {
+	switch a {
+	case Adaptive:
+		return "adaptive", nil
+	case Replication:
+		return "abd", nil
+	case ErasureCoded:
+		return "ecreg", nil
+	case Safe:
+		return "safereg", nil
+	default:
+		return "", fmt.Errorf("spacebounds: unknown algorithm %q", a)
+	}
+}
+
+// ShardSpec configures one named shard of a Store. Zero fields inherit the
+// Store-level defaults from Options, so heterogeneous stores only spell out
+// what differs per shard.
+type ShardSpec struct {
+	// Name identifies the shard; keys equal to a shard name route to that
+	// shard, all other keys hash across the shard list.
+	Name string
+	// Algorithm selects this shard's emulation ("" inherits Options).
+	Algorithm Algorithm
+	// F, K, ValueSize override the Store-level values when nonzero.
+	F, K, ValueSize int
+}
+
 // Options configure a Store.
 type Options struct {
 	// Algorithm selects the emulation; default Adaptive.
 	Algorithm Algorithm
-	// F is the number of storage-node crashes tolerated (default 1).
+	// F is the number of storage-node crashes tolerated per shard (default 1).
 	F int
 	// K is the erasure-code decode threshold; n = 2F+K nodes are simulated
-	// (default K = F; forced to 1 for Replication).
+	// per shard (default K = F; forced to 1 for Replication).
 	K int
 	// ValueSize is the register value size in bytes (default 1024).
 	ValueSize int
+	// Shards lists the named shards to multiplex over the shared cluster.
+	// Empty means one shard named "default" built from the options above —
+	// the original single-register facade.
+	Shards []ShardSpec
+	// NodeLatency, when nonzero, gives every simulated base object a fixed
+	// RMW service time: objects serve requests serially and clients issue
+	// each quorum round concurrently, so the store behaves like a cluster of
+	// finite-capacity storage nodes instead of an infinitely fast in-process
+	// simulation. Throughput then scales with the number of shards, because
+	// shards add nodes.
+	NodeLatency time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -73,106 +117,193 @@ func (o Options) withDefaults() Options {
 	if o.K == 0 {
 		o.K = o.F
 	}
-	if o.Algorithm == Replication {
-		o.K = 1
-	}
 	if o.ValueSize == 0 {
 		o.ValueSize = 1024
+	}
+	if len(o.Shards) == 0 {
+		o.Shards = []ShardSpec{{Name: "default"}}
+	} else {
+		// Copy before filling defaults so a caller-owned spec slice is not
+		// mutated (it may be reused for another Open with different options).
+		o.Shards = append([]ShardSpec(nil), o.Shards...)
+	}
+	for i := range o.Shards {
+		s := &o.Shards[i]
+		if s.Algorithm == "" {
+			s.Algorithm = o.Algorithm
+		}
+		if s.F == 0 {
+			s.F = o.F
+		}
+		if s.K == 0 {
+			s.K = o.K
+		}
+		if s.Algorithm == Replication {
+			s.K = 1
+		}
+		if s.ValueSize == 0 {
+			s.ValueSize = o.ValueSize
+		}
 	}
 	return o
 }
 
-// Store is a fault-tolerant single-register store over a simulated cluster of
-// base objects. It is safe for concurrent use by multiple goroutines, each of
-// which acts as a distinct client.
+// Store is a fault-tolerant store of one or more register shards over a
+// shared simulated cluster of base objects. It is safe for concurrent use by
+// multiple goroutines, each of which acts as a distinct client; clients
+// operating on keys that route to different shards never contend on a shared
+// lock.
 type Store struct {
-	reg     register.Register
-	cluster *dsys.Cluster
-	cfg     register.Config
+	set *shard.Set
+	def *shard.Shard
 }
 
-// Open builds a register emulation and its simulated cluster.
+// Open builds the register shards and their shared simulated cluster.
 func Open(opts Options) (*Store, error) {
 	opts = opts.withDefaults()
-	cfg := register.Config{F: opts.F, K: opts.K, DataLen: opts.ValueSize}
-	var (
-		reg register.Register
-		err error
-	)
-	switch opts.Algorithm {
-	case Adaptive:
-		reg, err = adaptive.New(cfg)
-	case Replication:
-		reg, err = abd.New(cfg)
-	case ErasureCoded:
-		reg, err = ecreg.New(cfg)
-	case Safe:
-		reg, err = safereg.New(cfg)
-	default:
-		return nil, fmt.Errorf("spacebounds: unknown algorithm %q", opts.Algorithm)
+	specs := make([]shard.Spec, 0, len(opts.Shards))
+	for _, s := range opts.Shards {
+		prov, err := s.Algorithm.provider()
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, shard.Spec{
+			Name:      s.Name,
+			Algorithm: prov,
+			Config:    register.Config{F: s.F, K: s.K, DataLen: s.ValueSize},
+		})
 	}
+	var dopts []dsys.Option
+	if opts.NodeLatency > 0 {
+		dopts = append(dopts, dsys.WithLiveLatency(opts.NodeLatency))
+	}
+	set, err := shard.New(specs, dopts...)
 	if err != nil {
 		return nil, err
 	}
-	vcfg := reg.Config()
-	states, err := reg.InitialStates(value.Zero(vcfg.DataLen))
-	if err != nil {
-		return nil, err
-	}
-	cluster := dsys.NewCluster(states, dsys.WithLiveMode(), dsys.WithDataBits(vcfg.DataBits()))
-	return &Store{reg: reg, cluster: cluster, cfg: vcfg}, nil
+	return &Store{set: set, def: set.Shards()[0]}, nil
 }
 
-// Algorithm returns the name of the underlying emulation.
-func (s *Store) Algorithm() string { return s.reg.Name() }
+// Algorithm returns the name of the default (first) shard's emulation.
+func (s *Store) Algorithm() string { return s.def.Reg.Name() }
 
-// Nodes returns the number of simulated base objects (2f+k).
-func (s *Store) Nodes() int { return s.cfg.N() }
+// Nodes returns the total number of simulated base objects across all shards
+// (2f+k per shard).
+func (s *Store) Nodes() int { return s.set.Cluster().N() }
 
-// FaultTolerance returns f, the number of node crashes tolerated.
-func (s *Store) FaultTolerance() int { return s.cfg.F }
+// FaultTolerance returns f for the default shard, the number of its node
+// crashes tolerated.
+func (s *Store) FaultTolerance() int { return s.def.Reg.Config().F }
 
-// ValueSize returns the register value size in bytes.
-func (s *Store) ValueSize() int { return s.cfg.DataLen }
+// ValueSize returns the default shard's register value size in bytes.
+func (s *Store) ValueSize() int { return s.def.Reg.Config().DataLen }
 
-// Write stores val (padded with zeros to the register's value size) on behalf
-// of the given client ID. It returns an error if val exceeds the value size
-// or if a quorum of nodes is unreachable.
-func (s *Store) Write(client int, val []byte) error {
-	if len(val) > s.cfg.DataLen {
-		return fmt.Errorf("spacebounds: value of %d bytes exceeds register size %d", len(val), s.cfg.DataLen)
+// Shards returns the shard names in declaration order.
+func (s *Store) Shards() []string {
+	out := make([]string, 0, len(s.set.Shards()))
+	for _, sh := range s.set.Shards() {
+		out = append(out, sh.Name)
 	}
-	padded := make([]byte, s.cfg.DataLen)
+	return out
+}
+
+// pad zero-pads val to the shard's value size, rejecting oversized values.
+func pad(sh *shard.Shard, val []byte) (value.Value, error) {
+	size := sh.Reg.Config().DataLen
+	if len(val) > size {
+		return value.Value{}, fmt.Errorf("spacebounds: value of %d bytes exceeds register size %d of shard %q", len(val), size, sh.Name)
+	}
+	padded := make([]byte, size)
 	copy(padded, val)
-	return s.cluster.Spawn(client, func(h *dsys.ClientHandle) error {
-		return s.reg.Write(h, value.FromBytes(padded))
-	}).Wait()
+	return value.FromBytes(padded), nil
 }
 
-// Read returns the register's current value on behalf of the given client ID.
-func (s *Store) Read(client int) ([]byte, error) {
-	var got value.Value
-	err := s.cluster.Spawn(client, func(h *dsys.ClientHandle) error {
-		var err error
-		got, err = s.reg.Read(h)
+// Write stores val on the default shard on behalf of the given client ID,
+// preserving the original single-register facade.
+func (s *Store) Write(client int, val []byte) error {
+	return s.writeShard(client, s.def, val)
+}
+
+// WriteKey stores val under key: the key routes to a shard (exact shard name,
+// otherwise by hash) and the write runs on that shard's register. Keys are
+// routing labels, not map entries — every key on a shard addresses the same
+// register, so a later write under any key of the shard supersedes earlier
+// ones, exactly as in the paper's register model. For key-value semantics,
+// give each key its own shard (see examples/kvstore).
+func (s *Store) WriteKey(client int, key string, val []byte) error {
+	return s.writeShard(client, s.set.ForKey(key), val)
+}
+
+func (s *Store) writeShard(client int, sh *shard.Shard, val []byte) error {
+	v, err := pad(sh, val)
+	if err != nil {
 		return err
-	}).Wait()
+	}
+	return s.set.Run(client, sh, func(h *dsys.ClientHandle) error {
+		return sh.Reg.Write(h, v)
+	})
+}
+
+// Read returns the default shard's current value on behalf of the client.
+func (s *Store) Read(client int) ([]byte, error) {
+	return s.readShard(client, s.def)
+}
+
+// ReadKey returns the current value of the shard the key routes to.
+func (s *Store) ReadKey(client int, key string) ([]byte, error) {
+	return s.readShard(client, s.set.ForKey(key))
+}
+
+func (s *Store) readShard(client int, sh *shard.Shard) ([]byte, error) {
+	var got value.Value
+	err := s.set.Run(client, sh, func(h *dsys.ClientHandle) error {
+		var err error
+		got, err = sh.Reg.Read(h)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
 	return got.Bytes(), nil
 }
 
-// CrashNode crashes one simulated base object. Up to FaultTolerance() nodes
-// may be crashed while preserving availability.
-func (s *Store) CrashNode(id int) error { return s.cluster.CrashObject(id) }
+// CrashNode crashes one simulated base object by global ID (shards occupy
+// contiguous ID ranges in declaration order). Up to FaultTolerance() nodes
+// per shard may be crashed while preserving availability.
+func (s *Store) CrashNode(id int) error { return s.set.Cluster().CrashObject(id) }
+
+// CrashShardNode crashes node (shard-local, 0-based) of the shard key routes
+// to.
+func (s *Store) CrashShardNode(key string, node int) error {
+	return s.set.CrashNode(s.set.ForKey(key).Name, node)
+}
 
 // StorageBits returns the current storage cost in bits: the code-block bits
-// held by the base objects (meta-data excluded), per the paper's Definition 2.
-func (s *Store) StorageBits() int { return s.cluster.SampleStorage().BaseObjectBits }
+// held by all base objects (meta-data excluded), per the paper's
+// Definition 2. It equals the sum of ShardStorageBits over all shards.
+func (s *Store) StorageBits() int { return s.set.StorageSnapshot().BaseObjectBits }
 
-// StorageSnapshot returns the full storage breakdown.
-func (s *Store) StorageSnapshot() *storagecost.Snapshot { return s.cluster.SampleStorage() }
+// ShardStorageBits returns the base-object bits of the shard key routes to,
+// so the paper's min(f, c)·D bound can be checked shard by shard.
+func (s *Store) ShardStorageBits(key string) int {
+	return s.set.ShardBits(s.set.StorageSnapshot(), s.set.ForKey(key).Name)
+}
+
+// PerShardStorageBits returns the base-object bits of every shard from one
+// consistent storage sample; the values sum to that sample's total. Prefer it
+// over calling ShardStorageBits in a loop, which re-samples the whole cluster
+// per call.
+func (s *Store) PerShardStorageBits() map[string]int {
+	snap := s.set.StorageSnapshot()
+	out := make(map[string]int, len(s.set.Shards()))
+	for _, sh := range s.set.Shards() {
+		out[sh.Name] = s.set.ShardBits(snap, sh.Name)
+	}
+	return out
+}
+
+// StorageSnapshot returns the full storage breakdown across all shards.
+func (s *Store) StorageSnapshot() *storagecost.Snapshot { return s.set.StorageSnapshot() }
 
 // Close shuts the simulated cluster down.
-func (s *Store) Close() { s.cluster.Close() }
+func (s *Store) Close() { s.set.Close() }

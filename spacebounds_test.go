@@ -71,6 +71,133 @@ func TestStoreUnknownAlgorithm(t *testing.T) {
 	}
 }
 
+func TestStoreSharded(t *testing.T) {
+	s, err := Open(Options{
+		F: 1, K: 2, ValueSize: 64,
+		Shards: []ShardSpec{
+			{Name: "hot", Algorithm: Adaptive},
+			{Name: "cold", Algorithm: Replication, ValueSize: 32},
+			{Name: "bulk", Algorithm: ErasureCoded},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Shards(); len(got) != 3 || got[0] != "hot" || got[1] != "cold" || got[2] != "bulk" {
+		t.Fatalf("shards = %v", got)
+	}
+	// hot: n=4 (2+2), cold: n=3 (2+1), bulk: n=4.
+	if s.Nodes() != 11 {
+		t.Fatalf("total nodes = %d, want 11", s.Nodes())
+	}
+	// Keys equal to shard names route exactly; each shard round-trips.
+	for i, name := range s.Shards() {
+		want := []byte("v-" + name)
+		if err := s.WriteKey(i+1, name, want); err != nil {
+			t.Fatalf("write %s: %v", name, err)
+		}
+		got, err := s.ReadKey(50+i, name)
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		if !bytes.Equal(got[:len(want)], want) {
+			t.Fatalf("shard %s read %q, want prefix %q", name, got, want)
+		}
+	}
+	// Aggregate storage is the sum of the per-shard costs.
+	sum := 0
+	for name, bits := range s.PerShardStorageBits() {
+		if bits <= 0 {
+			t.Fatalf("shard %s reports %d bits", name, bits)
+		}
+		sum += bits
+	}
+	if total := s.StorageBits(); total != sum {
+		t.Fatalf("total storage %d != sum of shards %d", total, sum)
+	}
+	if bits := s.ShardStorageBits("hot"); bits <= 0 {
+		t.Fatalf("ShardStorageBits(hot) = %d", bits)
+	}
+	// A crash within one shard's budget leaves every shard readable.
+	if err := s.CrashShardNode("hot", 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range s.Shards() {
+		if _, err := s.ReadKey(80+i, name); err != nil {
+			t.Fatalf("read %s after crash: %v", name, err)
+		}
+	}
+}
+
+func TestStoreShardedKeyRouting(t *testing.T) {
+	s, err := Open(Options{
+		ValueSize: 32,
+		Shards:    []ShardSpec{{Name: "a"}, {Name: "b"}, {Name: "c"}, {Name: "d"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Hashed keys read back what was written under the same key.
+	for i := 0; i < 16; i++ {
+		key := fmt.Sprintf("user-%d", i)
+		want := []byte(fmt.Sprintf("value-%d", i))
+		if err := s.WriteKey(1, key, want); err != nil {
+			t.Fatalf("write %s: %v", key, err)
+		}
+		got, err := s.ReadKey(2, key)
+		if err != nil {
+			t.Fatalf("read %s: %v", key, err)
+		}
+		if !bytes.Equal(got[:len(want)], want) {
+			t.Fatalf("key %s read %q, want prefix %q", key, got, want)
+		}
+	}
+	// Back-compat Write/Read hit the default (first) shard.
+	if err := s.Write(1, []byte("direct")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadKey(2, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:6], []byte("direct")) {
+		t.Fatalf("default-shard write not visible via shard name: %q", got)
+	}
+}
+
+func TestOpenDoesNotMutateCallerShards(t *testing.T) {
+	shards := []ShardSpec{{Name: "x"}}
+	s1, err := Open(Options{Algorithm: Replication, F: 1, ValueSize: 32, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	if shards[0].Algorithm != "" || shards[0].K != 0 {
+		t.Fatalf("Open mutated the caller's shard specs: %+v", shards[0])
+	}
+	s2, err := Open(Options{Algorithm: Adaptive, F: 1, K: 2, ValueSize: 32, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Algorithm(); got != "adaptive(f=1,k=2)" {
+		t.Fatalf("second Open built %q, want the adaptive register", got)
+	}
+}
+
+func TestStoreShardedOversized(t *testing.T) {
+	s, err := Open(Options{Shards: []ShardSpec{{Name: "tiny", ValueSize: 8}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.WriteKey(1, "tiny", make([]byte, 9)); err == nil {
+		t.Fatal("oversized value accepted by shard")
+	}
+}
+
 func TestStoreConcurrentClients(t *testing.T) {
 	s, err := Open(Options{Algorithm: Adaptive, F: 2, K: 2, ValueSize: 128})
 	if err != nil {
