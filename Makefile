@@ -1,6 +1,13 @@
 GO ?= go
 
-.PHONY: build test race bench fmt-check examples
+# Benchmarks gated by the CI regression check; sleep-dominated (simulated
+# node service time), so their ops/s is stable across machines.
+BENCH_GATE ?= BenchmarkShardedLiveThroughput
+BENCH_TIME ?= 300ms
+# Minimum total test coverage (percent) enforced by `make cover`.
+COVER_FLOOR ?= 70
+
+.PHONY: build test race bench bench-json bench-check cover fmt-check examples
 
 # Compile everything and run static checks.
 build:
@@ -11,13 +18,32 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrent core.
+# Race-detector pass over every package (commands and examples included),
+# bounded so a scheduling deadlock fails fast instead of hanging CI.
 race:
-	$(GO) test -race ./internal/... .
+	$(GO) test -race -timeout 10m ./...
 
 # Smoke-compile and smoke-run every benchmark once so perf code keeps working.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Run the gated benchmarks and emit BENCH.json (name, ns/op, ops/sec).
+bench-json:
+	$(GO) test -bench='$(BENCH_GATE)' -benchtime=$(BENCH_TIME) -run='^$$' -count=1 . > bench.out
+	$(GO) run ./cmd/benchdiff -emit -in bench.out -o BENCH.json
+
+# Diff BENCH.json against the committed baseline; fails on >25% throughput
+# regression (or a benchmark silently disappearing).
+bench-check: bench-json
+	$(GO) run ./cmd/benchdiff -baseline BENCH.baseline.json -current BENCH.json -tolerance 0.25
+
+# Coverage with an enforced floor.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "total coverage: $$total% (floor: $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' || \
+		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
 # Fail if any file is not gofmt-clean.
 fmt-check:
@@ -31,4 +57,5 @@ examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/concurrencystorm -max-writers 2 -writes 1
 	$(GO) run ./examples/kvstore
-	$(GO) run ./cmd/spacebench -throughput -shards 2 -clients 2 -ops 50 -keys 8
+	$(GO) run ./cmd/spacebench -throughput -shards 2 -clients 2 -ops 50 -keys 8 -seed 1
+	$(GO) run ./cmd/spacebench -throughput -shards 2 -clients 4 -ops 50 -keys 8 -seed 1 -node-latency 20us -batch 8 -arrival-rate 2000

@@ -1,0 +1,251 @@
+// Command benchdiff turns `go test -bench` output into a JSON benchmark
+// record and gates throughput regressions against a committed baseline.
+//
+// Emit mode parses benchmark output and writes BENCH.json:
+//
+//	go test -bench=. -run='^$' . > bench.out
+//	benchdiff -emit -in bench.out -o BENCH.json
+//
+// Compare mode diffs a current record against a baseline and exits non-zero
+// when any benchmark's throughput regressed by more than the tolerance:
+//
+//	benchdiff -baseline BENCH.baseline.json -current BENCH.json -tolerance 0.25
+//
+// Throughput is the ops/s metric a benchmark reports via b.ReportMetric,
+// falling back to 1e9/ns-per-op for benchmarks without one. Benchmarks
+// present in the baseline but missing from the current record fail the diff
+// (a silently dropped benchmark must not pass the gate); new benchmarks are
+// reported but do not fail.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark result in the BENCH.json schema.
+type Benchmark struct {
+	Name      string  `json:"name"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// Record is the BENCH.json document.
+type Record struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		emit      = flag.Bool("emit", false, "parse `go test -bench` output and emit BENCH.json")
+		in        = flag.String("in", "", "input file for -emit (default stdin)")
+		out       = flag.String("o", "", "output file for -emit (default stdout)")
+		baseline  = flag.String("baseline", "", "baseline BENCH.json to compare against")
+		current   = flag.String("current", "", "current BENCH.json to compare")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional throughput regression before failing")
+	)
+	flag.Parse()
+	var err error
+	switch {
+	case *emit:
+		err = runEmit(*in, *out)
+	case *baseline != "" && *current != "":
+		err = runCompare(*baseline, *current, *tolerance)
+	default:
+		err = fmt.Errorf("nothing to do: use -emit, or -baseline with -current (see -h)")
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runEmit parses benchmark output from in (or stdin) and writes the JSON
+// record to out (or stdout).
+func runEmit(in, out string) error {
+	var r io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	rec, err := Parse(r)
+	if err != nil {
+		return err
+	}
+	if len(rec.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// Parse reads `go test -bench` output and collects one Benchmark per result
+// line. Result lines look like
+//
+//	BenchmarkName/sub=1-8   141   2185802 ns/op   462.6 ops/s   4096 storage-bits
+//
+// i.e. a name, an iteration count, then value/unit pairs. Only ns/op and
+// ops/s are recorded; ops/s defaults to 1e9/ns-per-op when absent.
+func Parse(r io.Reader) (*Record, error) {
+	rec := &Record{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iterations, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue
+		}
+		b := Benchmark{Name: trimProcSuffix(fields[0])}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = val
+			case "ops/s":
+				b.OpsPerSec = val
+			}
+		}
+		if b.NsPerOp == 0 && b.OpsPerSec == 0 {
+			continue
+		}
+		if b.OpsPerSec == 0 {
+			b.OpsPerSec = 1e9 / b.NsPerOp
+		}
+		rec.Benchmarks = append(rec.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// trimProcSuffix drops the -GOMAXPROCS suffix go test appends to benchmark
+// names, so records from machines with different core counts stay diffable.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i <= 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Delta is the outcome of comparing one benchmark against the baseline.
+type Delta struct {
+	Name           string
+	Base, Cur      float64 // ops/s
+	Change         float64 // fractional change, +faster/-slower
+	Regressed      bool
+	MissingCurrent bool
+	NewBenchmark   bool
+}
+
+// Compare diffs current against baseline with the given tolerance.
+func Compare(base, cur *Record, tolerance float64) []Delta {
+	curByName := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curByName[b.Name] = b
+	}
+	baseNames := make(map[string]bool, len(base.Benchmarks))
+	var deltas []Delta
+	for _, bb := range base.Benchmarks {
+		baseNames[bb.Name] = true
+		cb, ok := curByName[bb.Name]
+		if !ok {
+			deltas = append(deltas, Delta{Name: bb.Name, Base: bb.OpsPerSec, MissingCurrent: true, Regressed: true})
+			continue
+		}
+		d := Delta{Name: bb.Name, Base: bb.OpsPerSec, Cur: cb.OpsPerSec}
+		if bb.OpsPerSec > 0 {
+			d.Change = (cb.OpsPerSec - bb.OpsPerSec) / bb.OpsPerSec
+			d.Regressed = cb.OpsPerSec < bb.OpsPerSec*(1-tolerance)
+		}
+		deltas = append(deltas, d)
+	}
+	for _, cb := range cur.Benchmarks {
+		if !baseNames[cb.Name] {
+			deltas = append(deltas, Delta{Name: cb.Name, Cur: cb.OpsPerSec, NewBenchmark: true})
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas
+}
+
+// runCompare loads both records, prints the diff, and returns an error when
+// any benchmark regressed beyond the tolerance.
+func runCompare(baselinePath, currentPath string, tolerance float64) error {
+	base, err := load(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	cur, err := load(currentPath)
+	if err != nil {
+		return fmt.Errorf("current: %w", err)
+	}
+	deltas := Compare(base, cur, tolerance)
+	regressions := 0
+	for _, d := range deltas {
+		switch {
+		case d.MissingCurrent:
+			fmt.Printf("MISSING  %-60s baseline %.1f ops/s, absent from current run\n", d.Name, d.Base)
+			regressions++
+		case d.NewBenchmark:
+			fmt.Printf("NEW      %-60s %.1f ops/s (no baseline)\n", d.Name, d.Cur)
+		case d.Regressed:
+			fmt.Printf("REGRESS  %-60s %.1f -> %.1f ops/s (%+.1f%%, tolerance -%.0f%%)\n",
+				d.Name, d.Base, d.Cur, 100*d.Change, 100*tolerance)
+			regressions++
+		default:
+			fmt.Printf("ok       %-60s %.1f -> %.1f ops/s (%+.1f%%)\n", d.Name, d.Base, d.Cur, 100*d.Change)
+		}
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond the %.0f%% tolerance", regressions, 100*tolerance)
+	}
+	return nil
+}
+
+// load reads a BENCH.json record.
+func load(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rec, nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: spacebounds
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkShardedLiveThroughput/shards=1/clients=8/batch=off-8         	     141	   2185802 ns/op	       462.6 ops/s
+BenchmarkShardedLiveThroughput/shards=1/clients=32/batch=on-8         	    2025	    170408 ns/op	      5870 ops/s
+BenchmarkAdaptiveStorageVsConcurrency/f=2/k=2/c=1-8                   	     100	    123456 ns/op	     98304 storage-bits
+BenchmarkReedSolomon/encode/k=2/n=6-8                                 	    5000	      3000 ns/op	 21845.33 MB/s
+PASS
+ok  	spacebounds	2.888s
+`
+
+func TestParse(t *testing.T) {
+	rec, err := Parse(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rec.Benchmarks))
+	}
+	byName := make(map[string]Benchmark)
+	for _, b := range rec.Benchmarks {
+		byName[b.Name] = b
+	}
+	off := byName["BenchmarkShardedLiveThroughput/shards=1/clients=8/batch=off"]
+	if off.OpsPerSec != 462.6 || off.NsPerOp != 2185802 {
+		t.Fatalf("batch=off parsed as %+v", off)
+	}
+	// The GOMAXPROCS suffix must be stripped so records diff across machines.
+	if _, ok := byName["BenchmarkShardedLiveThroughput/shards=1/clients=8/batch=off-8"]; ok {
+		t.Fatal("GOMAXPROCS suffix survived parsing")
+	}
+	// Benchmarks without an ops/s metric fall back to 1e9/ns-per-op.
+	storage := byName["BenchmarkAdaptiveStorageVsConcurrency/f=2/k=2/c=1"]
+	want := 1e9 / 123456
+	if diff := storage.OpsPerSec - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("derived ops/s = %v, want %v", storage.OpsPerSec, want)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := &Record{Benchmarks: []Benchmark{
+		{Name: "a", OpsPerSec: 1000},
+		{Name: "b", OpsPerSec: 1000},
+		{Name: "gone", OpsPerSec: 1000},
+	}}
+	cur := &Record{Benchmarks: []Benchmark{
+		{Name: "a", OpsPerSec: 800},  // -20%: within a 25% tolerance
+		{Name: "b", OpsPerSec: 700},  // -30%: regression
+		{Name: "new", OpsPerSec: 50}, // no baseline: reported, not failed
+	}}
+	deltas := Compare(base, cur, 0.25)
+	got := make(map[string]Delta)
+	for _, d := range deltas {
+		got[d.Name] = d
+	}
+	if got["a"].Regressed {
+		t.Fatal("a regressed although within tolerance")
+	}
+	if !got["b"].Regressed {
+		t.Fatal("b not flagged despite 30% regression")
+	}
+	if !got["gone"].Regressed || !got["gone"].MissingCurrent {
+		t.Fatal("benchmark missing from current run must fail the gate")
+	}
+	if got["new"].Regressed || !got["new"].NewBenchmark {
+		t.Fatal("new benchmark must be reported without failing")
+	}
+}

@@ -49,12 +49,20 @@ func main() {
 		f           = flag.Int("f", 2, "crash failures tolerated per shard (throughput mode)")
 		k           = flag.Int("k", 2, "erasure decode threshold per shard (throughput mode)")
 		nodeLatency = flag.Duration("node-latency", 0, "per-RMW service time of each storage node, e.g. 50us (throughput mode)")
-		seed        = flag.Int64("seed", 1, "workload seed (throughput mode)")
+		seed        = flag.Int64("seed", 1, "workload seed; fixed seeds make runs reproducible, e.g. in CI (throughput mode)")
+		batch       = flag.Int("batch", 0, "batched quorum engine: max ops per shared round and RMWs per node service period; 0 disables (throughput mode)")
+		batchDelay  = flag.Duration("batch-delay", 0, "how long an idle shard waits for a batch to fill before dispatching (throughput mode)")
+		arrivalRate = flag.Float64("arrival-rate", 0, "open-loop arrivals per second per client; 0 keeps the closed loop (throughput mode)")
 	)
 	flag.Parse()
 	var err error
 	if *throughput {
-		err = runThroughput(*shards, *clients, *ops, *keys, *skew, *reads, *valueSize, *algo, *f, *k, *nodeLatency, *seed)
+		err = runThroughput(throughputConfig{
+			shards: *shards, clients: *clients, ops: *ops, keys: *keys,
+			skew: *skew, reads: *reads, valueSize: *valueSize, algo: *algo,
+			f: *f, k: *k, nodeLatency: *nodeLatency, seed: *seed,
+			batch: *batch, batchDelay: *batchDelay, arrivalRate: *arrivalRate,
+		})
 	} else {
 		err = run(*expFlag, *list, *markdown)
 	}
@@ -64,9 +72,26 @@ func main() {
 	}
 }
 
+// throughputConfig carries the -throughput mode flags.
+type throughputConfig struct {
+	shards, clients, ops, keys int
+	skew, reads                float64
+	valueSize                  int
+	algo                       string
+	f, k                       int
+	nodeLatency                time.Duration
+	seed                       int64
+	batch                      int
+	batchDelay                 time.Duration
+	arrivalRate                float64
+}
+
 // runThroughput drives a sharded store with a keyed workload and prints
 // ops/sec, the per-shard operation distribution, and the storage breakdown.
-func runThroughput(shards, clients, ops, keys int, skew, reads float64, valueSize int, algo string, f, k int, nodeLatency time.Duration, seed int64) error {
+func runThroughput(c throughputConfig) error {
+	shards, clients, ops, keys := c.shards, c.clients, c.ops, c.keys
+	skew, reads, valueSize, algo := c.skew, c.reads, c.valueSize, c.algo
+	f, k, nodeLatency, seed := c.f, c.k, c.nodeLatency, c.seed
 	if shards < 1 {
 		return fmt.Errorf("-shards must be at least 1")
 	}
@@ -78,15 +103,29 @@ func runThroughput(shards, clients, ops, keys int, skew, reads float64, valueSiz
 		}
 		specs = append(specs, shard.Spec{Name: fmt.Sprintf("s%d", i), Algorithm: algo, Config: cfg})
 	}
+	// Mirror the facade's Options.Batch semantics: either flag enables the
+	// batched engine, MaxSize defaults to 16, and node-level coalescing
+	// rides along whenever a node service time is simulated.
+	batching := c.batch > 0 || c.batchDelay > 0
+	batchCfg := shard.BatchConfig{MaxSize: c.batch, MaxDelay: c.batchDelay}
+	if batching && batchCfg.MaxSize <= 0 {
+		batchCfg.MaxSize = 16
+	}
 	var opts []dsys.Option
 	if nodeLatency > 0 {
 		opts = append(opts, dsys.WithLiveLatency(nodeLatency))
+		if batching && batchCfg.MaxSize > 1 {
+			opts = append(opts, dsys.WithLiveBatch(batchCfg.MaxSize))
+		}
 	}
 	set, err := shard.New(specs, opts...)
 	if err != nil {
 		return err
 	}
 	defer set.Close()
+	if batching {
+		set.EnableBatching(batchCfg)
+	}
 
 	spec := workload.ShardedSpec{
 		Clients:      clients,
@@ -95,6 +134,7 @@ func runThroughput(shards, clients, ops, keys int, skew, reads float64, valueSiz
 		Keys:         keys,
 		ZipfS:        skew,
 		Seed:         seed,
+		ArrivalRate:  c.arrivalRate,
 	}
 	start := time.Now()
 	res, err := workload.RunSharded(set, spec)
@@ -106,6 +146,14 @@ func runThroughput(shards, clients, ops, keys int, skew, reads float64, valueSiz
 	total := res.CompletedWrites + res.CompletedReads
 	fmt.Printf("sharded throughput: %d shards (%s, f=%d, k=%d), %d clients × %d ops, %d keys, skew %.2f, node latency %v\n",
 		shards, algo, f, k, clients, ops, keys, skew, nodeLatency)
+	if batching {
+		st := set.BatchStats()
+		fmt.Printf("  batching: max %d, delay %v  ->  %d writes in %d rounds, %d reads in %d rounds\n",
+			batchCfg.MaxSize, batchCfg.MaxDelay, st.Writes, st.WriteRounds, st.Reads, st.ReadRounds)
+	}
+	if c.arrivalRate > 0 {
+		fmt.Printf("  open loop: %.0f arrivals/s per client\n", c.arrivalRate)
+	}
 	fmt.Printf("  completed: %d ops (%d writes, %d reads) in %v  ->  %.0f ops/s\n",
 		total, res.CompletedWrites, res.CompletedReads, elapsed.Round(time.Millisecond),
 		float64(total)/elapsed.Seconds())

@@ -211,6 +211,9 @@ func (h *ClientHandle) invokeLive(targets []int, makeRMW func(obj int) RMW, quor
 // finite-capacity storage node behaves under load.
 func (h *ClientHandle) invokeLiveLatency(targets []int, makeRMW func(obj int) RMW, quorum int) (map[int]any, error) {
 	c := h.c
+	if c.opts.liveBatch > 1 {
+		return h.invokeLiveBatched(targets, makeRMW, quorum)
+	}
 	type result struct {
 		obj  int
 		resp any
@@ -249,6 +252,42 @@ func (h *ClientHandle) invokeLiveLatency(targets []int, makeRMW func(obj int) RM
 		}
 	}
 	if len(resp) < quorum {
+		return resp, fmt.Errorf("%w: only %d of %d required responses available", ErrStuck, len(resp), quorum)
+	}
+	return resp, nil
+}
+
+// invokeLiveBatched is the coalescing variant of invokeLiveLatency (active
+// under WithLiveBatch): instead of spawning a goroutine per RMW that holds
+// the object busy for a full service period, each RMW is enqueued at its
+// object's service queue and the object's server drains up to liveBatch of
+// them per period. The quorum contract is unchanged — the round returns as
+// soon as quorum responses have arrived, and stragglers keep queueing and
+// take effect later.
+func (h *ClientHandle) invokeLiveBatched(targets []int, makeRMW func(obj int) RMW, quorum int) (map[int]any, error) {
+	c := h.c
+	ch := make(chan liveResult, len(targets))
+	dispatched := 0
+	for _, objID := range targets {
+		obj := c.objects[h.base+objID]
+		if obj.crashed.Load() {
+			continue
+		}
+		if c.enqueueLive(obj, &liveReq{rmw: makeRMW(objID), client: h.id, obj: objID, ch: ch}) {
+			dispatched++
+		}
+	}
+	resp := make(map[int]any, dispatched)
+	for received := 0; received < dispatched && len(resp) < quorum; received++ {
+		r := <-ch
+		if r.ok {
+			resp[r.obj] = r.resp
+		}
+	}
+	if len(resp) < quorum {
+		if c.liveHalted.Load() {
+			return resp, ErrHalted
+		}
 		return resp, fmt.Errorf("%w: only %d of %d required responses available", ErrStuck, len(resp), quorum)
 	}
 	return resp, nil

@@ -1,0 +1,206 @@
+package shard
+
+import (
+	"sync"
+	"time"
+
+	"spacebounds/internal/dsys"
+	"spacebounds/internal/value"
+)
+
+// BatchConfig configures per-shard group commit: concurrent Write (and Read)
+// calls that arrive while a quorum round is in flight — or within MaxDelay of
+// each other — are coalesced into one shared round.
+type BatchConfig struct {
+	// MaxSize caps the number of operations one shared round may carry
+	// (default 16).
+	MaxSize int
+	// MaxDelay is how long an idle lane waits for companions before
+	// dispatching a round that is not yet full (default 0: dispatch
+	// immediately; under load rounds fill up anyway because operations
+	// accumulate while the previous round is in flight).
+	MaxDelay time.Duration
+}
+
+// withDefaults fills zero fields.
+func (c BatchConfig) withDefaults() BatchConfig {
+	if c.MaxSize <= 0 {
+		c.MaxSize = 16
+	}
+	return c
+}
+
+// BatcherStats counts the batcher's amortization: Writes/Reads are member
+// operations completed through the batcher, WriteRounds/ReadRounds the
+// physical quorum rounds that carried them. Rounds < operations is the
+// group-commit win.
+type BatcherStats struct {
+	Writes, Reads           int
+	WriteRounds, ReadRounds int
+}
+
+// Batcher coalesces concurrent operations on one shard into shared quorum
+// rounds (group commit). Writes batch with writes and reads with reads; each
+// lane dispatches one physical round at a time, so per-shard write concurrency
+// is 1 regardless of the client count — which also keeps the shard at the
+// cheap end of the paper's min(f, c)·D storage bound.
+//
+// Batching preserves per-shard strong regularity: a round only carries
+// operations that were already pending when it was dispatched, so every
+// member's invocation-to-response interval contains the physical round, and
+// the recorded history of member operations inherits the register's
+// guarantees (an absorbed write behaves like a write immediately superseded
+// by the round's winning write, which regularity permits).
+type Batcher struct {
+	set *Set
+	sh  *Shard
+
+	cfg   BatchConfig
+	write lane
+	read  lane
+}
+
+// newBatcher builds the shard's batcher. laneClientBase is the client ID the
+// write lane uses for its physical rounds; the read lane uses the next ID.
+// Lane IDs must not collide with real client IDs (the facade allocates them
+// from a high range) so that the lanes' timestamps stay unique.
+func newBatcher(set *Set, sh *Shard, cfg BatchConfig, laneClientBase int) *Batcher {
+	b := &Batcher{set: set, sh: sh, cfg: cfg.withDefaults()}
+	b.write.client = laneClientBase
+	b.write.full = make(chan struct{}, 1)
+	b.read.client = laneClientBase + 1
+	b.read.full = make(chan struct{}, 1)
+	return b
+}
+
+// Stats returns the batcher's amortization counters.
+func (b *Batcher) Stats() BatcherStats {
+	b.write.mu.Lock()
+	w, wr := b.write.members, b.write.rounds
+	b.write.mu.Unlock()
+	b.read.mu.Lock()
+	r, rr := b.read.members, b.read.rounds
+	b.read.mu.Unlock()
+	return BatcherStats{Writes: w, Reads: r, WriteRounds: wr, ReadRounds: rr}
+}
+
+// batchResp carries a shared round's outcome to one member.
+type batchResp struct {
+	v   value.Value
+	err error
+}
+
+// batchReq is one member operation waiting for a shared round.
+type batchReq struct {
+	v    value.Value // payload for writes; unused for reads
+	done chan batchResp
+}
+
+// lane is one direction (writes or reads) of a shard's batcher.
+type lane struct {
+	mu      sync.Mutex
+	pending []*batchReq
+	running bool
+	client  int // client ID of the lane's physical rounds
+
+	// full wakes a leader idling in its MaxDelay accumulation window as soon
+	// as the pending batch reaches MaxSize (capacity 1, non-blocking sends).
+	full chan struct{}
+
+	members int // operations completed through this lane
+	rounds  int // physical rounds dispatched
+}
+
+// Write submits v for group commit and blocks until the shared round that
+// carries it completes. When several writes share a round, the round writes
+// the latest-arrived value; the earlier ones are superseded at the same
+// instant, exactly as if they had been written and immediately overwritten.
+func (b *Batcher) Write(v value.Value) error {
+	resp := b.submit(&b.write, v)
+	return resp.err
+}
+
+// Read submits a read for group commit and blocks until the shared read
+// round completes; every member of the round receives the same value.
+func (b *Batcher) Read() (value.Value, error) {
+	resp := b.submit(&b.read, value.Value{})
+	return resp.v, resp.err
+}
+
+// submit enqueues a request on the lane, electing a leader goroutine if none
+// is running, and waits for the response.
+func (b *Batcher) submit(l *lane, v value.Value) batchResp {
+	req := &batchReq{v: v, done: make(chan batchResp, 1)}
+	l.mu.Lock()
+	l.pending = append(l.pending, req)
+	if !l.running {
+		l.running = true
+		go b.runLane(l)
+	} else if len(l.pending) >= b.cfg.MaxSize {
+		select {
+		case l.full <- struct{}{}:
+		default:
+		}
+	}
+	l.mu.Unlock()
+	return <-req.done
+}
+
+// runLane is the lane's leader loop: it repeatedly takes up to MaxSize
+// pending requests, performs one physical quorum round on their behalf, and
+// answers them, exiting when the lane drains. Requests that arrive while a
+// round is in flight go into the next round — never the current one — which
+// is what keeps every member's interval containing its round.
+func (b *Batcher) runLane(l *lane) {
+	for {
+		l.mu.Lock()
+		if len(l.pending) == 0 {
+			l.running = false
+			l.mu.Unlock()
+			return
+		}
+		if b.cfg.MaxDelay > 0 && len(l.pending) < b.cfg.MaxSize {
+			// Idle-window accumulation: give companions MaxDelay to arrive,
+			// but dispatch immediately if the batch fills meanwhile.
+			l.mu.Unlock()
+			timer := time.NewTimer(b.cfg.MaxDelay)
+			select {
+			case <-l.full:
+			case <-timer.C:
+			}
+			timer.Stop()
+			l.mu.Lock()
+		}
+		n := len(l.pending)
+		if n > b.cfg.MaxSize {
+			n = b.cfg.MaxSize
+		}
+		batch := make([]*batchReq, n)
+		copy(batch, l.pending[:n])
+		l.pending = append(l.pending[:0], l.pending[n:]...)
+		l.rounds++
+		l.mu.Unlock()
+
+		var resp batchResp
+		if l == &b.write {
+			// Group commit: the round writes the latest-arrived value.
+			winner := batch[n-1].v
+			resp.err = b.set.Run(l.client, b.sh, func(h *dsys.ClientHandle) error {
+				return b.sh.Reg.Write(h, winner)
+			})
+		} else {
+			resp.err = b.set.Run(l.client, b.sh, func(h *dsys.ClientHandle) error {
+				var err error
+				resp.v, err = b.sh.Reg.Read(h)
+				return err
+			})
+		}
+
+		l.mu.Lock()
+		l.members += n
+		l.mu.Unlock()
+		for _, r := range batch {
+			r.done <- resp
+		}
+	}
+}

@@ -48,10 +48,16 @@ type Shard struct {
 
 // Set is a collection of shards multiplexed over one cluster.
 type Set struct {
-	cluster *dsys.Cluster
-	shards  []*Shard
-	byName  map[string]*Shard
+	cluster  *dsys.Cluster
+	shards   []*Shard
+	byName   map[string]*Shard
+	batchers map[string]*Batcher // non-nil entries when batching is enabled
 }
+
+// batcherClientBase is the first client ID handed to batcher lanes. Real
+// clients use small IDs; starting the lanes this high keeps the lanes'
+// timestamp client components collision-free.
+const batcherClientBase = 1 << 30
 
 // New builds the registers named by specs, concatenates their initial base
 // object states into one cluster, and returns the shard set. The cluster
@@ -120,17 +126,52 @@ func (s *Set) Run(client int, sh *Shard, fn func(h *dsys.ClientHandle) error) er
 	return s.cluster.RunScoped(client, sh.Base, sh.Span, fn)
 }
 
-// Write performs a register write of v on the shard routed by key.
-func (s *Set) Write(client int, key string, v value.Value) error {
-	sh := s.ForKey(key)
+// EnableBatching installs a group-commit Batcher on every shard: from then
+// on, concurrent Write/Read calls on a shard coalesce into shared quorum
+// rounds. It must be called before the set serves operations (it is not safe
+// to call concurrently with Write or Read).
+func (s *Set) EnableBatching(cfg BatchConfig) {
+	s.batchers = make(map[string]*Batcher, len(s.shards))
+	for i, sh := range s.shards {
+		s.batchers[sh.Name] = newBatcher(s, sh, cfg, batcherClientBase+2*i)
+	}
+}
+
+// Batcher returns the named shard's batcher, or nil when batching is off.
+func (s *Set) Batcher(name string) *Batcher { return s.batchers[name] }
+
+// BatchStats sums the batcher counters across all shards; zero when batching
+// is disabled.
+func (s *Set) BatchStats() BatcherStats {
+	var total BatcherStats
+	for _, b := range s.batchers {
+		st := b.Stats()
+		total.Writes += st.Writes
+		total.Reads += st.Reads
+		total.WriteRounds += st.WriteRounds
+		total.ReadRounds += st.ReadRounds
+	}
+	return total
+}
+
+// WriteValue performs a register write of v on the given shard, through the
+// shard's batcher when batching is enabled (the physical round then runs
+// under the batcher lane's client ID rather than the caller's).
+func (s *Set) WriteValue(client int, sh *Shard, v value.Value) error {
+	if b := s.batchers[sh.Name]; b != nil {
+		return b.Write(v)
+	}
 	return s.Run(client, sh, func(h *dsys.ClientHandle) error {
 		return sh.Reg.Write(h, v)
 	})
 }
 
-// Read performs a register read on the shard routed by key.
-func (s *Set) Read(client int, key string) (value.Value, error) {
-	sh := s.ForKey(key)
+// ReadValue performs a register read on the given shard, through the shard's
+// batcher when batching is enabled.
+func (s *Set) ReadValue(client int, sh *Shard) (value.Value, error) {
+	if b := s.batchers[sh.Name]; b != nil {
+		return b.Read()
+	}
 	var got value.Value
 	err := s.Run(client, sh, func(h *dsys.ClientHandle) error {
 		var err error
@@ -138,6 +179,16 @@ func (s *Set) Read(client int, key string) (value.Value, error) {
 		return err
 	})
 	return got, err
+}
+
+// Write performs a register write of v on the shard routed by key.
+func (s *Set) Write(client int, key string, v value.Value) error {
+	return s.WriteValue(client, s.ForKey(key), v)
+}
+
+// Read performs a register read on the shard routed by key.
+func (s *Set) Read(client int, key string) (value.Value, error) {
+	return s.ReadValue(client, s.ForKey(key))
 }
 
 // CrashNode crashes the shard-local base object node of the named shard.

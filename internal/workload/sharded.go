@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"spacebounds/internal/history"
 	"spacebounds/internal/shard"
@@ -36,6 +37,15 @@ type ShardedSpec struct {
 	// RecordHistory records one operation history per shard and enables
 	// CheckRegularity on the result.
 	RecordHistory bool
+	// ArrivalRate, when positive, switches every client from a closed loop
+	// (issue, wait, issue) to an open loop: operations are dispatched at the
+	// given rate in operations per second per client, without waiting for
+	// earlier operations to finish. Each in-flight operation runs under its
+	// own virtual client ID, so concurrent writes never share a timestamp
+	// client component. Open-loop arrivals are what pile concurrent
+	// operations onto a shard and give the batched quorum engine something
+	// to coalesce.
+	ArrivalRate float64
 }
 
 // Validate checks the spec and fills defaults.
@@ -45,6 +55,9 @@ func (s ShardedSpec) Validate() (ShardedSpec, error) {
 	}
 	if s.ReadFraction < 0 || s.ReadFraction > 1 {
 		return s, fmt.Errorf("workload: read fraction %v outside [0,1]", s.ReadFraction)
+	}
+	if s.ArrivalRate < 0 {
+		return s, fmt.Errorf("workload: negative arrival rate %v", s.ArrivalRate)
 	}
 	if s.Keys == 0 {
 		s.Keys = 16
@@ -95,6 +108,59 @@ func (r *ShardedResult) CheckRegularity() error {
 // KeyName returns the i-th key of the sharded workload's keyspace.
 func KeyName(i int) string { return fmt.Sprintf("key-%d", i) }
 
+// tally accumulates one logical client's results. Open-loop clients complete
+// operations from many goroutines, so updates are mutex-guarded.
+type tally struct {
+	mu                          sync.Mutex
+	writes, reads, werrs, rerrs int
+	perShard                    map[string]int
+}
+
+// runShardedOp performs one read or write against the set and records it in
+// the history recorder and the tally. Writes derive a globally unique value
+// from (client, seq).
+func runShardedOp(set *shard.Set, rec *history.Recorder, t *tally, client int, sh *shard.Shard, key string, isRead bool, seq int) {
+	if isRead {
+		var hop *history.Op
+		if rec != nil {
+			hop = rec.BeginRead(client)
+		}
+		v, err := set.Read(client, key)
+		if err != nil {
+			t.mu.Lock()
+			t.rerrs++
+			t.mu.Unlock()
+			return
+		}
+		if rec != nil {
+			rec.EndRead(hop, v)
+		}
+		t.mu.Lock()
+		t.reads++
+		t.perShard[sh.Name]++
+		t.mu.Unlock()
+		return
+	}
+	v := value.Sequenced(client, seq, sh.Reg.Config().DataLen)
+	var hop *history.Op
+	if rec != nil {
+		hop = rec.BeginWrite(client, v)
+	}
+	if err := set.Write(client, key, v); err != nil {
+		t.mu.Lock()
+		t.werrs++
+		t.mu.Unlock()
+		return
+	}
+	if rec != nil {
+		rec.EndWrite(hop)
+	}
+	t.mu.Lock()
+	t.writes++
+	t.perShard[sh.Name]++
+	t.mu.Unlock()
+}
+
 // RunSharded executes the workload against the shard set on its live path:
 // every client runs in its own goroutine and operations on different shards
 // proceed without shared locks. Client IDs start at 1.
@@ -110,10 +176,6 @@ func RunSharded(set *shard.Set, spec ShardedSpec) (*ShardedResult, error) {
 		}
 	}
 
-	type tally struct {
-		writes, reads, werrs, rerrs int
-		perShard                    map[string]int
-	}
 	tallies := make([]tally, spec.Clients)
 	var wg sync.WaitGroup
 	for cl := 1; cl <= spec.Clients; cl++ {
@@ -128,6 +190,12 @@ func RunSharded(set *shard.Set, spec ShardedSpec) (*ShardedResult, error) {
 			if spec.ZipfS > 1 && spec.Keys > 1 {
 				zipf = rand.NewZipf(rng, spec.ZipfS, 1, uint64(spec.Keys-1))
 			}
+			var interval time.Duration
+			if spec.ArrivalRate > 0 {
+				interval = time.Duration(float64(time.Second) / spec.ArrivalRate)
+			}
+			var inflight sync.WaitGroup
+			next := time.Now()
 			seq := 0
 			for op := 0; op < spec.OpsPerClient; op++ {
 				var idx int
@@ -139,38 +207,30 @@ func RunSharded(set *shard.Set, spec ShardedSpec) (*ShardedResult, error) {
 				key := KeyName(idx)
 				sh := set.ForKey(key)
 				rec := recorders[sh.Name]
-				if rng.Float64() < spec.ReadFraction {
-					var hop *history.Op
-					if rec != nil {
-						hop = rec.BeginRead(cl)
-					}
-					v, err := set.Read(cl, key)
-					if err != nil {
-						t.rerrs++
-						continue
-					}
-					if rec != nil {
-						rec.EndRead(hop, v)
-					}
-					t.reads++
-				} else {
+				isRead := rng.Float64() < spec.ReadFraction
+				if spec.ArrivalRate <= 0 {
+					// Closed loop: issue, wait, issue.
 					seq++
-					v := value.Sequenced(cl, seq, sh.Reg.Config().DataLen)
-					var hop *history.Op
-					if rec != nil {
-						hop = rec.BeginWrite(cl, v)
-					}
-					if err := set.Write(cl, key, v); err != nil {
-						t.werrs++
-						continue
-					}
-					if rec != nil {
-						rec.EndWrite(hop)
-					}
-					t.writes++
+					runShardedOp(set, rec, t, cl, sh, key, isRead, seq)
+					continue
 				}
-				t.perShard[sh.Name]++
+				// Open loop: dispatch on the arrival schedule without waiting
+				// for completion. Every in-flight operation runs under its own
+				// virtual client ID (the (cl, op) pair flattened), keeping
+				// write timestamps collision-free even though one logical
+				// client now has many outstanding operations.
+				vclient := cl*spec.OpsPerClient + op
+				inflight.Add(1)
+				go func() {
+					defer inflight.Done()
+					runShardedOp(set, rec, t, vclient, sh, key, isRead, 1)
+				}()
+				next = next.Add(interval)
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
 			}
+			inflight.Wait()
 		}()
 	}
 	wg.Wait()

@@ -3,13 +3,36 @@ package workload_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
+	"spacebounds/internal/dsys"
 	"spacebounds/internal/register"
 	_ "spacebounds/internal/register/abd"
 	_ "spacebounds/internal/register/adaptive"
 	"spacebounds/internal/shard"
 	"spacebounds/internal/workload"
 )
+
+// newBatchedSet builds a shard set on the batched quorum engine: node-level
+// RMW coalescing under a small service latency plus per-shard group commit.
+func newBatchedSet(t *testing.T, shards int) *shard.Set {
+	t.Helper()
+	specs := make([]shard.Spec, 0, shards)
+	for i := 0; i < shards; i++ {
+		specs = append(specs, shard.Spec{
+			Name:      fmt.Sprintf("s%d", i),
+			Algorithm: "adaptive",
+			Config:    register.Config{F: 1, K: 2, DataLen: 64},
+		})
+	}
+	set, err := shard.New(specs, dsys.WithLiveLatency(50*time.Microsecond), dsys.WithLiveBatch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.EnableBatching(shard.BatchConfig{MaxSize: 8})
+	t.Cleanup(set.Close)
+	return set
+}
 
 func newSet(t *testing.T, shards int) *shard.Set {
 	t.Helper()
@@ -68,6 +91,77 @@ func TestRunShardedRegularity(t *testing.T) {
 	}
 	if err := res.CheckRegularity(); err != nil {
 		t.Fatalf("per-shard regularity violated: %v", err)
+	}
+}
+
+// TestRunShardedBatchedRegularity is the batched-engine acceptance check:
+// group commit plus node-level coalescing must still produce strongly
+// regular per-shard histories, both under a closed loop and under open-loop
+// arrivals that pile up concurrent operations per shard.
+func TestRunShardedBatchedRegularity(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec workload.ShardedSpec
+	}{
+		{"closed-loop", workload.ShardedSpec{
+			Clients: 6, OpsPerClient: 20, ReadFraction: 0.4, Keys: 12, Seed: 7, RecordHistory: true,
+		}},
+		{"open-loop", workload.ShardedSpec{
+			Clients: 4, OpsPerClient: 25, ReadFraction: 0.4, Keys: 12, Seed: 11,
+			RecordHistory: true, ArrivalRate: 4000,
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			set := newBatchedSet(t, 4)
+			res, err := workload.RunSharded(set, tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.WriteErrors != 0 || res.ReadErrors != 0 {
+				t.Fatalf("errors: %d write, %d read", res.WriteErrors, res.ReadErrors)
+			}
+			want := tc.spec.Clients * tc.spec.OpsPerClient
+			if got := res.CompletedWrites + res.CompletedReads; got != want {
+				t.Fatalf("completed %d ops, want %d", got, want)
+			}
+			if err := res.CheckRegularity(); err != nil {
+				t.Fatalf("per-shard regularity violated under batching: %v", err)
+			}
+			stats := set.BatchStats()
+			if stats.Writes+stats.Reads != want {
+				t.Fatalf("batcher carried %d ops, want %d", stats.Writes+stats.Reads, want)
+			}
+			if stats.WriteRounds >= stats.Writes {
+				t.Logf("note: no write coalescing this run (%d rounds for %d writes)", stats.WriteRounds, stats.Writes)
+			}
+		})
+	}
+}
+
+// TestRunShardedOpenLoopUniqueValues checks the open-loop dispatcher hands
+// every in-flight operation its own virtual client so written values stay
+// globally distinct (a collision would show up as a regularity violation or
+// a duplicated value in the history).
+func TestRunShardedOpenLoopUniqueValues(t *testing.T) {
+	set := newSet(t, 2)
+	res, err := workload.RunSharded(set, workload.ShardedSpec{
+		Clients: 3, OpsPerClient: 30, Keys: 8, Seed: 5, RecordHistory: true, ArrivalRate: 10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]string)
+	for name, h := range res.Histories {
+		for _, op := range h.Writes() {
+			fp := op.Value.Fingerprint()
+			if prev, dup := seen[fp]; dup {
+				t.Fatalf("written value duplicated across %s and %s", prev, name)
+			}
+			seen[fp] = name
+		}
+	}
+	if err := res.CheckRegularity(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestStoreDefaults(t *testing.T) {
@@ -227,5 +228,117 @@ func TestStoreConcurrentClients(t *testing.T) {
 	cfgWant := s.Nodes() * 8 * (128 / 2)
 	if got := s.StorageBits(); got != cfgWant {
 		t.Fatalf("quiescent storage = %d bits, want %d", got, cfgWant)
+	}
+}
+
+// TestStoreBatchedWriteRead round-trips values through a store running the
+// full batched quorum engine: group commit on every shard plus node-level
+// RMW coalescing under the finite-capacity node model.
+func TestStoreBatchedWriteRead(t *testing.T) {
+	store, err := Open(Options{
+		Algorithm: Adaptive, F: 1, K: 2, ValueSize: 64,
+		Shards:      []ShardSpec{{Name: "a"}, {Name: "b"}},
+		NodeLatency: 100 * time.Microsecond,
+		Batch:       BatchOptions{MaxSize: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	const clients = 12
+	var wg sync.WaitGroup
+	for cl := 1; cl <= clients; cl++ {
+		cl := cl
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := fmt.Sprintf("key-%d", cl%4)
+			if err := store.WriteKey(cl, key, []byte(fmt.Sprintf("v%d", cl))); err != nil {
+				t.Errorf("client %d write: %v", cl, err)
+				return
+			}
+			if _, err := store.ReadKey(cl, key); err != nil {
+				t.Errorf("client %d read: %v", cl, err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// A fresh read on each shard must decode cleanly after the batched load.
+	for _, name := range store.Shards() {
+		if _, err := store.ReadKey(100, name); err != nil {
+			t.Fatalf("post-load read on shard %s: %v", name, err)
+		}
+	}
+}
+
+// TestStorageBreakdownExactUnderBatchedLoad pins the Definition 2 accounting
+// under the batched engine: at every sample the aggregate base-object bits
+// equal the sum of the per-shard attributions — while a batched workload is
+// in flight, not just at quiescence.
+func TestStorageBreakdownExactUnderBatchedLoad(t *testing.T) {
+	store, err := Open(Options{
+		Algorithm: Adaptive, F: 1, K: 2, ValueSize: 256,
+		Shards:      []ShardSpec{{Name: "a"}, {Name: "b"}, {Name: "c"}},
+		NodeLatency: 200 * time.Microsecond,
+		Batch:       BatchOptions{MaxSize: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for cl := 1; cl <= 8; cl++ {
+		cl := cl
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload := make([]byte, 256)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				payload[0] = byte(i)
+				key := fmt.Sprintf("key-%d", (cl+i)%6)
+				if err := store.WriteKey(cl, key, payload); err != nil {
+					t.Errorf("client %d: %v", cl, err)
+					return
+				}
+			}
+		}()
+	}
+
+	for sample := 0; sample < 25; sample++ {
+		total, perShard := store.StorageBreakdown()
+		sum := 0
+		for _, bits := range perShard {
+			sum += bits
+		}
+		if sum != total {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("sample %d: per-shard bits sum to %d, aggregate says %d", sample, sum, total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	// At quiescence the one-call accessors must agree with the breakdown too.
+	total, perShard := store.StorageBreakdown()
+	sum := 0
+	for name, bits := range perShard {
+		if got := store.ShardStorageBits(name); got != bits {
+			t.Fatalf("ShardStorageBits(%s) = %d, breakdown says %d", name, got, bits)
+		}
+		sum += bits
+	}
+	if got := store.StorageBits(); got != total || sum != total {
+		t.Fatalf("quiescent StorageBits = %d, breakdown total %d, per-shard sum %d", got, total, sum)
 	}
 }
