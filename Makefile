@@ -5,9 +5,14 @@ GO ?= go
 BENCH_GATE ?= BenchmarkShardedLiveThroughput
 BENCH_TIME ?= 300ms
 # Minimum total test coverage (percent) enforced by `make cover`.
-COVER_FLOOR ?= 70
+COVER_FLOOR ?= 75
+# Seeds per configuration for the simulator sweeps (sim-smoke runs fewer).
+SIM_SEEDS ?= 500
+SIM_SMOKE_SEEDS ?= 50
+# Fuzzing budget for the checker fuzz smoke.
+FUZZ_TIME ?= 20s
 
-.PHONY: build test race bench bench-json bench-check cover fmt-check examples
+.PHONY: build test race bench bench-json bench-check cover fmt-check examples sim-smoke sim-soak fuzz-smoke
 
 # Compile everything and run static checks.
 build:
@@ -51,6 +56,21 @@ fmt-check:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# Quick deterministic fault-schedule sweep (PR CI): every provider ×
+# concurrent/sequential/mixed configuration, plus the live batched churn
+# smoke. Fails with a replayable report in sim-failures.txt.
+sim-smoke:
+	$(GO) run ./cmd/spacebench -sim -seeds $(SIM_SMOKE_SEEDS) -sim-out sim-failures.txt
+
+# Nightly soak: the same sweep at full depth.
+sim-soak:
+	$(GO) run ./cmd/spacebench -sim -seeds $(SIM_SEEDS) -sim-out sim-failures.txt
+
+# Short coverage-guided fuzz of the history checkers (consistency-condition
+# hierarchy and checker determinism).
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzCheckers -fuzztime=$(FUZZ_TIME) ./internal/history
 
 # Run every example end-to-end with a tiny step budget.
 examples:

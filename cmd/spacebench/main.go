@@ -1,7 +1,10 @@
 // Command spacebench runs the experiment suite that regenerates the paper's
 // analytic results (see DESIGN.md E1-E8) and prints each result as a table,
 // or — with -throughput — drives a sharded multi-register store with a keyed,
-// optionally Zipf-skewed workload and reports ops/sec.
+// optionally Zipf-skewed workload and reports ops/sec, or — with -sim —
+// explores seeded adversarial fault schedules against every register
+// provider with the deterministic simulator and checks the recorded
+// histories against the paper's consistency conditions.
 //
 // Usage:
 //
@@ -10,11 +13,13 @@
 //	spacebench -list           # list experiments
 //	spacebench -markdown       # emit GitHub-flavoured markdown tables
 //	spacebench -throughput -shards 8 -skew 1.2 -clients 8 -ops 2000
+//	spacebench -sim -seeds 500 -sim-out sim-failures.txt
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -28,67 +33,307 @@ import (
 	_ "spacebounds/internal/register/ecreg"
 	_ "spacebounds/internal/register/safereg"
 	"spacebounds/internal/shard"
+	"spacebounds/internal/sim"
 	"spacebounds/internal/workload"
 )
 
-func main() {
-	var (
-		expFlag  = flag.String("exp", "", "comma-separated experiment IDs to run (default: all)")
-		list     = flag.Bool("list", false, "list available experiments and exit")
-		markdown = flag.Bool("markdown", false, "emit markdown tables instead of plain text")
+// cliConfig carries every parsed flag; it exists so that flag parsing and
+// command dispatch are unit-testable without a process boundary.
+type cliConfig struct {
+	// Experiment mode.
+	exp      string
+	list     bool
+	markdown bool
 
-		throughput  = flag.Bool("throughput", false, "run the sharded live-throughput workload instead of the experiments")
-		shards      = flag.Int("shards", 8, "number of register shards (throughput mode)")
-		skew        = flag.Float64("skew", 0, "Zipf key-skew exponent; > 1 skews, otherwise uniform (throughput mode)")
-		clients     = flag.Int("clients", 8, "concurrent clients (throughput mode)")
-		ops         = flag.Int("ops", 2000, "operations per client (throughput mode)")
-		keys        = flag.Int("keys", 64, "distinct keys (throughput mode)")
-		reads       = flag.Float64("reads", 0.1, "fraction of operations that are reads (throughput mode)")
-		valueSize   = flag.Int("valuesize", 1024, "value size in bytes (throughput mode)")
-		algo        = flag.String("algo", "adaptive", "register provider per shard: adaptive, abd, ecreg, safereg (throughput mode)")
-		f           = flag.Int("f", 2, "crash failures tolerated per shard (throughput mode)")
-		k           = flag.Int("k", 2, "erasure decode threshold per shard (throughput mode)")
-		nodeLatency = flag.Duration("node-latency", 0, "per-RMW service time of each storage node, e.g. 50us (throughput mode)")
-		seed        = flag.Int64("seed", 1, "workload seed; fixed seeds make runs reproducible, e.g. in CI (throughput mode)")
-		batch       = flag.Int("batch", 0, "batched quorum engine: max ops per shared round and RMWs per node service period; 0 disables (throughput mode)")
-		batchDelay  = flag.Duration("batch-delay", 0, "how long an idle shard waits for a batch to fill before dispatching (throughput mode)")
-		arrivalRate = flag.Float64("arrival-rate", 0, "open-loop arrivals per second per client; 0 keeps the closed loop (throughput mode)")
-	)
-	flag.Parse()
-	var err error
-	if *throughput {
-		err = runThroughput(throughputConfig{
-			shards: *shards, clients: *clients, ops: *ops, keys: *keys,
-			skew: *skew, reads: *reads, valueSize: *valueSize, algo: *algo,
-			f: *f, k: *k, nodeLatency: *nodeLatency, seed: *seed,
-			batch: *batch, batchDelay: *batchDelay, arrivalRate: *arrivalRate,
-		})
-	} else {
-		err = run(*expFlag, *list, *markdown)
+	// Throughput mode.
+	throughput  bool
+	shards      int
+	skew        float64
+	clients     int
+	ops         int
+	keys        int
+	reads       float64
+	valueSize   int
+	algo        string
+	f           int
+	k           int
+	nodeLatency time.Duration
+	seed        int64
+	batch       int
+	batchDelay  time.Duration
+	arrivalRate float64
+
+	// Simulation mode.
+	sim          bool
+	seeds        int
+	simProviders string
+	simShards    int
+	simClients   int
+	simOps       int
+	simLive      bool
+	simOut       string
+}
+
+// parseArgs parses command-line arguments. Usage and error text go to
+// errOut.
+func parseArgs(args []string, errOut io.Writer) (*cliConfig, error) {
+	c := &cliConfig{}
+	fs := flag.NewFlagSet("spacebench", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+
+	fs.StringVar(&c.exp, "exp", "", "comma-separated experiment IDs to run (default: all)")
+	fs.BoolVar(&c.list, "list", false, "list available experiments and exit")
+	fs.BoolVar(&c.markdown, "markdown", false, "emit markdown tables instead of plain text")
+
+	fs.BoolVar(&c.throughput, "throughput", false, "run the sharded live-throughput workload instead of the experiments")
+	fs.IntVar(&c.shards, "shards", 8, "number of register shards (throughput mode)")
+	fs.Float64Var(&c.skew, "skew", 0, "Zipf key-skew exponent; > 1 skews, otherwise uniform (throughput mode)")
+	fs.IntVar(&c.clients, "clients", 8, "concurrent clients (throughput mode)")
+	fs.IntVar(&c.ops, "ops", 2000, "operations per client (throughput mode)")
+	fs.IntVar(&c.keys, "keys", 64, "distinct keys (throughput mode)")
+	fs.Float64Var(&c.reads, "reads", 0.1, "fraction of operations that are reads (throughput mode)")
+	fs.IntVar(&c.valueSize, "valuesize", 1024, "value size in bytes (throughput mode)")
+	fs.StringVar(&c.algo, "algo", "adaptive", "register provider per shard: adaptive, abd, ecreg, safereg (throughput mode)")
+	fs.IntVar(&c.f, "f", 2, "crash failures tolerated per shard (throughput mode)")
+	fs.IntVar(&c.k, "k", 2, "erasure decode threshold per shard (throughput mode)")
+	fs.DurationVar(&c.nodeLatency, "node-latency", 0, "per-RMW service time of each storage node, e.g. 50us (throughput mode)")
+	fs.Int64Var(&c.seed, "seed", 1, "workload seed / first simulation seed; fixed seeds make runs reproducible, e.g. in CI")
+	fs.IntVar(&c.batch, "batch", 0, "batched quorum engine: max ops per shared round and RMWs per node service period; 0 disables (throughput mode)")
+	fs.DurationVar(&c.batchDelay, "batch-delay", 0, "how long an idle shard waits for a batch to fill before dispatching (throughput mode)")
+	fs.Float64Var(&c.arrivalRate, "arrival-rate", 0, "open-loop arrivals per second per client; 0 keeps the closed loop (throughput mode)")
+
+	fs.BoolVar(&c.sim, "sim", false, "explore seeded adversarial fault schedules with the deterministic simulator")
+	fs.IntVar(&c.seeds, "seeds", 50, "number of seeds per simulated configuration (sim mode)")
+	fs.StringVar(&c.simProviders, "sim-providers", strings.Join(sim.DefaultProviders, ","),
+		"comma-separated register providers to simulate (sim mode)")
+	fs.IntVar(&c.simShards, "sim-shards", 2, "shards per provider configuration (sim mode)")
+	fs.IntVar(&c.simClients, "sim-clients", 3, "clients per shard (sim mode)")
+	fs.IntVar(&c.simOps, "sim-ops", 4, "operations per client (sim mode)")
+	fs.BoolVar(&c.simLive, "sim-live", true, "also smoke the live batched engine under crash/restart churn per provider (sim mode)")
+	fs.StringVar(&c.simOut, "sim-out", "", "write the failure report (seeds, shrunken histories) to this file (sim mode)")
+
+	if err := fs.Parse(args); err != nil {
+		return nil, err
 	}
+	if len(fs.Args()) > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return c, nil
+}
+
+// execute dispatches the parsed configuration. Normal output goes to out.
+func (c *cliConfig) execute(out io.Writer) error {
+	switch {
+	case c.sim:
+		return runSim(c, out)
+	case c.throughput:
+		return runThroughput(c, out)
+	default:
+		return runExperiments(c, out)
+	}
+}
+
+func main() {
+	cfg, err := parseArgs(os.Args[1:], os.Stderr)
 	if err != nil {
+		if err == flag.ErrHelp {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "spacebench: %v\n", err)
+		os.Exit(2)
+	}
+	if err := cfg.execute(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "spacebench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-// throughputConfig carries the -throughput mode flags.
-type throughputConfig struct {
-	shards, clients, ops, keys int
-	skew, reads                float64
-	valueSize                  int
-	algo                       string
-	f, k                       int
-	nodeLatency                time.Duration
-	seed                       int64
-	batch                      int
-	batchDelay                 time.Duration
-	arrivalRate                float64
+// simConfiguration is one named entry of the exploration sweep.
+type simConfiguration struct {
+	name string
+	cfg  sim.Config
+}
+
+// simSweep builds the configuration matrix: every provider × the requested
+// shard count with concurrent clients, a mixed-provider configuration, and a
+// sequential (single-client) configuration per provider that additionally
+// checks linearizability — sequential operations make regularity and
+// atomicity coincide, so the Wing&Gong checker is sound there.
+func simSweep(providers []string, shards, clients, ops int) []simConfiguration {
+	var out []simConfiguration
+	for _, p := range providers {
+		plans := make([]sim.ShardPlan, shards)
+		for i := range plans {
+			plans[i] = sim.ShardPlan{Provider: p}
+		}
+		out = append(out, simConfiguration{
+			name: fmt.Sprintf("%s x%d", p, shards),
+			cfg:  sim.Config{Shards: plans, Clients: clients, OpsPerClient: ops},
+		})
+		out = append(out, simConfiguration{
+			name: fmt.Sprintf("%s sequential", p),
+			cfg: sim.Config{
+				Shards:            []sim.ShardPlan{{Provider: p}},
+				Clients:           1,
+				OpsPerClient:      ops + 2,
+				CheckLinearizable: true,
+			},
+		})
+	}
+	if len(providers) > 1 {
+		plans := make([]sim.ShardPlan, len(providers))
+		for i, p := range providers {
+			plans[i] = sim.ShardPlan{Provider: p}
+		}
+		out = append(out, simConfiguration{
+			name: "mixed providers",
+			cfg:  sim.Config{Shards: plans, Clients: clients, OpsPerClient: ops},
+		})
+	}
+	return out
+}
+
+// runSim sweeps the configuration matrix over the seed range, prints one
+// verdict line per configuration, and fails (after writing the replayable
+// failure report) if any seed violated its consistency condition.
+func runSim(c *cliConfig, out io.Writer) error {
+	if c.seeds < 1 {
+		return fmt.Errorf("-seeds must be at least 1")
+	}
+	providers := strings.Split(c.simProviders, ",")
+	for i := range providers {
+		providers[i] = strings.TrimSpace(providers[i])
+	}
+	sweep := simSweep(providers, c.simShards, c.simClients, c.simOps)
+	var failures []*sim.Result
+	for _, sc := range sweep {
+		fails, err := sim.Explore(sc.cfg, c.seed, c.seeds)
+		if err != nil {
+			return fmt.Errorf("configuration %q: %w", sc.name, err)
+		}
+		verdict := "ok"
+		if len(fails) > 0 {
+			verdict = fmt.Sprintf("%d FAILING SEEDS", len(fails))
+		}
+		fmt.Fprintf(out, "sim %-22s seeds %d..%d: %s\n", sc.name, c.seed, c.seed+int64(c.seeds)-1, verdict)
+		failures = append(failures, fails...)
+	}
+	// The live smoke runs after the controlled sweep but must not preempt its
+	// failure report: a nightly red that loses the shrunken schedules would
+	// defeat the soak's purpose.
+	var liveErr error
+	if c.simLive {
+		for _, p := range providers {
+			if err := runSimLive(c, out, p); err != nil {
+				fmt.Fprintf(out, "%v\n", err)
+				if liveErr == nil {
+					liveErr = err
+				}
+			}
+		}
+	}
+	fmt.Fprintf(out, "sim: swept %d configurations x %d seeds, %d failing seeds\n",
+		len(sweep), c.seeds, len(failures))
+	if len(failures) == 0 {
+		return liveErr
+	}
+	report := &strings.Builder{}
+	for _, f := range failures {
+		report.WriteString(sim.FormatFailure(f))
+		fmt.Fprintf(report, "replay: spacebench -sim -seeds 1 -seed %d\n\n", f.Seed)
+	}
+	if c.simOut != "" {
+		if err := os.WriteFile(c.simOut, []byte(report.String()), 0o644); err != nil {
+			return fmt.Errorf("writing failure report: %w", err)
+		}
+		fmt.Fprintf(out, "failure report written to %s\n", c.simOut)
+	}
+	fmt.Fprint(out, report.String())
+	return fmt.Errorf("%d seeds violated their consistency condition", len(failures))
+}
+
+// runSimLive smokes the live batched engine for one provider: an open-loop
+// batched workload with history recording while nodes crash and restart
+// within the per-shard budget, checked for strong regularity (strong safety
+// is all the safe register promises, and live histories routinely violate
+// regularity there, so safereg is exercised without the regularity check).
+func runSimLive(c *cliConfig, out io.Writer, provider string) error {
+	const (
+		shardCount = 2
+		f, k       = 1, 2
+	)
+	specs := make([]shard.Spec, shardCount)
+	for i := range specs {
+		kk := k
+		if provider == "abd" {
+			kk = 1
+		}
+		specs[i] = shard.Spec{
+			Name:      fmt.Sprintf("s%d", i),
+			Algorithm: provider,
+			Config:    register.Config{F: f, K: kk, DataLen: 32},
+		}
+	}
+	set, err := shard.New(specs, dsys.WithLiveLatency(20*time.Microsecond), dsys.WithLiveBatch(8))
+	if err != nil {
+		return fmt.Errorf("live smoke %s: %w", provider, err)
+	}
+	defer set.Close()
+	set.EnableBatching(shard.BatchConfig{MaxSize: 8})
+
+	// Crash/restart churn: one node per shard cycles down and back up.
+	stop := make(chan struct{})
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		cluster := set.Cluster()
+		node := 0
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			sh := set.Shards()[node%shardCount]
+			id := sh.Base + node%sh.Span
+			_ = cluster.CrashObject(id)
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			_ = cluster.RestartObject(id)
+			node++
+		}
+	}()
+
+	res, err := workload.RunSharded(set, workload.ShardedSpec{
+		Clients:       4,
+		OpsPerClient:  50,
+		ReadFraction:  0.3,
+		Keys:          8,
+		Seed:          c.seed,
+		RecordHistory: true,
+	})
+	close(stop)
+	<-churnDone
+	if err != nil {
+		return fmt.Errorf("live smoke %s: %w", provider, err)
+	}
+	checked := "strong regularity ok"
+	if provider == "safereg" {
+		checked = "unchecked (safe register)"
+	} else if err := res.CheckRegularity(); err != nil {
+		return fmt.Errorf("live smoke %s: %w", provider, err)
+	}
+	fmt.Fprintf(out, "sim live %-14s %d ops (%d errors under churn): %s\n", provider,
+		res.CompletedWrites+res.CompletedReads, res.WriteErrors+res.ReadErrors, checked)
+	return nil
 }
 
 // runThroughput drives a sharded store with a keyed workload and prints
 // ops/sec, the per-shard operation distribution, and the storage breakdown.
-func runThroughput(c throughputConfig) error {
+func runThroughput(c *cliConfig, out io.Writer) error {
 	shards, clients, ops, keys := c.shards, c.clients, c.ops, c.keys
 	skew, reads, valueSize, algo := c.skew, c.reads, c.valueSize, c.algo
 	f, k, nodeLatency, seed := c.f, c.k, c.nodeLatency, c.seed
@@ -144,47 +389,47 @@ func runThroughput(c throughputConfig) error {
 	elapsed := time.Since(start)
 
 	total := res.CompletedWrites + res.CompletedReads
-	fmt.Printf("sharded throughput: %d shards (%s, f=%d, k=%d), %d clients × %d ops, %d keys, skew %.2f, node latency %v\n",
+	fmt.Fprintf(out, "sharded throughput: %d shards (%s, f=%d, k=%d), %d clients × %d ops, %d keys, skew %.2f, node latency %v\n",
 		shards, algo, f, k, clients, ops, keys, skew, nodeLatency)
 	if batching {
 		st := set.BatchStats()
-		fmt.Printf("  batching: max %d, delay %v  ->  %d writes in %d rounds, %d reads in %d rounds\n",
+		fmt.Fprintf(out, "  batching: max %d, delay %v  ->  %d writes in %d rounds, %d reads in %d rounds\n",
 			batchCfg.MaxSize, batchCfg.MaxDelay, st.Writes, st.WriteRounds, st.Reads, st.ReadRounds)
 	}
 	if c.arrivalRate > 0 {
-		fmt.Printf("  open loop: %.0f arrivals/s per client\n", c.arrivalRate)
+		fmt.Fprintf(out, "  open loop: %.0f arrivals/s per client\n", c.arrivalRate)
 	}
-	fmt.Printf("  completed: %d ops (%d writes, %d reads) in %v  ->  %.0f ops/s\n",
+	fmt.Fprintf(out, "  completed: %d ops (%d writes, %d reads) in %v  ->  %.0f ops/s\n",
 		total, res.CompletedWrites, res.CompletedReads, elapsed.Round(time.Millisecond),
 		float64(total)/elapsed.Seconds())
 	if res.WriteErrors+res.ReadErrors > 0 {
-		fmt.Printf("  errors: %d writes, %d reads\n", res.WriteErrors, res.ReadErrors)
+		fmt.Fprintf(out, "  errors: %d writes, %d reads\n", res.WriteErrors, res.ReadErrors)
 	}
 	names := make([]string, 0, len(res.PerShardOps))
 	for name := range res.PerShardOps {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fmt.Println("  per-shard ops / storage bits:")
+	fmt.Fprintln(out, "  per-shard ops / storage bits:")
 	for _, name := range names {
-		fmt.Printf("    %-6s %6d ops  %8d bits\n", name, res.PerShardOps[name], res.PerShardBits[name])
+		fmt.Fprintf(out, "    %-6s %6d ops  %8d bits\n", name, res.PerShardOps[name], res.PerShardBits[name])
 	}
-	fmt.Printf("  total base-object storage: %d bits\n", res.FinalSnapshot.BaseObjectBits)
+	fmt.Fprintf(out, "  total base-object storage: %d bits\n", res.FinalSnapshot.BaseObjectBits)
 	return nil
 }
 
-func run(expFlag string, list, markdown bool) error {
+func runExperiments(c *cliConfig, out io.Writer) error {
 	all := experiments.All()
-	if list {
+	if c.list {
 		for _, e := range all {
-			fmt.Printf("%-4s %-55s (%s)\n", e.ID, e.Title, e.PaperSource)
+			fmt.Fprintf(out, "%-4s %-55s (%s)\n", e.ID, e.Title, e.PaperSource)
 		}
 		return nil
 	}
 	selected := all
-	if expFlag != "" {
+	if c.exp != "" {
 		selected = selected[:0]
-		for _, id := range strings.Split(expFlag, ",") {
+		for _, id := range strings.Split(c.exp, ",") {
 			e := experiments.ByID(strings.TrimSpace(id))
 			if e == nil {
 				return fmt.Errorf("unknown experiment %q (use -list)", id)
@@ -197,13 +442,13 @@ func run(expFlag string, list, markdown bool) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		if markdown {
-			fmt.Print(tbl.Markdown())
+		if c.markdown {
+			fmt.Fprint(out, tbl.Markdown())
 		} else {
 			if i > 0 {
-				fmt.Println()
+				fmt.Fprintln(out)
 			}
-			fmt.Print(tbl.Format())
+			fmt.Fprint(out, tbl.Format())
 		}
 	}
 	return nil

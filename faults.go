@@ -1,0 +1,143 @@
+package spacebounds
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FaultOptions configures opt-in live-mode fault injection: a background
+// injector periodically crashes random storage nodes — never more than each
+// shard's fault tolerance F at a time, mirroring the model's bound of f
+// crashed base objects per register — and, when Downtime is set, restarts
+// them after the given outage (fail-recover churn). The zero value disables
+// injection.
+//
+// Fault injection is how a live store rehearses the schedules the
+// deterministic simulator (internal/sim) explores exhaustively in controlled
+// mode: the simulator proves the algorithms tolerate adversarial fault
+// schedules; the injector checks the live engine — batching, queueing,
+// storage accounting — under the same kind of churn.
+type FaultOptions struct {
+	// Interval is the mean time between fault-injection attempts; zero
+	// disables the injector.
+	Interval time.Duration
+	// Downtime is how long a crashed node stays down before it is restarted.
+	// Zero means crashed nodes stay down for the life of the store.
+	Downtime time.Duration
+	// Seed makes the injected fault sequence reproducible (0 = seed 1).
+	Seed int64
+}
+
+// enabled reports whether the injector should run.
+func (f FaultOptions) enabled() bool { return f.Interval > 0 }
+
+// FaultStats counts injected faults.
+type FaultStats struct {
+	// Crashes is the number of node crashes injected.
+	Crashes int
+	// Restarts is the number of crashed nodes brought back.
+	Restarts int
+}
+
+// faultInjector is the store's background fault process.
+type faultInjector struct {
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	mu    sync.Mutex
+	stats FaultStats
+}
+
+// Stats returns a copy of the counters.
+func (fi *faultInjector) Stats() FaultStats {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.stats
+}
+
+// start launches the injection loop against the store's shard set.
+func (fi *faultInjector) start(s *Store, opts FaultOptions) {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	fi.stop = make(chan struct{})
+	fi.wg.Add(1)
+	go func() {
+		defer fi.wg.Done()
+		rng := rand.New(rand.NewSource(seed))
+		shards := s.set.Shards()
+		type outage struct {
+			since time.Time
+			node  int // global object ID
+			shard int
+		}
+		var down []outage
+		downIn := make(map[int]int) // shard index -> nodes currently down
+		isDown := func(node int) bool {
+			for _, o := range down {
+				if o.node == node {
+					return true
+				}
+			}
+			return false
+		}
+		ticker := time.NewTicker(opts.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-fi.stop:
+				return
+			case now := <-ticker.C:
+				// Restart nodes whose downtime has elapsed.
+				if opts.Downtime > 0 {
+					kept := down[:0]
+					for _, o := range down {
+						if now.Sub(o.since) >= opts.Downtime {
+							if err := s.set.Cluster().RestartObject(o.node); err == nil {
+								downIn[o.shard]--
+								fi.mu.Lock()
+								fi.stats.Restarts++
+								fi.mu.Unlock()
+								continue
+							}
+						}
+						kept = append(kept, o)
+					}
+					down = kept
+				}
+				// One crash attempt: a random node of a random shard, only if
+				// the shard still has crash budget (down < F).
+				si := rng.Intn(len(shards))
+				sh := shards[si]
+				if downIn[si] >= sh.Reg.Config().F {
+					continue
+				}
+				node := sh.Base + rng.Intn(sh.Span)
+				if isDown(node) {
+					continue
+				}
+				if err := s.set.Cluster().CrashObject(node); err != nil {
+					continue
+				}
+				down = append(down, outage{since: now, node: node, shard: si})
+				downIn[si]++
+				fi.mu.Lock()
+				fi.stats.Crashes++
+				fi.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// halt stops the injection loop and waits for it. It is idempotent, like
+// Store.Close.
+func (fi *faultInjector) halt() {
+	if fi.stop == nil {
+		return
+	}
+	fi.stopOnce.Do(func() { close(fi.stop) })
+	fi.wg.Wait()
+}

@@ -47,6 +47,12 @@ func WithPolicy(p Policy) Option { return func(o *options) { o.policy = p } }
 // WithLiveMode switches the cluster to Live mode.
 func WithLiveMode() Option { return func(o *options) { o.mode = Live } }
 
+// WithControlledMode switches the cluster (back) to Controlled mode. It is
+// how callers that receive live-mode defaults from a higher layer — the shard
+// set in particular — opt into deterministic policy-driven scheduling, which
+// is what the fault-schedule simulator runs on.
+func WithControlledMode() Option { return func(o *options) { o.mode = Controlled } }
+
 // WithMaxSteps bounds the number of scheduling decisions in controlled mode;
 // exceeding the bound marks the run stuck. Zero means unbounded.
 func WithMaxSteps(n int) Option { return func(o *options) { o.maxSteps = n } }
@@ -91,10 +97,14 @@ type TraceEventKind string
 
 // Trace event kinds.
 const (
-	TraceApply TraceEventKind = "apply"
-	TraceRun   TraceEventKind = "run"
-	TraceStall TraceEventKind = "stall"
-	TraceCrash TraceEventKind = "crash"
+	TraceApply       TraceEventKind = "apply"
+	TraceRun         TraceEventKind = "run"
+	TraceStall       TraceEventKind = "stall"
+	TraceCrash       TraceEventKind = "crash"
+	TraceRestart     TraceEventKind = "restart"
+	TraceSuspend     TraceEventKind = "suspend"
+	TraceResume      TraceEventKind = "resume"
+	TraceClientCrash TraceEventKind = "client-crash"
 )
 
 // TraceEvent describes one scheduling event.
@@ -119,6 +129,7 @@ type clientTask struct {
 	ticket    int64
 	client    int
 	state     taskState
+	crashed   bool // the scheduler crashed this client; it never runs again
 	waitCalls []*Call
 	waitNeed  int
 }
@@ -136,8 +147,13 @@ type object struct {
 	id      int
 	state   State
 	crashed atomic.Bool
-	applied int
-	liveMu  sync.Mutex // serializes Apply in live mode
+	// suspended marks the object unresponsive-but-alive: pending RMWs on it
+	// must not be applied until it is resumed. This is the "up to f
+	// arbitrarily slow base objects" adversary of the model, as opposed to a
+	// crash, which is permanent unless RestartObject is called.
+	suspended atomic.Bool
+	applied   int
+	liveMu    sync.Mutex // serializes Apply in live mode
 
 	// Batched live-mode service queue (used only when both WithLiveLatency
 	// and WithLiveBatch are active). Enqueued RMWs are drained by the
@@ -214,6 +230,12 @@ type Cluster struct {
 	readyQ      []*clientTask
 	runningTask *clientTask
 	liveTasks   int
+
+	// tasks lists every controlled-mode client task in spawn order; the
+	// coordinator uses it to resolve KindCrashClient decisions against blocked
+	// tasks (which are reachable neither through readyQ nor through pending
+	// RMW ownership when their calls have all been applied).
+	tasks []*clientTask
 
 	// outstanding tracks invoked-but-unreturned high-level operations in
 	// invocation order. It is maintained only in controlled mode, where the
@@ -294,6 +316,18 @@ func (c *Cluster) Steps() int {
 	return c.steps
 }
 
+// LogicalTime returns the cluster's deterministic logical clock: the number
+// of scheduling decisions made so far. In controlled mode it advances only
+// when the coordinator takes a step, so any value observed by client code is
+// a pure function of the schedule — the fault simulator feeds it to the
+// history recorder so that recorded operation intervals (and therefore
+// checker verdicts) are replayable byte for byte.
+func (c *Cluster) LogicalTime() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int64(c.steps)
+}
+
 // Start releases the coordinator. Spawn may be called before Start so that an
 // experiment can register all of its initial operations and obtain a
 // deterministic schedule; Spawn after Start is also permitted.
@@ -359,6 +393,114 @@ func (c *Cluster) CrashedObjects() []int {
 	return out
 }
 
+// RestartObject brings a crashed base object back: future RMWs on it apply
+// again, with the object's state as it was at the moment of the crash
+// (fail-recover). RMWs that were dropped while the object was down stay lost,
+// exactly like messages to a down node. Live-mode fault injection uses it to
+// model crash/restart churn.
+func (c *Cluster) RestartObject(id int) error {
+	c.mu.Lock()
+	if id < 0 || id >= len(c.objects) {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrUnknownObject, id)
+	}
+	c.objects[id].crashed.Store(false)
+	c.idleReason = ""
+	step := c.steps
+	tracer := c.opts.tracer
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	if tracer != nil {
+		tracer(TraceEvent{Step: step, Kind: TraceRestart, Object: id})
+	}
+	return nil
+}
+
+// SuspendObject marks a base object unresponsive: pending RMWs on it are not
+// applied until ResumeObject. Unlike a crash, suspension is temporary and
+// models the "arbitrarily slow but correct" base objects the paper's
+// adversary exploits. Scheduling policies normally drive suspension through
+// KindSuspendObject decisions so the fault shows up in the deterministic
+// schedule; the method is also safe to call directly (e.g. from tests).
+func (c *Cluster) SuspendObject(id int) error {
+	return c.setSuspended(id, true, TraceSuspend)
+}
+
+// ResumeObject clears a suspension set by SuspendObject.
+func (c *Cluster) ResumeObject(id int) error {
+	return c.setSuspended(id, false, TraceResume)
+}
+
+func (c *Cluster) setSuspended(id int, suspended bool, kind TraceEventKind) error {
+	c.mu.Lock()
+	if id < 0 || id >= len(c.objects) {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrUnknownObject, id)
+	}
+	c.objects[id].suspended.Store(suspended)
+	c.idleReason = ""
+	step := c.steps
+	tracer := c.opts.tracer
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	if tracer != nil {
+		tracer(TraceEvent{Step: step, Kind: kind, Object: id})
+	}
+	return nil
+}
+
+// SuspendedObjects returns the IDs of currently suspended base objects.
+func (c *Cluster) SuspendedObjects() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for _, o := range c.objects {
+		if o.suspended.Load() {
+			out = append(out, o.id)
+		}
+	}
+	return out
+}
+
+// CrashedClients returns the client IDs crashed by the scheduler, in crash
+// order (controlled mode only).
+func (c *Cluster) CrashedClients() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	seen := make(map[int]bool)
+	for _, t := range c.tasks {
+		if t.crashed && !seen[t.client] {
+			seen[t.client] = true
+			out = append(out, t.client)
+		}
+	}
+	return out
+}
+
+// crashClientLocked marks every live task of the given client as crashed: the
+// task never receives the run token again, is never made ready by a completed
+// RMW, and no longer counts as live (so runs with crashed clients still
+// quiesce). Its already-triggered RMWs stay pending — in-flight messages take
+// effect even after the sender dies, exactly as in the model. The blocked
+// goroutine itself is released with ErrHalted when the cluster closes.
+// Callers must hold c.mu. It reports whether any task was crashed.
+func (c *Cluster) crashClientLocked(client int) bool {
+	hit := false
+	for _, t := range c.tasks {
+		if t.client != client || t.crashed || t.state == taskDone || t.state == taskRunning {
+			continue
+		}
+		if t.state == taskReady {
+			c.removeReadyLocked(t)
+		}
+		t.crashed = true
+		c.liveTasks--
+		hit = true
+	}
+	return hit
+}
+
 // Spawn runs fn as a client task for the given client ID and returns a join
 // handle. In controlled mode the task runs only when the scheduling policy
 // grants it the run token. The handle sees the whole cluster.
@@ -387,6 +529,7 @@ func (c *Cluster) SpawnScoped(clientID, base, span int, fn func(h *ClientHandle)
 	t := &clientTask{ticket: c.nextTicket, client: clientID, state: taskReady}
 	c.nextTicket++
 	c.readyQ = append(c.readyQ, t)
+	c.tasks = append(c.tasks, t)
 	c.liveTasks++
 	c.idleReason = ""
 	c.mu.Unlock()
@@ -404,8 +547,12 @@ func (c *Cluster) SpawnScoped(clientID, base, span int, fn func(h *ClientHandle)
 		}
 		if t.state != taskRunning {
 			t.state = taskDone
-			c.removeReadyLocked(t)
-			c.liveTasks--
+			if !t.crashed {
+				// Crashed tasks were already removed from the ready queue and
+				// subtracted from the live count at crash time.
+				c.removeReadyLocked(t)
+				c.liveTasks--
+			}
 			c.mu.Unlock()
 			c.cond.Broadcast()
 			th.err = ErrHalted
@@ -420,7 +567,9 @@ func (c *Cluster) SpawnScoped(clientID, base, span int, fn func(h *ClientHandle)
 		if c.runningTask == t {
 			c.runningTask = nil
 		}
-		c.liveTasks--
+		if !t.crashed {
+			c.liveTasks--
+		}
 		c.mu.Unlock()
 		c.cond.Broadcast()
 	}()

@@ -62,7 +62,47 @@ func (c *Cluster) coordinator() {
 				c.stallLocked()
 				continue
 			}
+			if c.objects[c.pending[decision.PendingIndex].object].suspended.Load() {
+				// Suspended objects do not apply RMWs; a policy that picks one
+				// anyway is treated like one that made no move.
+				c.stallLocked()
+				continue
+			}
 			c.applyPendingLocked(decision.PendingIndex)
+		case KindCrashObject:
+			if decision.Object < 0 || decision.Object >= len(c.objects) {
+				c.stallLocked()
+				continue
+			}
+			c.objects[decision.Object].crashed.Store(true)
+			if c.opts.tracer != nil {
+				c.emitTrace(TraceEvent{Step: c.steps, Kind: TraceCrash, Object: decision.Object})
+			}
+			c.cond.Broadcast()
+		case KindSuspendObject, KindResumeObject:
+			if decision.Object < 0 || decision.Object >= len(c.objects) {
+				c.stallLocked()
+				continue
+			}
+			suspend := decision.Kind == KindSuspendObject
+			c.objects[decision.Object].suspended.Store(suspend)
+			if c.opts.tracer != nil {
+				kind := TraceResume
+				if suspend {
+					kind = TraceSuspend
+				}
+				c.emitTrace(TraceEvent{Step: c.steps, Kind: kind, Object: decision.Object})
+			}
+			c.cond.Broadcast()
+		case KindCrashClient:
+			if !c.crashClientLocked(decision.Client) {
+				c.stallLocked()
+				continue
+			}
+			if c.opts.tracer != nil {
+				c.emitTrace(TraceEvent{Step: c.steps, Kind: TraceClientCrash, Client: decision.Client})
+			}
+			c.cond.Broadcast()
 		default:
 			c.stallLocked()
 		}
@@ -111,16 +151,25 @@ func (c *Cluster) buildViewLocked() *View {
 	}
 	for i, p := range c.pending {
 		v.Pending = append(v.Pending, PendingView{
-			Index:         i,
-			Seq:           p.seq,
-			Object:        p.object,
-			ObjectCrashed: c.objects[p.object].crashed.Load(),
-			Client:        p.op.Client,
-			Op:            p.op,
+			Index:           i,
+			Seq:             p.seq,
+			Object:          p.object,
+			ObjectCrashed:   c.objects[p.object].crashed.Load(),
+			ObjectSuspended: c.objects[p.object].suspended.Load(),
+			Client:          p.op.Client,
+			Op:              p.op,
 		})
 	}
 	for _, t := range c.readyQ {
 		v.Ready = append(v.Ready, ReadyClient{Ticket: t.ticket, Client: t.client})
+	}
+	seen := make(map[int]bool)
+	for _, t := range c.tasks {
+		if t.crashed || t.state == taskDone || seen[t.client] {
+			continue
+		}
+		seen[t.client] = true
+		v.Clients = append(v.Clients, t.client)
 	}
 	if c.acct != nil {
 		v.Storage = c.snapshotLocked()
@@ -152,7 +201,7 @@ func (c *Cluster) applyPendingLocked(index int) {
 	if c.acct != nil {
 		c.acct.Observe(c.snapshotLocked())
 	}
-	if t := p.owner; t != nil && t.state == taskBlocked {
+	if t := p.owner; t != nil && t.state == taskBlocked && !t.crashed {
 		done := 0
 		for _, call := range t.waitCalls {
 			if call.Done {

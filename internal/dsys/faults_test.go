@@ -1,0 +1,175 @@
+package dsys
+
+import (
+	"errors"
+	"testing"
+)
+
+// scriptPolicy replays a fixed decision list, then falls back to FairPolicy.
+// Views are passed to optional probes so tests can assert what policies see.
+type scriptPolicy struct {
+	decisions []Decision
+	probe     func(*View)
+}
+
+func (p *scriptPolicy) Decide(v *View) Decision {
+	if p.probe != nil {
+		p.probe(v)
+	}
+	if len(p.decisions) > 0 {
+		d := p.decisions[0]
+		p.decisions = p.decisions[1:]
+		return d
+	}
+	return FairPolicy{}.Decide(v)
+}
+
+func TestSuspendedObjectsAreNotApplied(t *testing.T) {
+	suspendedSeen := false
+	c := newTestCluster(3, WithPolicy(&scriptPolicy{probe: func(v *View) {
+		for _, p := range v.Pending {
+			if p.Object == 1 && p.ObjectSuspended {
+				suspendedSeen = true
+			}
+		}
+	}}))
+	defer c.Close()
+	if err := c.SuspendObject(1); err != nil {
+		t.Fatal(err)
+	}
+	th := c.Spawn(1, func(h *ClientHandle) error {
+		// Quorum of 2 out of 3 with object 1 suspended: the fair policy must
+		// satisfy the round from objects 0 and 2.
+		_, err := h.InvokeAll(func(int) RMW { return addBlockRMW{bits: 8} }, 2)
+		return err
+	})
+	c.Start()
+	if err := th.Wait(); err != nil {
+		t.Fatalf("quorum round should complete around the suspended object: %v", err)
+	}
+	if got := c.SuspendedObjects(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("SuspendedObjects = %v, want [1]", got)
+	}
+	// The suspended object's RMW is still pending; resuming lets it drain.
+	if err := c.ResumeObject(1); err != nil {
+		t.Fatal(err)
+	}
+	if reason := c.WaitIdle(); reason != IdleQuiesced {
+		t.Fatalf("after resume the run should quiesce, got %v", reason)
+	}
+	if got := c.SuspendedObjects(); len(got) != 0 {
+		t.Fatalf("SuspendedObjects after resume = %v, want none", got)
+	}
+	c.Close() // joins the coordinator; safe to read the probe's flag now
+	if !suspendedSeen {
+		t.Fatal("policy view never marked object 1 suspended")
+	}
+}
+
+func TestCrashClientDecisionStopsAClient(t *testing.T) {
+	// Crash client 2 before it runs a single step, then schedule fairly.
+	c := newTestCluster(3, WithPolicy(&scriptPolicy{
+		decisions: []Decision{{Kind: KindCrashClient, Client: 2}},
+	}))
+	ranCrashed := false
+	t1 := c.Spawn(1, func(h *ClientHandle) error {
+		_, err := h.InvokeAll(func(int) RMW { return addBlockRMW{bits: 8} }, 2)
+		return err
+	})
+	t2 := c.Spawn(2, func(h *ClientHandle) error {
+		ranCrashed = true
+		return nil
+	})
+	c.Start()
+	if err := t1.Wait(); err != nil {
+		t.Fatalf("surviving client should finish: %v", err)
+	}
+	if reason := c.WaitIdle(); reason != IdleQuiesced {
+		t.Fatalf("run with a crashed client should still quiesce, got %v", reason)
+	}
+	if got := c.CrashedClients(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("CrashedClients = %v, want [2]", got)
+	}
+	c.Close()
+	if err := t2.Wait(); !errors.Is(err, ErrHalted) {
+		t.Fatalf("crashed client's task should be released with ErrHalted, got %v", err)
+	}
+	if ranCrashed {
+		t.Fatal("crashed client must never take a step")
+	}
+}
+
+func TestRestartObjectRevivesCrashedObject(t *testing.T) {
+	c := newTestCluster(3, WithLiveMode())
+	defer c.Close()
+	if err := c.CrashObject(0); err != nil {
+		t.Fatal(err)
+	}
+	err := c.RunScoped(1, 0, 3, func(h *ClientHandle) error {
+		_, err := h.InvokeAll(func(int) RMW { return addBlockRMW{bits: 8} }, 3)
+		return err
+	})
+	if err == nil {
+		t.Fatal("quorum of 3 with a crashed object must fail")
+	}
+	if err := c.RestartObject(0); err != nil {
+		t.Fatal(err)
+	}
+	err = c.RunScoped(1, 0, 3, func(h *ClientHandle) error {
+		_, err := h.InvokeAll(func(int) RMW { return addBlockRMW{bits: 8} }, 3)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("after restart the full quorum should be reachable: %v", err)
+	}
+	if got := c.CrashedObjects(); len(got) != 0 {
+		t.Fatalf("CrashedObjects after restart = %v, want none", got)
+	}
+}
+
+func TestLogicalTimeAdvancesWithSteps(t *testing.T) {
+	c := newTestCluster(2)
+	defer c.Close()
+	if c.LogicalTime() != 0 {
+		t.Fatalf("logical time before start = %d, want 0", c.LogicalTime())
+	}
+	th := c.Spawn(1, func(h *ClientHandle) error {
+		_, err := h.InvokeAll(func(int) RMW { return addBlockRMW{bits: 8} }, 2)
+		return err
+	})
+	c.Start()
+	if err := th.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if lt := c.LogicalTime(); lt == 0 {
+		t.Fatal("logical time did not advance with scheduling steps")
+	}
+	if lt, steps := c.LogicalTime(), int64(c.Steps()); lt != steps {
+		t.Fatalf("LogicalTime %d != Steps %d", lt, steps)
+	}
+}
+
+func TestFaultDecisionBoundsChecks(t *testing.T) {
+	// An out-of-range fault decision must degrade to a stall (a pinned run),
+	// not a panic; Close then releases the blocked client.
+	for _, bogus := range []Decision{
+		{Kind: KindCrashObject, Object: 99},
+		{Kind: KindSuspendObject, Object: -1},
+		{Kind: KindResumeObject, Object: 17},
+		{Kind: KindCrashClient, Client: 42},
+	} {
+		c := newTestCluster(2, WithPolicy(&scriptPolicy{decisions: []Decision{bogus}}))
+		th := c.Spawn(1, func(h *ClientHandle) error {
+			_, err := h.InvokeAll(func(int) RMW { return addBlockRMW{bits: 8} }, 2)
+			return err
+		})
+		c.Start()
+		if reason := c.WaitIdle(); reason != IdleStuck {
+			t.Fatalf("decision %+v should pin the run, got %v", bogus, reason)
+		}
+		c.Close()
+		if err := th.Wait(); !errors.Is(err, ErrHalted) {
+			t.Fatalf("decision %+v: blocked client should be released with ErrHalted, got %v", bogus, err)
+		}
+	}
+}

@@ -20,6 +20,10 @@ type PendingView struct {
 	// ObjectCrashed reports whether the target has crashed; crashed objects
 	// never apply RMWs, so choosing one is a scheduling error.
 	ObjectCrashed bool
+	// ObjectSuspended reports whether the target is currently suspended
+	// (unresponsive but alive); suspended objects do not apply RMWs until a
+	// KindResumeObject decision, so choosing one is a scheduling error.
+	ObjectSuspended bool
 	// Client is the triggering client and Op the high-level operation the
 	// RMW belongs to.
 	Client int
@@ -46,6 +50,10 @@ type View struct {
 	// OutstandingWrites lists write operations that are invoked but not yet
 	// returned, in invocation order.
 	OutstandingWrites []oracle.WriteID
+	// Clients lists the IDs of live (spawned, not finished, not crashed)
+	// client tasks in spawn order; they are the candidates for a
+	// KindCrashClient decision.
+	Clients []int
 	// DataBits is D, the register value size in bits (0 if not configured).
 	DataBits int
 }
@@ -64,6 +72,20 @@ const (
 	// KindStall makes no move. If nothing else can change (no running
 	// client), the run is declared stuck.
 	KindStall
+	// KindCrashObject crashes the base object named by Object, permanently
+	// (unless the cluster restarts it). The environment of the model may
+	// crash up to f base objects.
+	KindCrashObject
+	// KindSuspendObject marks the base object named by Object unresponsive:
+	// its pending RMWs are frozen until a KindResumeObject decision. This is
+	// the "arbitrarily slow" adversary move.
+	KindSuspendObject
+	// KindResumeObject lifts a suspension set by KindSuspendObject.
+	KindResumeObject
+	// KindCrashClient crashes the client named by Client: it never takes
+	// another step, though its already-triggered RMWs may still take effect.
+	// The model permits any number of client crashes.
+	KindCrashClient
 )
 
 // Decision is a policy's choice at one scheduling point.
@@ -71,6 +93,10 @@ type Decision struct {
 	Kind         DecisionKind
 	PendingIndex int
 	Ticket       int64
+	// Object names the base object of a crash/suspend/resume decision.
+	Object int
+	// Client names the victim of a KindCrashClient decision.
+	Client int
 }
 
 // Policy decides, at every scheduling point, whether to let a pending RMW
@@ -104,7 +130,7 @@ func (FairPolicy) Decide(v *View) Decision {
 	bestIdx := -1
 	var bestSeq int64
 	for _, p := range v.Pending {
-		if p.ObjectCrashed {
+		if p.ObjectCrashed || p.ObjectSuspended {
 			continue
 		}
 		if bestIdx == -1 || p.Seq < bestSeq {
@@ -144,7 +170,7 @@ func (p *RandomPolicy) Decide(v *View) Decision {
 		moves = append(moves, move{kind: KindRun, ticket: r.Ticket})
 	}
 	for _, pd := range v.Pending {
-		if pd.ObjectCrashed {
+		if pd.ObjectCrashed || pd.ObjectSuspended {
 			continue
 		}
 		moves = append(moves, move{kind: KindApply, index: pd.Index})

@@ -57,21 +57,56 @@ func (o *Op) String() string {
 	return fmt.Sprintf("%v[c%d#%d %v @%d-%d]", o.Kind, o.Client, o.ID, o.Value, o.Invoked, o.Returned)
 }
 
+// Clock is a source of logical time for a Recorder. It must be monotonically
+// non-decreasing; the recorder itself guarantees that consecutive recorded
+// events get strictly increasing timestamps by advancing past ties, so a
+// coarse clock (one that stands still between scheduler steps) is fine.
+type Clock func() int64
+
 // Recorder collects operations as they are invoked and return. It is safe for
 // concurrent use by many client goroutines.
+//
+// By default events are stamped with an internal counter: a logical clock
+// that totally orders the recorder's own events but bears no relation to the
+// run's schedule. When the recording is driven by a deterministic scheduler —
+// the fault-schedule simulator in particular — the arrival order at this
+// mutex is itself scheduler-controlled, and SetClock aligns the timestamps
+// with the scheduler's step counter so that recorded intervals, and therefore
+// checker verdicts, are a pure function of the schedule. Wall-clock time is
+// deliberately never used: it would make two runs of the same schedule
+// disagree about which operations overlap.
 type Recorder struct {
-	mu      sync.Mutex
-	counter int64
-	nextID  int
-	ops     []*Op
+	mu     sync.Mutex
+	last   int64
+	clock  Clock
+	nextID int
+	ops    []*Op
 }
 
-// NewRecorder returns an empty recorder.
+// NewRecorder returns an empty recorder using its internal logical counter.
 func NewRecorder() *Recorder { return &Recorder{} }
 
+// SetClock installs an external logical time source. It must be called before
+// recording starts.
+func (r *Recorder) SetClock(c Clock) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clock = c
+}
+
+// tick returns the next event timestamp: the external clock's reading when
+// one is installed, advanced past the previous stamp so that the recorder's
+// event order stays a strict total order even under a coarse clock.
 func (r *Recorder) tick() int64 {
-	r.counter++
-	return r.counter
+	var t int64
+	if r.clock != nil {
+		t = r.clock()
+	}
+	if t <= r.last {
+		t = r.last + 1
+	}
+	r.last = t
+	return t
 }
 
 // BeginWrite records the invocation of a write of v by the given client.
@@ -116,7 +151,14 @@ func (r *Recorder) History(v0 value.Value) *History {
 	defer r.mu.Unlock()
 	ops := make([]*Op, len(r.ops))
 	copy(ops, r.ops)
-	sort.Slice(ops, func(i, j int) bool { return ops[i].Invoked < ops[j].Invoked })
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].Invoked != ops[j].Invoked {
+			return ops[i].Invoked < ops[j].Invoked
+		}
+		// Invocation times are strictly increasing per recorder, but keep the
+		// order deterministic even for histories assembled by hand.
+		return ops[i].ID < ops[j].ID
+	})
 	return &History{V0: v0, Ops: ops}
 }
 

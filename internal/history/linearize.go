@@ -1,0 +1,128 @@
+package history
+
+import "fmt"
+
+// CheckLinearizability checks whether the history is linearizable (atomic)
+// with respect to the sequential specification of a read/write register
+// initialized to V0: there must be a total order of operations, consistent
+// with real-time precedence, in which every read returns the value of the
+// latest preceding write (or V0 if none precedes it).
+//
+// The checker is a Wing & Gong-style search: it tries to linearize one
+// operation at a time, always choosing among the minimal operations (those
+// not real-time-preceded by any other unlinearized completed operation),
+// pruning branches where a read cannot return the current register value, and
+// memoizing visited (linearized-set, register-value) states so each state is
+// explored once. Incomplete operations need no response to be justified:
+// incomplete writes may be linearized at any point after their invocation or
+// dropped entirely, and incomplete reads are unconstrained and ignored.
+//
+// Unlike the regularity checkers, it does not assume distinct written values;
+// reads are validated against the actual register contents at their
+// linearization point.
+//
+// Atomicity is the condition the paper's strongest configurations aim for;
+// the simulator applies this checker to configurations known to produce
+// atomic histories (e.g. a single client per register, where regularity and
+// atomicity coincide). Worst-case cost is exponential in the number of
+// overlapping operations; histories recorded by the simulator are small.
+func CheckLinearizability(h *History) error {
+	// Candidate operations: everything except incomplete reads, which
+	// returned nothing and therefore constrain nothing.
+	var ops []*Op
+	for _, op := range h.Ops {
+		if op.Kind == Read && !op.Completed() {
+			continue
+		}
+		ops = append(ops, op)
+	}
+	n := len(ops)
+	if n == 0 {
+		return nil
+	}
+	mustCount := 0 // completed operations; all of them must be linearized
+	for _, op := range ops {
+		if op.Completed() {
+			mustCount++
+		}
+	}
+
+	// DFS state: bitmask of linearized ops + index of the write currently in
+	// the register (-1 = V0). maskWords is the mask in fixed-width words so it
+	// can be stringified into a memoization key.
+	words := (n + 63) / 64
+	type frame struct {
+		mask []uint64
+		last int // index into ops of the latest linearized write, -1 = v0
+		done int // completed ops linearized so far
+	}
+	has := func(mask []uint64, i int) bool { return mask[i/64]&(1<<(uint(i)%64)) != 0 }
+	keyOf := func(mask []uint64, last int) string {
+		b := make([]byte, 0, words*8+4)
+		for _, w := range mask {
+			for s := 0; s < 64; s += 8 {
+				b = append(b, byte(w>>uint(s)))
+			}
+		}
+		b = append(b, byte(last), byte(last>>8), byte(last>>16), byte(last>>24))
+		return string(b)
+	}
+	seen := make(map[string]bool)
+	stack := []frame{{mask: make([]uint64, words), last: -1}}
+	seen[keyOf(stack[0].mask, -1)] = true
+
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.done == mustCount {
+			return nil
+		}
+		// An op is a valid next linearization point iff no other unlinearized
+		// completed op returned before it was invoked.
+		for i := 0; i < n; i++ {
+			if has(f.mask, i) {
+				continue
+			}
+			op := ops[i]
+			minimal := true
+			for j := 0; j < n && minimal; j++ {
+				if j == i || has(f.mask, j) {
+					continue
+				}
+				if ops[j].Completed() && ops[j].Returned < op.Invoked {
+					minimal = false
+				}
+			}
+			if !minimal {
+				continue
+			}
+			next := f
+			if op.Kind == Read {
+				cur := h.V0
+				if f.last >= 0 {
+					cur = ops[f.last].Value
+				}
+				if !op.Value.Equal(cur) {
+					continue // this read cannot go here
+				}
+			} else {
+				next.last = i
+			}
+			mask := make([]uint64, words)
+			copy(mask, f.mask)
+			mask[i/64] |= 1 << (uint(i) % 64)
+			next.mask = mask
+			if op.Completed() {
+				next.done = f.done + 1
+			}
+			k := keyOf(mask, next.last)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			stack = append(stack, next)
+		}
+	}
+	return &Violation{Condition: "linearizability",
+		Detail: fmt.Sprintf("no linearization of the %d operations respects real-time order and the register specification", n)}
+}

@@ -1,0 +1,160 @@
+package history
+
+import (
+	"testing"
+
+	"spacebounds/internal/value"
+)
+
+// val returns a distinct 4-byte value for index i; index 0 is the initial
+// value v0.
+func val(i int) value.Value {
+	return value.FromBytes([]byte{byte(i), byte(i >> 8), 0, 0})
+}
+
+// op builds a history operation with explicit logical times. ret == 0 means
+// the operation never returned.
+func op(id, client int, kind OpKind, v value.Value, inv, ret int64) *Op {
+	return &Op{ID: id, Client: client, Kind: kind, Value: v, Invoked: inv, Returned: ret}
+}
+
+func hist(ops ...*Op) *History { return &History{V0: val(0), Ops: ops} }
+
+func TestLinearizableSequentialHistory(t *testing.T) {
+	h := hist(
+		op(1, 1, Write, val(1), 1, 2),
+		op(2, 1, Read, val(1), 3, 4),
+		op(3, 1, Write, val(2), 5, 6),
+		op(4, 1, Read, val(2), 7, 8),
+	)
+	if err := CheckLinearizability(h); err != nil {
+		t.Fatalf("sequential history should be linearizable: %v", err)
+	}
+}
+
+func TestLinearizabilityInitialValueRead(t *testing.T) {
+	h := hist(
+		op(1, 1, Read, val(0), 1, 2),
+		op(2, 2, Write, val(1), 3, 4),
+	)
+	if err := CheckLinearizability(h); err != nil {
+		t.Fatalf("v0 read before any write should pass: %v", err)
+	}
+	bad := hist(
+		op(1, 2, Write, val(1), 1, 2),
+		op(2, 1, Read, val(0), 3, 4),
+	)
+	if err := CheckLinearizability(bad); err == nil {
+		t.Fatal("v0 read after a completed write must fail")
+	}
+}
+
+func TestLinearizabilityNewOldInversion(t *testing.T) {
+	// Classic regular-but-not-atomic run: two sequential reads during nothing
+	// (after the write completes) observing new then old value.
+	h := hist(
+		op(1, 1, Write, val(1), 1, 2),
+		op(2, 2, Write, val(2), 3, 4),
+		op(3, 3, Read, val(2), 5, 6),
+		op(4, 3, Read, val(1), 7, 8),
+	)
+	if err := CheckLinearizability(h); err == nil {
+		t.Fatal("new/old read inversion must not be linearizable")
+	}
+	// Strong regularity also rejects it (read 4 skips write 2 which precedes
+	// it and follows write 1), so this doubles as an agreement check.
+	if err := CheckStrongRegularity(h); err == nil {
+		t.Fatal("new/old inversion with sequential writes also violates strong regularity")
+	}
+}
+
+func TestLinearizabilityConcurrentReadsEitherValue(t *testing.T) {
+	// A read concurrent with a write may return old or new value.
+	for _, v := range []value.Value{val(0), val(1)} {
+		h := hist(
+			op(1, 1, Write, val(1), 1, 5),
+			op(2, 2, Read, v, 2, 3),
+		)
+		if err := CheckLinearizability(h); err != nil {
+			t.Fatalf("read concurrent with write returning %v should pass: %v", v, err)
+		}
+	}
+}
+
+func TestLinearizabilityIncompleteOps(t *testing.T) {
+	// An incomplete write may take effect (a later read sees it)…
+	h := hist(
+		op(1, 1, Write, val(1), 1, 0),
+		op(2, 2, Read, val(1), 2, 3),
+	)
+	if err := CheckLinearizability(h); err != nil {
+		t.Fatalf("read of an incomplete write's value should pass: %v", err)
+	}
+	// …or not take effect at all.
+	h = hist(
+		op(1, 1, Write, val(1), 1, 0),
+		op(2, 2, Read, val(0), 2, 3),
+	)
+	if err := CheckLinearizability(h); err != nil {
+		t.Fatalf("incomplete write may be dropped: %v", err)
+	}
+	// Incomplete reads constrain nothing.
+	h = hist(
+		op(1, 1, Write, val(1), 1, 2),
+		op(2, 2, Read, val(0), 3, 0),
+	)
+	if err := CheckLinearizability(h); err != nil {
+		t.Fatalf("incomplete read should be ignored: %v", err)
+	}
+}
+
+func TestLinearizabilityValueNeverWritten(t *testing.T) {
+	h := hist(
+		op(1, 1, Write, val(1), 1, 2),
+		op(2, 2, Read, val(9), 3, 4),
+	)
+	if err := CheckLinearizability(h); err == nil {
+		t.Fatal("read of a never-written value must fail")
+	}
+}
+
+func TestLinearizabilityInterleavedClients(t *testing.T) {
+	// Two writers and a reader fully overlapping: many interleavings valid.
+	h := hist(
+		op(1, 1, Write, val(1), 1, 10),
+		op(2, 2, Write, val(2), 2, 9),
+		op(3, 3, Read, val(1), 3, 8),
+		op(4, 3, Read, val(2), 11, 12),
+	)
+	if err := CheckLinearizability(h); err != nil {
+		t.Fatalf("overlapping writes permit either read order: %v", err)
+	}
+}
+
+func TestRecorderExternalClock(t *testing.T) {
+	now := int64(0)
+	rec := NewRecorder()
+	rec.SetClock(func() int64 { return now })
+	w := rec.BeginWrite(1, val(1))
+	now = 5
+	rec.EndWrite(w)
+	r := rec.BeginRead(2)
+	now = 7
+	rec.EndRead(r, val(1))
+	h := rec.History(val(0))
+	if len(h.Ops) != 2 {
+		t.Fatalf("want 2 ops, got %d", len(h.Ops))
+	}
+	// Timestamps follow the external clock, strictly increasing even when the
+	// clock stands still (EndWrite at 5, BeginRead still at 5 -> 6).
+	wop, rop := h.Ops[0], h.Ops[1]
+	if wop.Invoked != 1 || wop.Returned != 5 {
+		t.Fatalf("write interval = [%d,%d], want [1,5]", wop.Invoked, wop.Returned)
+	}
+	if rop.Invoked != 6 || rop.Returned != 7 {
+		t.Fatalf("read interval = [%d,%d], want [6,7]", rop.Invoked, rop.Returned)
+	}
+	if !wop.Precedes(rop) {
+		t.Fatal("write must precede read under the logical clock")
+	}
+}

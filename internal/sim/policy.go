@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"spacebounds/internal/dsys"
+)
+
+// FaultRates are the per-scheduling-decision probabilities of the adversary's
+// fault moves. They are rolled once per decision, in the order listed; a move
+// whose preconditions fail (no candidate victim, budget exhausted) falls
+// through to an ordinary scheduling move, so the rates are upper bounds.
+type FaultRates struct {
+	// CrashObject permanently crashes a base object. Crashed plus suspended
+	// objects never exceed the shard's f, so quorums stay formable.
+	CrashObject float64
+	// SuspendObject marks a base object unresponsive until resumed.
+	SuspendObject float64
+	// ResumeObject lifts one suspension.
+	ResumeObject float64
+	// CrashClient crashes a client mid-operation: it never takes another
+	// step, though its in-flight RMWs may still land.
+	CrashClient float64
+	// MaxClientCrashes caps the total number of client crashes (0 = default:
+	// a third of the clients).
+	MaxClientCrashes int
+}
+
+// withDefaults fills an all-zero rate set with the standard adversarial mix.
+func (f FaultRates) withDefaults(totalClients int) FaultRates {
+	if f.CrashObject == 0 && f.SuspendObject == 0 && f.ResumeObject == 0 && f.CrashClient == 0 {
+		f.CrashObject = 0.01
+		f.SuspendObject = 0.05
+		f.ResumeObject = 0.08
+		f.CrashClient = 0.01
+	}
+	if f.MaxClientCrashes == 0 {
+		f.MaxClientCrashes = totalClients / 3
+	}
+	return f
+}
+
+// FaultEvent is one fault injected by the adversary, recorded for the
+// failure artifact (the full schedule is reproducible from the seed alone).
+type FaultEvent struct {
+	Step   int
+	Kind   dsys.TraceEventKind
+	Object int // -1 for client faults
+	Client int // -1 for object faults
+}
+
+// String implements fmt.Stringer.
+func (e FaultEvent) String() string {
+	if e.Client >= 0 {
+		return fmt.Sprintf("step %d: %s client %d", e.Step, e.Kind, e.Client)
+	}
+	return fmt.Sprintf("step %d: %s object %d", e.Step, e.Kind, e.Object)
+}
+
+// region is one shard's object range and fault budget.
+type region struct {
+	base, span, f int
+}
+
+// adversary is the seeded scheduling policy of the simulator: at every
+// scheduling point it either injects a fault (within the model's budgets) or
+// picks uniformly at random among the enabled moves — running a ready client
+// or applying a pending RMW on a responsive object. Random choice among
+// enabled moves is exactly the delay/reorder power the model's environment
+// has over pending RMWs. The policy is a deterministic function of its seed:
+// replaying a seed replays the schedule.
+type adversary struct {
+	rng     *rand.Rand
+	rates   FaultRates
+	regions []region
+
+	crashed       map[int]bool // objects
+	suspended     map[int]bool // objects
+	clientCrashes int
+	events        []FaultEvent
+}
+
+var _ dsys.Policy = (*adversary)(nil)
+
+func newAdversary(seed int64, rates FaultRates) *adversary {
+	return &adversary{
+		rng:       rand.New(rand.NewSource(seed)),
+		rates:     rates,
+		crashed:   make(map[int]bool),
+		suspended: make(map[int]bool),
+	}
+}
+
+// bind tells the adversary the shard layout. It must be called before the
+// cluster starts scheduling.
+func (a *adversary) bind(regions []region) { a.regions = regions }
+
+// faultedIn counts crashed plus suspended objects of one region.
+func (a *adversary) faultedIn(r region) int {
+	n := 0
+	for obj := r.base; obj < r.base+r.span; obj++ {
+		if a.crashed[obj] || a.suspended[obj] {
+			n++
+		}
+	}
+	return n
+}
+
+// faultCandidates lists objects that may be crashed or suspended without
+// blowing a shard's fault budget, in ascending order.
+func (a *adversary) faultCandidates() []int {
+	var out []int
+	for _, r := range a.regions {
+		if a.faultedIn(r) >= r.f {
+			continue
+		}
+		for obj := r.base; obj < r.base+r.span; obj++ {
+			if !a.crashed[obj] && !a.suspended[obj] {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// suspendedList returns the suspended objects in ascending order so picks are
+// deterministic.
+func (a *adversary) suspendedList() []int {
+	out := make([]int, 0, len(a.suspended))
+	for obj := range a.suspended {
+		out = append(out, obj)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (a *adversary) note(step int, kind dsys.TraceEventKind, object, client int) {
+	a.events = append(a.events, FaultEvent{Step: step, Kind: kind, Object: object, Client: client})
+}
+
+// Decide implements dsys.Policy.
+func (a *adversary) Decide(v *dsys.View) dsys.Decision {
+	r := a.rates
+	roll := a.rng.Float64()
+	switch {
+	case roll < r.CrashObject:
+		if cands := a.faultCandidates(); len(cands) > 0 {
+			obj := cands[a.rng.Intn(len(cands))]
+			a.crashed[obj] = true
+			a.note(v.Step, dsys.TraceCrash, obj, -1)
+			return dsys.Decision{Kind: dsys.KindCrashObject, Object: obj}
+		}
+	case roll < r.CrashObject+r.SuspendObject:
+		if cands := a.faultCandidates(); len(cands) > 0 {
+			obj := cands[a.rng.Intn(len(cands))]
+			a.suspended[obj] = true
+			a.note(v.Step, dsys.TraceSuspend, obj, -1)
+			return dsys.Decision{Kind: dsys.KindSuspendObject, Object: obj}
+		}
+	case roll < r.CrashObject+r.SuspendObject+r.ResumeObject:
+		if sus := a.suspendedList(); len(sus) > 0 {
+			obj := sus[a.rng.Intn(len(sus))]
+			delete(a.suspended, obj)
+			a.note(v.Step, dsys.TraceResume, obj, -1)
+			return dsys.Decision{Kind: dsys.KindResumeObject, Object: obj}
+		}
+	case roll < r.CrashObject+r.SuspendObject+r.ResumeObject+r.CrashClient:
+		if len(v.Clients) > 0 && a.clientCrashes < r.MaxClientCrashes {
+			client := v.Clients[a.rng.Intn(len(v.Clients))]
+			a.clientCrashes++
+			a.note(v.Step, dsys.TraceClientCrash, -1, client)
+			return dsys.Decision{Kind: dsys.KindCrashClient, Client: client}
+		}
+	}
+
+	// Ordinary scheduling move: uniformly random among ready clients and
+	// applicable pending RMWs — the random delay/reorder of the environment.
+	type move struct {
+		kind   dsys.DecisionKind
+		index  int
+		ticket int64
+	}
+	moves := make([]move, 0, len(v.Ready)+len(v.Pending))
+	for _, rc := range v.Ready {
+		moves = append(moves, move{kind: dsys.KindRun, ticket: rc.Ticket})
+	}
+	for _, pd := range v.Pending {
+		if pd.ObjectCrashed || pd.ObjectSuspended {
+			continue
+		}
+		moves = append(moves, move{kind: dsys.KindApply, index: pd.Index})
+	}
+	if len(moves) == 0 {
+		// Everything schedulable is behind a suspension: resume one object
+		// rather than pinning the run (the adversary must stay fair to
+		// correct processes for liveness-oriented exploration).
+		if sus := a.suspendedList(); len(sus) > 0 {
+			obj := sus[0]
+			delete(a.suspended, obj)
+			a.note(v.Step, dsys.TraceResume, obj, -1)
+			return dsys.Decision{Kind: dsys.KindResumeObject, Object: obj}
+		}
+		return dsys.Decision{Kind: dsys.KindStall}
+	}
+	m := moves[a.rng.Intn(len(moves))]
+	return dsys.Decision{Kind: m.kind, PendingIndex: m.index, Ticket: m.ticket}
+}

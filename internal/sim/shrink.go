@@ -1,0 +1,35 @@
+package sim
+
+import "spacebounds/internal/history"
+
+// ShrinkHistory greedily minimizes a violating history: it repeatedly removes
+// operations as long as the check still fails, until no single removal
+// preserves the failure. The result is 1-minimal — every remaining event is
+// necessary for some violation (not necessarily the original one: removing an
+// operation can expose a smaller violation of the same condition, which is
+// exactly what a debugging artifact wants). If h does not fail the check it
+// is returned unchanged.
+//
+// Histories are small (tens of operations), so the quadratic number of
+// checker calls is cheap; the checkers themselves never mutate the history,
+// and the returned history shares the surviving *Op values with h.
+func ShrinkHistory(h *history.History, check func(*history.History) error) *history.History {
+	if check(h) == nil {
+		return h
+	}
+	ops := append([]*history.Op(nil), h.Ops...)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(ops); i++ {
+			cand := make([]*history.Op, 0, len(ops)-1)
+			cand = append(cand, ops[:i]...)
+			cand = append(cand, ops[i+1:]...)
+			if check(&history.History{V0: h.V0, Ops: cand}) != nil {
+				ops = cand
+				changed = true
+				i--
+			}
+		}
+	}
+	return &history.History{V0: h.V0, Ops: ops}
+}

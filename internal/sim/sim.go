@@ -1,0 +1,390 @@
+// Package sim is a deterministic fault-schedule simulator for the register
+// emulations: a seeded explorer that drives the controlled-mode dsys runtime
+// with a PRNG-derived adversarial policy — randomly delaying and reordering
+// pending RMWs, crashing clients mid-round, and suspending or crashing up to
+// f base objects per shard — while recording every invocation and response
+// into an operation history stamped with the scheduler's logical clock. After
+// the run, each shard's history is checked against the consistency condition
+// its emulation claims (strong regularity for the regular registers, strong
+// safety for the safe register, linearizability for configurations known to
+// be atomic), and a failing run auto-shrinks its history to a minimal
+// violating sub-history.
+//
+// Everything the run does is a pure function of Config (the seed in
+// particular): Run twice with the same Config and the histories, verdicts and
+// Fingerprint are identical, which is what makes failures replayable byte for
+// byte (Replay) and explorable at scale in CI (Explore across seed ranges).
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"spacebounds/internal/dsys"
+	"spacebounds/internal/history"
+	"spacebounds/internal/register"
+	_ "spacebounds/internal/register/abd"      // register providers
+	_ "spacebounds/internal/register/adaptive" // …
+	_ "spacebounds/internal/register/ecreg"    // …
+	_ "spacebounds/internal/register/safereg"  // …
+	"spacebounds/internal/shard"
+	"spacebounds/internal/value"
+)
+
+// ShardPlan configures one simulated shard.
+type ShardPlan struct {
+	// Provider is the register provider name ("adaptive", "abd", "ecreg",
+	// "safereg").
+	Provider string
+	// F and K are the shard's fault tolerance and decode threshold; K is
+	// forced to 1 for abd. Zero values default to F=1 and K=2 (K=1 for abd).
+	F, K int
+	// DataLen is the value size in bytes (default 8; small values keep
+	// exploration fast without changing the scheduling space).
+	DataLen int
+}
+
+// Config describes one deterministic simulation run.
+type Config struct {
+	// Seed drives every random choice: the adversary's schedule and faults
+	// and the clients' operation mixes.
+	Seed int64
+	// Shards lists the simulated shards (default: one shard per provider).
+	Shards []ShardPlan
+	// Clients is the number of client tasks per shard (default 3).
+	Clients int
+	// OpsPerClient is the number of operations each client attempts
+	// (default 4).
+	OpsPerClient int
+	// ReadFraction is the probability an operation is a read (default 0.4).
+	ReadFraction float64
+	// Faults are the adversary's fault rates (zero value: standard mix).
+	Faults FaultRates
+	// MaxSteps bounds scheduling decisions as a runaway backstop
+	// (default 200000).
+	MaxSteps int
+	// CheckLinearizable additionally checks every shard's history for
+	// linearizability. Only sound for configurations that promise atomicity —
+	// the sweep uses it with Clients=1, where operations are sequential and
+	// regularity coincides with atomicity.
+	CheckLinearizable bool
+}
+
+// DefaultProviders are the register providers the default config and the
+// exploration sweeps cover.
+var DefaultProviders = []string{"adaptive", "abd", "ecreg", "safereg"}
+
+func (c Config) withDefaults() Config {
+	if len(c.Shards) == 0 {
+		for _, p := range DefaultProviders {
+			c.Shards = append(c.Shards, ShardPlan{Provider: p})
+		}
+	}
+	shards := append([]ShardPlan(nil), c.Shards...)
+	for i := range shards {
+		s := &shards[i]
+		if s.F == 0 {
+			s.F = 1
+		}
+		if s.K == 0 {
+			s.K = 2
+		}
+		if s.Provider == "abd" {
+			s.K = 1
+		}
+		if s.DataLen == 0 {
+			s.DataLen = 8
+		}
+	}
+	c.Shards = shards
+	if c.Clients == 0 {
+		c.Clients = 3
+	}
+	if c.OpsPerClient == 0 {
+		c.OpsPerClient = 4
+	}
+	if c.ReadFraction == 0 {
+		c.ReadFraction = 0.4
+	}
+	c.Faults = c.Faults.withDefaults(c.Clients * len(c.Shards))
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 200000
+	}
+	return c
+}
+
+// ShardVerdict is the checker outcome for one shard.
+type ShardVerdict struct {
+	// Shard and Provider identify the emulation.
+	Shard, Provider string
+	// Condition names the consistency condition checked.
+	Condition string
+	// History is the shard's recorded history.
+	History *history.History
+	// Err is nil when the condition holds; otherwise the violation.
+	Err error
+	// Shrunk is the auto-shrunk minimal violating sub-history (violations
+	// only).
+	Shrunk *history.History
+}
+
+// Result is the outcome of one deterministic run.
+type Result struct {
+	Seed             int64
+	Steps            int
+	Reason           dsys.IdleReason
+	CrashedObjects   []int
+	SuspendedObjects []int
+	CrashedClients   []int
+	// Faults is the adversary's fault schedule in injection order.
+	Faults []FaultEvent
+	// Verdicts holds one entry per shard per checked condition.
+	Verdicts []ShardVerdict
+	// Fingerprint is a hash over histories, fault schedule and verdicts; two
+	// runs of the same Config must produce the same fingerprint.
+	Fingerprint string
+}
+
+// Violations returns the verdicts whose condition failed.
+func (r *Result) Violations() []ShardVerdict {
+	var out []ShardVerdict
+	for _, v := range r.Verdicts {
+		if v.Err != nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Failed reports whether any checked condition was violated.
+func (r *Result) Failed() bool { return len(r.Violations()) > 0 }
+
+// conditionFor maps a provider to the consistency condition its emulation
+// claims (and the paper proves): the adaptive algorithm and the replicated /
+// coded baselines are strongly regular; the Appendix E register is only safe.
+func conditionFor(provider string) (string, func(*history.History) error) {
+	if provider == "safereg" {
+		return "strong safety", history.CheckStrongSafety
+	}
+	return "strong regularity", history.CheckStrongRegularity
+}
+
+// clientStride spaces the client IDs of consecutive shards. Run rejects
+// configurations with more clients per shard, which would let two shards'
+// IDs collide (and a KindCrashClient decision kill both tasks at once).
+const clientStride = 100
+
+// clientID assigns globally unique client IDs: shards are strided so that a
+// client's ID also identifies its shard in histories and timestamps.
+func clientID(shardIdx, client int) int { return shardIdx*clientStride + client + 1 }
+
+// Run executes one deterministic simulation. The returned error covers
+// configuration problems only; consistency violations are reported in the
+// Result so that callers can replay and shrink them.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Clients >= clientStride {
+		return nil, fmt.Errorf("sim: at most %d clients per shard (got %d): shard client IDs are strided by %d",
+			clientStride-1, cfg.Clients, clientStride)
+	}
+	specs := make([]shard.Spec, 0, len(cfg.Shards))
+	for i, p := range cfg.Shards {
+		specs = append(specs, shard.Spec{
+			Name:      fmt.Sprintf("s%d-%s", i, p.Provider),
+			Algorithm: p.Provider,
+			Config:    register.Config{F: p.F, K: p.K, DataLen: p.DataLen},
+		})
+	}
+	adv := newAdversary(cfg.Seed, cfg.Faults)
+	set, err := shard.New(specs,
+		dsys.WithControlledMode(),
+		dsys.WithPolicy(adv),
+		dsys.WithMaxSteps(cfg.MaxSteps),
+		dsys.WithoutAccounting(),
+	)
+	if err != nil {
+		return nil, err
+	}
+	cluster := set.Cluster()
+	defer cluster.Close()
+
+	regions := make([]region, 0, len(set.Shards()))
+	for i, sh := range set.Shards() {
+		regions = append(regions, region{base: sh.Base, span: sh.Span, f: cfg.Shards[i].F})
+	}
+	adv.bind(regions)
+
+	// One recorder per shard, stamped with the scheduler's logical clock so
+	// that operation intervals are a pure function of the schedule.
+	recorders := make([]*history.Recorder, len(set.Shards()))
+	for i := range recorders {
+		recorders[i] = history.NewRecorder()
+		recorders[i].SetClock(cluster.LogicalTime)
+	}
+
+	// Spawn every client before Start so tickets — and therefore the whole
+	// schedule — are assigned deterministically.
+	var handles []*dsys.TaskHandle
+	for si, sh := range set.Shards() {
+		for cl := 0; cl < cfg.Clients; cl++ {
+			id := clientID(si, cl)
+			handles = append(handles, cluster.SpawnScoped(id, sh.Base, sh.Span,
+				clientScript(cfg, sh.Reg, recorders[si], id)))
+		}
+	}
+	cluster.Start()
+	reason := cluster.WaitIdle()
+
+	res := &Result{
+		Seed:             cfg.Seed,
+		Steps:            cluster.Steps(),
+		Reason:           reason,
+		CrashedObjects:   cluster.CrashedObjects(),
+		SuspendedObjects: cluster.SuspendedObjects(),
+		CrashedClients:   cluster.CrashedClients(),
+		Faults:           adv.events,
+	}
+	cluster.Close()
+	for _, h := range handles {
+		_ = h.Wait() // crashed clients report ErrHalted; that is their crash
+	}
+
+	for si, sh := range set.Shards() {
+		h := recorders[si].History(value.Zero(cfg.Shards[si].DataLen))
+		cond, check := conditionFor(cfg.Shards[si].Provider)
+		res.Verdicts = append(res.Verdicts, verdict(sh.Name, cfg.Shards[si].Provider, cond, h, check))
+		if cfg.CheckLinearizable {
+			res.Verdicts = append(res.Verdicts,
+				verdict(sh.Name, cfg.Shards[si].Provider, "linearizability", h, history.CheckLinearizability))
+		}
+	}
+	res.Fingerprint = fingerprint(res)
+	return res, nil
+}
+
+// verdict checks one condition over one history, auto-shrinking violations.
+func verdict(name, provider, cond string, h *history.History, check func(*history.History) error) ShardVerdict {
+	v := ShardVerdict{Shard: name, Provider: provider, Condition: cond, History: h, Err: check(h)}
+	if v.Err != nil {
+		v.Shrunk = ShrinkHistory(h, check)
+	}
+	return v
+}
+
+// clientScript builds one client task: a deterministic per-client mix of
+// writes of globally unique values and reads, recorded in the shard's
+// history. Operation errors (a read starved by concurrent writes, a halted
+// cluster after a crash) leave the operation incomplete in the history, which
+// is exactly how the checkers treat an operation whose response never
+// arrived.
+func clientScript(cfg Config, reg register.Register, rec *history.Recorder, id int) func(*dsys.ClientHandle) error {
+	dataLen := reg.Config().DataLen
+	return func(h *dsys.ClientHandle) error {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*1000003))
+		seq := 0
+		for i := 0; i < cfg.OpsPerClient; i++ {
+			if rng.Float64() < cfg.ReadFraction {
+				op := rec.BeginRead(id)
+				v, err := reg.Read(h)
+				if err != nil {
+					if errors.Is(err, dsys.ErrHalted) {
+						return nil
+					}
+					continue
+				}
+				rec.EndRead(op, v)
+			} else {
+				seq++
+				v := value.Sequenced(id, seq, dataLen)
+				op := rec.BeginWrite(id, v)
+				if err := reg.Write(h, v); err != nil {
+					if errors.Is(err, dsys.ErrHalted) {
+						return nil
+					}
+					continue
+				}
+				rec.EndWrite(op)
+			}
+		}
+		return nil
+	}
+}
+
+// fingerprint hashes everything observable about the run: per-shard histories
+// (operations with their logical intervals and values), the fault schedule,
+// the scheduling step count and idle reason, and every checker verdict.
+func fingerprint(r *Result) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "steps=%d reason=%s\n", r.Steps, r.Reason)
+	fmt.Fprintf(h, "crashed=%v suspended=%v clients=%v\n", r.CrashedObjects, r.SuspendedObjects, r.CrashedClients)
+	for _, ev := range r.Faults {
+		fmt.Fprintf(h, "fault %s\n", ev)
+	}
+	for _, v := range r.Verdicts {
+		fmt.Fprintf(h, "shard %s condition %s err=%v\n", v.Shard, v.Condition, v.Err)
+		for _, op := range v.History.Ops {
+			fmt.Fprintf(h, "op c%d #%d %v @%d-%d ", op.Client, op.ID, op.Kind, op.Invoked, op.Returned)
+			h.Write(op.Value.Bytes())
+			fmt.Fprintln(h)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Replay re-executes a seed's schedule and verifies that it reproduces the
+// given fingerprint byte for byte. It is how a failure found by an
+// exploration sweep is turned into a deterministic reproducer: persist the
+// failing Config (usually just the seed) and fingerprint, then Replay in a
+// test or debugger as often as needed.
+func Replay(cfg Config, wantFingerprint string) (*Result, error) {
+	res, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if wantFingerprint != "" && res.Fingerprint != wantFingerprint {
+		return res, fmt.Errorf("sim: replay of seed %d diverged: fingerprint %s, want %s",
+			cfg.Seed, res.Fingerprint, wantFingerprint)
+	}
+	return res, nil
+}
+
+// Explore runs n seeds starting at baseSeed and returns the failing results.
+func Explore(cfg Config, baseSeed int64, n int) ([]*Result, error) {
+	var failures []*Result
+	for i := 0; i < n; i++ {
+		cfg.Seed = baseSeed + int64(i)
+		res, err := Run(cfg)
+		if err != nil {
+			return failures, err
+		}
+		if res.Failed() {
+			failures = append(failures, res)
+		}
+	}
+	return failures, nil
+}
+
+// FormatFailure renders a failing result as a replayable report: the seed,
+// the fault schedule, and each violation with its shrunken history.
+func FormatFailure(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d: %d steps, reason %s, fingerprint %s\n", r.Seed, r.Steps, r.Reason, r.Fingerprint)
+	if len(r.Faults) > 0 {
+		fmt.Fprintf(&b, "fault schedule:\n")
+		for _, ev := range r.Faults {
+			fmt.Fprintf(&b, "  %s\n", ev)
+		}
+	}
+	for _, v := range r.Violations() {
+		fmt.Fprintf(&b, "shard %s (%s) violates %s: %v\n", v.Shard, v.Provider, v.Condition, v.Err)
+		fmt.Fprintf(&b, "minimal failing history (%d of %d events):\n", len(v.Shrunk.Ops), len(v.History.Ops))
+		for _, op := range v.Shrunk.Ops {
+			fmt.Fprintf(&b, "  %v\n", op)
+		}
+	}
+	return b.String()
+}

@@ -113,6 +113,10 @@ type Options struct {
 	// Batch.MaxSize queued RMWs in a single service period. Per-shard
 	// regularity is preserved; storage accounting stays exact.
 	Batch BatchOptions
+	// Faults enables opt-in crash/restart fault injection against the live
+	// store (zero value: disabled). Never more than F nodes per shard are
+	// down at once, so a healthy store stays available throughout.
+	Faults FaultOptions
 }
 
 // BatchOptions configures the batched quorum engine. The zero value disables
@@ -176,8 +180,9 @@ func (o Options) withDefaults() Options {
 // operating on keys that route to different shards never contend on a shared
 // lock.
 type Store struct {
-	set *shard.Set
-	def *shard.Shard
+	set    *shard.Set
+	def    *shard.Shard
+	faults faultInjector
 }
 
 // Open builds the register shards and their shared simulated cluster.
@@ -213,7 +218,11 @@ func Open(opts Options) (*Store, error) {
 	if opts.Batch.enabled() {
 		set.EnableBatching(batch)
 	}
-	return &Store{set: set, def: set.Shards()[0]}, nil
+	store := &Store{set: set, def: set.Shards()[0]}
+	if opts.Faults.enabled() {
+		store.faults.start(store, opts.Faults)
+	}
+	return store, nil
 }
 
 // Algorithm returns the name of the default (first) shard's emulation.
@@ -303,6 +312,30 @@ func (s *Store) CrashShardNode(key string, node int) error {
 	return s.set.CrashNode(s.set.ForKey(key).Name, node)
 }
 
+// RestartNode brings a crashed node back with the state it had when it
+// crashed (fail-recover). Writes that raced the crash window are lost on that
+// node, exactly like messages to a down replica; the quorum protocols repair
+// on the next operations.
+func (s *Store) RestartNode(id int) error { return s.set.Cluster().RestartObject(id) }
+
+// FaultStats reports the injected crash/restart counts (zero when fault
+// injection is disabled).
+func (s *Store) FaultStats() FaultStats { return s.faults.Stats() }
+
+// BatchStats reports the group-commit amortization across all shards:
+// operations completed through the batchers and the physical quorum rounds
+// that carried them. All zeros when batching is disabled.
+type BatchStats struct {
+	Writes, Reads           int
+	WriteRounds, ReadRounds int
+}
+
+// BatchStats returns the store-wide group-commit counters.
+func (s *Store) BatchStats() BatchStats {
+	st := s.set.BatchStats()
+	return BatchStats{Writes: st.Writes, Reads: st.Reads, WriteRounds: st.WriteRounds, ReadRounds: st.ReadRounds}
+}
+
 // StorageBits returns the current storage cost in bits: the code-block bits
 // held by all base objects (meta-data excluded), per the paper's
 // Definition 2. It equals the sum of ShardStorageBits over all shards.
@@ -341,5 +374,8 @@ func (s *Store) StorageBreakdown() (total int, perShard map[string]int) {
 // StorageSnapshot returns the full storage breakdown across all shards.
 func (s *Store) StorageSnapshot() *storagecost.Snapshot { return s.set.StorageSnapshot() }
 
-// Close shuts the simulated cluster down.
-func (s *Store) Close() { s.set.Close() }
+// Close stops fault injection and shuts the simulated cluster down.
+func (s *Store) Close() {
+	s.faults.halt()
+	s.set.Close()
+}
