@@ -12,7 +12,7 @@ SIM_SMOKE_SEEDS ?= 50
 # Fuzzing budget for the checker fuzz smoke.
 FUZZ_TIME ?= 20s
 
-.PHONY: build test race bench bench-json bench-check cover fmt-check examples sim-smoke sim-soak fuzz-smoke
+.PHONY: build test race bench bench-json bench-check cover fmt-check examples sim-smoke sim-soak sim-soak-reconfig fuzz-smoke
 
 # Compile everything and run static checks.
 build:
@@ -58,14 +58,23 @@ fmt-check:
 	fi
 
 # Quick deterministic fault-schedule sweep (PR CI): every provider ×
-# concurrent/sequential/mixed configuration, plus the live batched churn
-# smoke. Fails with a replayable report in sim-failures.txt.
+# concurrent/sequential/reconfig/mixed configuration — the reconfig legs run
+# a split and a drain mid-traffic and check the stitched cross-epoch
+# histories — plus the live batched churn smoke. Fails with a replayable
+# report in sim-failures.txt.
 sim-smoke:
 	$(GO) run ./cmd/spacebench -sim -seeds $(SIM_SMOKE_SEEDS) -sim-out sim-failures.txt
 
 # Nightly soak: the same sweep at full depth.
 sim-soak:
 	$(GO) run ./cmd/spacebench -sim -seeds $(SIM_SEEDS) -sim-out sim-failures.txt
+
+# Nightly reconfiguration-heavy soak: two splits and two drains per run under
+# more clients and operations, so migration chains (splitting a successor,
+# draining a split child) and dual-epoch reads get deep coverage.
+sim-soak-reconfig:
+	$(GO) run ./cmd/spacebench -sim -seeds $(SIM_SEEDS) -sim-clients 4 -sim-ops 6 \
+		-sim-reconfig-splits 2 -sim-reconfig-drains 2 -sim-live=false -sim-out sim-failures-reconfig.txt
 
 # Short coverage-guided fuzz of the history checkers (consistency-condition
 # hierarchy and checker determinism).

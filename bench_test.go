@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -280,14 +281,19 @@ func BenchmarkShardedLiveThroughput(b *testing.B) {
 	for _, tc := range []struct {
 		shards, clients int
 		batch           bool
+		split           bool // live SplitShard("s0") at the half-way mark
 	}{
-		{1, 8, false},
-		{8, 8, false},
-		{1, 32, false},
-		{1, 32, true},
-		{8, 32, true},
+		{1, 8, false, false},
+		{8, 8, false, false},
+		{1, 32, false, false},
+		{1, 32, true, false},
+		{8, 32, true, false},
+		{4, 32, true, true},
 	} {
 		name := fmt.Sprintf("shards=%d/clients=%d/batch=%s", tc.shards, tc.clients, onOff(tc.batch))
+		if tc.split {
+			name += "/split=mid"
+		}
 		b.Run(name, func(b *testing.B) {
 			// Give every client its own scheduling context even on small
 			// machines so the concurrent quorum rounds actually overlap.
@@ -312,6 +318,30 @@ func BenchmarkShardedLiveThroughput(b *testing.B) {
 			clients := tc.clients
 			b.ResetTimer()
 			start := time.Now()
+			var completed atomic.Int64
+			splitDone := make(chan error, 1)
+			workersDone := make(chan struct{})
+			if tc.split {
+				// Live elastic resharding at the half-way mark: the store must
+				// absorb the split with zero failed operations (the ops/s the
+				// gate tracks then includes the migration's cost). The wait
+				// also exits when the workers finish — if one errored out via
+				// b.Error before the threshold, the benchmark must report that
+				// instead of hanging on splitDone.
+				go func() {
+					threshold := int64(b.N / 2)
+					for completed.Load() < threshold {
+						select {
+						case <-workersDone:
+							splitDone <- nil
+							return
+						case <-time.After(50 * time.Microsecond):
+						}
+					}
+					_, err := store.SplitShard("s0")
+					splitDone <- err
+				}()
+			}
 			var wg sync.WaitGroup
 			for cl := 1; cl <= clients; cl++ {
 				cl := cl
@@ -332,6 +362,7 @@ func BenchmarkShardedLiveThroughput(b *testing.B) {
 								b.Error(err)
 								return
 							}
+							completed.Add(1)
 							continue
 						}
 						payload[0] = byte(i)
@@ -339,10 +370,17 @@ func BenchmarkShardedLiveThroughput(b *testing.B) {
 							b.Error(err)
 							return
 						}
+						completed.Add(1)
 					}
 				}()
 			}
 			wg.Wait()
+			close(workersDone)
+			if tc.split {
+				if err := <-splitDone; err != nil {
+					b.Fatalf("live split: %v", err)
+				}
+			}
 			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
 		})
 	}

@@ -203,11 +203,26 @@ func Compare(base, cur *Record, tolerance float64) []Delta {
 	return deltas
 }
 
+// ValidateBaseline rejects baseline records that cannot gate anything: an
+// entry with non-positive throughput would turn the regression check into a
+// division by zero (or a silent pass), so it is reported by name instead.
+func ValidateBaseline(rec *Record) error {
+	for _, b := range rec.Benchmarks {
+		if b.OpsPerSec <= 0 {
+			return fmt.Errorf("baseline benchmark %q has non-positive ops_per_sec %v; regenerate the baseline", b.Name, b.OpsPerSec)
+		}
+	}
+	return nil
+}
+
 // runCompare loads both records, prints the diff, and returns an error when
 // any benchmark regressed beyond the tolerance.
 func runCompare(baselinePath, currentPath string, tolerance float64) error {
 	base, err := load(baselinePath)
 	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	if err := ValidateBaseline(base); err != nil {
 		return fmt.Errorf("baseline: %w", err)
 	}
 	cur, err := load(currentPath)

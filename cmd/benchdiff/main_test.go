@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -72,5 +75,46 @@ func TestCompare(t *testing.T) {
 	}
 	if got["new"].Regressed || !got["new"].NewBenchmark {
 		t.Fatal("new benchmark must be reported without failing")
+	}
+}
+
+func TestValidateBaselineRejectsZeroThroughput(t *testing.T) {
+	bad := &Record{Benchmarks: []Benchmark{
+		{Name: "ok", OpsPerSec: 100},
+		{Name: "BenchmarkBroken/batch=on", OpsPerSec: 0},
+	}}
+	err := ValidateBaseline(bad)
+	if err == nil {
+		t.Fatal("baseline with ops_per_sec 0 accepted")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkBroken/batch=on") {
+		t.Fatalf("error does not name the malformed benchmark: %v", err)
+	}
+	if err := ValidateBaseline(&Record{Benchmarks: []Benchmark{{Name: "ok", OpsPerSec: 1}}}); err != nil {
+		t.Fatalf("healthy baseline rejected: %v", err)
+	}
+}
+
+func TestRunCompareFailsOnMalformedBaseline(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rec *Record) string {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", &Record{Benchmarks: []Benchmark{{Name: "zeroed", OpsPerSec: 0}}})
+	cur := write("cur.json", &Record{Benchmarks: []Benchmark{{Name: "zeroed", OpsPerSec: 10}}})
+	err := runCompare(base, cur, 0.25)
+	if err == nil {
+		t.Fatal("compare against a zero-throughput baseline must fail")
+	}
+	if !strings.Contains(err.Error(), "zeroed") {
+		t.Fatalf("error does not name the benchmark: %v", err)
 	}
 }

@@ -62,16 +62,20 @@ type cliConfig struct {
 	batch       int
 	batchDelay  time.Duration
 	arrivalRate float64
+	split       string
+	resizeAt    int
 
 	// Simulation mode.
-	sim          bool
-	seeds        int
-	simProviders string
-	simShards    int
-	simClients   int
-	simOps       int
-	simLive      bool
-	simOut       string
+	sim             bool
+	seeds           int
+	simProviders    string
+	simShards       int
+	simClients      int
+	simOps          int
+	simLive         bool
+	simOut          string
+	simReconfSplits int
+	simReconfDrains int
 }
 
 // parseArgs parses command-line arguments. Usage and error text go to
@@ -101,6 +105,8 @@ func parseArgs(args []string, errOut io.Writer) (*cliConfig, error) {
 	fs.IntVar(&c.batch, "batch", 0, "batched quorum engine: max ops per shared round and RMWs per node service period; 0 disables (throughput mode)")
 	fs.DurationVar(&c.batchDelay, "batch-delay", 0, "how long an idle shard waits for a batch to fill before dispatching (throughput mode)")
 	fs.Float64Var(&c.arrivalRate, "arrival-rate", 0, "open-loop arrivals per second per client; 0 keeps the closed loop (throughput mode)")
+	fs.StringVar(&c.split, "split", "", "live-split this shard mid-run and report throughput before/after (throughput mode)")
+	fs.IntVar(&c.resizeAt, "resize-at", 0, "completed-op threshold that triggers -split; 0 means half the scheduled operations (throughput mode)")
 
 	fs.BoolVar(&c.sim, "sim", false, "explore seeded adversarial fault schedules with the deterministic simulator")
 	fs.IntVar(&c.seeds, "seeds", 50, "number of seeds per simulated configuration (sim mode)")
@@ -111,6 +117,8 @@ func parseArgs(args []string, errOut io.Writer) (*cliConfig, error) {
 	fs.IntVar(&c.simOps, "sim-ops", 4, "operations per client (sim mode)")
 	fs.BoolVar(&c.simLive, "sim-live", true, "also smoke the live batched engine under crash/restart churn per provider (sim mode)")
 	fs.StringVar(&c.simOut, "sim-out", "", "write the failure report (seeds, shrunken histories) to this file (sim mode)")
+	fs.IntVar(&c.simReconfSplits, "sim-reconfig-splits", 1, "splits per reconfiguration-enabled sweep configuration; 0 with -sim-reconfig-drains=0 disables the reconfig sweep (sim mode)")
+	fs.IntVar(&c.simReconfDrains, "sim-reconfig-drains", 1, "drains per reconfiguration-enabled sweep configuration (sim mode)")
 
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -155,11 +163,13 @@ type simConfiguration struct {
 }
 
 // simSweep builds the configuration matrix: every provider × the requested
-// shard count with concurrent clients, a mixed-provider configuration, and a
-// sequential (single-client) configuration per provider that additionally
-// checks linearizability — sequential operations make regularity and
-// atomicity coincide, so the Wing&Gong checker is sound there.
-func simSweep(providers []string, shards, clients, ops int) []simConfiguration {
+// shard count with concurrent clients, a sequential (single-client)
+// configuration per provider that additionally checks linearizability —
+// sequential operations make regularity and atomicity coincide, so the
+// Wing&Gong checker is sound there — a reconfiguration-enabled configuration
+// per provider (splits and drains land mid-run and the stitched cross-epoch
+// histories are checked), and a mixed-provider configuration.
+func simSweep(providers []string, shards, clients, ops int, reconfig sim.ReconfigPlan) []simConfiguration {
 	var out []simConfiguration
 	for _, p := range providers {
 		plans := make([]sim.ShardPlan, shards)
@@ -179,6 +189,17 @@ func simSweep(providers []string, shards, clients, ops int) []simConfiguration {
 				CheckLinearizable: true,
 			},
 		})
+		if reconfig.Splits > 0 || reconfig.Drains > 0 {
+			out = append(out, simConfiguration{
+				name: fmt.Sprintf("%s reconfig", p),
+				cfg: sim.Config{
+					Shards:       plans,
+					Clients:      clients,
+					OpsPerClient: ops + 2,
+					Reconfig:     reconfig,
+				},
+			})
+		}
 	}
 	if len(providers) > 1 {
 		plans := make([]sim.ShardPlan, len(providers))
@@ -189,6 +210,12 @@ func simSweep(providers []string, shards, clients, ops int) []simConfiguration {
 			name: "mixed providers",
 			cfg:  sim.Config{Shards: plans, Clients: clients, OpsPerClient: ops},
 		})
+		if reconfig.Splits > 0 || reconfig.Drains > 0 {
+			out = append(out, simConfiguration{
+				name: "mixed reconfig",
+				cfg:  sim.Config{Shards: plans, Clients: clients, OpsPerClient: ops, Reconfig: reconfig},
+			})
+		}
 	}
 	return out
 }
@@ -204,7 +231,8 @@ func runSim(c *cliConfig, out io.Writer) error {
 	for i := range providers {
 		providers[i] = strings.TrimSpace(providers[i])
 	}
-	sweep := simSweep(providers, c.simShards, c.simClients, c.simOps)
+	sweep := simSweep(providers, c.simShards, c.simClients, c.simOps,
+		sim.ReconfigPlan{Splits: c.simReconfSplits, Drains: c.simReconfDrains})
 	var failures []*sim.Result
 	for _, sc := range sweep {
 		fails, err := sim.Explore(sc.cfg, c.seed, c.seeds)
@@ -381,6 +409,13 @@ func runThroughput(c *cliConfig, out io.Writer) error {
 		Seed:         seed,
 		ArrivalRate:  c.arrivalRate,
 	}
+	if c.split != "" {
+		at := c.resizeAt
+		if at <= 0 {
+			at = clients * ops / 2
+		}
+		spec.Reconfig = []workload.ReconfigMove{{AfterOps: at, Split: c.split}}
+	}
 	start := time.Now()
 	res, err := workload.RunSharded(set, spec)
 	if err != nil {
@@ -398,6 +433,15 @@ func runThroughput(c *cliConfig, out io.Writer) error {
 	}
 	if c.arrivalRate > 0 {
 		fmt.Fprintf(out, "  open loop: %.0f arrivals/s per client\n", c.arrivalRate)
+	}
+	for _, ar := range res.Reconfigs {
+		if ar.Err != "" {
+			fmt.Fprintf(out, "  reconfig: split %s FAILED: %s\n", ar.Move.Split, ar.Err)
+			continue
+		}
+		fmt.Fprintf(out, "  reconfig: split %s -> %v after %d ops in %v; %.0f ops/s before -> %.0f ops/s after\n",
+			ar.Move.Split, ar.Successors, ar.TriggeredAtOps, ar.Took.Round(time.Millisecond),
+			ar.OpsPerSecBefore, ar.OpsPerSecAfter)
 	}
 	fmt.Fprintf(out, "  completed: %d ops (%d writes, %d reads) in %v  ->  %.0f ops/s\n",
 		total, res.CompletedWrites, res.CompletedReads, elapsed.Round(time.Millisecond),

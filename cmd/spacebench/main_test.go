@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"spacebounds/internal/sim"
 )
 
 func mustParse(t *testing.T, args ...string) *cliConfig {
@@ -111,17 +113,19 @@ func TestThroughputRejectsBadShardCount(t *testing.T) {
 }
 
 func TestSimSweepMatrix(t *testing.T) {
-	sweep := simSweep([]string{"adaptive", "abd"}, 2, 3, 4)
-	// Two providers -> concurrent + sequential each, plus the mixed config.
-	if len(sweep) != 5 {
-		t.Fatalf("sweep has %d configurations, want 5", len(sweep))
+	sweep := simSweep([]string{"adaptive", "abd"}, 2, 3, 4, sim.ReconfigPlan{Splits: 1, Drains: 1})
+	// Two providers -> concurrent + sequential + reconfig each, plus the
+	// mixed and mixed-reconfig configs.
+	if len(sweep) != 8 {
+		t.Fatalf("sweep has %d configurations, want 8", len(sweep))
 	}
 	names := make([]string, 0, len(sweep))
 	for _, sc := range sweep {
 		names = append(names, sc.name)
 	}
 	joined := strings.Join(names, ";")
-	for _, want := range []string{"adaptive x2", "adaptive sequential", "abd x2", "abd sequential", "mixed providers"} {
+	for _, want := range []string{"adaptive x2", "adaptive sequential", "adaptive reconfig",
+		"abd x2", "abd sequential", "abd reconfig", "mixed providers", "mixed reconfig"} {
 		if !strings.Contains(joined, want) {
 			t.Fatalf("sweep missing %q: %v", want, names)
 		}
@@ -134,6 +138,14 @@ func TestSimSweepMatrix(t *testing.T) {
 		} else if sc.cfg.CheckLinearizable {
 			t.Fatalf("concurrent config %q must not claim linearizability", sc.name)
 		}
+		hasPlan := sc.cfg.Reconfig.Splits > 0 || sc.cfg.Reconfig.Drains > 0
+		if strings.Contains(sc.name, "reconfig") != hasPlan {
+			t.Fatalf("config %q reconfig plan mismatch: %+v", sc.name, sc.cfg.Reconfig)
+		}
+	}
+	// Disabling the plan removes the reconfig configurations.
+	if n := len(simSweep([]string{"adaptive"}, 2, 3, 4, sim.ReconfigPlan{})); n != 2 {
+		t.Fatalf("plan-less sweep has %d configurations, want 2", n)
 	}
 }
 
@@ -149,9 +161,10 @@ func TestSimEndToEndSmoke(t *testing.T) {
 	out := buf.String()
 	for _, want := range []string{
 		"adaptive x1", "abd x1", "adaptive sequential", "mixed providers",
+		"adaptive reconfig", "abd reconfig", "mixed reconfig",
 		"seeds 11..13: ok",
 		"sim live adaptive", "sim live abd",
-		"swept 5 configurations x 3 seeds, 0 failing seeds",
+		"swept 8 configurations x 3 seeds, 0 failing seeds",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("sim output missing %q:\n%s", want, out)

@@ -68,14 +68,13 @@ func (fi *faultInjector) start(s *Store, opts FaultOptions) {
 	go func() {
 		defer fi.wg.Done()
 		rng := rand.New(rand.NewSource(seed))
-		shards := s.set.Shards()
 		type outage struct {
 			since time.Time
 			node  int // global object ID
-			shard int
+			shard string
 		}
 		var down []outage
-		downIn := make(map[int]int) // shard index -> nodes currently down
+		downIn := make(map[string]int) // shard name -> nodes currently down
 		isDown := func(node int) bool {
 			for _, o := range down {
 				if o.node == node {
@@ -91,28 +90,32 @@ func (fi *faultInjector) start(s *Store, opts FaultOptions) {
 			case <-fi.stop:
 				return
 			case now := <-ticker.C:
-				// Restart nodes whose downtime has elapsed.
+				// Restart nodes whose downtime has elapsed. A node whose shard
+				// was retired by a reconfiguration in the meantime cannot be
+				// restarted; its outage is simply dropped with the region.
 				if opts.Downtime > 0 {
 					kept := down[:0]
 					for _, o := range down {
 						if now.Sub(o.since) >= opts.Downtime {
-							if err := s.set.Cluster().RestartObject(o.node); err == nil {
-								downIn[o.shard]--
+							downIn[o.shard]--
+							if s.set.Cluster().RestartObject(o.node) == nil {
 								fi.mu.Lock()
 								fi.stats.Restarts++
 								fi.mu.Unlock()
-								continue
 							}
+							continue
 						}
 						kept = append(kept, o)
 					}
 					down = kept
 				}
 				// One crash attempt: a random node of a random shard, only if
-				// the shard still has crash budget (down < F).
-				si := rng.Intn(len(shards))
-				sh := shards[si]
-				if downIn[si] >= sh.Reg.Config().F {
+				// the shard still has crash budget (down < F). The shard list
+				// is re-read every tick so the injector follows reconfiguration
+				// (new regions become targets, retired regions stop being hit).
+				shards := s.set.Shards()
+				sh := shards[rng.Intn(len(shards))]
+				if downIn[sh.Name] >= sh.Reg.Config().F {
 					continue
 				}
 				node := sh.Base + rng.Intn(sh.Span)
@@ -122,8 +125,8 @@ func (fi *faultInjector) start(s *Store, opts FaultOptions) {
 				if err := s.set.Cluster().CrashObject(node); err != nil {
 					continue
 				}
-				down = append(down, outage{since: now, node: node, shard: si})
-				downIn[si]++
+				down = append(down, outage{since: now, node: node, shard: sh.Name})
+				downIn[sh.Name]++
 				fi.mu.Lock()
 				fi.stats.Crashes++
 				fi.mu.Unlock()

@@ -40,7 +40,7 @@ func TestLiveBatchCoalescesServicePeriods(t *testing.T) {
 	}
 	wg.Wait()
 
-	if got := c.objects[0].applied; got != rmws {
+	if got := c.objs()[0].applied; got != rmws {
 		t.Fatalf("applied = %d, want %d", got, rmws)
 	}
 	periods := c.LiveServicePeriods()
@@ -135,9 +135,9 @@ func TestLiveBatchChannelAccounting(t *testing.T) {
 	// period (the server sleeps latency before applying anything).
 	deadline := time.Now().Add(latency / 2)
 	for {
-		c.objects[0].qmu.Lock()
-		queued := len(c.objects[0].queue)
-		c.objects[0].qmu.Unlock()
+		c.objs()[0].qmu.Lock()
+		queued := len(c.objs()[0].queue)
+		c.objs()[0].qmu.Unlock()
 		if queued == rmws {
 			break
 		}

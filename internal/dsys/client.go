@@ -24,6 +24,32 @@ type ClientHandle struct {
 // ID returns the client's identifier.
 func (h *ClientHandle) ID() int { return h.id }
 
+// Sub derives a handle for the same client and task, scoped to the contiguous
+// sub-region [base, base+span) of this handle's scope (for a whole-cluster
+// handle, absolute object IDs). It is how one client task runs register
+// operations against several shard regions — the reconfiguration migration
+// writer reads the old region and seeds the successors through Sub handles —
+// without spawning a task per region, which matters in controlled mode where
+// a task can only join another task by busy-waiting.
+//
+// A region-scoped parent (base > 0) can only narrow its own scope — handing a
+// shard's handle out must not let it reach other shards' objects. A
+// whole-cluster parent (base 0) may sub-scope anywhere in the *current*
+// cluster, including regions grown after the parent was created: routing
+// clients and the migration writer hold whole-cluster handles precisely so
+// they can follow reconfiguration. The derived handle shares the parent's
+// task and must not be used concurrently with it.
+func (h *ClientHandle) Sub(base, span int) (*ClientHandle, error) {
+	limit := h.span
+	if h.base == 0 {
+		limit = h.c.N()
+	}
+	if base < 0 || span < 1 || base+span > limit {
+		return nil, fmt.Errorf("%w: sub-scope [%d,%d)", ErrUnknownObject, base, base+span)
+	}
+	return &ClientHandle{c: h.c, id: h.id, task: h.task, base: h.base + base, span: span}, nil
+}
+
 // N returns the number of base objects visible to this handle (the scope's
 // span; the whole cluster for handles created by Spawn).
 func (h *ClientHandle) N() int { return h.span }
@@ -180,10 +206,11 @@ func (h *ClientHandle) invokeLive(targets []int, makeRMW func(obj int) RMW, quor
 	if c.opts.liveLatency > 0 {
 		return h.invokeLiveLatency(targets, makeRMW, quorum)
 	}
+	objects := c.objs()
 	resp := make(map[int]any, len(targets))
 	for _, objID := range targets {
-		obj := c.objects[h.base+objID]
-		if obj.crashed.Load() {
+		obj := objects[h.base+objID]
+		if obj.crashed.Load() || obj.retired.Load() {
 			continue
 		}
 		rmw := makeRMW(objID)
@@ -219,11 +246,12 @@ func (h *ClientHandle) invokeLiveLatency(targets []int, makeRMW func(obj int) RM
 		resp any
 		ok   bool
 	}
+	objects := c.objs()
 	ch := make(chan result, len(targets))
 	dispatched := 0
 	for _, objID := range targets {
-		obj := c.objects[h.base+objID]
-		if obj.crashed.Load() {
+		obj := objects[h.base+objID]
+		if obj.crashed.Load() || obj.retired.Load() {
 			continue
 		}
 		rmw := makeRMW(objID)
@@ -233,7 +261,7 @@ func (h *ClientHandle) invokeLiveLatency(targets []int, makeRMW func(obj int) RM
 			defer c.wg.Done()
 			obj.liveMu.Lock()
 			time.Sleep(c.opts.liveLatency)
-			if obj.crashed.Load() {
+			if obj.crashed.Load() || obj.retired.Load() {
 				obj.liveMu.Unlock()
 				ch <- result{obj: objID}
 				return
@@ -266,11 +294,12 @@ func (h *ClientHandle) invokeLiveLatency(targets []int, makeRMW func(obj int) RM
 // take effect later.
 func (h *ClientHandle) invokeLiveBatched(targets []int, makeRMW func(obj int) RMW, quorum int) (map[int]any, error) {
 	c := h.c
+	objects := c.objs()
 	ch := make(chan liveResult, len(targets))
 	dispatched := 0
 	for _, objID := range targets {
-		obj := c.objects[h.base+objID]
-		if obj.crashed.Load() {
+		obj := objects[h.base+objID]
+		if obj.crashed.Load() || obj.retired.Load() {
 			continue
 		}
 		if c.enqueueLive(obj, &liveReq{rmw: makeRMW(objID), client: h.id, obj: objID, ch: ch}) {

@@ -105,6 +105,8 @@ const (
 	TraceSuspend     TraceEventKind = "suspend"
 	TraceResume      TraceEventKind = "resume"
 	TraceClientCrash TraceEventKind = "client-crash"
+	TraceExtend      TraceEventKind = "extend"
+	TraceRetire      TraceEventKind = "retire"
 )
 
 // TraceEvent describes one scheduling event.
@@ -152,8 +154,15 @@ type object struct {
 	// arbitrarily slow base objects" adversary of the model, as opposed to a
 	// crash, which is permanent unless RestartObject is called.
 	suspended atomic.Bool
-	applied   int
-	liveMu    sync.Mutex // serializes Apply in live mode
+	// retired marks the object permanently decommissioned by reconfiguration:
+	// its region was drained and its state deallocated. A retired object never
+	// applies RMWs again and its blocks no longer count toward storage
+	// (Definition 2 — the bits physically left the system), which is how the
+	// accounting stays exact when a reconfiguration replaces one region by
+	// another. Unlike a crash, retirement cannot be undone.
+	retired atomic.Bool
+	applied int
+	liveMu  sync.Mutex // serializes Apply in live mode
 
 	// Batched live-mode service queue (used only when both WithLiveLatency
 	// and WithLiveBatch are active). Enqueued RMWs are drained by the
@@ -218,7 +227,11 @@ type Cluster struct {
 	cond *sync.Cond
 	opts options
 
-	objects []*object
+	// objsPtr holds the base-object list. It is read lock-free on the live
+	// fast path and grown copy-on-write (under c.mu) by ExtendObjects, so a
+	// reconfiguration can add regions to a running cluster without making hot
+	// clients take a lock. Use c.objs() to read it.
+	objsPtr atomic.Pointer[[]*object]
 
 	started     bool
 	halted      bool
@@ -261,6 +274,11 @@ func (c *Cluster) stripeFor(client int) *clientStripe {
 	return &c.stripes[uint(client)%numClientStripes]
 }
 
+// objs returns the current base-object list. The returned slice is immutable:
+// growth replaces the whole slice, so holding a snapshot across an operation
+// is always safe.
+func (c *Cluster) objs() []*object { return *c.objsPtr.Load() }
+
 // NewCluster creates a cluster with the given initial base-object states.
 // The default configuration is controlled mode with FairPolicy and storage
 // accounting enabled.
@@ -275,9 +293,11 @@ func NewCluster(states []State, opts ...Option) *Cluster {
 		c.stripes[i].seq = make(map[int]int)
 		c.stripes[i].blocks = make(map[int][]BlockRef)
 	}
+	objects := make([]*object, 0, len(states))
 	for i, s := range states {
-		c.objects = append(c.objects, &object{id: i, state: s})
+		objects = append(objects, &object{id: i, state: s})
 	}
+	c.objsPtr.Store(&objects)
 	if o.accounting {
 		c.acct = storagecost.NewAccountant(o.keepSeries)
 	}
@@ -288,8 +308,99 @@ func NewCluster(states []State, opts ...Option) *Cluster {
 	return c
 }
 
-// N returns the number of base objects.
-func (c *Cluster) N() int { return len(c.objects) }
+// N returns the number of base objects, retired ones included (object IDs are
+// never reused).
+func (c *Cluster) N() int { return len(c.objs()) }
+
+// LiveObjectCount returns the number of base objects that have not been
+// retired by reconfiguration.
+func (c *Cluster) LiveObjectCount() int {
+	n := 0
+	for _, o := range c.objs() {
+		if !o.retired.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// ExtendObjects appends new base objects holding the given initial states to
+// a running cluster and returns the global ID of the first one. This is the
+// growth half of dynamic reconfiguration: a new shard region comes into
+// existence with its register's initial states, and storage accounting covers
+// it from the moment it exists. The object list is replaced copy-on-write, so
+// concurrent live-path clients keep working on their snapshot.
+func (c *Cluster) ExtendObjects(states []State) (int, error) {
+	if len(states) == 0 {
+		return 0, fmt.Errorf("dsys: ExtendObjects with no states")
+	}
+	c.mu.Lock()
+	cur := c.objs()
+	base := len(cur)
+	grown := make([]*object, base, base+len(states))
+	copy(grown, cur)
+	for i, s := range states {
+		grown = append(grown, &object{id: base + i, state: s})
+	}
+	c.objsPtr.Store(&grown)
+	c.idleReason = ""
+	step := c.steps
+	tracer := c.opts.tracer
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	if tracer != nil {
+		tracer(TraceEvent{Step: step, Kind: TraceExtend, Object: base})
+	}
+	return base, nil
+}
+
+// RetireObjects permanently decommissions the contiguous object region
+// [base, base+span): the objects never apply RMWs again and their states stop
+// counting toward storage, exactly as if the nodes had been unplugged after a
+// drain. Retirement is the terminal lifecycle state of a region; callers must
+// only retire regions whose shard has been drained (no routed operations), or
+// in-flight operations on the region will fail their quorums.
+func (c *Cluster) RetireObjects(base, span int) error {
+	c.mu.Lock()
+	objects := c.objs()
+	if base < 0 || span < 1 || base+span > len(objects) {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: retire region [%d,%d)", ErrUnknownObject, base, base+span)
+	}
+	for i := base; i < base+span; i++ {
+		objects[i].retired.Store(true)
+	}
+	c.idleReason = ""
+	step := c.steps
+	tracer := c.opts.tracer
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	// Wake batched live-mode servers so queued RMWs on the retired objects are
+	// answered instead of waiting out a service period.
+	for i := base; i < base+span; i++ {
+		o := objects[i]
+		o.qmu.Lock()
+		if o.qcond != nil {
+			o.qcond.Broadcast()
+		}
+		o.qmu.Unlock()
+	}
+	if tracer != nil {
+		tracer(TraceEvent{Step: step, Kind: TraceRetire, Object: base})
+	}
+	return nil
+}
+
+// RetiredObjects returns the IDs of retired base objects.
+func (c *Cluster) RetiredObjects() []int {
+	var out []int
+	for _, o := range c.objs() {
+		if o.retired.Load() {
+			out = append(out, o.id)
+		}
+	}
+	return out
+}
 
 // Mode returns the cluster's scheduling mode.
 func (c *Cluster) Mode() Mode { return c.opts.mode }
@@ -300,10 +411,11 @@ func (c *Cluster) Mode() Mode { return c.opts.mode }
 func (c *Cluster) ObjectState(i int) State {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if i < 0 || i >= len(c.objects) {
+	objects := c.objs()
+	if i < 0 || i >= len(objects) {
 		return nil
 	}
-	return c.objects[i].state
+	return objects[i].state
 }
 
 // Accountant returns the storage accountant (nil if accounting is disabled).
@@ -348,7 +460,7 @@ func (c *Cluster) Close() {
 	if c.liveHalted.CompareAndSwap(false, true) {
 		close(c.closed)
 	}
-	for _, o := range c.objects {
+	for _, o := range c.objs() {
 		o.qmu.Lock()
 		if o.qcond != nil {
 			o.qcond.Broadcast()
@@ -364,11 +476,16 @@ func (c *Cluster) Close() {
 // ability to form quorums, exactly as in the model.
 func (c *Cluster) CrashObject(id int) error {
 	c.mu.Lock()
-	if id < 0 || id >= len(c.objects) {
+	objects := c.objs()
+	if id < 0 || id >= len(objects) {
 		c.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrUnknownObject, id)
 	}
-	c.objects[id].crashed.Store(true)
+	if objects[id].retired.Load() {
+		c.mu.Unlock()
+		return fmt.Errorf("dsys: object %d is retired", id)
+	}
+	objects[id].crashed.Store(true)
 	c.idleReason = ""
 	step := c.steps
 	tracer := c.opts.tracer
@@ -385,7 +502,7 @@ func (c *Cluster) CrashedObjects() []int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var out []int
-	for _, o := range c.objects {
+	for _, o := range c.objs() {
 		if o.crashed.Load() {
 			out = append(out, o.id)
 		}
@@ -400,11 +517,16 @@ func (c *Cluster) CrashedObjects() []int {
 // model crash/restart churn.
 func (c *Cluster) RestartObject(id int) error {
 	c.mu.Lock()
-	if id < 0 || id >= len(c.objects) {
+	objects := c.objs()
+	if id < 0 || id >= len(objects) {
 		c.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrUnknownObject, id)
 	}
-	c.objects[id].crashed.Store(false)
+	if objects[id].retired.Load() {
+		c.mu.Unlock()
+		return fmt.Errorf("dsys: object %d is retired", id)
+	}
+	objects[id].crashed.Store(false)
 	c.idleReason = ""
 	step := c.steps
 	tracer := c.opts.tracer
@@ -433,11 +555,12 @@ func (c *Cluster) ResumeObject(id int) error {
 
 func (c *Cluster) setSuspended(id int, suspended bool, kind TraceEventKind) error {
 	c.mu.Lock()
-	if id < 0 || id >= len(c.objects) {
+	objects := c.objs()
+	if id < 0 || id >= len(objects) {
 		c.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrUnknownObject, id)
 	}
-	c.objects[id].suspended.Store(suspended)
+	objects[id].suspended.Store(suspended)
 	c.idleReason = ""
 	step := c.steps
 	tracer := c.opts.tracer
@@ -454,7 +577,7 @@ func (c *Cluster) SuspendedObjects() []int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var out []int
-	for _, o := range c.objects {
+	for _, o := range c.objs() {
 		if o.suspended.Load() {
 			out = append(out, o.id)
 		}
@@ -505,7 +628,7 @@ func (c *Cluster) crashClientLocked(client int) bool {
 // handle. In controlled mode the task runs only when the scheduling policy
 // grants it the run token. The handle sees the whole cluster.
 func (c *Cluster) Spawn(clientID int, fn func(h *ClientHandle) error) *TaskHandle {
-	return c.SpawnScoped(clientID, 0, len(c.objects), fn)
+	return c.SpawnScoped(clientID, 0, c.N(), fn)
 }
 
 // SpawnScoped is Spawn restricted to the contiguous object region
@@ -629,8 +752,14 @@ func (c *Cluster) SampleStorage() *storagecost.Snapshot {
 // is still advisory in live mode: objects are sampled one after another while
 // operations may be in flight).
 func (c *Cluster) snapshotLocked() *storagecost.Snapshot {
-	reporters := make([]storagecost.Reporter, 0, len(c.objects)+len(c.pending))
-	for _, o := range c.objects {
+	objects := c.objs()
+	reporters := make([]storagecost.Reporter, 0, len(objects)+len(c.pending))
+	for _, o := range objects {
+		// Retired objects were decommissioned by reconfiguration: their state
+		// was deallocated with them, so none of their bits count any more.
+		if o.retired.Load() {
+			continue
+		}
 		// Take the apply mutex first and the queue mutex inside it — the
 		// same order as the object server's apply-then-dequeue step — so a
 		// batched live-mode sample sees each in-flight RMW in exactly one
@@ -766,7 +895,11 @@ func (c *Cluster) objectServer(o *object) {
 
 		results := make([]liveResult, n)
 		o.liveMu.Lock()
-		if o.crashed.Load() {
+		if o.crashed.Load() || o.retired.Load() {
+			// Crashed objects drop their RMWs; retired objects were
+			// decommissioned by reconfiguration and must never mutate again —
+			// a straggler queued past its round's quorum is answered failed,
+			// like a message to an unplugged node.
 			for i, r := range batch {
 				results[i] = liveResult{obj: r.obj}
 			}
@@ -793,7 +926,7 @@ func (c *Cluster) objectServer(o *object) {
 // to prove that batching actually amortizes service time.
 func (c *Cluster) LiveServicePeriods() int {
 	total := 0
-	for _, o := range c.objects {
+	for _, o := range c.objs() {
 		o.qmu.Lock()
 		total += o.periods
 		o.qmu.Unlock()

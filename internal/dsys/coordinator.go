@@ -62,7 +62,7 @@ func (c *Cluster) coordinator() {
 				c.stallLocked()
 				continue
 			}
-			if c.objects[c.pending[decision.PendingIndex].object].suspended.Load() {
+			if c.objs()[c.pending[decision.PendingIndex].object].suspended.Load() {
 				// Suspended objects do not apply RMWs; a policy that picks one
 				// anyway is treated like one that made no move.
 				c.stallLocked()
@@ -70,22 +70,22 @@ func (c *Cluster) coordinator() {
 			}
 			c.applyPendingLocked(decision.PendingIndex)
 		case KindCrashObject:
-			if decision.Object < 0 || decision.Object >= len(c.objects) {
+			if decision.Object < 0 || decision.Object >= c.N() {
 				c.stallLocked()
 				continue
 			}
-			c.objects[decision.Object].crashed.Store(true)
+			c.objs()[decision.Object].crashed.Store(true)
 			if c.opts.tracer != nil {
 				c.emitTrace(TraceEvent{Step: c.steps, Kind: TraceCrash, Object: decision.Object})
 			}
 			c.cond.Broadcast()
 		case KindSuspendObject, KindResumeObject:
-			if decision.Object < 0 || decision.Object >= len(c.objects) {
+			if decision.Object < 0 || decision.Object >= c.N() {
 				c.stallLocked()
 				continue
 			}
 			suspend := decision.Kind == KindSuspendObject
-			c.objects[decision.Object].suspended.Store(suspend)
+			c.objs()[decision.Object].suspended.Store(suspend)
 			if c.opts.tracer != nil {
 				kind := TraceResume
 				if suspend {
@@ -121,10 +121,11 @@ func (c *Cluster) stallLocked() {
 }
 
 // hasApplicablePendingLocked reports whether any pending RMW targets a live
-// object.
+// (neither crashed nor retired) object.
 func (c *Cluster) hasApplicablePendingLocked() bool {
+	objects := c.objs()
 	for _, p := range c.pending {
-		if !c.objects[p.object].crashed.Load() {
+		if o := objects[p.object]; !o.crashed.Load() && !o.retired.Load() {
 			return true
 		}
 	}
@@ -149,13 +150,15 @@ func (c *Cluster) buildViewLocked() *View {
 		DataBits:          c.opts.dataBits,
 		OutstandingWrites: c.outstandingWritesLocked(),
 	}
+	objects := c.objs()
 	for i, p := range c.pending {
 		v.Pending = append(v.Pending, PendingView{
 			Index:           i,
 			Seq:             p.seq,
 			Object:          p.object,
-			ObjectCrashed:   c.objects[p.object].crashed.Load(),
-			ObjectSuspended: c.objects[p.object].suspended.Load(),
+			ObjectCrashed:   objects[p.object].crashed.Load(),
+			ObjectSuspended: objects[p.object].suspended.Load(),
+			ObjectRetired:   objects[p.object].retired.Load(),
 			Client:          p.op.Client,
 			Op:              p.op,
 		})
@@ -184,10 +187,10 @@ func (c *Cluster) buildViewLocked() *View {
 func (c *Cluster) applyPendingLocked(index int) {
 	p := c.pending[index]
 	c.pending = append(c.pending[:index], c.pending[index+1:]...)
-	obj := c.objects[p.object]
-	if obj.crashed.Load() {
-		// A policy should never pick a crashed object; drop the RMW silently
-		// (it can never take effect).
+	obj := c.objs()[p.object]
+	if obj.crashed.Load() || obj.retired.Load() {
+		// A policy should never pick a crashed or retired object; drop the RMW
+		// silently (it can never take effect).
 		return
 	}
 	resp := p.rmw.Apply(obj.state)

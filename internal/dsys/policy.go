@@ -24,6 +24,10 @@ type PendingView struct {
 	// (unresponsive but alive); suspended objects do not apply RMWs until a
 	// KindResumeObject decision, so choosing one is a scheduling error.
 	ObjectSuspended bool
+	// ObjectRetired reports whether the target was retired by reconfiguration;
+	// like a crashed object, a retired object never applies RMWs, so choosing
+	// one is a scheduling error.
+	ObjectRetired bool
 	// Client is the triggering client and Op the high-level operation the
 	// RMW belongs to.
 	Client int
@@ -130,7 +134,7 @@ func (FairPolicy) Decide(v *View) Decision {
 	bestIdx := -1
 	var bestSeq int64
 	for _, p := range v.Pending {
-		if p.ObjectCrashed || p.ObjectSuspended {
+		if p.ObjectCrashed || p.ObjectSuspended || p.ObjectRetired {
 			continue
 		}
 		if bestIdx == -1 || p.Seq < bestSeq {
@@ -170,7 +174,7 @@ func (p *RandomPolicy) Decide(v *View) Decision {
 		moves = append(moves, move{kind: KindRun, ticket: r.Ticket})
 	}
 	for _, pd := range v.Pending {
-		if pd.ObjectCrashed || pd.ObjectSuspended {
+		if pd.ObjectCrashed || pd.ObjectSuspended || pd.ObjectRetired {
 			continue
 		}
 		moves = append(moves, move{kind: KindApply, index: pd.Index})

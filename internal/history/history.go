@@ -168,6 +168,27 @@ type History struct {
 	Ops []*Op
 }
 
+// Merge stitches several histories of one logical register into one: the
+// reconfiguration subsystem records each epoch of a migrated shard in its own
+// recorder, and checking the shard end-to-end means checking the union of its
+// lineage's histories. Operations are merged in invocation order; ties (the
+// recorders share a coarse logical clock) are broken by the order histories
+// are passed in, which callers make deterministic by passing lineages oldest
+// first. Migration seed writes are deliberately not recorded anywhere: a read
+// returning a migrated value is justified by the original write in the
+// predecessor's history, so the distinct-written-values assumption of the
+// checkers survives stitching.
+func Merge(v0 value.Value, hs ...*History) *History {
+	var ops []*Op
+	for _, h := range hs {
+		if h != nil {
+			ops = append(ops, h.Ops...)
+		}
+	}
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Invoked < ops[j].Invoked })
+	return &History{V0: v0, Ops: ops}
+}
+
 // Writes returns all write operations in invocation order.
 func (h *History) Writes() []*Op {
 	var out []*Op

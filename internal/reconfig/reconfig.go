@@ -1,0 +1,493 @@
+// Package reconfig is the epoch-based dynamic-reconfiguration subsystem: it
+// executes elastic resharding moves — splitting a shard across fresh
+// base-object regions, draining a shard onto replacement nodes, adding a
+// dedicated shard for a hot key, removing one — against a live shard.Set with
+// state migrated, not lost.
+//
+// The migration protocol for a split or drain of shard S into successors
+// S/0..S/m is:
+//
+//  1. Grow: build the successor registers and extend the cluster with their
+//     regions (dsys.ExtendObjects). They are not routed yet.
+//  2. Flip: atomically install the successors as seeding routes and mark S
+//     draining (Router.InstallSuccessors — one epoch). From here on, writes
+//     for S's keys are held for the successors and reads consult both
+//     epochs, preferring the successor exactly when its register has a
+//     nonzero timestamp.
+//  3. Drain: wait until no live client has a write pinned to S. Writes by
+//     crashed clients are excluded — they are incomplete operations, which
+//     the consistency conditions treat as concurrent with everything after
+//     their invocation, so the migration may miss them.
+//  4. Replay: the migration writer reads S's latest value — the drain
+//     guarantees it supersedes every completed write — and writes it into
+//     each successor. Because writes were held, the seed is each successor's
+//     first write; every later client write strictly supersedes it, so
+//     regularity across the boundary reduces to ordinary write ordering
+//     inside the successor's register. Seed writes are not recorded in
+//     histories: a read returning the migrated value is justified by the
+//     original write in the predecessor's history.
+//  5. Activate: mark every successor seeded (writes admitted, reads stop
+//     consulting S), wait for S's fallback reads to drain, retire S's region
+//     (its bits leave the storage accounting with the nodes).
+//
+// The executor is mode-agnostic: a Runner supplies the two capabilities that
+// differ between the live store and the deterministic simulator — running a
+// register operation as the migration client against a region, and waiting
+// for a condition. The live runner blocks; the controlled runner yields to
+// the scheduler, which keeps simulation runs a pure function of the seed.
+package reconfig
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"spacebounds/internal/dsys"
+	"spacebounds/internal/register"
+	"spacebounds/internal/shard"
+	"spacebounds/internal/value"
+)
+
+// MoveKind enumerates reconfiguration moves.
+type MoveKind int
+
+// Move kinds.
+const (
+	// MoveSplit replaces one shard by two successors on fresh regions; its
+	// keyspace is re-partitioned between them and its latest value is
+	// migrated into both.
+	MoveSplit MoveKind = iota + 1
+	// MoveDrain replaces one shard by a single successor on a fresh region
+	// (same routing position): evacuate the nodes, keep the data.
+	MoveDrain
+	// MoveAdd installs a dedicated shard for exactly one key, forked from the
+	// register the key currently routes to.
+	MoveAdd
+	// MoveRemove drops a dedicated shard; its key rejoins hash routing and
+	// the dedicated register's value is discarded with its namespace.
+	MoveRemove
+)
+
+// String implements fmt.Stringer.
+func (k MoveKind) String() string {
+	switch k {
+	case MoveSplit:
+		return "split"
+	case MoveDrain:
+		return "drain"
+	case MoveAdd:
+		return "add"
+	case MoveRemove:
+		return "remove"
+	default:
+		return fmt.Sprintf("move(%d)", int(k))
+	}
+}
+
+// Move is one reconfiguration move: the kind and the target shard (for
+// MoveAdd, the key the dedicated shard will serve).
+type Move struct {
+	Kind  MoveKind
+	Shard string
+}
+
+// String implements fmt.Stringer.
+func (m Move) String() string { return fmt.Sprintf("%v %s", m.Kind, m.Shard) }
+
+// Plan is an ordered sequence of moves.
+type Plan struct {
+	Moves []Move
+}
+
+// Event records one applied move for introspection, fingerprints and tests.
+type Event struct {
+	Kind       MoveKind
+	Shard      string
+	Successors []string
+	// Epoch is the routing epoch the move's flip installed.
+	Epoch int64
+	// Step is the cluster's logical time at the flip.
+	Step int64
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	return fmt.Sprintf("epoch %d step %d: %v %s -> %v", e.Epoch, e.Step, e.Kind, e.Shard, e.Successors)
+}
+
+// Stats aggregates the subsystem's counters.
+type Stats struct {
+	// Epoch is the current routing epoch.
+	Epoch int64
+	// Splits, Drains, Adds, Removes count completed moves.
+	Splits, Drains, Adds, Removes int
+	// SeedWrites counts migration-writer replays into successors.
+	SeedWrites int
+	// FallbackReads counts dual-epoch reads answered by the old epoch.
+	FallbackReads int64
+	// HeldWrites counts write acquisitions that waited for a seeding
+	// successor.
+	HeldWrites int64
+}
+
+// Runner supplies the execution context for migration steps. The live store
+// and the deterministic simulator differ only here.
+type Runner interface {
+	// RunOn executes fn as the migration client scoped to sh's object region.
+	RunOn(sh *shard.Shard, fn func(h *dsys.ClientHandle) error) error
+	// Wait blocks until check() reports true. Controlled-mode runners yield
+	// to the scheduler between checks so the wait is itself schedulable.
+	Wait(check func() bool) error
+}
+
+// liveRunner runs migration steps inline against a live-mode set.
+type liveRunner struct {
+	set    *shard.Set
+	client int
+}
+
+// NewLiveRunner returns a Runner for a live-mode set; client is the migration
+// writer's client ID (it must not collide with application client IDs, since
+// it stamps the seed writes' timestamps).
+func NewLiveRunner(set *shard.Set, client int) Runner {
+	return &liveRunner{set: set, client: client}
+}
+
+// RunOn implements Runner.
+func (r *liveRunner) RunOn(sh *shard.Shard, fn func(h *dsys.ClientHandle) error) error {
+	return r.set.Run(r.client, sh, fn)
+}
+
+// Wait implements Runner: live drains complete in microseconds (pins are
+// released as each in-flight quorum round finishes), so a short poll is all
+// that is needed.
+func (r *liveRunner) Wait(check func() bool) error {
+	for !check() {
+		time.Sleep(20 * time.Microsecond)
+	}
+	return nil
+}
+
+// controlledRunner runs migration steps as a controlled-mode client task,
+// yielding to the scheduling policy between condition checks. Everything it
+// does is therefore part of the deterministic schedule.
+type controlledRunner struct {
+	h *dsys.ClientHandle
+}
+
+// NewControlledRunner returns a Runner backed by a controlled-mode task's
+// whole-cluster handle (the migration steps derive region scopes via Sub).
+func NewControlledRunner(h *dsys.ClientHandle) Runner {
+	return &controlledRunner{h: h}
+}
+
+// RunOn implements Runner.
+func (r *controlledRunner) RunOn(sh *shard.Shard, fn func(h *dsys.ClientHandle) error) error {
+	sub, err := r.h.Sub(sh.Base, sh.Span)
+	if err != nil {
+		return err
+	}
+	return fn(sub)
+}
+
+// Wait implements Runner.
+func (r *controlledRunner) Wait(check func() bool) error {
+	for !check() {
+		if err := r.h.Yield(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Coordinator executes moves against one shard.Set and aggregates events and
+// stats. Moves are serialized (each atomically rewrites part of the routing
+// table).
+type Coordinator struct {
+	set *shard.Set
+
+	mu     sync.Mutex
+	stats  Stats
+	events []Event
+}
+
+// NewCoordinator returns a coordinator for the set.
+func NewCoordinator(set *shard.Set) *Coordinator { return &Coordinator{set: set} }
+
+// Stats returns the aggregated counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	st := c.stats
+	c.mu.Unlock()
+	st.Epoch = c.set.Router().Epoch()
+	st.FallbackReads = c.set.FallbackReads()
+	st.HeldWrites = c.set.Router().HeldWrites()
+	return st
+}
+
+// Events returns the applied moves in order.
+func (c *Coordinator) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// ApplyPlan applies the plan's moves in order, stopping at the first error.
+func (c *Coordinator) ApplyPlan(r Runner, p Plan) error {
+	for _, mv := range p.Moves {
+		if _, err := c.Apply(r, mv); err != nil {
+			return fmt.Errorf("reconfig: %v: %w", mv, err)
+		}
+	}
+	return nil
+}
+
+// Apply executes one move and returns its event.
+func (c *Coordinator) Apply(r Runner, mv Move) (Event, error) {
+	switch mv.Kind {
+	case MoveSplit:
+		return c.migrate(r, mv.Shard, 2, MoveSplit)
+	case MoveDrain:
+		return c.migrate(r, mv.Shard, 1, MoveDrain)
+	case MoveAdd:
+		return c.add(r, mv.Shard)
+	case MoveRemove:
+		return c.remove(r, mv.Shard)
+	default:
+		return Event{}, fmt.Errorf("reconfig: unknown move kind %v", mv.Kind)
+	}
+}
+
+// freeName returns base, or — when an earlier aborted migration already
+// burned it (aborted successors stay registered as retired routes) — the
+// first free "base~N" variant, so a shard can always be migrated again after
+// an abort.
+func freeName(set *shard.Set, base string) string {
+	name := base
+	for n := 2; set.Router().RouteOf(name) != nil; n++ {
+		name = fmt.Sprintf("%s~%d", base, n)
+	}
+	return name
+}
+
+// crashedClients returns the scheduler-crashed client set (empty in live
+// mode); drains exclude their unreleasable pins.
+func (c *Coordinator) crashedClients() map[int]bool {
+	out := make(map[int]bool)
+	for _, cl := range c.set.Cluster().CrashedClients() {
+		out[cl] = true
+	}
+	return out
+}
+
+// record appends an event and bumps the per-kind counter.
+func (c *Coordinator) record(ev Event, seeds int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, ev)
+	c.stats.SeedWrites += seeds
+	switch ev.Kind {
+	case MoveSplit:
+		c.stats.Splits++
+	case MoveDrain:
+		c.stats.Drains++
+	case MoveAdd:
+		c.stats.Adds++
+	case MoveRemove:
+		c.stats.Removes++
+	}
+}
+
+// migrate is the shared split/drain protocol: replace shard `name` by
+// `successors` fresh regions with its latest value replayed into each.
+func (c *Coordinator) migrate(r Runner, name string, successors int, kind MoveKind) (Event, error) {
+	set, rt := c.set, c.set.Router()
+	if err := rt.BeginMove(); err != nil {
+		return Event{}, err
+	}
+	defer rt.EndMove()
+
+	old := set.Shard(name)
+	if old == nil {
+		return Event{}, fmt.Errorf("unknown shard %q", name)
+	}
+	if _, ok := old.Reg.(register.TimestampedReader); !ok {
+		return Event{}, fmt.Errorf("shard %q: register %s cannot be migrated (no timestamped read)", name, old.Reg.Name())
+	}
+
+	// Grow: successor regions exist before the flip so the flip is purely a
+	// table swap.
+	succs := make([]*shard.Shard, 0, successors)
+	retireSuccs := func() {
+		for _, sh := range succs {
+			rt.MarkRetired(sh.Name)
+			_ = set.Cluster().RetireObjects(sh.Base, sh.Span)
+		}
+	}
+	for i := 0; i < successors; i++ {
+		sh, err := set.AddRegion(shard.Spec{
+			Name:      freeName(set, fmt.Sprintf("%s/%d", name, i)),
+			Algorithm: old.Algorithm,
+			Config:    old.Reg.Config(),
+		})
+		if err != nil {
+			retireSuccs()
+			return Event{}, err
+		}
+		succs = append(succs, sh)
+	}
+
+	// Flip.
+	epoch, err := rt.InstallSuccessors(name, succs)
+	if err != nil {
+		retireSuccs()
+		return Event{}, err
+	}
+	ev := Event{Kind: kind, Shard: name, Epoch: epoch, Step: set.Cluster().LogicalTime()}
+	for _, sh := range succs {
+		ev.Successors = append(ev.Successors, sh.Name)
+	}
+	abort := func(cause error) (Event, error) {
+		rt.AbortSuccessors(name)
+		for _, sh := range succs {
+			_ = set.Cluster().RetireObjects(sh.Base, sh.Span)
+		}
+		return ev, fmt.Errorf("migration of %q aborted: %w", name, cause)
+	}
+
+	// Drain in-flight writes, then replay the latest value.
+	if err := r.Wait(func() bool { return rt.WritesDrained(name, c.crashedClients()) }); err != nil {
+		return abort(err)
+	}
+	var latest value.Value
+	if err := r.RunOn(old, func(h *dsys.ClientHandle) error {
+		var err error
+		latest, err = old.Reg.Read(h)
+		return err
+	}); err != nil {
+		return abort(err)
+	}
+
+	// Seed every successor before activating any: the activation below is
+	// pure table work and cannot fail, so the move is all-or-nothing.
+	for _, sh := range succs {
+		sh := sh
+		if err := r.RunOn(sh, func(h *dsys.ClientHandle) error {
+			return sh.Reg.Write(h, latest)
+		}); err != nil {
+			return abort(err)
+		}
+	}
+	for _, sh := range succs {
+		rt.MarkSeeded(sh.Name)
+	}
+
+	// Retire the drained predecessor once its fallback readers are gone.
+	if err := r.Wait(func() bool { return rt.ReadsDrained(name, c.crashedClients()) }); err != nil {
+		return ev, err
+	}
+	if err := set.RetireShard(name); err != nil {
+		return ev, err
+	}
+	c.record(ev, len(succs))
+	return ev, nil
+}
+
+// add installs a dedicated shard for exactly `key`, forked from the register
+// the key routes to today. The origin keeps serving its other keys (it is not
+// drained): the fork point is the origin's latest value at seed time.
+func (c *Coordinator) add(r Runner, key string) (Event, error) {
+	set, rt := c.set, c.set.Router()
+	if err := rt.BeginMove(); err != nil {
+		return Event{}, err
+	}
+	defer rt.EndMove()
+
+	origin := set.ForKey(key)
+	sh, err := set.AddRegion(shard.Spec{Name: key, Algorithm: origin.Algorithm, Config: origin.Reg.Config()})
+	if err != nil {
+		return Event{}, err
+	}
+	originRoute, epoch, err := rt.InstallDedicated(sh)
+	if err != nil {
+		rt.MarkRetired(sh.Name)
+		_ = set.Cluster().RetireObjects(sh.Base, sh.Span)
+		return Event{}, err
+	}
+	ev := Event{Kind: MoveAdd, Shard: key, Successors: []string{sh.Name}, Epoch: epoch, Step: set.Cluster().LogicalTime()}
+	abort := func(cause error) (Event, error) {
+		rt.AbortDedicated(sh.Name)
+		_ = set.Cluster().RetireObjects(sh.Base, sh.Span)
+		// Free the key for a retry: a dedicated shard's name must equal its
+		// key, so the burned route has to be unregistered, not suffixed.
+		_ = rt.DeleteRetiredRoute(sh.Name)
+		return ev, fmt.Errorf("add of %q aborted: %w", key, cause)
+	}
+
+	// The fork read must supersede every completed write to the key, and a
+	// write pinned to the origin pre-flip could still be in flight. The origin
+	// stays routed for its other keys, so it cannot be drained by starvation
+	// alone: hold its new write admissions, wait out the in-flight ones, read
+	// the settled value, then reopen. Reads are unaffected throughout.
+	originName := originRoute.Shard().Name
+	if err := rt.HoldWrites(originName); err != nil {
+		return abort(err)
+	}
+	defer rt.ReleaseHold(originName)
+	if err := r.Wait(func() bool { return rt.WritesDrained(originName, c.crashedClients()) }); err != nil {
+		return abort(err)
+	}
+	var latest value.Value
+	if err := r.RunOn(originRoute.Shard(), func(h *dsys.ClientHandle) error {
+		var err error
+		latest, err = originRoute.Shard().Reg.Read(h)
+		return err
+	}); err != nil {
+		return abort(err)
+	}
+	if err := r.RunOn(sh, func(h *dsys.ClientHandle) error { return sh.Reg.Write(h, latest) }); err != nil {
+		return abort(err)
+	}
+	rt.MarkSeeded(sh.Name)
+	c.record(ev, 1)
+	return ev, nil
+}
+
+// remove drops a dedicated shard: its key rejoins hash routing and the
+// dedicated register is discarded once drained.
+func (c *Coordinator) remove(r Runner, name string) (Event, error) {
+	set, rt := c.set, c.set.Router()
+	if err := rt.BeginMove(); err != nil {
+		return Event{}, err
+	}
+	defer rt.EndMove()
+
+	sh := set.Shard(name)
+	if sh == nil {
+		return Event{}, fmt.Errorf("unknown shard %q", name)
+	}
+	epoch, err := rt.UnrouteDedicated(name)
+	if err != nil {
+		return Event{}, err
+	}
+	ev := Event{Kind: MoveRemove, Shard: name, Epoch: epoch, Step: set.Cluster().LogicalTime()}
+	drained := func() bool {
+		crashed := c.crashedClients()
+		return rt.WritesDrained(name, crashed) && rt.ReadsDrained(name, crashed)
+	}
+	if err := r.Wait(drained); err != nil {
+		return ev, err
+	}
+	if err := set.RetireShard(name); err != nil {
+		return ev, err
+	}
+	// Unregister the route so the key can be forked onto a fresh dedicated
+	// shard again later.
+	if err := rt.DeleteRetiredRoute(name); err != nil {
+		return ev, err
+	}
+	c.record(ev, 0)
+	return ev, nil
+}

@@ -1,0 +1,413 @@
+package reconfig
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"spacebounds/internal/register"
+	_ "spacebounds/internal/register/abd"
+	_ "spacebounds/internal/register/adaptive"
+	_ "spacebounds/internal/register/ecreg"
+	_ "spacebounds/internal/register/safereg"
+	"spacebounds/internal/shard"
+	"spacebounds/internal/value"
+)
+
+const dataLen = 32
+
+func newSet(t *testing.T, shards int) *shard.Set {
+	t.Helper()
+	specs := make([]shard.Spec, 0, shards)
+	for i := 0; i < shards; i++ {
+		specs = append(specs, shard.Spec{
+			Name:      fmt.Sprintf("s%d", i),
+			Algorithm: "adaptive",
+			Config:    register.Config{F: 1, K: 2, DataLen: dataLen},
+		})
+	}
+	set, err := shard.New(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// TestSplitMigratesLatestValue splits a quiet shard and checks that reads of
+// its keys — through either successor — return the pre-split value, that the
+// old region is retired, and that storage accounting stays summation-exact.
+func TestSplitMigratesLatestValue(t *testing.T) {
+	set := newSet(t, 2)
+	defer set.Close()
+	co := NewCoordinator(set)
+	runner := NewLiveRunner(set, 1<<28)
+
+	want := value.Sequenced(7, 3, dataLen)
+	if err := set.Write(7, "s0", want); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := co.Apply(runner, Move{Kind: MoveSplit, Shard: "s0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Successors) != 2 || ev.Successors[0] != "s0/0" || ev.Successors[1] != "s0/1" {
+		t.Fatalf("successors = %v", ev.Successors)
+	}
+	if ev.Epoch == 0 {
+		t.Fatal("split installed no epoch")
+	}
+
+	// The old region must be retired and report zero storage.
+	if got := set.Router().RouteOf("s0").State(); got != shard.RouteRetired {
+		t.Fatalf("old route state = %v, want retired", got)
+	}
+	snap := set.StorageSnapshot()
+	if bits := set.ShardBits(snap, "s0"); bits != 0 {
+		t.Fatalf("retired shard still reports %d bits", bits)
+	}
+	sum := 0
+	for _, sh := range set.Shards() {
+		sum += set.ShardBits(snap, sh.Name)
+	}
+	if sum != snap.BaseObjectBits {
+		t.Fatalf("per-shard bits sum to %d, snapshot says %d", sum, snap.BaseObjectBits)
+	}
+
+	// Keys that used to route to s0 (its name most directly) must read the
+	// migrated value through the new epoch.
+	got, err := set.Read(9, "s0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("post-split read = %v, want %v", got, want)
+	}
+	// Both successors were seeded.
+	for _, name := range ev.Successors {
+		got, err := set.Read(10, name)
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("successor %s read %v, want %v", name, got, want)
+		}
+	}
+	st := co.Stats()
+	if st.Splits != 1 || st.SeedWrites != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestDrainReplacesRegion drains a shard onto a fresh region: same routing
+// position, new base objects, value preserved.
+func TestDrainReplacesRegion(t *testing.T) {
+	set := newSet(t, 2)
+	defer set.Close()
+	co := NewCoordinator(set)
+	runner := NewLiveRunner(set, 1<<28)
+
+	want := value.Sequenced(3, 1, dataLen)
+	if err := set.Write(3, "s1", want); err != nil {
+		t.Fatal(err)
+	}
+	oldBase := set.Shard("s1").Base
+	ev, err := co.Apply(runner, Move{Kind: MoveDrain, Shard: "s1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Successors) != 1 {
+		t.Fatalf("drain produced %d successors", len(ev.Successors))
+	}
+	succ := set.Shard(ev.Successors[0])
+	if succ.Base == oldBase {
+		t.Fatal("drain reused the old region")
+	}
+	got, err := set.Read(4, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("post-drain read = %v, want %v", got, want)
+	}
+	if len(set.Cluster().RetiredObjects()) != set.Shard("s1").Span {
+		t.Fatalf("retired objects = %v", set.Cluster().RetiredObjects())
+	}
+}
+
+// TestSplitUnderConcurrentLoad splits a shard while writers and readers hammer
+// its keys: zero failed operations, and afterwards every key reads the latest
+// value its writer wrote.
+func TestSplitUnderConcurrentLoad(t *testing.T) {
+	set := newSet(t, 2)
+	defer set.Close()
+	co := NewCoordinator(set)
+	runner := NewLiveRunner(set, 1<<28)
+
+	const writers = 4
+	const opsPerWriter = 200
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	keys := []string{"s0", "alpha", "beta", "gamma"}
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := keys[w%len(keys)]
+			for i := 1; i <= opsPerWriter; i++ {
+				if err := set.Write(w+1, key, value.Sequenced(w+1, i, dataLen)); err != nil {
+					failed.Add(1)
+					return
+				}
+				if _, err := set.Read(100+w, key); err != nil {
+					failed.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	if _, err := co.Apply(runner, Move{Kind: MoveSplit, Shard: "s0"}); err != nil {
+		t.Fatalf("split under load: %v", err)
+	}
+	wg.Wait()
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d operations failed during the live split", n)
+	}
+	// Each key must now read the final value of some writer that used it
+	// (several writers share a key; any of their final values is the latest
+	// depending on interleaving — check the read decodes to a legal one).
+	for w, key := range keys[:writers] {
+		got, err := set.Read(200+w, key)
+		if err != nil {
+			t.Fatalf("final read %q: %v", key, err)
+		}
+		legal := false
+		for w2 := 0; w2 < writers; w2++ {
+			for i := 1; i <= opsPerWriter; i++ {
+				if got.Equal(value.Sequenced(w2+1, i, dataLen)) {
+					legal = true
+				}
+			}
+		}
+		if !legal && !got.Equal(value.Zero(dataLen)) {
+			t.Fatalf("final read of %q returned a value never written: %v", key, got)
+		}
+	}
+}
+
+// TestAddAndRemoveDedicatedShard forks a hot key onto its own shard and drops
+// it again.
+func TestAddAndRemoveDedicatedShard(t *testing.T) {
+	set := newSet(t, 2)
+	defer set.Close()
+	co := NewCoordinator(set)
+	runner := NewLiveRunner(set, 1<<28)
+
+	origin := set.ForKey("hot")
+	seedVal := value.Sequenced(1, 1, dataLen)
+	if err := set.Write(1, "hot", seedVal); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Apply(runner, Move{Kind: MoveAdd, Shard: "hot"}); err != nil {
+		t.Fatal(err)
+	}
+	if set.ForKey("hot").Name != "hot" {
+		t.Fatalf("key routes to %q after add", set.ForKey("hot").Name)
+	}
+	got, err := set.Read(2, "hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(seedVal) {
+		t.Fatalf("dedicated shard read %v, want forked %v", got, seedVal)
+	}
+	// Writes to the dedicated key no longer touch the origin register.
+	if err := set.Write(1, "hot", value.Sequenced(1, 2, dataLen)); err != nil {
+		t.Fatal(err)
+	}
+	originVal, err := set.ReadValue(3, origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !originVal.Equal(seedVal) {
+		t.Fatalf("origin register changed after dedicated write: %v", originVal)
+	}
+
+	if _, err := co.Apply(runner, Move{Kind: MoveRemove, Shard: "hot"}); err != nil {
+		t.Fatal(err)
+	}
+	if set.ForKey("hot").Name == "hot" {
+		t.Fatal("key still routes to the removed dedicated shard")
+	}
+	// The namespace was dropped: the key reads the origin's register again.
+	got, err = set.Read(4, "hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(seedVal) {
+		t.Fatalf("post-remove read = %v, want origin value %v", got, seedVal)
+	}
+	st := co.Stats()
+	if st.Adds != 1 || st.Removes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestMoveValidation exercises the error paths.
+func TestMoveValidation(t *testing.T) {
+	set := newSet(t, 1)
+	defer set.Close()
+	co := NewCoordinator(set)
+	runner := NewLiveRunner(set, 1<<28)
+
+	if _, err := co.Apply(runner, Move{Kind: MoveSplit, Shard: "nope"}); err == nil {
+		t.Fatal("split of unknown shard accepted")
+	}
+	if _, err := co.Apply(runner, Move{Kind: MoveRemove, Shard: "s0"}); err == nil {
+		t.Fatal("remove of non-dedicated shard accepted")
+	}
+	if _, err := co.Apply(runner, Move{Kind: MoveSplit, Shard: "s0"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Apply(runner, Move{Kind: MoveSplit, Shard: "s0"}); err == nil {
+		t.Fatal("re-split of a retired shard accepted")
+	}
+	// Splitting a successor (chained reconfiguration) must work.
+	if _, err := co.Apply(runner, Move{Kind: MoveSplit, Shard: "s0/1"}); err != nil {
+		t.Fatalf("chained split: %v", err)
+	}
+	lineage := set.Lineage("s0/1/0")
+	want := []string{"s0", "s0/1", "s0/1/0"}
+	if len(lineage) != len(want) {
+		t.Fatalf("lineage = %v, want %v", lineage, want)
+	}
+	for i := range want {
+		if lineage[i] != want[i] {
+			t.Fatalf("lineage = %v, want %v", lineage, want)
+		}
+	}
+}
+
+// TestAbortedSplitCanBeRetried makes the migration read fail (too many
+// crashed nodes on the old shard), checks the clean rollback — the shard
+// keeps serving once nodes return — and requires that a retried split
+// succeeds even though the aborted attempt burned the successor names.
+func TestAbortedSplitCanBeRetried(t *testing.T) {
+	set := newSet(t, 2)
+	defer set.Close()
+	co := NewCoordinator(set)
+	runner := NewLiveRunner(set, 1<<28)
+
+	want := value.Sequenced(5, 1, dataLen)
+	if err := set.Write(5, "s0", want); err != nil {
+		t.Fatal(err)
+	}
+	// F=1, n=4: two crashed nodes make the quorum of 3 unformable, so the
+	// migration read fails fast and the move aborts.
+	sh := set.Shard("s0")
+	for node := 0; node < 2; node++ {
+		if err := set.Cluster().CrashObject(sh.Base + node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := co.Apply(runner, Move{Kind: MoveSplit, Shard: "s0"}); err == nil {
+		t.Fatal("split with an unformable quorum must abort")
+	}
+	if got := set.Router().RouteOf("s0").State(); got != shard.RouteActive {
+		t.Fatalf("aborted split left s0 in state %v, want active", got)
+	}
+	for node := 0; node < 2; node++ {
+		if err := set.Cluster().RestartObject(sh.Base + node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The rolled-back shard still serves, and the retry must not collide with
+	// the aborted attempt's burned successor names.
+	ev, err := co.Apply(runner, Move{Kind: MoveSplit, Shard: "s0"})
+	if err != nil {
+		t.Fatalf("retried split after abort: %v", err)
+	}
+	for _, name := range ev.Successors {
+		got, err := set.Read(9, name)
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("successor %s read %v, want %v", name, got, want)
+		}
+	}
+	if st := co.Stats(); st.Splits != 1 {
+		t.Fatalf("stats after abort+retry = %+v", st)
+	}
+}
+
+// TestAddDrainsOriginWrites pins the fork-read ordering: a write that was
+// admitted to the origin before the fork flip must be visible in the
+// dedicated shard's seed. The origin's writes are held and drained while the
+// migration writer reads, so a slow in-flight write cannot be lost.
+func TestAddDrainsOriginWrites(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		set := newSet(t, 1)
+		co := NewCoordinator(set)
+		runner := NewLiveRunner(set, 1<<28)
+
+		last := value.Sequenced(1, round+1, dataLen)
+		done := make(chan error, 1)
+		go func() { done <- set.Write(1, "hot", last) }()
+		if _, err := co.Apply(runner, Move{Kind: MoveAdd, Shard: "hot"}); err != nil {
+			set.Close()
+			t.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			set.Close()
+			t.Fatal(err)
+		}
+		got, err := set.Read(2, "hot")
+		if err != nil {
+			set.Close()
+			t.Fatal(err)
+		}
+		// The concurrent write either landed before the fork (the seed carries
+		// it) or was held and re-routed to the dedicated shard — either way a
+		// completed write must be readable, never lost.
+		if !got.Equal(last) {
+			set.Close()
+			t.Fatalf("round %d: completed write lost across fork: read %v, want %v", round, got, last)
+		}
+		set.Close()
+	}
+}
+
+// TestDedicatedShardCanBeReAdded removes a dedicated shard and forks the same
+// key again: the remove must free the name (it equals the key, so it cannot
+// be suffixed like split successors).
+func TestDedicatedShardCanBeReAdded(t *testing.T) {
+	set := newSet(t, 1)
+	defer set.Close()
+	co := NewCoordinator(set)
+	runner := NewLiveRunner(set, 1<<28)
+
+	for round := 1; round <= 3; round++ {
+		if _, err := co.Apply(runner, Move{Kind: MoveAdd, Shard: "hot"}); err != nil {
+			t.Fatalf("add round %d: %v", round, err)
+		}
+		want := value.Sequenced(round, 1, dataLen)
+		if err := set.Write(round, "hot", want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := set.Read(10+round, "hot")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("round %d: dedicated read %v, want %v", round, got, want)
+		}
+		if _, err := co.Apply(runner, Move{Kind: MoveRemove, Shard: "hot"}); err != nil {
+			t.Fatalf("remove round %d: %v", round, err)
+		}
+	}
+	if st := co.Stats(); st.Adds != 3 || st.Removes != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -103,11 +103,18 @@ func (r *Register) Write(h *dsys.ClientHandle, v value.Value) error {
 
 // Read implements register.Register.
 func (r *Register) Read(h *dsys.ClientHandle) (value.Value, error) {
+	v, _, err := r.ReadTimestamped(h)
+	return v, err
+}
+
+// ReadTimestamped implements register.TimestampedReader: the same majority
+// read, additionally reporting the timestamp of the returned replica.
+func (r *Register) ReadTimestamped(h *dsys.ClientHandle) (value.Value, register.Timestamp, error) {
 	h.BeginOp(dsys.OpRead)
 	defer h.EndOp()
 	resp, err := h.InvokeAll(func(int) dsys.RMW { return &readRMW{} }, r.cfg.Quorum())
 	if err != nil {
-		return value.Value{}, err
+		return value.Value{}, register.ZeroTS, err
 	}
 	best := register.Chunk{}
 	found := false
@@ -122,9 +129,10 @@ func (r *Register) Read(h *dsys.ClientHandle) (value.Value, error) {
 		}
 	}
 	if !found {
-		return value.Value{}, fmt.Errorf("abd: read received no responses")
+		return value.Value{}, register.ZeroTS, fmt.Errorf("abd: read received no responses")
 	}
-	return register.DecodeChunks(r.cfg, []register.Chunk{best})
+	v, err := register.DecodeChunks(r.cfg, []register.Chunk{best})
+	return v, best.TS, err
 }
 
 // objectState holds one timestamped full replica.

@@ -140,19 +140,27 @@ func (r *Register) Write(h *dsys.ClientHandle, v value.Value) error {
 
 // Read implements register.Register (Algorithm 2, lines 16-22).
 func (r *Register) Read(h *dsys.ClientHandle) (value.Value, error) {
+	v, _, err := r.ReadTimestamped(h)
+	return v, err
+}
+
+// ReadTimestamped implements register.TimestampedReader: the same read loop,
+// additionally reporting the timestamp of the decoded value.
+func (r *Register) ReadTimestamped(h *dsys.ClientHandle) (value.Value, register.Timestamp, error) {
 	h.BeginOp(dsys.OpRead)
 	defer h.EndOp()
 
 	for attempt := 0; attempt < r.readRetryBudget; attempt++ {
 		storedTS, readSet, err := readValue(h, r.cfg)
 		if err != nil {
-			return value.Value{}, err
+			return value.Value{}, register.ZeroTS, err
 		}
-		if chunks, _, ok := register.BestDecodable(readSet, storedTS, r.cfg.K); ok {
-			return register.DecodeChunks(r.cfg, chunks)
+		if chunks, ts, ok := register.BestDecodable(readSet, storedTS, r.cfg.K); ok {
+			v, err := register.DecodeChunks(r.cfg, chunks)
+			return v, ts, err
 		}
 	}
-	return value.Value{}, register.ErrReadStarved
+	return value.Value{}, register.ZeroTS, register.ErrReadStarved
 }
 
 // readValue is the shared read round (Algorithm 3, lines 23-31): it collects

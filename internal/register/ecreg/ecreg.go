@@ -120,12 +120,19 @@ func (r *Register) Write(h *dsys.ClientHandle, v value.Value) error {
 // a timestamp at least the highest observed committed timestamp has k
 // distinct pieces, then decode it.
 func (r *Register) Read(h *dsys.ClientHandle) (value.Value, error) {
+	v, _, err := r.ReadTimestamped(h)
+	return v, err
+}
+
+// ReadTimestamped implements register.TimestampedReader: the same read loop,
+// additionally reporting the timestamp of the decoded value.
+func (r *Register) ReadTimestamped(h *dsys.ClientHandle) (value.Value, register.Timestamp, error) {
 	h.BeginOp(dsys.OpRead)
 	defer h.EndOp()
 	for attempt := 0; attempt < r.readRetryBudget; attempt++ {
 		resp, err := h.InvokeAll(func(int) dsys.RMW { return &readRMW{} }, r.cfg.Quorum())
 		if err != nil {
-			return value.Value{}, err
+			return value.Value{}, register.ZeroTS, err
 		}
 		committed := register.ZeroTS
 		var chunks []register.Chunk
@@ -138,11 +145,12 @@ func (r *Register) Read(h *dsys.ClientHandle) (value.Value, error) {
 			committed = committed.Max(rr.CommittedTS)
 			chunks = append(chunks, rr.Pieces...)
 		}
-		if best, _, ok := register.BestDecodable(chunks, committed, r.cfg.K); ok {
-			return register.DecodeChunks(r.cfg, best)
+		if best, ts, ok := register.BestDecodable(chunks, committed, r.cfg.K); ok {
+			v, err := register.DecodeChunks(r.cfg, best)
+			return v, ts, err
 		}
 	}
-	return value.Value{}, register.ErrReadStarved
+	return value.Value{}, register.ZeroTS, register.ErrReadStarved
 }
 
 // objectState stores one piece per not-yet-reclaimed write plus the highest

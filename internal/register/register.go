@@ -162,6 +162,19 @@ func (c Config) Validate() (Config, error) {
 	return c, nil
 }
 
+// TimestampedReader is implemented by register emulations whose read can also
+// report the internal timestamp of the value it returns. The zero timestamp
+// means the register has never been written (the read returned v0).
+//
+// Reconfiguration depends on this: while a shard migrates, a read consults
+// both epochs and the new epoch's value wins exactly when its register has a
+// nonzero timestamp — lexicographic (epoch, timestamp) order — so the router
+// needs the timestamp, not just the value. All built-in emulations implement
+// it; a shard whose register does not cannot be migrated live.
+type TimestampedReader interface {
+	ReadTimestamped(h *dsys.ClientHandle) (value.Value, Timestamp, error)
+}
+
 // Register is a multi-writer multi-reader register emulation bound to a
 // configuration. Implementations are stateless facades: all mutable state
 // lives in the base objects of the cluster the operations run against.

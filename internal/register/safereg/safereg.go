@@ -103,11 +103,19 @@ func (r *Register) Write(h *dsys.ClientHandle, v value.Value) error {
 // initial value v0 is returned, which safe semantics permits because that can
 // only happen when a write is concurrent with the read.
 func (r *Register) Read(h *dsys.ClientHandle) (value.Value, error) {
+	v, _, err := r.ReadTimestamped(h)
+	return v, err
+}
+
+// ReadTimestamped implements register.TimestampedReader: the same collect-
+// and-decode read, additionally reporting the timestamp of the decoded value
+// (the zero timestamp when the read falls back to v0).
+func (r *Register) ReadTimestamped(h *dsys.ClientHandle) (value.Value, register.Timestamp, error) {
 	h.BeginOp(dsys.OpRead)
 	defer h.EndOp()
 	resp, err := h.InvokeAll(func(int) dsys.RMW { return &readRMW{} }, r.cfg.Quorum())
 	if err != nil {
-		return value.Value{}, err
+		return value.Value{}, register.ZeroTS, err
 	}
 	var chunks []register.Chunk
 	for obj := 0; obj < r.cfg.N(); obj++ {
@@ -115,10 +123,11 @@ func (r *Register) Read(h *dsys.ClientHandle) (value.Value, error) {
 			chunks = append(chunks, raw.(register.Chunk))
 		}
 	}
-	if best, _, ok := register.BestDecodable(chunks, register.ZeroTS, r.cfg.K); ok {
-		return register.DecodeChunks(r.cfg, best)
+	if best, ts, ok := register.BestDecodable(chunks, register.ZeroTS, r.cfg.K); ok {
+		v, err := register.DecodeChunks(r.cfg, best)
+		return v, ts, err
 	}
-	return r.v0, nil
+	return r.v0, register.ZeroTS, nil
 }
 
 // objectState holds exactly one timestamped piece.

@@ -1,0 +1,647 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// RouteState is the lifecycle of one routed shard. Reconfiguration moves a
+// shard through Active → Draining → Retired, and brings successors in through
+// Seeding → Active.
+type RouteState int
+
+// Route lifecycle states.
+const (
+	// RouteActive routes reads and writes normally.
+	RouteActive RouteState = iota + 1
+	// RouteSeeding marks a migration successor: reads consult it and fall
+	// back to its predecessor while its register is still unwritten (zero
+	// timestamp), writes are held until the migration writer has seeded it.
+	RouteSeeding
+	// RouteDraining marks a migration predecessor: it no longer receives
+	// writes (the routing table points at its successors) and serves only the
+	// fallback half of dual-epoch reads until it is retired.
+	RouteDraining
+	// RouteRetired marks a fully drained shard whose base-object region has
+	// been decommissioned.
+	RouteRetired
+)
+
+// String implements fmt.Stringer.
+func (s RouteState) String() string {
+	switch s {
+	case RouteActive:
+		return "active"
+	case RouteSeeding:
+		return "seeding"
+	case RouteDraining:
+		return "draining"
+	case RouteRetired:
+		return "retired"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Route is one entry of the routing table: a shard together with its
+// lifecycle state, its migration linkage, and the in-flight operations pinned
+// to it. All fields are guarded by the owning Router's mutex; accessors take
+// it.
+type Route struct {
+	sh        *Shard
+	parent    string // predecessor shard name ("" for an original shard)
+	depth     int    // split depth, salts the child-selection hash
+	dedicated bool   // installed by AddShard for one exact key
+	unrouted  bool   // dedicated route removed from the table (being retired)
+
+	state RouteState
+	// heldForFork holds writes on an active route while a dedicated fork of
+	// one of its keys drains and seeds (reads continue; see HoldWrites).
+	heldForFork bool
+	from        *Route   // fallback target while state == RouteSeeding
+	children    []*Route // set once this route was split; routing descends
+
+	// writePins / readPins track in-flight operations by client ID. Draining
+	// waits for them — ignoring clients the scheduler has crashed, whose pins
+	// can never be released mid-run.
+	writePins map[int]int
+	readPins  map[int]int
+
+	r *Router
+}
+
+// Shard returns the route's shard.
+func (e *Route) Shard() *Shard { return e.sh }
+
+// Parent returns the name of the shard this route was migrated from, or "".
+func (e *Route) Parent() string { return e.parent }
+
+// State returns the route's current lifecycle state.
+func (e *Route) State() RouteState {
+	e.r.mu.Lock()
+	defer e.r.mu.Unlock()
+	return e.state
+}
+
+// Router is the epoch-stamped routing table of a shard set. It replaces the
+// static FNV map: keys still hash over the original shard list (the mapping
+// of PR 1 is preserved bit for bit, see the golden test), but every entry can
+// be split, drained onto fresh base objects, or retired at runtime. Each
+// change installs a new epoch; operations pin the route they resolved so a
+// migration can drain in-flight work before it moves state.
+type Router struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	epoch  int64
+	closed bool
+	moving bool // one migration at a time
+
+	roots  []*Route          // original shards in declaration order (hash ring)
+	byName map[string]*Route // every route ever installed, by shard name
+	order  []string          // installation order, for deterministic iteration
+
+	heldWrites int64 // writes that had to wait for a seeding successor
+}
+
+// newRouter builds the epoch-0 table over the declared shards.
+func newRouter(shards []*Shard) *Router {
+	r := &Router{byName: make(map[string]*Route, len(shards))}
+	r.cond = sync.NewCond(&r.mu)
+	for _, sh := range shards {
+		e := r.newRoute(sh, "", 0, false)
+		e.state = RouteActive
+		r.roots = append(r.roots, e)
+	}
+	return r
+}
+
+// newRoute allocates and registers a route. Callers must hold r.mu (or be the
+// constructor).
+func (r *Router) newRoute(sh *Shard, parent string, depth int, dedicated bool) *Route {
+	e := &Route{
+		sh: sh, parent: parent, depth: depth, dedicated: dedicated,
+		writePins: make(map[int]int), readPins: make(map[int]int), r: r,
+	}
+	r.byName[sh.Name] = e
+	r.order = append(r.order, sh.Name)
+	return e
+}
+
+// Epoch returns the current routing epoch: the number of table changes
+// installed so far.
+func (r *Router) Epoch() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// HeldWrites returns how many write acquisitions had to wait (or retry)
+// because their target was still seeding.
+func (r *Router) HeldWrites() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.heldWrites
+}
+
+// rootHash is the epoch-0 key hash: FNV-1a modulo the original shard count.
+// It must never change — a golden test pins the mapping.
+func rootHash(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// childHash selects among a split route's successors, salted by the split
+// depth so that re-splitting a child re-partitions its keys.
+func childHash(key string, depth, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	h.Write([]byte{byte(depth)})
+	return int(h.Sum32() % uint32(n))
+}
+
+// resolveLocked routes a key to its current leaf route: an exact shard-name
+// match wins (descending through splits), any other key hashes over the
+// original shard list and descends through splits. Callers must hold r.mu.
+func (r *Router) resolveLocked(key string) *Route {
+	if e, ok := r.byName[key]; ok && !e.unrouted && (len(e.children) > 0 || e.state != RouteRetired) {
+		return r.descendLocked(e, key)
+	}
+	return r.descendLocked(r.roots[rootHash(key, len(r.roots))], key)
+}
+
+// descendLocked walks from a route down through splits to the current leaf.
+func (r *Router) descendLocked(e *Route, key string) *Route {
+	for len(e.children) > 0 {
+		e = e.children[childHash(key, e.depth, len(e.children))]
+	}
+	return e
+}
+
+// ForKey resolves a key to its current leaf shard without pinning.
+func (r *Router) ForKey(key string) *Shard {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.resolveLocked(key).sh
+}
+
+// TryAcquireWrite resolves key and pins the target for a write. When the
+// target is a still-unseeded migration successor the write must not proceed
+// (the seed write has to be the successor's first write); the call then
+// reports held=true without pinning, and the caller retries — yielding to the
+// scheduler in controlled mode, or via AwaitAcquireWrite in live mode.
+func (r *Router) TryAcquireWrite(client int, key string) (ref *Route, held bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, false, fmt.Errorf("shard: router closed")
+	}
+	e := r.resolveLocked(key)
+	if e.state == RouteSeeding || e.heldForFork {
+		r.heldWrites++
+		return nil, true, nil
+	}
+	e.writePins[client]++
+	return e, false, nil
+}
+
+// AwaitAcquireWrite is TryAcquireWrite for live mode: it blocks on the
+// router's condition variable while the target is seeding. It must not be
+// used by controlled-mode client tasks, which would deadlock the scheduler;
+// they retry with Yield instead.
+func (r *Router) AwaitAcquireWrite(client int, key string) (*Route, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.closed {
+			return nil, fmt.Errorf("shard: router closed")
+		}
+		e := r.resolveLocked(key)
+		if e.state != RouteSeeding && !e.heldForFork {
+			e.writePins[client]++
+			return e, nil
+		}
+		r.heldWrites++
+		r.cond.Wait()
+	}
+}
+
+// ReleaseWrite unpins a write acquired by TryAcquireWrite/AwaitAcquireWrite.
+func (r *Router) ReleaseWrite(e *Route, client int) {
+	r.mu.Lock()
+	e.writePins[client]--
+	if e.writePins[client] <= 0 {
+		delete(e.writePins, client)
+	}
+	migrating := e.state != RouteActive
+	r.mu.Unlock()
+	if migrating {
+		r.cond.Broadcast()
+	}
+}
+
+// AcquireRead resolves key and pins the target (and, while the target is an
+// unseeded successor, its predecessor) for a read. fb is non-nil exactly when
+// the read must be a dual-epoch read: read ref's register with its timestamp,
+// and fall back to fb when the timestamp is zero — lexicographic
+// (epoch, timestamp) order across the migration boundary.
+func (r *Router) AcquireRead(client int, key string) (ref, fb *Route, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, nil, fmt.Errorf("shard: router closed")
+	}
+	e := r.resolveLocked(key)
+	e.readPins[client]++
+	if e.state == RouteSeeding && e.from != nil && e.from.state != RouteRetired {
+		fb = e.from
+		fb.readPins[client]++
+	}
+	return e, fb, nil
+}
+
+// ReleaseRead unpins a read (and its fallback, if any).
+func (r *Router) ReleaseRead(e, fb *Route, client int) {
+	r.mu.Lock()
+	e.readPins[client]--
+	if e.readPins[client] <= 0 {
+		delete(e.readPins, client)
+	}
+	migrating := e.state != RouteActive
+	if fb != nil {
+		fb.readPins[client]--
+		if fb.readPins[client] <= 0 {
+			delete(fb.readPins, client)
+		}
+		migrating = true
+	}
+	r.mu.Unlock()
+	if migrating {
+		r.cond.Broadcast()
+	}
+}
+
+// BeginMove reserves the router for one reconfiguration move; moves are
+// serialized because each one atomically rewrites a slice of the table.
+func (r *Router) BeginMove() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("shard: router closed")
+	}
+	if r.moving {
+		return fmt.Errorf("shard: another reconfiguration move is in progress")
+	}
+	r.moving = true
+	return nil
+}
+
+// EndMove releases the reservation taken by BeginMove.
+func (r *Router) EndMove() {
+	r.mu.Lock()
+	r.moving = false
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// InstallSuccessors atomically replaces the leaf route `name` by seeding
+// successor routes and marks the old route draining: from this epoch on,
+// writes for the old route's keys are held for the successors and reads
+// consult both epochs. It returns the new epoch.
+func (r *Router) InstallSuccessors(name string, succs []*Shard) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byName[name]
+	switch {
+	case !ok:
+		return 0, fmt.Errorf("shard: unknown shard %q", name)
+	case e.unrouted || e.state != RouteActive:
+		return 0, fmt.Errorf("shard: shard %q is %v, not active", name, e.state)
+	case len(e.children) > 0:
+		return 0, fmt.Errorf("shard: shard %q was already split", name)
+	case len(succs) == 0:
+		return 0, fmt.Errorf("shard: no successors for %q", name)
+	}
+	for _, sh := range succs {
+		if _, dup := r.byName[sh.Name]; dup {
+			return 0, fmt.Errorf("shard: successor name %q already routed", sh.Name)
+		}
+	}
+	for _, sh := range succs {
+		c := r.newRoute(sh, name, e.depth+1, e.dedicated)
+		c.state = RouteSeeding
+		c.from = e
+		e.children = append(e.children, c)
+	}
+	e.state = RouteDraining
+	r.epoch++
+	r.cond.Broadcast()
+	return r.epoch, nil
+}
+
+// AbortSuccessors rolls back an InstallSuccessors whose migration could not
+// complete (the seed read or a seed write failed): the old route becomes
+// active again and the successors are retired. It is safe because writes were
+// held for the successors throughout — no client state can have reached them.
+func (r *Router) AbortSuccessors(name string) {
+	r.mu.Lock()
+	e := r.byName[name]
+	if e != nil && e.state == RouteDraining {
+		for _, c := range e.children {
+			c.state = RouteRetired
+			c.from = nil
+			c.unrouted = true
+		}
+		e.children = nil
+		e.state = RouteActive
+		r.epoch++
+	}
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// InstallDedicated installs a seeding dedicated route for exactly the key
+// sh.Name, migrating from whatever route the key resolves to today. The
+// origin stays active (it keeps serving its other keys); the new shard is a
+// fork of the origin's register seeded by the migration writer.
+func (r *Router) InstallDedicated(sh *Shard) (origin *Route, epoch int64, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[sh.Name]; dup {
+		return nil, 0, fmt.Errorf("shard: shard %q already exists", sh.Name)
+	}
+	origin = r.resolveLocked(sh.Name)
+	if origin.state != RouteActive {
+		return nil, 0, fmt.Errorf("shard: origin %q of dedicated shard %q is %v, not active",
+			origin.sh.Name, sh.Name, origin.state)
+	}
+	e := r.newRoute(sh, origin.sh.Name, 0, true)
+	e.state = RouteSeeding
+	e.from = origin
+	r.epoch++
+	r.cond.Broadcast()
+	return origin, r.epoch, nil
+}
+
+// HoldWrites holds new write acquisitions on an active route without
+// changing its routing: a dedicated fork drains the origin's in-flight
+// writes and seeds from its settled value while reads continue. ReleaseHold
+// reopens writes.
+func (r *Router) HoldWrites(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byName[name]
+	if !ok {
+		return fmt.Errorf("shard: unknown shard %q", name)
+	}
+	e.heldForFork = true
+	return nil
+}
+
+// ReleaseHold lifts a HoldWrites.
+func (r *Router) ReleaseHold(name string) {
+	r.mu.Lock()
+	if e, ok := r.byName[name]; ok {
+		e.heldForFork = false
+	}
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// AbortDedicated rolls back an InstallDedicated whose seeding failed: the
+// route is unrouted and retired, and its key keeps resolving to the origin.
+// Safe for the same reason AbortSuccessors is — writes were held throughout.
+func (r *Router) AbortDedicated(name string) {
+	r.mu.Lock()
+	if e, ok := r.byName[name]; ok && e.dedicated && e.state == RouteSeeding {
+		e.state = RouteRetired
+		e.from = nil
+		e.unrouted = true
+		r.epoch++
+	}
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// UnrouteDedicated removes a dedicated route from the table: its key falls
+// back to hash routing. The shard's register is discarded once drained —
+// removing a dedicated shard drops its namespace, it does not merge values
+// back.
+func (r *Router) UnrouteDedicated(name string) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byName[name]
+	switch {
+	case !ok:
+		return 0, fmt.Errorf("shard: unknown shard %q", name)
+	case !e.dedicated:
+		return 0, fmt.Errorf("shard: shard %q is not a dedicated shard", name)
+	case e.state != RouteActive:
+		return 0, fmt.Errorf("shard: shard %q is %v, not active", name, e.state)
+	}
+	e.unrouted = true
+	e.state = RouteDraining
+	r.epoch++
+	r.cond.Broadcast()
+	return r.epoch, nil
+}
+
+// WritesDrained reports whether no write is pinned to the route by a client
+// that is still alive. Pins of crashed clients are excluded: a client crashed
+// mid-operation can never release its pin, and its surviving in-flight RMWs
+// are incomplete writes, which the migration is allowed to miss (they are
+// concurrent with everything that follows).
+func (r *Router) WritesDrained(name string, crashed map[int]bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byName[name]
+	if !ok {
+		return true
+	}
+	return pinsDrained(e.writePins, crashed)
+}
+
+// ReadsDrained is WritesDrained for read pins.
+func (r *Router) ReadsDrained(name string, crashed map[int]bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byName[name]
+	if !ok {
+		return true
+	}
+	return pinsDrained(e.readPins, crashed)
+}
+
+func pinsDrained(pins map[int]int, crashed map[int]bool) bool {
+	for client, n := range pins {
+		if n > 0 && !crashed[client] {
+			return false
+		}
+	}
+	return true
+}
+
+// MarkSeeded flips a seeding successor to active: its register now holds the
+// migrated value (or a newer client write), so reads stop consulting the
+// predecessor and writes are admitted.
+func (r *Router) MarkSeeded(name string) {
+	r.mu.Lock()
+	if e, ok := r.byName[name]; ok && e.state == RouteSeeding {
+		e.state = RouteActive
+		e.from = nil
+		r.epoch++
+	}
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// MarkRetired flips a drained route to retired. The caller is responsible for
+// retiring the underlying object region afterwards.
+func (r *Router) MarkRetired(name string) {
+	r.mu.Lock()
+	if e, ok := r.byName[name]; ok {
+		e.state = RouteRetired
+		r.epoch++
+	}
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// DeleteRetiredRoute unregisters a retired, childless dedicated route so its
+// name — which for a dedicated shard must equal the key and therefore cannot
+// be suffixed like split successors — can be reused by a later AddShard.
+func (r *Router) DeleteRetiredRoute(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byName[name]
+	switch {
+	case !ok:
+		return fmt.Errorf("shard: unknown shard %q", name)
+	case !e.dedicated || e.state != RouteRetired || len(e.children) > 0:
+		return fmt.Errorf("shard: route %q is not a retired dedicated leaf", name)
+	}
+	delete(r.byName, name)
+	for i, n := range r.order {
+		if n == name {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// RouteOf returns the route installed under the given shard name, or nil.
+func (r *Router) RouteOf(name string) *Route {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byName[name]
+}
+
+// Shards returns the shards of all non-retired routes in installation order.
+func (r *Router) Shards() []*Shard {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Shard, 0, len(r.order))
+	for _, name := range r.order {
+		if e := r.byName[name]; e.state != RouteRetired {
+			out = append(out, e.sh)
+		}
+	}
+	return out
+}
+
+// Names returns every route name ever installed — retired ones included — in
+// installation order. Storage attribution iterates it: regions are disjoint
+// for the life of the cluster, so summing over all names is always exact even
+// when a snapshot races a retirement.
+func (r *Router) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// ActiveLeafNames returns the names of the routes that currently receive
+// traffic (active, unsplit, routed), in installation order. Reconfiguration
+// target pickers use it.
+func (r *Router) ActiveLeafNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for _, name := range r.order {
+		e := r.byName[name]
+		if e.state == RouteActive && len(e.children) == 0 && !e.unrouted {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// LeafNames returns the names of all non-retired, unsplit, routed routes in
+// installation order — the shards whose (stitched) histories describe the
+// system's current registers.
+func (r *Router) LeafNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for _, name := range r.order {
+		e := r.byName[name]
+		if e.state != RouteRetired && len(e.children) == 0 && !e.unrouted {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Lineage returns the chain of shard names from the oldest ancestor down to
+// name, following migration parentage. A shard's end-to-end history is the
+// stitched union of its lineage's histories.
+func (r *Router) Lineage(name string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var chain []string
+	for cur := name; cur != ""; {
+		chain = append([]string{cur}, chain...)
+		e, ok := r.byName[cur]
+		if !ok {
+			break
+		}
+		cur = e.parent
+	}
+	return chain
+}
+
+// Region is one shard's object region and fault budget, for adversaries and
+// fault injectors that must respect per-shard crash budgets as the topology
+// changes.
+type Region struct {
+	Name       string
+	Base, Span int
+	F          int
+}
+
+// Regions returns the non-retired shards' regions in installation order.
+func (r *Router) Regions() []Region {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Region, 0, len(r.order))
+	for _, name := range r.order {
+		e := r.byName[name]
+		if e.state == RouteRetired {
+			continue
+		}
+		out = append(out, Region{Name: name, Base: e.sh.Base, Span: e.sh.Span, F: e.sh.Reg.Config().F})
+	}
+	return out
+}
+
+// close wakes all blocked acquirers with an error.
+func (r *Router) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}

@@ -1,0 +1,111 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"spacebounds/internal/register"
+	_ "spacebounds/internal/register/adaptive"
+	"spacebounds/internal/shard"
+	"spacebounds/internal/value"
+)
+
+// TestForKeyGoldenMapping pins the FNV-1a key→shard mapping bit for bit: the
+// router replaced the static map of PR 1, and any future routing refactor
+// that silently remapped keys would shift every deployment's data placement.
+// The expected indices were computed once from hash/fnv and are frozen here.
+func TestForKeyGoldenMapping(t *testing.T) {
+	golden := map[int]map[string]int{
+		2: {
+			"": 1, "user-0": 1, "user-1": 0, "user-42": 1,
+			"key-0": 1, "key-1": 0, "key-7": 0,
+			"alpha": 1, "beta": 1, "gamma": 0, "delta": 1,
+			"the-quick-brown-fox": 1, "\x00\x01": 0,
+		},
+		4: {
+			"": 1, "user-0": 3, "user-1": 0, "user-42": 3,
+			"key-0": 1, "key-1": 2, "key-7": 0,
+			"alpha": 3, "beta": 3, "gamma": 2, "delta": 1,
+			"the-quick-brown-fox": 3, "\x00\x01": 2,
+		},
+		8: {
+			"": 5, "user-0": 7, "user-1": 4, "user-42": 3,
+			"key-0": 1, "key-1": 6, "key-7": 4,
+			"alpha": 3, "beta": 7, "gamma": 2, "delta": 1,
+			"the-quick-brown-fox": 3, "\x00\x01": 2,
+		},
+	}
+	for n, want := range golden {
+		set, err := shard.New(specsNamed(n, "shard-%d"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for key, idx := range want {
+			if got := set.ForKey(key).Name; got != fmt.Sprintf("shard-%d", idx) {
+				t.Errorf("n=%d ForKey(%q) = %s, want shard-%d", n, key, got, idx)
+			}
+		}
+		set.Close()
+	}
+}
+
+func specsNamed(n int, format string) []shard.Spec {
+	specs := make([]shard.Spec, 0, n)
+	for i := 0; i < n; i++ {
+		specs = append(specs, shard.Spec{
+			Name:      fmt.Sprintf(format, i),
+			Algorithm: "adaptive",
+			Config:    register.Config{F: 1, K: 2, DataLen: 16},
+		})
+	}
+	return specs
+}
+
+// TestForKeyEdgeCases covers the routing corner cases: the empty key (a valid
+// hashed key, not an error), a key exactly equal to a shard name (exact match
+// beats the hash), and a key equal to a shard name with different case (no
+// match — names are case-sensitive, so it hashes).
+func TestForKeyEdgeCases(t *testing.T) {
+	set, err := shard.New(specsNamed(4, "s%d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+
+	// Empty key: deterministic hash routing, never a panic or nil.
+	if a, b := set.ForKey(""), set.ForKey(""); a == nil || a != b {
+		t.Fatalf("ForKey(\"\") unstable: %v vs %v", a, b)
+	}
+	// A write under the empty key round-trips like any other key.
+	if err := set.Write(1, "", value.Sequenced(1, 1, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := set.Read(2, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exact shard names route to themselves, whatever they would hash to.
+	for _, sh := range set.Shards() {
+		if got := set.ForKey(sh.Name); got != sh {
+			t.Errorf("ForKey(%q) = %s, want exact match", sh.Name, got.Name)
+		}
+	}
+	// Case matters: "S0" is not the shard "s0", it is an ordinary hashed key.
+	if got := set.ForKey("S0"); got == nil {
+		t.Fatal("ForKey(\"S0\") returned nil")
+	}
+
+	// Stability across sets: the same topology always routes a key the same
+	// way (no per-process randomization).
+	other, err := shard.New(specsNamed(4, "s%d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("stable-%d", i)
+		if a, b := set.ForKey(key).Name, other.ForKey(key).Name; a != b {
+			t.Fatalf("ForKey(%q) differs across sets: %s vs %s", key, a, b)
+		}
+	}
+}

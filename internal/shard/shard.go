@@ -6,15 +6,23 @@
 // share a lock on the live path because the scoped client handles of
 // internal/dsys touch only the shard's own objects.
 //
+// Since the reconfiguration subsystem landed, routing is an epoch-stamped
+// table (Router) instead of a static map: shards can be split, drained onto
+// fresh base objects, added for dedicated keys, and retired at runtime, with
+// a migration writer carrying each register's latest value across the epoch
+// boundary (see internal/reconfig and DESIGN.md "Reconfiguration").
+//
 // Storage accounting remains exact: the cluster's snapshot attributes bits to
 // base objects by global ID, and a shard's cost is the sum over its region,
 // so the paper's min(f, c)·D introspection holds per shard and, by summing,
-// in aggregate.
+// in aggregate — including while two epochs coexist, because the draining
+// region and its successors are disjoint regions of one cluster.
 package shard
 
 import (
 	"fmt"
-	"hash/fnv"
+	"sync"
+	"sync/atomic"
 
 	"spacebounds/internal/dsys"
 	"spacebounds/internal/register"
@@ -38,6 +46,9 @@ type Spec struct {
 type Shard struct {
 	// Name is the shard's unique name.
 	Name string
+	// Algorithm is the register provider name that built Reg; reconfiguration
+	// uses it to build successors with the same emulation.
+	Algorithm string
 	// Reg is the register emulation serving the shard.
 	Reg register.Register
 	// Base is the global ID of the shard's first base object.
@@ -48,16 +59,45 @@ type Shard struct {
 
 // Set is a collection of shards multiplexed over one cluster.
 type Set struct {
-	cluster  *dsys.Cluster
-	shards   []*Shard
-	byName   map[string]*Shard
+	cluster *dsys.Cluster
+	router  *Router
+
+	bmu      sync.RWMutex        // guards batchers and nextLane
 	batchers map[string]*Batcher // non-nil entries when batching is enabled
+	batchCfg *BatchConfig        // nil when batching is disabled
+	nextLane int
+
+	// regions is the append-only registry of every object region ever built,
+	// in creation order. Storage attribution iterates it rather than the
+	// routing table: a region exists (and holds its initial states' bits)
+	// from ExtendObjects on, before its route is installed, and regions are
+	// disjoint forever, so summing over this list is exact at every instant.
+	rmu     sync.Mutex
+	regions []*Shard
+
+	fallbackReads atomic.Int64 // dual-epoch reads answered by the old epoch
 }
 
 // batcherClientBase is the first client ID handed to batcher lanes. Real
 // clients use small IDs; starting the lanes this high keeps the lanes'
 // timestamp client components collision-free.
 const batcherClientBase = 1 << 30
+
+// buildShard constructs the register and initial states for one spec.
+func buildShard(spec Spec) (*Shard, []dsys.State, error) {
+	if spec.Name == "" {
+		return nil, nil, fmt.Errorf("shard: shard with empty name")
+	}
+	reg, err := register.NewByName(spec.Algorithm, spec.Config)
+	if err != nil {
+		return nil, nil, fmt.Errorf("shard %q: %w", spec.Name, err)
+	}
+	init, err := reg.InitialStates(value.Zero(reg.Config().DataLen))
+	if err != nil {
+		return nil, nil, fmt.Errorf("shard %q: initial states: %w", spec.Name, err)
+	}
+	return &Shard{Name: spec.Name, Algorithm: spec.Algorithm, Reg: reg, Span: len(init)}, init, nil
+}
 
 // New builds the registers named by specs, concatenates their initial base
 // object states into one cluster, and returns the shard set. The cluster
@@ -67,34 +107,28 @@ func New(specs []Spec, opts ...dsys.Option) (*Set, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("shard: empty spec list")
 	}
-	s := &Set{byName: make(map[string]*Shard, len(specs))}
 	var states []dsys.State
+	var shards []*Shard
+	seen := make(map[string]bool, len(specs))
 	maxDataBits := 0
 	for _, spec := range specs {
-		if spec.Name == "" {
-			return nil, fmt.Errorf("shard: shard with empty name")
-		}
-		if _, dup := s.byName[spec.Name]; dup {
+		if seen[spec.Name] {
 			return nil, fmt.Errorf("shard: duplicate shard name %q", spec.Name)
 		}
-		reg, err := register.NewByName(spec.Algorithm, spec.Config)
+		sh, init, err := buildShard(spec)
 		if err != nil {
-			return nil, fmt.Errorf("shard %q: %w", spec.Name, err)
+			return nil, err
 		}
-		cfg := reg.Config()
-		init, err := reg.InitialStates(value.Zero(cfg.DataLen))
-		if err != nil {
-			return nil, fmt.Errorf("shard %q: initial states: %w", spec.Name, err)
-		}
-		sh := &Shard{Name: spec.Name, Reg: reg, Base: len(states), Span: len(init)}
+		seen[spec.Name] = true
+		sh.Base = len(states)
 		states = append(states, init...)
-		s.shards = append(s.shards, sh)
-		s.byName[spec.Name] = sh
-		if d := cfg.DataBits(); d > maxDataBits {
+		shards = append(shards, sh)
+		if d := sh.Reg.Config().DataBits(); d > maxDataBits {
 			maxDataBits = d
 		}
 	}
 	all := append([]dsys.Option{dsys.WithLiveMode(), dsys.WithDataBits(maxDataBits)}, opts...)
+	s := &Set{router: newRouter(shards), regions: shards}
 	s.cluster = dsys.NewCluster(states, all...)
 	return s, nil
 }
@@ -102,23 +136,74 @@ func New(specs []Spec, opts ...dsys.Option) (*Set, error) {
 // Cluster returns the shared cluster.
 func (s *Set) Cluster() *dsys.Cluster { return s.cluster }
 
-// Shards returns the shards in declaration order.
-func (s *Set) Shards() []*Shard { return s.shards }
+// Router returns the set's routing table.
+func (s *Set) Router() *Router { return s.router }
 
-// Shard returns the shard with the given name, or nil.
-func (s *Set) Shard(name string) *Shard { return s.byName[name] }
+// AddRegion builds the register named by spec, extends the live cluster with
+// its initial base-object states, and returns the new shard. The shard is not
+// routed yet — reconfiguration moves install it into the table (as a split
+// successor, a drain replacement, or a dedicated route). When batching is
+// enabled the new shard gets its own batcher.
+func (s *Set) AddRegion(spec Spec) (*Shard, error) {
+	if s.router.RouteOf(spec.Name) != nil {
+		return nil, fmt.Errorf("shard: shard name %q already exists", spec.Name)
+	}
+	sh, init, err := buildShard(spec)
+	if err != nil {
+		return nil, err
+	}
+	base, err := s.cluster.ExtendObjects(init)
+	if err != nil {
+		return nil, err
+	}
+	sh.Base = base
+	s.rmu.Lock()
+	s.regions = append(s.regions, sh)
+	s.rmu.Unlock()
+	s.bmu.Lock()
+	if s.batchCfg != nil {
+		s.batchers[sh.Name] = newBatcher(s, sh, *s.batchCfg, batcherClientBase+2*s.nextLane)
+		s.nextLane++
+	}
+	s.bmu.Unlock()
+	return sh, nil
+}
+
+// RetireShard marks the named route retired and decommissions its object
+// region. The caller (the reconfiguration executor) must have drained it.
+func (s *Set) RetireShard(name string) error {
+	e := s.router.RouteOf(name)
+	if e == nil {
+		return fmt.Errorf("shard: unknown shard %q", name)
+	}
+	s.router.MarkRetired(name)
+	return s.cluster.RetireObjects(e.Shard().Base, e.Shard().Span)
+}
+
+// Shards returns the non-retired shards in installation order.
+func (s *Set) Shards() []*Shard { return s.router.Shards() }
+
+// Shard returns the shard with the given name, or nil. Retired shards are
+// still returned (their regions report zero storage).
+func (s *Set) Shard(name string) *Shard {
+	if e := s.router.RouteOf(name); e != nil {
+		return e.Shard()
+	}
+	return nil
+}
+
+// Lineage returns the migration ancestry of the named shard, oldest first.
+func (s *Set) Lineage(name string) []string { return s.router.Lineage(name) }
+
+// FallbackReads returns how many dual-epoch reads were answered by the old
+// epoch (the successor's register was still unwritten).
+func (s *Set) FallbackReads() int64 { return s.fallbackReads.Load() }
 
 // ForKey routes a key to a shard: an exact shard name wins, any other key
-// hashes (FNV-1a) onto the shard list. Routing is deterministic across
-// processes and runs.
-func (s *Set) ForKey(key string) *Shard {
-	if sh, ok := s.byName[key]; ok {
-		return sh
-	}
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return s.shards[int(h.Sum32()%uint32(len(s.shards)))]
-}
+// hashes (FNV-1a) onto the original shard list and descends through any
+// splits. Routing is deterministic across processes and runs; for a table
+// that has never been reconfigured it is exactly the static FNV map of PR 1.
+func (s *Set) ForKey(key string) *Shard { return s.router.ForKey(key) }
 
 // Run executes fn as the given client scoped to the shard's object region.
 // On the live path fn runs inline in the caller's goroutine.
@@ -129,20 +214,31 @@ func (s *Set) Run(client int, sh *Shard, fn func(h *dsys.ClientHandle) error) er
 // EnableBatching installs a group-commit Batcher on every shard: from then
 // on, concurrent Write/Read calls on a shard coalesce into shared quorum
 // rounds. It must be called before the set serves operations (it is not safe
-// to call concurrently with Write or Read).
+// to call concurrently with Write or Read). Shards added later by
+// reconfiguration get batchers automatically.
 func (s *Set) EnableBatching(cfg BatchConfig) {
-	s.batchers = make(map[string]*Batcher, len(s.shards))
-	for i, sh := range s.shards {
-		s.batchers[sh.Name] = newBatcher(s, sh, cfg, batcherClientBase+2*i)
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	s.batchCfg = &cfg
+	s.batchers = make(map[string]*Batcher)
+	for _, sh := range s.router.Shards() {
+		s.batchers[sh.Name] = newBatcher(s, sh, cfg, batcherClientBase+2*s.nextLane)
+		s.nextLane++
 	}
 }
 
 // Batcher returns the named shard's batcher, or nil when batching is off.
-func (s *Set) Batcher(name string) *Batcher { return s.batchers[name] }
+func (s *Set) Batcher(name string) *Batcher {
+	s.bmu.RLock()
+	defer s.bmu.RUnlock()
+	return s.batchers[name]
+}
 
 // BatchStats sums the batcher counters across all shards; zero when batching
 // is disabled.
 func (s *Set) BatchStats() BatcherStats {
+	s.bmu.RLock()
+	defer s.bmu.RUnlock()
 	var total BatcherStats
 	for _, b := range s.batchers {
 		st := b.Stats()
@@ -156,9 +252,11 @@ func (s *Set) BatchStats() BatcherStats {
 
 // WriteValue performs a register write of v on the given shard, through the
 // shard's batcher when batching is enabled (the physical round then runs
-// under the batcher lane's client ID rather than the caller's).
+// under the batcher lane's client ID rather than the caller's). It addresses
+// the shard directly, bypassing the routing table — use Write for routed,
+// reconfiguration-safe access.
 func (s *Set) WriteValue(client int, sh *Shard, v value.Value) error {
-	if b := s.batchers[sh.Name]; b != nil {
+	if b := s.Batcher(sh.Name); b != nil {
 		return b.Write(v)
 	}
 	return s.Run(client, sh, func(h *dsys.ClientHandle) error {
@@ -167,9 +265,10 @@ func (s *Set) WriteValue(client int, sh *Shard, v value.Value) error {
 }
 
 // ReadValue performs a register read on the given shard, through the shard's
-// batcher when batching is enabled.
+// batcher when batching is enabled. Like WriteValue it bypasses the routing
+// table.
 func (s *Set) ReadValue(client int, sh *Shard) (value.Value, error) {
-	if b := s.batchers[sh.Name]; b != nil {
+	if b := s.Batcher(sh.Name); b != nil {
 		return b.Read()
 	}
 	var got value.Value
@@ -181,19 +280,115 @@ func (s *Set) ReadValue(client int, sh *Shard) (value.Value, error) {
 	return got, err
 }
 
-// Write performs a register write of v on the shard routed by key.
-func (s *Set) Write(client int, key string, v value.Value) error {
-	return s.WriteValue(client, s.ForKey(key), v)
+// AcquireWrite routes key and pins the target shard for a write, blocking
+// while the target is a still-seeding migration successor. Live mode only.
+func (s *Set) AcquireWrite(client int, key string) (*Route, error) {
+	return s.router.AwaitAcquireWrite(client, key)
 }
 
-// Read performs a register read on the shard routed by key.
+// ReleaseWrite unpins a write acquisition.
+func (s *Set) ReleaseWrite(ref *Route, client int) { s.router.ReleaseWrite(ref, client) }
+
+// WriteRef performs the write against an acquired route, through the shard's
+// batcher when one is installed.
+func (s *Set) WriteRef(client int, ref *Route, v value.Value) error {
+	return s.WriteValue(client, ref.Shard(), v)
+}
+
+// AcquireRead routes key and pins the target (plus its migration predecessor
+// during a migration) for a read.
+func (s *Set) AcquireRead(client int, key string) (ref, fb *Route, err error) {
+	return s.router.AcquireRead(client, key)
+}
+
+// ReleaseRead unpins a read acquisition.
+func (s *Set) ReleaseRead(ref, fb *Route, client int) { s.router.ReleaseRead(ref, fb, client) }
+
+// ReadRef performs the read against an acquired route. With a fallback route
+// (migration in progress) it is a dual-epoch read — see ReadRouted, the
+// shared implementation — bypassing the batcher, whose group commit does not
+// carry timestamps.
+func (s *Set) ReadRef(client int, ref, fb *Route) (value.Value, error) {
+	if fb == nil {
+		return s.ReadValue(client, ref.Shard())
+	}
+	var got value.Value
+	var fell bool
+	err := s.cluster.RunScoped(client, 0, s.cluster.N(), func(h *dsys.ClientHandle) error {
+		var err error
+		got, fell, err = ReadRouted(h, ref, fb)
+		return err
+	})
+	if fell {
+		s.fallbackReads.Add(1)
+	}
+	return got, err
+}
+
+// ReadRouted performs a routed read through a whole-cluster handle (live
+// Set.ReadRef and the controlled-mode simulator clients share it). Without a
+// fallback it is a plain register read. With one — the route is a seeding
+// migration successor — it is the dual-epoch read: the successor's register
+// is read with its timestamp, and a zero timestamp (no write has reached the
+// new epoch yet) falls back to the predecessor's register, so the higher
+// (epoch, timestamp) wins. A successor register that cannot report
+// timestamps is answered by the predecessor outright: during seeding the
+// predecessor is authoritative, and reconfiguration refuses to migrate such
+// registers anyway, so the branch is purely defensive. fellBack reports that
+// the old epoch answered.
+func ReadRouted(h *dsys.ClientHandle, ref, fb *Route) (v value.Value, fellBack bool, err error) {
+	sh := ref.Shard()
+	sub, err := h.Sub(sh.Base, sh.Span)
+	if err != nil {
+		return value.Value{}, false, err
+	}
+	if fb == nil {
+		v, err = sh.Reg.Read(sub)
+		return v, false, err
+	}
+	if tr, ok := sh.Reg.(register.TimestampedReader); ok {
+		v, ts, err := tr.ReadTimestamped(sub)
+		if err != nil {
+			return value.Value{}, false, err
+		}
+		if ts != register.ZeroTS {
+			return v, false, nil
+		}
+	}
+	fsh := fb.Shard()
+	fsub, err := h.Sub(fsh.Base, fsh.Span)
+	if err != nil {
+		return value.Value{}, false, err
+	}
+	v, err = fsh.Reg.Read(fsub)
+	return v, true, err
+}
+
+// Write performs a routed register write of v on the shard key resolves to,
+// pinning the route so a concurrent reconfiguration drains it correctly.
+func (s *Set) Write(client int, key string, v value.Value) error {
+	ref, err := s.AcquireWrite(client, key)
+	if err != nil {
+		return err
+	}
+	defer s.ReleaseWrite(ref, client)
+	return s.WriteRef(client, ref, v)
+}
+
+// Read performs a routed register read on the shard key resolves to,
+// consulting both epochs while that shard is migrating.
 func (s *Set) Read(client int, key string) (value.Value, error) {
-	return s.ReadValue(client, s.ForKey(key))
+	ref, fb, err := s.AcquireRead(client, key)
+	if err != nil {
+		return value.Value{}, err
+	}
+	defer s.ReleaseRead(ref, fb, client)
+	return s.ReadRef(client, ref, fb)
 }
 
 // CrashNode crashes the shard-local base object node of the named shard.
 func (s *Set) CrashNode(name string, node int) error {
-	sh := s.byName[name]
+	sh := s.Shard(name)
 	if sh == nil {
 		return fmt.Errorf("shard: unknown shard %q", name)
 	}
@@ -207,9 +402,10 @@ func (s *Set) CrashNode(name string, node int) error {
 func (s *Set) StorageSnapshot() *storagecost.Snapshot { return s.cluster.SampleStorage() }
 
 // ShardBits returns the base-object bits a snapshot attributes to the named
-// shard's object region (the per-shard storage cost of Definition 2).
+// shard's object region (the per-shard storage cost of Definition 2). Retired
+// regions report zero: their bits left the system with the nodes.
 func (s *Set) ShardBits(snap *storagecost.Snapshot, name string) int {
-	sh := s.byName[name]
+	sh := s.Shard(name)
 	if sh == nil {
 		return 0
 	}
@@ -220,5 +416,34 @@ func (s *Set) ShardBits(snap *storagecost.Snapshot, name string) int {
 	return total
 }
 
-// Close shuts the shared cluster down.
-func (s *Set) Close() { s.cluster.Close() }
+// StorageBreakdown samples storage once and attributes the base-object bits
+// to shards from that single sample. It iterates every route ever installed —
+// regions are disjoint for the life of the cluster — so the per-shard values
+// always sum to the sample's total, even while a reconfiguration is mid-
+// flight (a retiring region's last bits are attributed to its old name).
+// Fully retired shards with zero bits are omitted.
+func (s *Set) StorageBreakdown() (snap *storagecost.Snapshot, perShard map[string]int) {
+	snap = s.StorageSnapshot()
+	s.rmu.Lock()
+	regions := make([]*Shard, len(s.regions))
+	copy(regions, s.regions)
+	s.rmu.Unlock()
+	perShard = make(map[string]int, len(regions))
+	for _, sh := range regions {
+		bits := 0
+		for obj := sh.Base; obj < sh.Base+sh.Span; obj++ {
+			bits += snap.PerObjectBits[obj]
+		}
+		e := s.router.RouteOf(sh.Name)
+		if bits > 0 || e == nil || e.State() != RouteRetired {
+			perShard[sh.Name] = bits
+		}
+	}
+	return snap, perShard
+}
+
+// Close shuts the routing table and the shared cluster down.
+func (s *Set) Close() {
+	s.router.close()
+	s.cluster.Close()
+}

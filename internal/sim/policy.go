@@ -72,9 +72,17 @@ type region struct {
 // has over pending RMWs. The policy is a deterministic function of its seed:
 // replaying a seed replays the schedule.
 type adversary struct {
-	rng     *rand.Rand
+	rng *rand.Rand
+	// regions supplies the current shard layout; reconfiguration grows and
+	// retires regions mid-run, and the fault budget follows the topology. The
+	// callback is consulted at scheduling points only, so its answers are a
+	// pure function of the schedule.
+	regions func() []region
 	rates   FaultRates
-	regions []region
+	// immortal clients (the reconfiguration controller) are never crashed: a
+	// controller crash would park a half-installed migration forever, turning
+	// the run into a trivially stuck one instead of an interesting schedule.
+	immortal map[int]bool
 
 	crashed       map[int]bool // objects
 	suspended     map[int]bool // objects
@@ -88,14 +96,18 @@ func newAdversary(seed int64, rates FaultRates) *adversary {
 	return &adversary{
 		rng:       rand.New(rand.NewSource(seed)),
 		rates:     rates,
+		immortal:  make(map[int]bool),
 		crashed:   make(map[int]bool),
 		suspended: make(map[int]bool),
 	}
 }
 
-// bind tells the adversary the shard layout. It must be called before the
-// cluster starts scheduling.
-func (a *adversary) bind(regions []region) { a.regions = regions }
+// bind tells the adversary where to read the (possibly changing) shard
+// layout. It must be called before the cluster starts scheduling.
+func (a *adversary) bind(regions func() []region) { a.regions = regions }
+
+// spare marks a client as never-crashed.
+func (a *adversary) spare(client int) { a.immortal[client] = true }
 
 // faultedIn counts crashed plus suspended objects of one region.
 func (a *adversary) faultedIn(r region) int {
@@ -112,7 +124,7 @@ func (a *adversary) faultedIn(r region) int {
 // blowing a shard's fault budget, in ascending order.
 func (a *adversary) faultCandidates() []int {
 	var out []int
-	for _, r := range a.regions {
+	for _, r := range a.regions() {
 		if a.faultedIn(r) >= r.f {
 			continue
 		}
@@ -167,11 +179,19 @@ func (a *adversary) Decide(v *dsys.View) dsys.Decision {
 			return dsys.Decision{Kind: dsys.KindResumeObject, Object: obj}
 		}
 	case roll < r.CrashObject+r.SuspendObject+r.ResumeObject+r.CrashClient:
-		if len(v.Clients) > 0 && a.clientCrashes < r.MaxClientCrashes {
-			client := v.Clients[a.rng.Intn(len(v.Clients))]
-			a.clientCrashes++
-			a.note(v.Step, dsys.TraceClientCrash, -1, client)
-			return dsys.Decision{Kind: dsys.KindCrashClient, Client: client}
+		if a.clientCrashes < r.MaxClientCrashes {
+			cands := make([]int, 0, len(v.Clients))
+			for _, cl := range v.Clients {
+				if !a.immortal[cl] {
+					cands = append(cands, cl)
+				}
+			}
+			if len(cands) > 0 {
+				client := cands[a.rng.Intn(len(cands))]
+				a.clientCrashes++
+				a.note(v.Step, dsys.TraceClientCrash, -1, client)
+				return dsys.Decision{Kind: dsys.KindCrashClient, Client: client}
+			}
 		}
 	}
 
@@ -187,7 +207,7 @@ func (a *adversary) Decide(v *dsys.View) dsys.Decision {
 		moves = append(moves, move{kind: dsys.KindRun, ticket: rc.Ticket})
 	}
 	for _, pd := range v.Pending {
-		if pd.ObjectCrashed || pd.ObjectSuspended {
+		if pd.ObjectCrashed || pd.ObjectSuspended || pd.ObjectRetired {
 			continue
 		}
 		moves = append(moves, move{kind: dsys.KindApply, index: pd.Index})

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"testing"
+
+	"spacebounds/internal/reconfig"
+)
+
+// reconfigConfig is the standard reconfiguration-enabled exploration config:
+// enough clients and operations that splits and drains land mid-traffic.
+func reconfigConfig(seed int64, provider string) Config {
+	return Config{
+		Seed:         seed,
+		Shards:       []ShardPlan{{Provider: provider}, {Provider: provider}},
+		Clients:      3,
+		OpsPerClient: 6,
+		Reconfig:     ReconfigPlan{Splits: 1, Drains: 1},
+	}
+}
+
+// TestReconfigRunRecordsSplitAndDrain is the acceptance scenario: a seeded
+// run with reconfiguration moves enabled records at least one split and one
+// drain, stitches histories across epochs, passes the strong-regularity
+// checker, and replays byte for byte from its fingerprint.
+func TestReconfigRunRecordsSplitAndDrain(t *testing.T) {
+	found := false
+	for seed := int64(1); seed <= 10; seed++ {
+		cfg := reconfigConfig(seed, "adaptive")
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed() {
+			t.Fatalf("seed %d: %s", seed, FormatFailure(res))
+		}
+		splits, drains := 0, 0
+		for _, ev := range res.Reconfigs {
+			switch ev.Kind {
+			case reconfig.MoveSplit:
+				splits++
+			case reconfig.MoveDrain:
+				drains++
+			}
+		}
+		if splits < 1 || drains < 1 {
+			continue
+		}
+		// Histories must actually stitch: some verdict spans a lineage of
+		// more than one epoch with operations recorded in it.
+		stitched := false
+		for _, v := range res.Verdicts {
+			if len(v.Lineage) > 1 && len(v.History.Ops) > 0 {
+				stitched = true
+			}
+		}
+		if !stitched {
+			t.Fatalf("seed %d recorded %d splits / %d drains but no stitched history", seed, splits, drains)
+		}
+		// Byte-for-byte replay from the fingerprint.
+		if _, err := Replay(cfg, res.Fingerprint); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		found = true
+		break
+	}
+	if !found {
+		t.Fatal("no seed in 1..10 completed both a split and a drain")
+	}
+}
+
+// TestReconfigRunIsDeterministic re-runs reconfiguration-enabled seeds and
+// requires identical fingerprints, steps and reconfiguration schedules.
+func TestReconfigRunIsDeterministic(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		cfg := reconfigConfig(seed, "adaptive")
+		a, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Fingerprint != b.Fingerprint {
+			t.Fatalf("seed %d: fingerprints diverge", seed)
+		}
+		if len(a.Reconfigs) != len(b.Reconfigs) {
+			t.Fatalf("seed %d: reconfig schedules diverge: %v vs %v", seed, a.Reconfigs, b.Reconfigs)
+		}
+		for i := range a.Reconfigs {
+			if a.Reconfigs[i].String() != b.Reconfigs[i].String() {
+				t.Fatalf("seed %d: reconfig %d diverges: %v vs %v", seed, i, a.Reconfigs[i], b.Reconfigs[i])
+			}
+		}
+	}
+}
+
+// TestReconfigCheckedCleanAcrossProvidersAndSeeds sweeps every provider with
+// reconfiguration enabled: no stitched history may violate its condition.
+func TestReconfigCheckedCleanAcrossProvidersAndSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep is not short")
+	}
+	for _, provider := range DefaultProviders {
+		failures, err := Explore(reconfigConfig(0, provider), 1, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", provider, err)
+		}
+		for _, f := range failures {
+			t.Errorf("%s seed %d failed:\n%s", provider, f.Seed, FormatFailure(f))
+		}
+	}
+}
+
+// TestReconfigFingerprintDiffersFromStatic proves the reconfig plan actually
+// changes the schedule (the controller is part of the deterministic run).
+func TestReconfigFingerprintDiffersFromStatic(t *testing.T) {
+	base := Config{Seed: 5, Shards: []ShardPlan{{Provider: "adaptive"}}, Clients: 2, OpsPerClient: 5}
+	a, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPlan := base
+	withPlan.Reconfig = ReconfigPlan{Splits: 1}
+	b, err := Run(withPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint == b.Fingerprint {
+		t.Fatal("reconfiguration plan did not change the run")
+	}
+	if len(b.Reconfigs) == 0 {
+		t.Fatal("no reconfiguration was recorded")
+	}
+}

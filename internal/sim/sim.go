@@ -10,6 +10,14 @@
 // be atomic), and a failing run auto-shrinks its history to a minimal
 // violating sub-history.
 //
+// With a Reconfig plan, the simulator additionally drives dynamic
+// reconfiguration as adversary-era moves: a controller task splits and drains
+// shards mid-run at seeded points, the clients route every operation through
+// the epoch-stamped table (yield-retrying while a write's target is still
+// seeding), and each surviving shard's history is stitched across its
+// migration lineage before checking — the first setting in which a checked
+// history spans two configurations of the system at once.
+//
 // Everything the run does is a pure function of Config (the seed in
 // particular): Run twice with the same Config and the histories, verdicts and
 // Fingerprint are identical, which is what makes failures replayable byte for
@@ -23,9 +31,12 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"spacebounds/internal/dsys"
 	"spacebounds/internal/history"
+	"spacebounds/internal/reconfig"
 	"spacebounds/internal/register"
 	_ "spacebounds/internal/register/abd"      // register providers
 	_ "spacebounds/internal/register/adaptive" // …
@@ -48,6 +59,20 @@ type ShardPlan struct {
 	DataLen int
 }
 
+// ReconfigPlan enables reconfiguration as adversary-era moves: the controller
+// performs the given number of splits and drains at seeded points of the run,
+// targeting seeded-random active shards (successors of earlier moves
+// included, so lineages chain).
+type ReconfigPlan struct {
+	// Splits is the number of shard splits to perform.
+	Splits int
+	// Drains is the number of shard drains (fresh-region migrations).
+	Drains int
+}
+
+// enabled reports whether any reconfiguration move is planned.
+func (p ReconfigPlan) enabled() bool { return p.Splits > 0 || p.Drains > 0 }
+
 // Config describes one deterministic simulation run.
 type Config struct {
 	// Seed drives every random choice: the adversary's schedule and faults
@@ -64,6 +89,9 @@ type Config struct {
 	ReadFraction float64
 	// Faults are the adversary's fault rates (zero value: standard mix).
 	Faults FaultRates
+	// Reconfig schedules dynamic-reconfiguration moves mid-run (zero value:
+	// topology fixed, exactly the pre-reconfiguration simulator).
+	Reconfig ReconfigPlan
 	// MaxSteps bounds scheduling decisions as a runaway backstop
 	// (default 200000).
 	MaxSteps int
@@ -123,7 +151,10 @@ type ShardVerdict struct {
 	Shard, Provider string
 	// Condition names the consistency condition checked.
 	Condition string
-	// History is the shard's recorded history.
+	// Lineage is the migration ancestry the history was stitched across
+	// (just the shard itself for an unreconfigured run).
+	Lineage []string
+	// History is the shard's recorded (lineage-stitched) history.
 	History *history.History
 	// Err is nil when the condition holds; otherwise the violation.
 	Err error
@@ -142,10 +173,14 @@ type Result struct {
 	CrashedClients   []int
 	// Faults is the adversary's fault schedule in injection order.
 	Faults []FaultEvent
+	// Reconfigs is the applied reconfiguration schedule (splits and drains
+	// with their epochs and logical times), empty without a Reconfig plan.
+	Reconfigs []reconfig.Event
 	// Verdicts holds one entry per shard per checked condition.
 	Verdicts []ShardVerdict
-	// Fingerprint is a hash over histories, fault schedule and verdicts; two
-	// runs of the same Config must produce the same fingerprint.
+	// Fingerprint is a hash over histories, fault schedule, reconfigurations
+	// and verdicts; two runs of the same Config must produce the same
+	// fingerprint.
 	Fingerprint string
 }
 
@@ -178,9 +213,42 @@ func conditionFor(provider string) (string, func(*history.History) error) {
 // IDs collide (and a KindCrashClient decision kill both tasks at once).
 const clientStride = 100
 
+// reconfigClientID is the controller task's client ID; it is far above every
+// workload client and the adversary never crashes it.
+const reconfigClientID = 1 << 20
+
 // clientID assigns globally unique client IDs: shards are strided so that a
-// client's ID also identifies its shard in histories and timestamps.
+// client's ID also identifies its home shard in histories and timestamps.
 func clientID(shardIdx, client int) int { return shardIdx*clientStride + client + 1 }
+
+// simRecorders lazily creates one history recorder per shard name, all on the
+// scheduler's logical clock; shards installed by reconfiguration mid-run get
+// theirs on first use. In controlled mode only one task runs at a time, so
+// the mutex serializes nothing scheduling-relevant — it exists for the race
+// detector and the final read from the orchestrating goroutine.
+type simRecorders struct {
+	mu    sync.Mutex
+	clock history.Clock
+	recs  map[string]*history.Recorder
+}
+
+func (rs *simRecorders) forShard(name string) *history.Recorder {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rec, ok := rs.recs[name]
+	if !ok {
+		rec = history.NewRecorder()
+		rec.SetClock(rs.clock)
+		rs.recs[name] = rec
+	}
+	return rec
+}
+
+func (rs *simRecorders) get(name string) *history.Recorder {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.recs[name]
+}
 
 // Run executes one deterministic simulation. The returned error covers
 // configuration problems only; consistency violations are reported in the
@@ -200,6 +268,7 @@ func Run(cfg Config) (*Result, error) {
 		})
 	}
 	adv := newAdversary(cfg.Seed, cfg.Faults)
+	adv.spare(reconfigClientID)
 	set, err := shard.New(specs,
 		dsys.WithControlledMode(),
 		dsys.WithPolicy(adv),
@@ -212,29 +281,48 @@ func Run(cfg Config) (*Result, error) {
 	cluster := set.Cluster()
 	defer cluster.Close()
 
-	regions := make([]region, 0, len(set.Shards()))
-	for i, sh := range set.Shards() {
-		regions = append(regions, region{base: sh.Base, span: sh.Span, f: cfg.Shards[i].F})
-	}
-	adv.bind(regions)
+	// The adversary reads the (possibly changing) shard layout through the
+	// router, so its fault budget follows reconfiguration.
+	adv.bind(func() []region {
+		rr := set.Router().Regions()
+		out := make([]region, 0, len(rr))
+		for _, r := range rr {
+			out = append(out, region{base: r.Base, span: r.Span, f: r.F})
+		}
+		return out
+	})
 
-	// One recorder per shard, stamped with the scheduler's logical clock so
-	// that operation intervals are a pure function of the schedule.
-	recorders := make([]*history.Recorder, len(set.Shards()))
-	for i := range recorders {
-		recorders[i] = history.NewRecorder()
-		recorders[i].SetClock(cluster.LogicalTime)
+	recorders := &simRecorders{clock: cluster.LogicalTime, recs: make(map[string]*history.Recorder)}
+	for _, sh := range set.Shards() {
+		recorders.forShard(sh.Name)
 	}
+
+	var completedOps atomic.Int64
+	var doneClients atomic.Int64
+	totalClients := cfg.Clients * len(cfg.Shards)
+	co := reconfig.NewCoordinator(set)
 
 	// Spawn every client before Start so tickets — and therefore the whole
-	// schedule — are assigned deterministically.
+	// schedule — are assigned deterministically. Without a reconfig plan the
+	// clients are pinned to their home shard exactly as before; with one they
+	// route every operation, because their home shard may be split or drained
+	// under them mid-run.
 	var handles []*dsys.TaskHandle
 	for si, sh := range set.Shards() {
 		for cl := 0; cl < cfg.Clients; cl++ {
 			id := clientID(si, cl)
-			handles = append(handles, cluster.SpawnScoped(id, sh.Base, sh.Span,
-				clientScript(cfg, sh.Reg, recorders[si], id)))
+			if cfg.Reconfig.enabled() {
+				handles = append(handles, cluster.SpawnScoped(id, 0, cluster.N(),
+					routedClientScript(cfg, set, recorders, sh.Name, &completedOps, &doneClients, id)))
+			} else {
+				handles = append(handles, cluster.SpawnScoped(id, sh.Base, sh.Span,
+					clientScript(cfg, sh.Reg, recorders.forShard(sh.Name), &completedOps, &doneClients, id)))
+			}
 		}
+	}
+	if cfg.Reconfig.enabled() {
+		handles = append(handles, cluster.SpawnScoped(reconfigClientID, 0, cluster.N(),
+			reconfigController(cfg, set, co, &completedOps, &doneClients, totalClients)))
 	}
 	cluster.Start()
 	reason := cluster.WaitIdle()
@@ -247,19 +335,39 @@ func Run(cfg Config) (*Result, error) {
 		SuspendedObjects: cluster.SuspendedObjects(),
 		CrashedClients:   cluster.CrashedClients(),
 		Faults:           adv.events,
+		Reconfigs:        co.Events(),
 	}
 	cluster.Close()
 	for _, h := range handles {
 		_ = h.Wait() // crashed clients report ErrHalted; that is their crash
 	}
 
-	for si, sh := range set.Shards() {
-		h := recorders[si].History(value.Zero(cfg.Shards[si].DataLen))
-		cond, check := conditionFor(cfg.Shards[si].Provider)
-		res.Verdicts = append(res.Verdicts, verdict(sh.Name, cfg.Shards[si].Provider, cond, h, check))
+	// One verdict per surviving leaf shard, its history stitched across its
+	// migration lineage (for an unreconfigured run the lineage is the shard
+	// itself and stitching is the identity).
+	providerOf := func(name string) string {
+		if sh := set.Shard(name); sh != nil {
+			return sh.Algorithm
+		}
+		return ""
+	}
+	for _, name := range set.Router().LeafNames() {
+		sh := set.Shard(name)
+		v0 := value.Zero(sh.Reg.Config().DataLen)
+		lineage := set.Lineage(name)
+		var chain []*history.History
+		for _, ancestor := range lineage {
+			if rec := recorders.get(ancestor); rec != nil {
+				chain = append(chain, rec.History(v0))
+			}
+		}
+		h := history.Merge(v0, chain...)
+		provider := providerOf(name)
+		cond, check := conditionFor(provider)
+		res.Verdicts = append(res.Verdicts, verdict(name, provider, cond, lineage, h, check))
 		if cfg.CheckLinearizable {
 			res.Verdicts = append(res.Verdicts,
-				verdict(sh.Name, cfg.Shards[si].Provider, "linearizability", h, history.CheckLinearizability))
+				verdict(name, provider, "linearizability", lineage, h, history.CheckLinearizability))
 		}
 	}
 	res.Fingerprint = fingerprint(res)
@@ -267,23 +375,24 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // verdict checks one condition over one history, auto-shrinking violations.
-func verdict(name, provider, cond string, h *history.History, check func(*history.History) error) ShardVerdict {
-	v := ShardVerdict{Shard: name, Provider: provider, Condition: cond, History: h, Err: check(h)}
+func verdict(name, provider, cond string, lineage []string, h *history.History, check func(*history.History) error) ShardVerdict {
+	v := ShardVerdict{Shard: name, Provider: provider, Condition: cond, Lineage: lineage, History: h, Err: check(h)}
 	if v.Err != nil {
 		v.Shrunk = ShrinkHistory(h, check)
 	}
 	return v
 }
 
-// clientScript builds one client task: a deterministic per-client mix of
-// writes of globally unique values and reads, recorded in the shard's
-// history. Operation errors (a read starved by concurrent writes, a halted
-// cluster after a crash) leave the operation incomplete in the history, which
-// is exactly how the checkers treat an operation whose response never
-// arrived.
-func clientScript(cfg Config, reg register.Register, rec *history.Recorder, id int) func(*dsys.ClientHandle) error {
+// clientScript builds one fixed-shard client task (the pre-reconfiguration
+// behavior): a deterministic per-client mix of writes of globally unique
+// values and reads, recorded in the shard's history. Operation errors (a read
+// starved by concurrent writes, a halted cluster after a crash) leave the
+// operation incomplete in the history, which is exactly how the checkers
+// treat an operation whose response never arrived.
+func clientScript(cfg Config, reg register.Register, rec *history.Recorder, completed, done *atomic.Int64, id int) func(*dsys.ClientHandle) error {
 	dataLen := reg.Config().DataLen
 	return func(h *dsys.ClientHandle) error {
+		defer done.Add(1)
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*1000003))
 		seq := 0
 		for i := 0; i < cfg.OpsPerClient; i++ {
@@ -297,6 +406,7 @@ func clientScript(cfg Config, reg register.Register, rec *history.Recorder, id i
 					continue
 				}
 				rec.EndRead(op, v)
+				completed.Add(1)
 			} else {
 				seq++
 				v := value.Sequenced(id, seq, dataLen)
@@ -308,6 +418,147 @@ func clientScript(cfg Config, reg register.Register, rec *history.Recorder, id i
 					continue
 				}
 				rec.EndWrite(op)
+				completed.Add(1)
+			}
+		}
+		return nil
+	}
+}
+
+// routedClientScript builds one routing client task for reconfiguration runs:
+// every operation resolves its key through the epoch-stamped table, pins the
+// route, and records its history on the shard it actually executed on. Writes
+// whose target is a still-seeding successor yield to the scheduler and retry
+// — the controlled-mode equivalent of the live path's blocking acquire.
+// The client favors keys that route near its home shard but roams the whole
+// keyspace, so splits re-partition real traffic.
+func routedClientScript(cfg Config, set *shard.Set, recs *simRecorders, home string, completed, done *atomic.Int64, id int) func(*dsys.ClientHandle) error {
+	return func(h *dsys.ClientHandle) error {
+		defer done.Add(1)
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*1000003))
+		rt := set.Router()
+		keys := []string{home, home, KeySpaceName(0), KeySpaceName(1), KeySpaceName(2), KeySpaceName(3)}
+		seq := 0
+		for i := 0; i < cfg.OpsPerClient; i++ {
+			key := keys[rng.Intn(len(keys))]
+			if rng.Float64() < cfg.ReadFraction {
+				ref, fb, err := rt.AcquireRead(id, key)
+				if err != nil {
+					return nil // router closed with the cluster
+				}
+				rec := recs.forShard(ref.Shard().Name)
+				op := rec.BeginRead(id)
+				v, err := readVia(h, ref, fb)
+				rt.ReleaseRead(ref, fb, id)
+				if err != nil {
+					if errors.Is(err, dsys.ErrHalted) {
+						return nil
+					}
+					continue
+				}
+				rec.EndRead(op, v)
+				completed.Add(1)
+				continue
+			}
+			var ref *shard.Route
+			for {
+				r, held, err := rt.TryAcquireWrite(id, key)
+				if err != nil {
+					return nil
+				}
+				if !held {
+					ref = r
+					break
+				}
+				// The target is seeding: give the migration writer scheduler
+				// time and re-route (the next resolve may land on the opened
+				// successor).
+				if err := h.Yield(); err != nil {
+					return nil
+				}
+			}
+			sh := ref.Shard()
+			seq++
+			v := value.Sequenced(id, seq, sh.Reg.Config().DataLen)
+			rec := recs.forShard(sh.Name)
+			op := rec.BeginWrite(id, v)
+			sub, err := h.Sub(sh.Base, sh.Span)
+			if err == nil {
+				err = sh.Reg.Write(sub, v)
+			}
+			rt.ReleaseWrite(ref, id)
+			if err != nil {
+				if errors.Is(err, dsys.ErrHalted) {
+					return nil
+				}
+				continue
+			}
+			rec.EndWrite(op)
+			completed.Add(1)
+		}
+		return nil
+	}
+}
+
+// KeySpaceName returns the i-th shared key of the reconfiguration keyspace.
+func KeySpaceName(i int) string { return fmt.Sprintf("key-%d", i) }
+
+// readVia performs a routed read through a whole-cluster handle; the
+// dual-epoch logic is shard.ReadRouted, shared with the live path.
+func readVia(h *dsys.ClientHandle, ref, fb *shard.Route) (value.Value, error) {
+	v, _, err := shard.ReadRouted(h, ref, fb)
+	return v, err
+}
+
+// reconfigController is the controller task: it performs the plan's splits
+// and drains at seeded points of the run — after roughly i/(n+1) of the
+// expected operations have completed, or once all clients are done or
+// crashed, whichever comes first — against seeded-random active shards. All
+// of its steps (waits included) go through the scheduler, so the whole
+// migration is part of the deterministic schedule.
+func reconfigController(cfg Config, set *shard.Set, co *reconfig.Coordinator, completed, done *atomic.Int64, totalClients int) func(*dsys.ClientHandle) error {
+	return func(h *dsys.ClientHandle) error {
+		rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed4eca))
+		runner := reconfig.NewControlledRunner(h)
+		cluster := set.Cluster()
+		kinds := make([]reconfig.MoveKind, 0, cfg.Reconfig.Splits+cfg.Reconfig.Drains)
+		for s, d := cfg.Reconfig.Splits, cfg.Reconfig.Drains; s > 0 || d > 0; {
+			if s > 0 {
+				kinds = append(kinds, reconfig.MoveSplit)
+				s--
+			}
+			if d > 0 {
+				kinds = append(kinds, reconfig.MoveDrain)
+				d--
+			}
+		}
+		totalOps := int64(totalClients * cfg.OpsPerClient)
+		for i, kind := range kinds {
+			threshold := totalOps * int64(i+1) / int64(len(kinds)+1)
+			for completed.Load() < threshold {
+				// done and crashed count disjoint clients during the run: a
+				// crashed task stays parked until Close, so its script's
+				// done-increment never fires mid-run. Their sum reaching the
+				// client count therefore means no live client remains.
+				if done.Load()+int64(len(cluster.CrashedClients())) >= int64(totalClients) {
+					break // the workload cannot complete more operations
+				}
+				if err := h.Yield(); err != nil {
+					return nil
+				}
+			}
+			leaves := set.Router().ActiveLeafNames()
+			if len(leaves) == 0 {
+				continue
+			}
+			target := leaves[rng.Intn(len(leaves))]
+			if _, err := co.Apply(runner, reconfig.Move{Kind: kind, Shard: target}); err != nil {
+				if errors.Is(err, dsys.ErrHalted) {
+					return nil
+				}
+				// An aborted move (e.g. a seed write starved by the adversary)
+				// leaves the table rolled back; try the next move.
+				continue
 			}
 		}
 		return nil
@@ -316,7 +567,8 @@ func clientScript(cfg Config, reg register.Register, rec *history.Recorder, id i
 
 // fingerprint hashes everything observable about the run: per-shard histories
 // (operations with their logical intervals and values), the fault schedule,
-// the scheduling step count and idle reason, and every checker verdict.
+// the reconfiguration schedule, the scheduling step count and idle reason,
+// and every checker verdict.
 func fingerprint(r *Result) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "steps=%d reason=%s\n", r.Steps, r.Reason)
@@ -324,8 +576,11 @@ func fingerprint(r *Result) string {
 	for _, ev := range r.Faults {
 		fmt.Fprintf(h, "fault %s\n", ev)
 	}
+	for _, ev := range r.Reconfigs {
+		fmt.Fprintf(h, "reconfig %s\n", ev)
+	}
 	for _, v := range r.Verdicts {
-		fmt.Fprintf(h, "shard %s condition %s err=%v\n", v.Shard, v.Condition, v.Err)
+		fmt.Fprintf(h, "shard %s lineage %v condition %s err=%v\n", v.Shard, v.Lineage, v.Condition, v.Err)
 		for _, op := range v.History.Ops {
 			fmt.Fprintf(h, "op c%d #%d %v @%d-%d ", op.Client, op.ID, op.Kind, op.Invoked, op.Returned)
 			h.Write(op.Value.Bytes())
@@ -369,7 +624,8 @@ func Explore(cfg Config, baseSeed int64, n int) ([]*Result, error) {
 }
 
 // FormatFailure renders a failing result as a replayable report: the seed,
-// the fault schedule, and each violation with its shrunken history.
+// the fault and reconfiguration schedules, and each violation with its
+// shrunken history.
 func FormatFailure(r *Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "seed %d: %d steps, reason %s, fingerprint %s\n", r.Seed, r.Steps, r.Reason, r.Fingerprint)
@@ -379,8 +635,17 @@ func FormatFailure(r *Result) string {
 			fmt.Fprintf(&b, "  %s\n", ev)
 		}
 	}
+	if len(r.Reconfigs) > 0 {
+		fmt.Fprintf(&b, "reconfiguration schedule:\n")
+		for _, ev := range r.Reconfigs {
+			fmt.Fprintf(&b, "  %s\n", ev)
+		}
+	}
 	for _, v := range r.Violations() {
 		fmt.Fprintf(&b, "shard %s (%s) violates %s: %v\n", v.Shard, v.Provider, v.Condition, v.Err)
+		if len(v.Lineage) > 1 {
+			fmt.Fprintf(&b, "history stitched across lineage %v\n", v.Lineage)
+		}
 		fmt.Fprintf(&b, "minimal failing history (%d of %d events):\n", len(v.Shrunk.Ops), len(v.History.Ops))
 		for _, op := range v.Shrunk.Ops {
 			fmt.Fprintf(&b, "  %v\n", op)

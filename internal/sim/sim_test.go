@@ -215,7 +215,7 @@ func TestFormatFailureMentionsSeedAndShrunkHistory(t *testing.T) {
 			continue
 		}
 		tampered := plantStaleRead(t, v.History)
-		bad := verdict(v.Shard, v.Provider, v.Condition, tampered, history.CheckStrongRegularity)
+		bad := verdict(v.Shard, v.Provider, v.Condition, v.Lineage, tampered, history.CheckStrongRegularity)
 		if bad.Err == nil {
 			t.Fatal("tampered history must fail")
 		}

@@ -5,9 +5,11 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spacebounds/internal/history"
+	"spacebounds/internal/reconfig"
 	"spacebounds/internal/shard"
 	"spacebounds/internal/storagecost"
 	"spacebounds/internal/value"
@@ -35,7 +37,9 @@ type ShardedSpec struct {
 	// Seed makes the key and read/write choices reproducible.
 	Seed int64
 	// RecordHistory records one operation history per shard and enables
-	// CheckRegularity on the result.
+	// CheckRegularity on the result. Histories are stitched across
+	// reconfiguration epochs: a migrated shard's history is checked together
+	// with its ancestors'.
 	RecordHistory bool
 	// ArrivalRate, when positive, switches every client from a closed loop
 	// (issue, wait, issue) to an open loop: operations are dispatched at the
@@ -46,6 +50,32 @@ type ShardedSpec struct {
 	// operations onto a shard and give the batched quorum engine something
 	// to coalesce.
 	ArrivalRate float64
+	// Reconfig schedules live reconfiguration moves at completed-operation
+	// thresholds, so benchmarks can measure throughput through an elastic
+	// resharding (e.g. a split at the half-way mark under open-loop load).
+	Reconfig []ReconfigMove
+}
+
+// ReconfigMove schedules one live reconfiguration move. Exactly one of Split
+// and Drain must name a shard.
+type ReconfigMove struct {
+	// AfterOps triggers the move once this many operations have completed.
+	AfterOps int
+	// Split names a shard to split into two successors.
+	Split string
+	// Drain names a shard to migrate onto a fresh region.
+	Drain string
+}
+
+func (m ReconfigMove) move() (reconfig.Move, error) {
+	switch {
+	case m.Split != "" && m.Drain == "":
+		return reconfig.Move{Kind: reconfig.MoveSplit, Shard: m.Split}, nil
+	case m.Drain != "" && m.Split == "":
+		return reconfig.Move{Kind: reconfig.MoveDrain, Shard: m.Drain}, nil
+	default:
+		return reconfig.Move{}, fmt.Errorf("workload: reconfig move must set exactly one of Split/Drain: %+v", m)
+	}
 }
 
 // Validate checks the spec and fills defaults.
@@ -59,10 +89,37 @@ func (s ShardedSpec) Validate() (ShardedSpec, error) {
 	if s.ArrivalRate < 0 {
 		return s, fmt.Errorf("workload: negative arrival rate %v", s.ArrivalRate)
 	}
+	for _, m := range s.Reconfig {
+		if _, err := m.move(); err != nil {
+			return s, err
+		}
+	}
 	if s.Keys == 0 {
 		s.Keys = 16
 	}
 	return s, nil
+}
+
+// AppliedReconfig records one reconfiguration move applied mid-workload.
+type AppliedReconfig struct {
+	// Move is the scheduled move.
+	Move ReconfigMove
+	// Successors are the shards the move installed.
+	Successors []string
+	// TriggeredAtOps is the completed-op count when the move fired.
+	TriggeredAtOps int
+	// Took is the wall-clock duration of the migration.
+	Took time.Duration
+	// OpsPerSecBefore is the completed-op rate from the start of the run to
+	// the trigger; OpsPerSecAfter the rate from migration completion to the
+	// end of the run. A healthy elastic split shows After ≥ Before: the new
+	// epoch has more nodes.
+	OpsPerSecBefore, OpsPerSecAfter float64
+	// Err is the migration error, if any ("" on success).
+	Err string
+
+	completedAt time.Duration // since run start; for OpsPerSecAfter
+	opsAtDone   int
 }
 
 // ShardedResult is the outcome of a sharded workload run.
@@ -74,23 +131,34 @@ type ShardedResult struct {
 	WriteErrors int
 	ReadErrors  int
 	// PerShardOps counts completed operations per shard name; skewed
-	// workloads show up as imbalance here.
+	// workloads show up as imbalance here. Operations are attributed to the
+	// shard they actually executed on, which during a migration can be a
+	// successor of the shard the key hashed to at spec time.
 	PerShardOps map[string]int
 	// Histories maps shard names to their recorded operation history
 	// (only when RecordHistory was set). Keys hashing to the same shard
-	// share one register and therefore one history.
+	// share one register and therefore one history. For shards installed by
+	// reconfiguration the entry is the stitched lineage history: the
+	// ancestors' operations merged in, so CheckRegularity spans the epochs.
 	Histories map[string]*history.History
 	// FinalSnapshot is the storage breakdown after the run.
 	FinalSnapshot *storagecost.Snapshot
 	// PerShardBits maps shard names to their base-object bits at the end of
 	// the run; the values sum to FinalSnapshot.BaseObjectBits.
 	PerShardBits map[string]int
+	// Reconfigs records the applied reconfiguration schedule.
+	Reconfigs []AppliedReconfig
+	// ReconfigStats aggregates the reconfiguration subsystem counters (zero
+	// when no moves were scheduled).
+	ReconfigStats reconfig.Stats
 }
 
 // CheckRegularity verifies every recorded per-shard history against strong
 // regularity (the consistency condition the paper's adaptive algorithm
 // guarantees). It is only meaningful when every shard runs a regular
-// emulation — safe-register shards may legitimately fail it.
+// emulation — safe-register shards may legitimately fail it. Histories of
+// reconfigured shards are stitched across epochs, so the check spans live
+// migrations end to end.
 func (r *ShardedResult) CheckRegularity() error {
 	names := make([]string, 0, len(r.Histories))
 	for name := range r.Histories {
@@ -116,16 +184,65 @@ type tally struct {
 	perShard                    map[string]int
 }
 
+// recorderSet lazily creates one history recorder per shard name; successors
+// installed by reconfiguration mid-run get theirs on first use. All recorders
+// share one logical clock: cross-epoch stitching merges histories from
+// different recorders, which is only sound if an operation that returned
+// before another was invoked carries the smaller timestamp regardless of
+// which recorder stamped it.
+type recorderSet struct {
+	mu    sync.Mutex
+	clock atomic.Int64
+	recs  map[string]*history.Recorder
+}
+
+func (rs *recorderSet) forShard(name string) *history.Recorder {
+	if rs == nil {
+		return nil
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rec, ok := rs.recs[name]
+	if !ok {
+		rec = history.NewRecorder()
+		rec.SetClock(func() int64 { return rs.clock.Add(1) })
+		rs.recs[name] = rec
+	}
+	return rec
+}
+
+func (rs *recorderSet) get(name string) *history.Recorder {
+	if rs == nil {
+		return nil
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.recs[name]
+}
+
 // runShardedOp performs one read or write against the set and records it in
-// the history recorder and the tally. Writes derive a globally unique value
+// the history recorder and the tally. The route is acquired first so the
+// operation is attributed (and its history recorded) on the shard it actually
+// runs on — during a migration that is the current epoch's target, and reads
+// transparently consult both epochs. Writes derive a globally unique value
 // from (client, seq).
-func runShardedOp(set *shard.Set, rec *history.Recorder, t *tally, client int, sh *shard.Shard, key string, isRead bool, seq int) {
+func runShardedOp(set *shard.Set, recs *recorderSet, t *tally, completed *atomic.Int64, client int, key string, isRead bool, seq int) {
 	if isRead {
+		ref, fb, err := set.AcquireRead(client, key)
+		if err != nil {
+			t.mu.Lock()
+			t.rerrs++
+			t.mu.Unlock()
+			return
+		}
+		name := ref.Shard().Name
+		rec := recs.forShard(name)
 		var hop *history.Op
 		if rec != nil {
 			hop = rec.BeginRead(client)
 		}
-		v, err := set.Read(client, key)
+		v, err := set.ReadRef(client, ref, fb)
+		set.ReleaseRead(ref, fb, client)
 		if err != nil {
 			t.mu.Lock()
 			t.rerrs++
@@ -135,18 +252,30 @@ func runShardedOp(set *shard.Set, rec *history.Recorder, t *tally, client int, s
 		if rec != nil {
 			rec.EndRead(hop, v)
 		}
+		completed.Add(1)
 		t.mu.Lock()
 		t.reads++
-		t.perShard[sh.Name]++
+		t.perShard[name]++
 		t.mu.Unlock()
 		return
 	}
-	v := value.Sequenced(client, seq, sh.Reg.Config().DataLen)
+	ref, err := set.AcquireWrite(client, key)
+	if err != nil {
+		t.mu.Lock()
+		t.werrs++
+		t.mu.Unlock()
+		return
+	}
+	name := ref.Shard().Name
+	v := value.Sequenced(client, seq, ref.Shard().Reg.Config().DataLen)
+	rec := recs.forShard(name)
 	var hop *history.Op
 	if rec != nil {
 		hop = rec.BeginWrite(client, v)
 	}
-	if err := set.Write(client, key, v); err != nil {
+	err = set.WriteRef(client, ref, v)
+	set.ReleaseWrite(ref, client)
+	if err != nil {
 		t.mu.Lock()
 		t.werrs++
 		t.mu.Unlock()
@@ -155,25 +284,85 @@ func runShardedOp(set *shard.Set, rec *history.Recorder, t *tally, client int, s
 	if rec != nil {
 		rec.EndWrite(hop)
 	}
+	completed.Add(1)
 	t.mu.Lock()
 	t.writes++
-	t.perShard[sh.Name]++
+	t.perShard[name]++
 	t.mu.Unlock()
+}
+
+// runReconfigSchedule fires the spec's moves as their completed-op thresholds
+// are crossed. Moves whose thresholds the workload never reaches are applied
+// after it ends (on a quiet set), so the schedule always completes. It
+// returns the applied moves; rate windows are filled in by the caller.
+func runReconfigSchedule(set *shard.Set, spec ShardedSpec, completed *atomic.Int64, start time.Time, workloadDone <-chan struct{}) ([]AppliedReconfig, reconfig.Stats) {
+	co := reconfig.NewCoordinator(set)
+	applied := make([]AppliedReconfig, 0, len(spec.Reconfig))
+	for i, m := range spec.Reconfig {
+		mv, _ := m.move() // validated by Validate
+		for completed.Load() < int64(m.AfterOps) {
+			select {
+			case <-workloadDone:
+			case <-time.After(100 * time.Microsecond):
+				continue
+			}
+			break
+		}
+		at := int(completed.Load())
+		elapsed := time.Since(start)
+		t0 := time.Now()
+		// 1<<28 keeps migration-writer timestamps clear of workload clients.
+		ev, err := co.Apply(reconfig.NewLiveRunner(set, 1<<28+i), mv)
+		ar := AppliedReconfig{
+			Move:           m,
+			Successors:     ev.Successors,
+			TriggeredAtOps: at,
+			Took:           time.Since(t0),
+			completedAt:    time.Since(start),
+			opsAtDone:      int(completed.Load()),
+		}
+		if elapsed > 0 {
+			ar.OpsPerSecBefore = float64(at) / elapsed.Seconds()
+		}
+		if err != nil {
+			ar.Err = err.Error()
+		}
+		applied = append(applied, ar)
+	}
+	return applied, co.Stats()
 }
 
 // RunSharded executes the workload against the shard set on its live path:
 // every client runs in its own goroutine and operations on different shards
-// proceed without shared locks. Client IDs start at 1.
+// proceed without shared locks. Client IDs start at 1. Scheduled
+// reconfiguration moves fire as their thresholds are crossed, with the
+// workload running throughout.
 func RunSharded(set *shard.Set, spec ShardedSpec) (*ShardedResult, error) {
 	spec, err := spec.Validate()
 	if err != nil {
 		return nil, err
 	}
-	recorders := make(map[string]*history.Recorder)
+	var recs *recorderSet
 	if spec.RecordHistory {
+		recs = &recorderSet{recs: make(map[string]*history.Recorder)}
 		for _, sh := range set.Shards() {
-			recorders[sh.Name] = history.NewRecorder()
+			recs.forShard(sh.Name)
 		}
+	}
+
+	var completed atomic.Int64
+	start := time.Now()
+	workloadDone := make(chan struct{})
+	type reconfigOutcome struct {
+		applied []AppliedReconfig
+		stats   reconfig.Stats
+	}
+	reconfigDone := make(chan reconfigOutcome, 1)
+	if len(spec.Reconfig) > 0 {
+		go func() {
+			applied, stats := runReconfigSchedule(set, spec, &completed, start, workloadDone)
+			reconfigDone <- reconfigOutcome{applied: applied, stats: stats}
+		}()
 	}
 
 	tallies := make([]tally, spec.Clients)
@@ -205,13 +394,11 @@ func RunSharded(set *shard.Set, spec ShardedSpec) (*ShardedResult, error) {
 					idx = rng.Intn(spec.Keys)
 				}
 				key := KeyName(idx)
-				sh := set.ForKey(key)
-				rec := recorders[sh.Name]
 				isRead := rng.Float64() < spec.ReadFraction
 				if spec.ArrivalRate <= 0 {
 					// Closed loop: issue, wait, issue.
 					seq++
-					runShardedOp(set, rec, t, cl, sh, key, isRead, seq)
+					runShardedOp(set, recs, t, &completed, cl, key, isRead, seq)
 					continue
 				}
 				// Open loop: dispatch on the arrival schedule without waiting
@@ -223,7 +410,7 @@ func RunSharded(set *shard.Set, spec ShardedSpec) (*ShardedResult, error) {
 				inflight.Add(1)
 				go func() {
 					defer inflight.Done()
-					runShardedOp(set, rec, t, vclient, sh, key, isRead, 1)
+					runShardedOp(set, recs, t, &completed, vclient, key, isRead, 1)
 				}()
 				next = next.Add(interval)
 				if d := time.Until(next); d > 0 {
@@ -234,8 +421,22 @@ func RunSharded(set *shard.Set, spec ShardedSpec) (*ShardedResult, error) {
 		}()
 	}
 	wg.Wait()
+	close(workloadDone)
+	end := time.Since(start)
 
 	res := &ShardedResult{PerShardOps: make(map[string]int), PerShardBits: make(map[string]int)}
+	if len(spec.Reconfig) > 0 {
+		outcome := <-reconfigDone
+		res.Reconfigs = outcome.applied
+		res.ReconfigStats = outcome.stats
+		total := int(completed.Load())
+		for i := range res.Reconfigs {
+			ar := &res.Reconfigs[i]
+			if window := end - ar.completedAt; window > 0 {
+				ar.OpsPerSecAfter = float64(total-ar.opsAtDone) / window.Seconds()
+			}
+		}
+	}
 	for i := range tallies {
 		t := &tallies[i]
 		res.CompletedWrites += t.writes
@@ -247,9 +448,18 @@ func RunSharded(set *shard.Set, spec ShardedSpec) (*ShardedResult, error) {
 		}
 	}
 	if spec.RecordHistory {
-		res.Histories = make(map[string]*history.History, len(recorders))
+		// Stitch every surviving shard's lineage: the shard's own recorder
+		// plus its migration ancestors', merged in invocation order.
+		res.Histories = make(map[string]*history.History)
 		for _, sh := range set.Shards() {
-			res.Histories[sh.Name] = recorders[sh.Name].History(value.Zero(sh.Reg.Config().DataLen))
+			v0 := value.Zero(sh.Reg.Config().DataLen)
+			var chain []*history.History
+			for _, ancestor := range set.Lineage(sh.Name) {
+				if rec := recs.get(ancestor); rec != nil {
+					chain = append(chain, rec.History(v0))
+				}
+			}
+			res.Histories[sh.Name] = history.Merge(v0, chain...)
 		}
 	}
 	res.FinalSnapshot = set.StorageSnapshot()

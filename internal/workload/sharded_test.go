@@ -222,3 +222,73 @@ func TestRunShardedZipfSkew(t *testing.T) {
 		}
 	}
 }
+
+// TestRunShardedWithReconfigSchedule runs an open-loop workload with a split
+// and a drain scheduled mid-run: zero failed operations, both moves applied,
+// and the stitched per-lineage histories strongly regular end to end.
+func TestRunShardedWithReconfigSchedule(t *testing.T) {
+	set := newSet(t, 2)
+	res, err := workload.RunSharded(set, workload.ShardedSpec{
+		Clients:       4,
+		OpsPerClient:  60,
+		ReadFraction:  0.3,
+		Keys:          8,
+		Seed:          7,
+		RecordHistory: true,
+		Reconfig: []workload.ReconfigMove{
+			{AfterOps: 40, Split: "s0"},
+			{AfterOps: 120, Drain: "s1"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WriteErrors+res.ReadErrors != 0 {
+		t.Fatalf("%d writes / %d reads failed during live reconfiguration", res.WriteErrors, res.ReadErrors)
+	}
+	if len(res.Reconfigs) != 2 {
+		t.Fatalf("applied %d moves, want 2", len(res.Reconfigs))
+	}
+	for _, ar := range res.Reconfigs {
+		if ar.Err != "" {
+			t.Fatalf("move %+v failed: %s", ar.Move, ar.Err)
+		}
+	}
+	if res.ReconfigStats.Splits != 1 || res.ReconfigStats.Drains != 1 {
+		t.Fatalf("reconfig stats = %+v", res.ReconfigStats)
+	}
+	// The split's successors appear in the final shard attribution.
+	if _, ok := res.PerShardBits["s0/0"]; !ok {
+		t.Fatalf("successor missing from PerShardBits: %v", res.PerShardBits)
+	}
+	// Stitched histories — ancestors merged into successors — must be
+	// strongly regular across the epoch boundary.
+	if err := res.CheckRegularity(); err != nil {
+		t.Fatalf("stitched regularity: %v", err)
+	}
+	for name, h := range res.Histories {
+		if lineage := set.Lineage(name); len(lineage) > 1 && len(h.Ops) == 0 {
+			t.Fatalf("stitched history of %s is empty", name)
+		}
+	}
+	// Storage still sums after the topology change.
+	sum := 0
+	for _, bits := range res.PerShardBits {
+		sum += bits
+	}
+	if sum != res.FinalSnapshot.BaseObjectBits {
+		t.Fatalf("per-shard bits sum to %d, snapshot says %d", sum, res.FinalSnapshot.BaseObjectBits)
+	}
+}
+
+// TestRunShardedReconfigValidation rejects ambiguous reconfig moves.
+func TestRunShardedReconfigValidation(t *testing.T) {
+	set := newSet(t, 1)
+	_, err := workload.RunSharded(set, workload.ShardedSpec{
+		Clients: 1, OpsPerClient: 1,
+		Reconfig: []workload.ReconfigMove{{Split: "s0", Drain: "s0"}},
+	})
+	if err == nil {
+		t.Fatal("ambiguous reconfig move accepted")
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package spacebounds_test
+
+// raceEnabled is false in regular builds; see race_on_test.go.
+const raceEnabled = false

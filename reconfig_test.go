@@ -1,0 +1,265 @@
+package spacebounds_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spacebounds"
+	"spacebounds/internal/dsys"
+	"spacebounds/internal/register"
+	"spacebounds/internal/shard"
+	"spacebounds/internal/workload"
+)
+
+// TestStoreSplitShardLive splits a shard of a batched, latency-modelled store
+// while clients hammer it: zero failed operations, successors live, stats
+// recorded, storage breakdown summation-consistent mid-flight.
+func TestStoreSplitShardLive(t *testing.T) {
+	store, err := spacebounds.Open(spacebounds.Options{
+		Shards: []spacebounds.ShardSpec{
+			{Name: "s0"}, {Name: "s1"}, {Name: "s2"}, {Name: "s3"},
+		},
+		F: 1, K: 2, ValueSize: 256,
+		NodeLatency: 20 * time.Microsecond,
+		Batch:       spacebounds.BatchOptions{MaxSize: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	const clients = 8
+	const opsPerClient = 120
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// A storage sampler races the migration to pin summation consistency
+	// while two epochs coexist.
+	sampler := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				sampler <- nil
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+			total, perShard := store.StorageBreakdown()
+			sum := 0
+			for _, bits := range perShard {
+				sum += bits
+			}
+			if sum != total {
+				sampler <- fmt.Errorf("per-shard bits sum to %d, total says %d", sum, total)
+				return
+			}
+		}
+	}()
+	for c := 1; c <= clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload := make([]byte, 64)
+			for i := 0; i < opsPerClient; i++ {
+				key := fmt.Sprintf("key-%d", (c+i)%16)
+				payload[0] = byte(i)
+				if err := store.WriteKey(c, key, payload); err != nil {
+					failed.Add(1)
+					return
+				}
+				if _, err := store.ReadKey(c, key); err != nil {
+					failed.Add(1)
+					return
+				}
+			}
+		}()
+	}
+
+	succs, err := store.SplitShard("s0")
+	if err != nil {
+		t.Fatalf("split under load: %v", err)
+	}
+	if len(succs) != 2 {
+		t.Fatalf("successors = %v", succs)
+	}
+	if _, err := store.DrainShard("s1"); err != nil {
+		t.Fatalf("drain under load: %v", err)
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-sampler; err != nil {
+		t.Fatal(err)
+	}
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d operations failed during live reconfiguration", n)
+	}
+
+	st := store.ReconfigStats()
+	if st.Splits != 1 || st.Drains != 1 || st.SeedWrites != 3 || st.Epoch == 0 {
+		t.Fatalf("reconfig stats = %+v", st)
+	}
+	// Shard list reflects the new topology; storage still sums.
+	total, perShard := store.StorageBreakdown()
+	sum := 0
+	for _, bits := range perShard {
+		sum += bits
+	}
+	if sum != total {
+		t.Fatalf("post-reconfig per-shard bits sum to %d, total %d", sum, total)
+	}
+	if _, ok := perShard["s0/0"]; !ok {
+		t.Fatalf("successor missing from breakdown: %v", perShard)
+	}
+}
+
+// TestStoreResizePlanAndDedicated exercises Resize with add/remove moves and
+// the plan validation.
+func TestStoreResizePlanAndDedicated(t *testing.T) {
+	store, err := spacebounds.Open(spacebounds.Options{
+		Shards:    []spacebounds.ShardSpec{{Name: "a"}, {Name: "b"}},
+		ValueSize: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	if err := store.WriteKey(1, "hot", []byte("before-fork")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Resize([]spacebounds.ResizeOp{
+		{Add: "hot"},
+		{Split: "a"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.ReadKey(2, "hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:11]) != "before-fork" {
+		t.Fatalf("forked key read %q", got[:11])
+	}
+	if err := store.RemoveShard("hot"); err != nil {
+		t.Fatal(err)
+	}
+	st := store.ReconfigStats()
+	if st.Adds != 1 || st.Removes != 1 || st.Splits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Exactly-one-field validation.
+	if err := store.Resize([]spacebounds.ResizeOp{{Split: "b", Drain: "b"}}); err == nil {
+		t.Fatal("ambiguous resize op accepted")
+	}
+	if err := store.Resize([]spacebounds.ResizeOp{{}}); err == nil {
+		t.Fatal("empty resize op accepted")
+	}
+}
+
+// TestReconfigUnderFaultInjection runs a split while the store's fault
+// injector crashes and restarts nodes: the migration must complete and the
+// store stay available.
+func TestReconfigUnderFaultInjection(t *testing.T) {
+	store, err := spacebounds.Open(spacebounds.Options{
+		Shards:    []spacebounds.ShardSpec{{Name: "s0"}, {Name: "s1"}},
+		F:         1,
+		K:         2,
+		ValueSize: 128,
+		Faults:    spacebounds.FaultOptions{Interval: 500 * time.Microsecond, Downtime: 2 * time.Millisecond, Seed: 42},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	for c := 1; c <= 4; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload := make([]byte, 32)
+			for i := 0; i < 80; i++ {
+				payload[0] = byte(i)
+				if err := store.WriteKey(c, fmt.Sprintf("key-%d", i%8), payload); err != nil {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	if _, err := store.SplitShard("s0"); err != nil {
+		t.Fatalf("split under fault injection: %v", err)
+	}
+	wg.Wait()
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d writes failed (fault injector must stay within per-shard budget F)", n)
+	}
+	if _, err := store.ReadKey(99, "s0"); err != nil {
+		t.Fatalf("read after faulted split: %v", err)
+	}
+}
+
+// TestLiveSplitThroughputRecovers is the live half of the PR's acceptance
+// criterion: an open-loop workload saturates a single shard (arrivals beyond
+// its service capacity under the node-latency model), a live split lands at
+// the half-way mark, and the post-split completion rate must be at least the
+// pre-split rate — the new epoch has twice the storage nodes — with zero
+// failed operations throughout. Rates are dominated by the simulated node
+// service time, so the comparison is stable across machines.
+func TestLiveSplitThroughputRecovers(t *testing.T) {
+	set, err := shard.New(
+		[]shard.Spec{{Name: "s0", Algorithm: "adaptive", Config: register.Config{F: 1, K: 2, DataLen: 256}}},
+		dsys.WithLiveLatency(200*time.Microsecond),
+		dsys.WithLiveBatch(8),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	set.EnableBatching(shard.BatchConfig{MaxSize: 8})
+
+	// One shard (4 nodes, 200µs service time, batch 8) completes roughly 6k
+	// ops/s under this mix; 9.6k arrivals/s oversaturate it — the backlog
+	// grows — while staying under the doubled post-split capacity, so the
+	// completion rate must rise once the second region is live.
+	res, err := workload.RunSharded(set, workload.ShardedSpec{
+		Clients:      8,
+		OpsPerClient: 1200,
+		ReadFraction: 0.2,
+		Keys:         32,
+		Seed:         1,
+		ArrivalRate:  1200,
+		Reconfig:     []workload.ReconfigMove{{AfterOps: 2000, Split: "s0"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WriteErrors+res.ReadErrors != 0 {
+		t.Fatalf("%d writes / %d reads failed during the live split", res.WriteErrors, res.ReadErrors)
+	}
+	if len(res.Reconfigs) != 1 || res.Reconfigs[0].Err != "" {
+		t.Fatalf("split did not apply cleanly: %+v", res.Reconfigs)
+	}
+	ar := res.Reconfigs[0]
+	t.Logf("split after %d ops in %v: %.0f ops/s before -> %.0f ops/s after",
+		ar.TriggeredAtOps, ar.Took, ar.OpsPerSecBefore, ar.OpsPerSecAfter)
+	if raceEnabled {
+		// The race detector multiplies compute cost, which shifts the
+		// sleep-dominated capacity model this comparison depends on; the
+		// correctness half (zero failed operations, clean migration) was
+		// asserted above and is what the race build is for.
+		t.Skip("skipping throughput comparison under the race detector")
+	}
+	if ar.OpsPerSecBefore <= 0 || ar.OpsPerSecAfter <= 0 {
+		t.Fatalf("degenerate rate windows: %+v", ar)
+	}
+	if ar.OpsPerSecAfter < ar.OpsPerSecBefore {
+		t.Fatalf("throughput did not recover after the split: %.0f ops/s before, %.0f after",
+			ar.OpsPerSecBefore, ar.OpsPerSecAfter)
+	}
+}

@@ -23,9 +23,11 @@ package spacebounds
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"spacebounds/internal/dsys"
+	"spacebounds/internal/reconfig"
 	"spacebounds/internal/register"
 	_ "spacebounds/internal/register/abd"
 	_ "spacebounds/internal/register/adaptive"
@@ -182,7 +184,12 @@ func (o Options) withDefaults() Options {
 type Store struct {
 	set    *shard.Set
 	def    *shard.Shard
+	defKey string
 	faults faultInjector
+
+	recon         *reconfig.Coordinator
+	reconMu       sync.Mutex // serializes reconfiguration moves
+	nextMigClient int        // next migration-writer client ID
 }
 
 // Open builds the register shards and their shared simulated cluster.
@@ -218,7 +225,8 @@ func Open(opts Options) (*Store, error) {
 	if opts.Batch.enabled() {
 		set.EnableBatching(batch)
 	}
-	store := &Store{set: set, def: set.Shards()[0]}
+	def := set.Shards()[0]
+	store := &Store{set: set, def: def, defKey: def.Name, recon: reconfig.NewCoordinator(set)}
 	if opts.Faults.enabled() {
 		store.faults.start(store, opts.Faults)
 	}
@@ -228,9 +236,10 @@ func Open(opts Options) (*Store, error) {
 // Algorithm returns the name of the default (first) shard's emulation.
 func (s *Store) Algorithm() string { return s.def.Reg.Name() }
 
-// Nodes returns the total number of simulated base objects across all shards
-// (2f+k per shard).
-func (s *Store) Nodes() int { return s.set.Cluster().N() }
+// Nodes returns the number of live (non-retired) simulated base objects
+// across all shards (2f+k per shard; reconfiguration retires regions and
+// grows new ones).
+func (s *Store) Nodes() int { return s.set.Cluster().LiveObjectCount() }
 
 // FaultTolerance returns f for the default shard, the number of its node
 // crashes tolerated.
@@ -262,7 +271,7 @@ func pad(sh *shard.Shard, val []byte) (value.Value, error) {
 // Write stores val on the default shard on behalf of the given client ID,
 // preserving the original single-register facade.
 func (s *Store) Write(client int, val []byte) error {
-	return s.writeShard(client, s.def, val)
+	return s.WriteKey(client, s.defKey, val)
 }
 
 // WriteKey stores val under key: the key routes to a shard (exact shard name,
@@ -272,29 +281,26 @@ func (s *Store) Write(client int, val []byte) error {
 // ones, exactly as in the paper's register model. For key-value semantics,
 // give each key its own shard (see examples/kvstore).
 func (s *Store) WriteKey(client int, key string, val []byte) error {
-	return s.writeShard(client, s.set.ForKey(key), val)
-}
-
-func (s *Store) writeShard(client int, sh *shard.Shard, val []byte) error {
-	v, err := pad(sh, val)
+	// Pad against the routed shard's size, then write through the router: a
+	// migration successor inherits its predecessor's configuration, so the
+	// size stays right even if a reconfiguration lands in between.
+	v, err := pad(s.set.ForKey(key), val)
 	if err != nil {
 		return err
 	}
-	return s.set.WriteValue(client, sh, v)
+	return s.set.Write(client, key, v)
 }
 
 // Read returns the default shard's current value on behalf of the client.
 func (s *Store) Read(client int) ([]byte, error) {
-	return s.readShard(client, s.def)
+	return s.ReadKey(client, s.defKey)
 }
 
-// ReadKey returns the current value of the shard the key routes to.
+// ReadKey returns the current value of the shard the key routes to. While
+// that shard is being migrated the read consults both epochs and the higher
+// (epoch, timestamp) wins.
 func (s *Store) ReadKey(client int, key string) ([]byte, error) {
-	return s.readShard(client, s.set.ForKey(key))
-}
-
-func (s *Store) readShard(client int, sh *shard.Shard) ([]byte, error) {
-	got, err := s.set.ReadValue(client, sh)
+	got, err := s.set.Read(client, key)
 	if err != nil {
 		return nil, err
 	}
@@ -358,21 +364,153 @@ func (s *Store) PerShardStorageBits() map[string]int {
 
 // StorageBreakdown returns, from one consistent storage sample, the
 // aggregate base-object bits and their attribution to every shard. Because
-// both numbers come from the same sample, the total always equals the sum of
-// the per-shard values — even while a batched workload is in flight, which
-// is how tests pin the exactness of the Definition 2 accounting under the
-// batched quorum engine.
+// both numbers come from the same sample — and attribution covers every
+// region the cluster has ever owned — the total always equals the sum of the
+// per-shard values: while a batched workload is in flight, and also while a
+// reconfiguration has two epochs coexisting (a retiring region's last bits
+// are attributed to its old shard name until they are gone).
 func (s *Store) StorageBreakdown() (total int, perShard map[string]int) {
-	snap := s.set.StorageSnapshot()
-	perShard = make(map[string]int, len(s.set.Shards()))
-	for _, sh := range s.set.Shards() {
-		perShard[sh.Name] = s.set.ShardBits(snap, sh.Name)
-	}
+	snap, perShard := s.set.StorageBreakdown()
 	return snap.BaseObjectBits, perShard
 }
 
 // StorageSnapshot returns the full storage breakdown across all shards.
 func (s *Store) StorageSnapshot() *storagecost.Snapshot { return s.set.StorageSnapshot() }
+
+// ResizeOp is one step of a Resize plan; exactly one field must be set.
+type ResizeOp struct {
+	// Split names a shard to split into two successors on fresh regions.
+	Split string
+	// Drain names a shard to migrate onto a fresh region (evacuate nodes).
+	Drain string
+	// Add names a key to fork onto a dedicated shard.
+	Add string
+	// Remove names a dedicated shard to drop (its key rejoins hash routing;
+	// the dedicated register's value is discarded with its namespace).
+	Remove string
+}
+
+// move translates the facade op into a reconfig move.
+func (op ResizeOp) move() (reconfig.Move, error) {
+	set := 0
+	mv := reconfig.Move{}
+	if op.Split != "" {
+		set, mv = set+1, reconfig.Move{Kind: reconfig.MoveSplit, Shard: op.Split}
+	}
+	if op.Drain != "" {
+		set, mv = set+1, reconfig.Move{Kind: reconfig.MoveDrain, Shard: op.Drain}
+	}
+	if op.Add != "" {
+		set, mv = set+1, reconfig.Move{Kind: reconfig.MoveAdd, Shard: op.Add}
+	}
+	if op.Remove != "" {
+		set, mv = set+1, reconfig.Move{Kind: reconfig.MoveRemove, Shard: op.Remove}
+	}
+	if set != 1 {
+		return mv, fmt.Errorf("spacebounds: resize op must set exactly one of Split/Drain/Add/Remove, got %+v", op)
+	}
+	return mv, nil
+}
+
+// ReconfigStats aggregates the reconfiguration subsystem's counters.
+type ReconfigStats struct {
+	// Epoch is the current routing epoch (0 until the first move).
+	Epoch int64
+	// Splits, Drains, Adds, Removes count completed moves.
+	Splits, Drains, Adds, Removes int
+	// SeedWrites counts migration-writer replays into successor shards.
+	SeedWrites int
+	// FallbackReads counts dual-epoch reads answered by the old epoch.
+	FallbackReads int64
+	// HeldWrites counts writes that waited for a migration to seed their
+	// shard.
+	HeldWrites int64
+}
+
+// migRunner returns a live runner with a fresh migration-writer client ID.
+func (s *Store) migRunner() reconfig.Runner {
+	// 1<<28 keeps migration timestamps clear of application clients while
+	// staying below the batcher lane range at 1<<30.
+	id := 1<<28 + s.nextMigClient
+	s.nextMigClient++
+	return reconfig.NewLiveRunner(s.set, id)
+}
+
+// apply runs one move under the store's reconfiguration lock.
+func (s *Store) apply(mv reconfig.Move) (reconfig.Event, error) {
+	s.reconMu.Lock()
+	defer s.reconMu.Unlock()
+	return s.recon.Apply(s.migRunner(), mv)
+}
+
+// SplitShard splits the named shard into two successors on fresh base-object
+// regions while the store keeps serving: the shard's keyspace re-partitions
+// across the successors, its latest value is replayed into both by the
+// migration writer, reads during the migration consult both epochs, and the
+// old region is retired once drained. It returns the successor shard names.
+func (s *Store) SplitShard(name string) ([]string, error) {
+	ev, err := s.apply(reconfig.Move{Kind: reconfig.MoveSplit, Shard: name})
+	if err != nil {
+		return nil, err
+	}
+	return ev.Successors, nil
+}
+
+// DrainShard migrates the named shard onto a single fresh region — same
+// routing position, new nodes — and retires the old region. It returns the
+// replacement shard's name.
+func (s *Store) DrainShard(name string) (string, error) {
+	ev, err := s.apply(reconfig.Move{Kind: reconfig.MoveDrain, Shard: name})
+	if err != nil {
+		return "", err
+	}
+	return ev.Successors[0], nil
+}
+
+// AddShard forks the given key onto a dedicated shard seeded from the
+// register the key currently routes to. The origin keeps serving its other
+// keys.
+func (s *Store) AddShard(key string) error {
+	_, err := s.apply(reconfig.Move{Kind: reconfig.MoveAdd, Shard: key})
+	return err
+}
+
+// RemoveShard drops a dedicated shard created by AddShard: its key rejoins
+// hash routing and the dedicated register's value is discarded.
+func (s *Store) RemoveShard(name string) error {
+	_, err := s.apply(reconfig.Move{Kind: reconfig.MoveRemove, Shard: name})
+	return err
+}
+
+// Resize applies a reconfiguration plan move by move, stopping at the first
+// error. The store serves reads and writes throughout.
+func (s *Store) Resize(plan []ResizeOp) error {
+	moves := make([]reconfig.Move, 0, len(plan))
+	for _, op := range plan {
+		mv, err := op.move()
+		if err != nil {
+			return err
+		}
+		moves = append(moves, mv)
+	}
+	s.reconMu.Lock()
+	defer s.reconMu.Unlock()
+	for _, mv := range moves {
+		if _, err := s.recon.Apply(s.migRunner(), mv); err != nil {
+			return fmt.Errorf("spacebounds: %v: %w", mv, err)
+		}
+	}
+	return nil
+}
+
+// ReconfigStats returns the reconfiguration counters.
+func (s *Store) ReconfigStats() ReconfigStats {
+	st := s.recon.Stats()
+	return ReconfigStats{
+		Epoch: st.Epoch, Splits: st.Splits, Drains: st.Drains, Adds: st.Adds, Removes: st.Removes,
+		SeedWrites: st.SeedWrites, FallbackReads: st.FallbackReads, HeldWrites: st.HeldWrites,
+	}
+}
 
 // Close stops fault injection and shuts the simulated cluster down.
 func (s *Store) Close() {
