@@ -5,14 +5,14 @@ GO ?= go
 BENCH_GATE ?= BenchmarkShardedLiveThroughput
 BENCH_TIME ?= 300ms
 # Minimum total test coverage (percent) enforced by `make cover`.
-COVER_FLOOR ?= 75
+COVER_FLOOR ?= 78
 # Seeds per configuration for the simulator sweeps (sim-smoke runs fewer).
 SIM_SEEDS ?= 500
 SIM_SMOKE_SEEDS ?= 50
 # Fuzzing budget for the checker fuzz smoke.
 FUZZ_TIME ?= 20s
 
-.PHONY: build test race bench bench-json bench-check cover fmt-check examples sim-smoke sim-soak sim-soak-reconfig fuzz-smoke
+.PHONY: build test race bench bench-json bench-check cover fmt-check examples sim-smoke sim-soak sim-soak-reconfig sim-soak-merge fuzz-smoke
 
 # Compile everything and run static checks.
 build:
@@ -59,9 +59,9 @@ fmt-check:
 
 # Quick deterministic fault-schedule sweep (PR CI): every provider ×
 # concurrent/sequential/reconfig/mixed configuration — the reconfig legs run
-# a split and a drain mid-traffic and check the stitched cross-epoch
-# histories — plus the live batched churn smoke. Fails with a replayable
-# report in sim-failures.txt.
+# a split, a drain and a merge mid-traffic and check the stitched (and
+# pruned-branch) cross-epoch histories — plus the live batched churn smoke.
+# Fails with a replayable report in sim-failures.txt.
 sim-smoke:
 	$(GO) run ./cmd/spacebench -sim -seeds $(SIM_SMOKE_SEEDS) -sim-out sim-failures.txt
 
@@ -74,12 +74,25 @@ sim-soak:
 # draining a split child) and dual-epoch reads get deep coverage.
 sim-soak-reconfig:
 	$(GO) run ./cmd/spacebench -sim -seeds $(SIM_SEEDS) -sim-clients 4 -sim-ops 6 \
-		-sim-reconfig-splits 2 -sim-reconfig-drains 2 -sim-live=false -sim-out sim-failures-reconfig.txt
+		-sim-reconfig-splits 2 -sim-reconfig-drains 2 -sim-reconfig-merges 0 \
+		-sim-live=false -sim-out sim-failures-reconfig.txt
 
-# Short coverage-guided fuzz of the history checkers (consistency-condition
-# hierarchy and checker determinism).
+# Nightly merge + controller-crash soak: splits, drains and two merges per
+# run with the adversary crashing the migration controller between migration
+# steps (two budgeted crashes; standby controllers resume from the step
+# ledger). A run fails on any checker violation, any move left unresolved, or
+# any route left Seeding/Draining at run end.
+sim-soak-merge:
+	$(GO) run ./cmd/spacebench -sim -seeds $(SIM_SEEDS) -sim-clients 4 -sim-ops 6 \
+		-sim-reconfig-splits 1 -sim-reconfig-drains 1 -sim-reconfig-merges 2 \
+		-sim-controller-crashes 2 -sim-live=false -sim-out sim-failures-merge.txt
+
+# Short coverage-guided fuzz of the history package: FuzzCheckers pins the
+# consistency-condition hierarchy and checker determinism, FuzzHistoryMerge
+# (FUZZ_TARGET=FuzzHistoryMerge) the cross-epoch stitching invariants.
+FUZZ_TARGET ?= FuzzCheckers
 fuzz-smoke:
-	$(GO) test -run='^$$' -fuzz=FuzzCheckers -fuzztime=$(FUZZ_TIME) ./internal/history
+	$(GO) test -run='^$$' -fuzz=$(FUZZ_TARGET) -fuzztime=$(FUZZ_TIME) ./internal/history
 
 # Run every example end-to-end with a tiny step budget.
 examples:

@@ -76,6 +76,8 @@ type cliConfig struct {
 	simOut          string
 	simReconfSplits int
 	simReconfDrains int
+	simReconfMerges int
+	simCtrlCrashes  int
 }
 
 // parseArgs parses command-line arguments. Usage and error text go to
@@ -117,8 +119,10 @@ func parseArgs(args []string, errOut io.Writer) (*cliConfig, error) {
 	fs.IntVar(&c.simOps, "sim-ops", 4, "operations per client (sim mode)")
 	fs.BoolVar(&c.simLive, "sim-live", true, "also smoke the live batched engine under crash/restart churn per provider (sim mode)")
 	fs.StringVar(&c.simOut, "sim-out", "", "write the failure report (seeds, shrunken histories) to this file (sim mode)")
-	fs.IntVar(&c.simReconfSplits, "sim-reconfig-splits", 1, "splits per reconfiguration-enabled sweep configuration; 0 with -sim-reconfig-drains=0 disables the reconfig sweep (sim mode)")
+	fs.IntVar(&c.simReconfSplits, "sim-reconfig-splits", 1, "splits per reconfiguration-enabled sweep configuration; setting splits, drains and merges all to 0 disables the reconfig sweep (sim mode)")
 	fs.IntVar(&c.simReconfDrains, "sim-reconfig-drains", 1, "drains per reconfiguration-enabled sweep configuration (sim mode)")
+	fs.IntVar(&c.simReconfMerges, "sim-reconfig-merges", 1, "merges per reconfiguration-enabled sweep configuration (sim mode)")
+	fs.IntVar(&c.simCtrlCrashes, "sim-controller-crashes", 0, "controller-crash budget per reconfiguration-enabled run: the adversary kills the migration controller between migration steps and a standby resumes the move from its ledger (sim mode)")
 
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -189,7 +193,7 @@ func simSweep(providers []string, shards, clients, ops int, reconfig sim.Reconfi
 				CheckLinearizable: true,
 			},
 		})
-		if reconfig.Splits > 0 || reconfig.Drains > 0 {
+		if reconfig.Enabled() {
 			out = append(out, simConfiguration{
 				name: fmt.Sprintf("%s reconfig", p),
 				cfg: sim.Config{
@@ -210,7 +214,7 @@ func simSweep(providers []string, shards, clients, ops int, reconfig sim.Reconfi
 			name: "mixed providers",
 			cfg:  sim.Config{Shards: plans, Clients: clients, OpsPerClient: ops},
 		})
-		if reconfig.Splits > 0 || reconfig.Drains > 0 {
+		if reconfig.Enabled() {
 			out = append(out, simConfiguration{
 				name: "mixed reconfig",
 				cfg:  sim.Config{Shards: plans, Clients: clients, OpsPerClient: ops, Reconfig: reconfig},
@@ -232,7 +236,8 @@ func runSim(c *cliConfig, out io.Writer) error {
 		providers[i] = strings.TrimSpace(providers[i])
 	}
 	sweep := simSweep(providers, c.simShards, c.simClients, c.simOps,
-		sim.ReconfigPlan{Splits: c.simReconfSplits, Drains: c.simReconfDrains})
+		sim.ReconfigPlan{Splits: c.simReconfSplits, Drains: c.simReconfDrains,
+			Merges: c.simReconfMerges, ControllerCrashes: c.simCtrlCrashes})
 	var failures []*sim.Result
 	for _, sc := range sweep {
 		fails, err := sim.Explore(sc.cfg, c.seed, c.seeds)

@@ -174,19 +174,58 @@ type History struct {
 // lineage's histories. Operations are merged in invocation order; ties (the
 // recorders share a coarse logical clock) are broken by the order histories
 // are passed in, which callers make deterministic by passing lineages oldest
-// first. Migration seed writes are deliberately not recorded anywhere: a read
-// returning a migrated value is justified by the original write in the
-// predecessor's history, so the distinct-written-values assumption of the
+// first.
+//
+// The inputs need not be time-disjoint: a merge move's two predecessors
+// record interleaved histories, and since dual-epoch reads are recorded
+// against the register that answered them, one epoch's history can overlap
+// its neighbors' in logical time. Merge therefore guarantees only — and
+// exactly — that the output is sorted by invocation time, that each input's
+// internal order is preserved under ties (stable), and that an operation
+// appearing in several inputs (shared ancestors of two stitched branches) is
+// emitted once. Migration seed writes are deliberately not recorded anywhere:
+// a read returning a migrated value is justified by the original write in
+// the winner's history, so the distinct-written-values assumption of the
 // checkers survives stitching.
 func Merge(v0 value.Value, hs ...*History) *History {
 	var ops []*Op
+	seen := make(map[*Op]bool)
 	for _, h := range hs {
-		if h != nil {
-			ops = append(ops, h.Ops...)
+		if h == nil {
+			continue
+		}
+		for _, op := range h.Ops {
+			if seen[op] {
+				continue
+			}
+			seen[op] = true
+			ops = append(ops, op)
 		}
 	}
 	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Invoked < ops[j].Invoked })
 	return &History{V0: v0, Ops: ops}
+}
+
+// WellFormed checks the structural invariants every recorded (or stitched)
+// history must satisfy: operations sorted by invocation time, strictly
+// positive invocation stamps, and completed operations returning strictly
+// after they were invoked. Merge preserves well-formedness; the fuzz harness
+// pins that.
+func (h *History) WellFormed() error {
+	last := int64(0)
+	for i, op := range h.Ops {
+		if op.Invoked <= 0 {
+			return fmt.Errorf("op %d (%v) has non-positive invocation time", i, op)
+		}
+		if op.Invoked < last {
+			return fmt.Errorf("op %d (%v) invoked before its predecessor (%d < %d)", i, op, op.Invoked, last)
+		}
+		if op.Completed() && op.Returned <= op.Invoked {
+			return fmt.Errorf("op %d (%v) returned at or before invocation", i, op)
+		}
+		last = op.Invoked
+	}
+	return nil
 }
 
 // Writes returns all write operations in invocation order.

@@ -1,0 +1,98 @@
+package history
+
+import "testing"
+
+// partitionFuzz splits h's operations into parts sub-histories using the
+// fuzz bytes as the assignment function — the shape of per-epoch recording,
+// where each operation lands in exactly one epoch's recorder but the epochs'
+// logical-time ranges interleave arbitrarily (a merge move's two predecessor
+// branches record concurrently).
+func partitionFuzz(h *History, data []byte, parts int) []*History {
+	out := make([]*History, parts)
+	for i := range out {
+		out[i] = &History{V0: h.V0}
+	}
+	for i, op := range h.Ops {
+		sel := i
+		if len(data) > 0 {
+			sel = int(data[i%len(data)]) + i
+		}
+		out[sel%parts].Ops = append(out[sel%parts].Ops, op)
+	}
+	return out
+}
+
+// FuzzHistoryMerge fuzzes history.Merge over randomly interleaved per-epoch
+// partitions of arbitrary small histories — the two-source merge shape
+// included (two interleaved predecessor branches plus a successor suffix) —
+// and asserts the stitching invariants: the merged history is sorted and
+// well-formed, reassembles exactly the original operation sequence, is
+// insensitive to input order and duplicated inputs (shared ancestors), and
+// therefore draws exactly the original checker verdicts.
+func FuzzHistoryMerge(f *testing.F) {
+	f.Add([]byte{}, uint8(2))
+	f.Add([]byte{0, 0, 1, 1, 1, 0, 1, 1}, uint8(2))                         // write then read, split in two
+	f.Add([]byte{0, 0, 1, 1, 0, 0, 1, 1, 1, 1, 1, 1, 1, 2, 1, 1}, uint8(3)) // two-source shape + successor
+	f.Add([]byte{0, 0, 0, 0, 1, 9, 0, 1, 0, 3, 2, 0}, uint8(4))             // includes an incomplete write
+	f.Fuzz(func(t *testing.T, data []byte, nparts uint8) {
+		base := decodeFuzzHistory(data)
+		if err := base.WellFormed(); err != nil {
+			t.Fatalf("generator produced a malformed history: %v", err)
+		}
+		parts := int(nparts)%4 + 2
+		split := partitionFuzz(base, data, parts)
+		merged := Merge(base.V0, split...)
+
+		// Sorted, strictly monotonic (the generator's invocation times are
+		// strictly increasing, so stitching must reproduce them exactly), and
+		// well-formed.
+		if err := merged.WellFormed(); err != nil {
+			t.Fatalf("merged history malformed: %v\nops: %v", err, merged.Ops)
+		}
+		if len(merged.Ops) != len(base.Ops) {
+			t.Fatalf("merge lost operations: %d != %d", len(merged.Ops), len(base.Ops))
+		}
+		for i := range base.Ops {
+			if merged.Ops[i] != base.Ops[i] {
+				t.Fatalf("merge reordered op %d: %v != %v", i, merged.Ops[i], base.Ops[i])
+			}
+		}
+
+		// Input order must not matter for time-distinct operations, and a
+		// repeated input (two stitched branches sharing an ancestor history)
+		// must not duplicate operations.
+		reversed := make([]*History, 0, len(split)+1)
+		for i := len(split) - 1; i >= 0; i-- {
+			reversed = append(reversed, split[i])
+		}
+		reversed = append(reversed, split[0], nil)
+		again := Merge(base.V0, reversed...)
+		if len(again.Ops) != len(base.Ops) {
+			t.Fatalf("permuted/duplicated merge has %d ops, want %d", len(again.Ops), len(base.Ops))
+		}
+		for i := range base.Ops {
+			if again.Ops[i] != base.Ops[i] {
+				t.Fatalf("permuted merge reordered op %d", i)
+			}
+		}
+
+		// Checker-accepted exactly when the unsplit history is: stitching a
+		// partition back together must not change any verdict.
+		checks := []struct {
+			name string
+			fn   func(*History) error
+		}{
+			{"linearizability", CheckLinearizability},
+			{"strong regularity", CheckStrongRegularity},
+			{"weak regularity", CheckWeakRegularity},
+			{"strong safety", CheckStrongSafety},
+		}
+		for _, c := range checks {
+			want, got := c.fn(base), c.fn(merged)
+			if (want == nil) != (got == nil) {
+				t.Fatalf("%s verdict changed across merge: base %v, merged %v\nops: %v",
+					c.name, want, got, base.Ops)
+			}
+		}
+	})
+}

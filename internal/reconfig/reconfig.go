@@ -1,34 +1,51 @@
 // Package reconfig is the epoch-based dynamic-reconfiguration subsystem: it
 // executes elastic resharding moves — splitting a shard across fresh
-// base-object regions, draining a shard onto replacement nodes, adding a
-// dedicated shard for a hot key, removing one — against a live shard.Set with
-// state migrated, not lost.
+// base-object regions, merging two shards back into one, draining a shard
+// onto replacement nodes, adding a dedicated shard for a hot key, removing
+// one — against a live shard.Set with state migrated, not lost.
 //
-// The migration protocol for a split or drain of shard S into successors
-// S/0..S/m is:
+// The migration protocol for a split, drain or merge of source shard(s) into
+// successors is:
 //
 //  1. Grow: build the successor registers and extend the cluster with their
 //     regions (dsys.ExtendObjects). They are not routed yet.
-//  2. Flip: atomically install the successors as seeding routes and mark S
-//     draining (Router.InstallSuccessors — one epoch). From here on, writes
-//     for S's keys are held for the successors and reads consult both
-//     epochs, preferring the successor exactly when its register has a
-//     nonzero timestamp.
-//  3. Drain: wait until no live client has a write pinned to S. Writes by
-//     crashed clients are excluded — they are incomplete operations, which
-//     the consistency conditions treat as concurrent with everything after
-//     their invocation, so the migration may miss them.
-//  4. Replay: the migration writer reads S's latest value — the drain
-//     guarantees it supersedes every completed write — and writes it into
-//     each successor. Because writes were held, the seed is each successor's
-//     first write; every later client write strictly supersedes it, so
-//     regularity across the boundary reduces to ordinary write ordering
-//     inside the successor's register. Seed writes are not recorded in
-//     histories: a read returning the migrated value is justified by the
-//     original write in the predecessor's history.
+//  2. Flip: atomically install the successors as seeding routes and mark the
+//     sources draining (Router.InstallSuccessors / InstallMergeSuccessor —
+//     one epoch). From here on, writes for the sources' keys are held for
+//     the successors and reads consult both epochs.
+//  3. Drain: wait until no live client has a write pinned to a source.
+//     Writes by crashed clients are excluded — they are incomplete
+//     operations, which the consistency conditions treat as concurrent with
+//     everything after their invocation, so the migration may miss them.
+//  4. Seed: the migration writer reads each source's latest value — the
+//     drain guarantees it supersedes every completed write — and writes the
+//     chosen value into each successor at the fixed register.SeedTS. For a
+//     merge the two latest values are ordered by (installation epoch,
+//     register timestamp), the same lexicographic rule dual-epoch reads use,
+//     with the lexicographically smaller shard name breaking full ties; the
+//     winner seeds the single successor and becomes its lineage parent,
+//     while the loser's history ends at the merge (a pruned branch). Because
+//     writes were held, the seed is each successor's first write; every
+//     later client write strictly supersedes it. Seed writes are not
+//     recorded in histories: a read returning the migrated value is
+//     justified by the original write in the winner's history.
 //  5. Activate: mark every successor seeded (writes admitted, reads stop
-//     consulting S), wait for S's fallback reads to drain, retire S's region
-//     (its bits leave the storage accounting with the nodes).
+//     consulting the sources), wait for the sources' fallback reads to
+//     drain, retire the source regions.
+//
+// Every move writes a per-move step ledger (MoveState): the entry records
+// the last completed step, the successor names, the flip epoch, the merge
+// winner and the chosen seed value. The controller executing a move can die
+// at any scheduling point; Coordinator.Resume takes the in-flight entry over
+// and re-drives it from its last completed step. Each step is idempotent
+// under replay: table work is atomic with respect to controller crashes (no
+// scheduling point inside), drain waits simply re-wait, and the seed is an
+// idempotent write — the value is recorded in the ledger before the first
+// seed RMW is issued (a drained source is not frozen: a crashed client's
+// in-flight RMW can still land between interrupted attempts, so resume must
+// never re-read), and register.SeedTS fixes the timestamp, so every seed
+// attempt installs the identical ⟨timestamp, value⟩ pair no matter how many
+// interrupted attempts raced it (see register.SeedWriter).
 //
 // The executor is mode-agnostic: a Runner supplies the two capabilities that
 // differ between the live store and the deterministic simulator — running a
@@ -38,6 +55,7 @@
 package reconfig
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -66,6 +84,10 @@ const (
 	// MoveRemove drops a dedicated shard; its key rejoins hash routing and
 	// the dedicated register's value is discarded with its namespace.
 	MoveRemove
+	// MoveMerge replaces two shards by a single successor on a fresh region —
+	// the inverse of a split. Keys of both sources route to the successor,
+	// which is seeded with the value-ordering winner's latest value.
+	MoveMerge
 )
 
 // String implements fmt.Stringer.
@@ -79,20 +101,30 @@ func (k MoveKind) String() string {
 		return "add"
 	case MoveRemove:
 		return "remove"
+	case MoveMerge:
+		return "merge"
 	default:
 		return fmt.Sprintf("move(%d)", int(k))
 	}
 }
 
 // Move is one reconfiguration move: the kind and the target shard (for
-// MoveAdd, the key the dedicated shard will serve).
+// MoveAdd, the key the dedicated shard will serve; for MoveMerge, the two
+// source shards).
 type Move struct {
 	Kind  MoveKind
 	Shard string
+	// Shard2 is the second merge source (MoveMerge only).
+	Shard2 string
 }
 
 // String implements fmt.Stringer.
-func (m Move) String() string { return fmt.Sprintf("%v %s", m.Kind, m.Shard) }
+func (m Move) String() string {
+	if m.Kind == MoveMerge {
+		return fmt.Sprintf("%v %s+%s", m.Kind, m.Shard, m.Shard2)
+	}
+	return fmt.Sprintf("%v %s", m.Kind, m.Shard)
+}
 
 // Plan is an ordered sequence of moves.
 type Plan struct {
@@ -101,8 +133,10 @@ type Plan struct {
 
 // Event records one applied move for introspection, fingerprints and tests.
 type Event struct {
-	Kind       MoveKind
-	Shard      string
+	Kind  MoveKind
+	Shard string
+	// Shard2 is the second source of a merge ("" otherwise).
+	Shard2     string
 	Successors []string
 	// Epoch is the routing epoch the move's flip installed.
 	Epoch int64
@@ -112,15 +146,23 @@ type Event struct {
 
 // String implements fmt.Stringer.
 func (e Event) String() string {
-	return fmt.Sprintf("epoch %d step %d: %v %s -> %v", e.Epoch, e.Step, e.Kind, e.Shard, e.Successors)
+	src := e.Shard
+	if e.Shard2 != "" {
+		src += "+" + e.Shard2
+	}
+	return fmt.Sprintf("epoch %d step %d: %v %s -> %v", e.Epoch, e.Step, e.Kind, src, e.Successors)
 }
 
 // Stats aggregates the subsystem's counters.
 type Stats struct {
 	// Epoch is the current routing epoch.
 	Epoch int64
-	// Splits, Drains, Adds, Removes count completed moves.
-	Splits, Drains, Adds, Removes int
+	// Splits, Drains, Adds, Removes, Merges count completed moves.
+	Splits, Drains, Adds, Removes, Merges int
+	// Resumes counts interrupted moves taken over by Resume.
+	Resumes int
+	// Aborts counts cleanly rolled-back moves.
+	Aborts int
 	// SeedWrites counts migration-writer replays into successors.
 	SeedWrites int
 	// FallbackReads counts dual-epoch reads answered by the old epoch.
@@ -128,6 +170,23 @@ type Stats struct {
 	// HeldWrites counts write acquisitions that waited for a seeding
 	// successor.
 	HeldWrites int64
+}
+
+// ErrInterrupted marks a migration step failure that means "the controller
+// died", not "the move failed": the ledger keeps the move in flight —
+// nothing is rolled back — and Resume may re-drive it. The dsys halt error
+// is classified the same way, since a controlled-mode controller crashed by
+// the scheduler only observes it when the cluster shuts down.
+var ErrInterrupted = errors.New("reconfig: migration interrupted")
+
+// errSuperseded is returned by a driver whose move was taken over by Resume;
+// it must not touch the ledger or the routing table again.
+var errSuperseded = errors.New("reconfig: move driver superseded by resume")
+
+// IsInterruption reports whether a move error left the move in flight for
+// Resume (as opposed to a clean abort or a validation failure).
+func IsInterruption(err error) bool {
+	return errors.Is(err, ErrInterrupted) || errors.Is(err, dsys.ErrHalted) || errors.Is(err, errSuperseded)
 }
 
 // Runner supplies the execution context for migration steps. The live store
@@ -200,15 +259,20 @@ func (r *controlledRunner) Wait(check func() bool) error {
 	return nil
 }
 
-// Coordinator executes moves against one shard.Set and aggregates events and
-// stats. Moves are serialized (each atomically rewrites part of the routing
-// table).
+// Coordinator executes moves against one shard.Set, writes the per-move step
+// ledger, and aggregates events and stats. Moves are serialized — at most one
+// is in flight — but an in-flight move whose driver died can be taken over by
+// Resume from its last completed step.
 type Coordinator struct {
 	set *shard.Set
 
-	mu     sync.Mutex
-	stats  Stats
-	events []Event
+	mu        sync.Mutex
+	stats     Stats
+	events    []Event
+	ledger    []*moveEntry
+	inFlight  *moveEntry
+	nextID    int
+	nextOwner int64
 }
 
 // NewCoordinator returns a coordinator for the set.
@@ -234,6 +298,29 @@ func (c *Coordinator) Events() []Event {
 	return out
 }
 
+// Ledger returns a copy of every move's ledger entry in creation order,
+// completed and aborted moves included.
+func (c *Coordinator) Ledger() []MoveState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]MoveState, len(c.ledger))
+	for i, en := range c.ledger {
+		out[i] = en.MoveState
+	}
+	return out
+}
+
+// InFlight returns a copy of the in-flight move's ledger entry, or nil.
+func (c *Coordinator) InFlight() *MoveState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.inFlight == nil {
+		return nil
+	}
+	st := c.inFlight.MoveState
+	return &st
+}
+
 // ApplyPlan applies the plan's moves in order, stopping at the first error.
 func (c *Coordinator) ApplyPlan(r Runner, p Plan) error {
 	for _, mv := range p.Moves {
@@ -244,20 +331,179 @@ func (c *Coordinator) ApplyPlan(r Runner, p Plan) error {
 	return nil
 }
 
-// Apply executes one move and returns its event.
+// Apply executes one move end to end and returns its event. A move whose
+// driver dies mid-way (IsInterruption on the error) stays in the ledger for
+// Resume; a move that fails for any other reason is cleanly aborted.
 func (c *Coordinator) Apply(r Runner, mv Move) (Event, error) {
-	switch mv.Kind {
-	case MoveSplit:
-		return c.migrate(r, mv.Shard, 2, MoveSplit)
-	case MoveDrain:
-		return c.migrate(r, mv.Shard, 1, MoveDrain)
-	case MoveAdd:
-		return c.add(r, mv.Shard)
-	case MoveRemove:
-		return c.remove(r, mv.Shard)
-	default:
-		return Event{}, fmt.Errorf("reconfig: unknown move kind %v", mv.Kind)
+	en, err := c.begin(mv)
+	if err != nil {
+		return Event{}, err
 	}
+	return c.drive(r, en, en.owner)
+}
+
+// Resume takes over the in-flight move, if any, and re-drives it from its
+// last completed step. The caller asserts that the previous driver is dead
+// (crashed by the scheduler, or its step failed with an interruption); the
+// superseded driver can never mutate the ledger or the routing table again.
+// It reports whether a move was taken over.
+func (c *Coordinator) Resume(r Runner) (bool, Event, error) {
+	c.mu.Lock()
+	en := c.inFlight
+	if en == nil {
+		c.mu.Unlock()
+		return false, Event{}, nil
+	}
+	c.nextOwner++
+	owner := c.nextOwner
+	en.owner = owner
+	en.Resumes++
+	en.Interrupted = false
+	c.stats.Resumes++
+	c.mu.Unlock()
+	ev, err := c.drive(r, en, owner)
+	return true, ev, err
+}
+
+// begin validates the move shape and opens its ledger entry.
+func (c *Coordinator) begin(mv Move) (*moveEntry, error) {
+	var sources []string
+	switch mv.Kind {
+	case MoveSplit, MoveDrain, MoveRemove:
+		if mv.Shard == "" || mv.Shard2 != "" {
+			return nil, fmt.Errorf("reconfig: %v move must name exactly one shard", mv.Kind)
+		}
+		sources = []string{mv.Shard}
+	case MoveAdd:
+		if mv.Shard == "" || mv.Shard2 != "" {
+			return nil, fmt.Errorf("reconfig: add move must name exactly one key")
+		}
+		// The origin is resolved at flip time and recorded then.
+	case MoveMerge:
+		if mv.Shard == "" || mv.Shard2 == "" || mv.Shard == mv.Shard2 {
+			return nil, fmt.Errorf("reconfig: merge move must name two distinct shards")
+		}
+		sources = []string{mv.Shard, mv.Shard2}
+	default:
+		return nil, fmt.Errorf("reconfig: unknown move kind %v", mv.Kind)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.inFlight != nil {
+		return nil, fmt.Errorf("reconfig: move %v is in flight (resume it first)", c.inFlight.Move)
+	}
+	c.nextID++
+	c.nextOwner++
+	en := &moveEntry{MoveState: MoveState{ID: c.nextID, Move: mv, Sources: sources}, owner: c.nextOwner}
+	c.ledger = append(c.ledger, en)
+	c.inFlight = en
+	return en, nil
+}
+
+// drive dispatches a (possibly resumed) move to its kind's executor.
+func (c *Coordinator) drive(r Runner, en *moveEntry, owner int64) (Event, error) {
+	switch en.Move.Kind {
+	case MoveSplit, MoveDrain, MoveMerge:
+		return c.driveMigrate(r, en, owner)
+	case MoveAdd:
+		return c.driveAdd(r, en, owner)
+	case MoveRemove:
+		return c.driveRemove(r, en, owner)
+	default:
+		return Event{}, fmt.Errorf("reconfig: unknown move kind %v", en.Move.Kind)
+	}
+}
+
+// owns reports whether the driver token still owns the entry.
+func (c *Coordinator) owns(en *moveEntry, owner int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return en.owner == owner
+}
+
+// advance records the completion of a step (plus any entry mutation) unless
+// the driver was superseded.
+func (c *Coordinator) advance(en *moveEntry, owner int64, step MoveStep, mut func(*MoveState)) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if en.owner != owner {
+		return false
+	}
+	if mut != nil {
+		mut(&en.MoveState)
+	}
+	if step > en.Step {
+		en.Step = step
+	}
+	return true
+}
+
+// markInterrupted leaves the entry in flight for Resume.
+func (c *Coordinator) markInterrupted(en *moveEntry, owner int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if en.owner == owner {
+		en.Interrupted = true
+	}
+}
+
+// markAborted closes the entry as cleanly rolled back.
+func (c *Coordinator) markAborted(en *moveEntry, owner int64, cause error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if en.owner != owner {
+		return
+	}
+	en.Aborted = true
+	en.AbortReason = cause.Error()
+	if c.inFlight == en {
+		c.inFlight = nil
+	}
+	c.stats.Aborts++
+}
+
+// finish closes the entry as done, records the event and bumps the per-kind
+// counters. It reports false for a superseded driver.
+func (c *Coordinator) finish(en *moveEntry, owner int64, ev Event, seeds int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if en.owner != owner {
+		return false
+	}
+	en.Done = true
+	if c.inFlight == en {
+		c.inFlight = nil
+	}
+	c.events = append(c.events, ev)
+	c.stats.SeedWrites += seeds
+	switch ev.Kind {
+	case MoveSplit:
+		c.stats.Splits++
+	case MoveDrain:
+		c.stats.Drains++
+	case MoveAdd:
+		c.stats.Adds++
+	case MoveRemove:
+		c.stats.Removes++
+	case MoveMerge:
+		c.stats.Merges++
+	}
+	return true
+}
+
+// interrupt marks the entry in flight for Resume and wraps the step failure.
+func (c *Coordinator) interrupt(en *moveEntry, owner int64, ev Event, err error) (Event, error) {
+	c.markInterrupted(en, owner)
+	return ev, fmt.Errorf("%w: %v interrupted at step %v: %v", ErrInterrupted, en.Move, en.Step, err)
+}
+
+// stepErr routes a step failure: interruptions leave the entry in flight for
+// Resume, everything else aborts via the caller-supplied rollback.
+func (c *Coordinator) stepErr(en *moveEntry, owner int64, ev Event, err error, abort func(error) (Event, error)) (Event, error) {
+	if IsInterruption(err) {
+		return c.interrupt(en, owner, ev, err)
+	}
+	return abort(err)
 }
 
 // freeName returns base, or — when an earlier aborted migration already
@@ -282,147 +528,419 @@ func (c *Coordinator) crashedClients() map[int]bool {
 	return out
 }
 
-// record appends an event and bumps the per-kind counter.
-func (c *Coordinator) record(ev Event, seeds int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.events = append(c.events, ev)
-	c.stats.SeedWrites += seeds
-	switch ev.Kind {
-	case MoveSplit:
-		c.stats.Splits++
-	case MoveDrain:
-		c.stats.Drains++
-	case MoveAdd:
-		c.stats.Adds++
-	case MoveRemove:
-		c.stats.Removes++
+// eventOf reconstructs a move's event from its ledger entry, so a resumed
+// driver reports the identical event the original flip produced.
+func eventOf(st MoveState) Event {
+	return Event{
+		Kind: st.Move.Kind, Shard: st.Move.Shard, Shard2: st.Move.Shard2,
+		Successors: append([]string(nil), st.Successors...),
+		Epoch:      st.Epoch, Step: st.FlipStep,
 	}
 }
 
-// migrate is the shared split/drain protocol: replace shard `name` by
-// `successors` fresh regions with its latest value replayed into each.
-func (c *Coordinator) migrate(r Runner, name string, successors int, kind MoveKind) (Event, error) {
-	set, rt := c.set, c.set.Router()
-	if err := rt.BeginMove(); err != nil {
-		return Event{}, err
+// retireRegions decommissions successor regions (and retires their routes,
+// when any were installed) after a failed or aborted grow/flip.
+func (c *Coordinator) retireRegions(names []string) {
+	for _, name := range names {
+		sh := c.set.Region(name)
+		if sh == nil {
+			continue
+		}
+		c.set.Router().MarkRetired(name) // no-op when the route was never installed
+		_ = c.set.Cluster().RetireObjects(sh.Base, sh.Span)
 	}
-	defer rt.EndMove()
+}
 
-	old := set.Shard(name)
-	if old == nil {
-		return Event{}, fmt.Errorf("unknown shard %q", name)
+// seedInto replays v into the successor at the fixed seed timestamp.
+func seedInto(r Runner, succ *shard.Shard, v value.Value) error {
+	sw, ok := succ.Reg.(register.SeedWriter)
+	if !ok {
+		return fmt.Errorf("successor %q: register %s has no idempotent seed write", succ.Name, succ.Reg.Name())
 	}
-	if _, ok := old.Reg.(register.TimestampedReader); !ok {
-		return Event{}, fmt.Errorf("shard %q: register %s cannot be migrated (no timestamped read)", name, old.Reg.Name())
+	return r.RunOn(succ, func(h *dsys.ClientHandle) error { return sw.WriteSeed(h, v) })
+}
+
+// writesDrained reports whether every named source's write pins are released
+// by all live clients.
+func (c *Coordinator) writesDrained(names []string) bool {
+	crashed := c.crashedClients()
+	for _, name := range names {
+		if !c.set.Router().WritesDrained(name, crashed) {
+			return false
+		}
+	}
+	return true
+}
+
+// readsDrained is writesDrained for read pins.
+func (c *Coordinator) readsDrained(names []string) bool {
+	crashed := c.crashedClients()
+	for _, name := range names {
+		if !c.set.Router().ReadsDrained(name, crashed) {
+			return false
+		}
+	}
+	return true
+}
+
+// asTimestamped is the single capability check for migration sources: the
+// dual-epoch read and the value-ordering rule both need the register's
+// internal timestamp.
+func asTimestamped(sh *shard.Shard) (register.TimestampedReader, error) {
+	tr, ok := sh.Reg.(register.TimestampedReader)
+	if !ok {
+		return nil, fmt.Errorf("shard %q: register %s cannot be migrated (no timestamped read)", sh.Name, sh.Reg.Name())
+	}
+	return tr, nil
+}
+
+// seedValue returns the entry's ledger-recorded migrated value.
+func (c *Coordinator) seedValue(en *moveEntry) (value.Value, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return en.SeedValue, en.SeedChosen
+}
+
+// latestOf reads a source's latest value and timestamp as the migration
+// client. The source is drained and unroutable for writes, but NOT frozen —
+// a crashed client's in-flight RMW may still land later — which is exactly
+// why the chosen value is recorded in the ledger before seeding starts
+// instead of being re-read on resume.
+func latestOf(r Runner, src *shard.Shard) (value.Value, register.Timestamp, error) {
+	tr, err := asTimestamped(src)
+	if err != nil {
+		return value.Value{}, register.ZeroTS, err
+	}
+	var v value.Value
+	var ts register.Timestamp
+	err = r.RunOn(src, func(h *dsys.ClientHandle) error {
+		var err error
+		v, ts, err = tr.ReadTimestamped(h)
+		return err
+	})
+	return v, ts, err
+}
+
+// driveMigrate executes (or resumes) the shared split/drain/merge protocol.
+func (c *Coordinator) driveMigrate(r Runner, en *moveEntry, owner int64) (Event, error) {
+	set, rt := c.set, c.set.Router()
+	mv := en.Move
+
+	// Validate the sources: they must exist and support timestamped reads
+	// (dual-epoch reads and the merge ordering rule need the timestamps). A
+	// fresh move aborts on a validation failure — nothing has been installed
+	// yet. On a post-flip resume such a failure is an internal inconsistency
+	// (sources cannot vanish between attempts): the entry is left resumable
+	// rather than falsely marked aborted while the table stays flipped.
+	invalid := func(cause error) (Event, error) {
+		if en.Step >= StepTableFlip {
+			return c.interrupt(en, owner, eventOf(en.MoveState), cause)
+		}
+		c.markAborted(en, owner, cause)
+		return Event{}, cause
+	}
+	srcs := make([]*shard.Shard, len(en.Sources))
+	for i, name := range en.Sources {
+		sh := set.Shard(name)
+		if sh == nil {
+			return invalid(fmt.Errorf("unknown shard %q", name))
+		}
+		if _, err := asTimestamped(sh); err != nil {
+			return invalid(err)
+		}
+		srcs[i] = sh
+	}
+	if mv.Kind == MoveMerge {
+		if srcs[0].Algorithm != srcs[1].Algorithm {
+			// The successor inherits one emulation, and the stitched lineage
+			// is checked under that emulation's consistency condition — a
+			// cross-emulation merge would smuggle a weaker prefix under a
+			// stronger claim. (A re-coding merge is future work; see ROADMAP.)
+			return invalid(fmt.Errorf("cannot merge %q (%s) with %q (%s): emulations differ",
+				srcs[0].Name, srcs[0].Algorithm, srcs[1].Name, srcs[1].Algorithm))
+		}
+		if srcs[0].Reg.Config().DataLen != srcs[1].Reg.Config().DataLen {
+			return invalid(fmt.Errorf("cannot merge %q (%d-byte values) with %q (%d-byte values)",
+				srcs[0].Name, srcs[0].Reg.Config().DataLen, srcs[1].Name, srcs[1].Reg.Config().DataLen))
+		}
 	}
 
 	// Grow: successor regions exist before the flip so the flip is purely a
-	// table swap.
-	succs := make([]*shard.Shard, 0, successors)
-	retireSuccs := func() {
-		for _, sh := range succs {
-			rt.MarkRetired(sh.Name)
-			_ = set.Cluster().RetireObjects(sh.Base, sh.Span)
+	// table swap. The successor inherits the first source's emulation.
+	if en.Step < StepGrowRegions {
+		var bases []string
+		switch mv.Kind {
+		case MoveSplit:
+			bases = []string{mv.Shard + "/0", mv.Shard + "/1"}
+		case MoveDrain:
+			bases = []string{mv.Shard + "/0"}
+		case MoveMerge:
+			bases = []string{mergeName(mv.Shard, mv.Shard2)}
+		}
+		names := make([]string, 0, len(bases))
+		for _, base := range bases {
+			sh, err := set.AddRegion(shard.Spec{
+				Name:      freeName(set, base),
+				Algorithm: srcs[0].Algorithm,
+				Config:    srcs[0].Reg.Config(),
+			})
+			if err != nil {
+				c.retireRegions(names)
+				c.markAborted(en, owner, err)
+				return Event{}, err
+			}
+			if _, ok := sh.Reg.(register.SeedWriter); !ok {
+				err := fmt.Errorf("successor %q: register %s has no idempotent seed write", sh.Name, sh.Reg.Name())
+				c.retireRegions(append(names, sh.Name))
+				c.markAborted(en, owner, err)
+				return Event{}, err
+			}
+			names = append(names, sh.Name)
+		}
+		if !c.advance(en, owner, StepGrowRegions, func(st *MoveState) { st.Successors = names }) {
+			return Event{}, errSuperseded
 		}
 	}
-	for i := 0; i < successors; i++ {
-		sh, err := set.AddRegion(shard.Spec{
-			Name:      freeName(set, fmt.Sprintf("%s/%d", name, i)),
-			Algorithm: old.Algorithm,
-			Config:    old.Reg.Config(),
-		})
-		if err != nil {
-			retireSuccs()
-			return Event{}, err
+	succs := make([]*shard.Shard, len(en.Successors))
+	for i, name := range en.Successors {
+		if succs[i] = set.Region(name); succs[i] == nil {
+			return Event{}, fmt.Errorf("reconfig: successor region %q vanished", name)
 		}
-		succs = append(succs, sh)
 	}
 
 	// Flip.
-	epoch, err := rt.InstallSuccessors(name, succs)
-	if err != nil {
-		retireSuccs()
-		return Event{}, err
+	if en.Step < StepTableFlip {
+		var epoch int64
+		var err error
+		if mv.Kind == MoveMerge {
+			epoch, err = rt.InstallMergeSuccessor(mv.Shard, mv.Shard2, succs[0])
+		} else {
+			epoch, err = rt.InstallSuccessors(mv.Shard, succs)
+		}
+		if err != nil {
+			c.retireRegions(en.Successors)
+			c.markAborted(en, owner, err)
+			return Event{}, err
+		}
+		flipStep := set.Cluster().LogicalTime()
+		if !c.advance(en, owner, StepTableFlip, func(st *MoveState) { st.Epoch, st.FlipStep = epoch, flipStep }) {
+			return Event{}, errSuperseded
+		}
 	}
-	ev := Event{Kind: kind, Shard: name, Epoch: epoch, Step: set.Cluster().LogicalTime()}
-	for _, sh := range succs {
-		ev.Successors = append(ev.Successors, sh.Name)
-	}
+	ev := eventOf(en.MoveState)
+
+	// abort rolls a flipped-but-not-activated move back: writes were held for
+	// the successors throughout, so no client state can have reached them.
 	abort := func(cause error) (Event, error) {
-		rt.AbortSuccessors(name)
+		if !c.owns(en, owner) {
+			return ev, errSuperseded
+		}
+		if mv.Kind == MoveMerge {
+			rt.AbortMerge(mv.Shard, mv.Shard2)
+		} else {
+			rt.AbortSuccessors(mv.Shard)
+		}
 		for _, sh := range succs {
 			_ = set.Cluster().RetireObjects(sh.Base, sh.Span)
 		}
-		return ev, fmt.Errorf("migration of %q aborted: %w", name, cause)
+		c.markAborted(en, owner, cause)
+		return ev, fmt.Errorf("migration of %v aborted: %w", mv, cause)
 	}
 
-	// Drain in-flight writes, then replay the latest value.
-	if err := r.Wait(func() bool { return rt.WritesDrained(name, c.crashedClients()) }); err != nil {
-		return abort(err)
-	}
-	var latest value.Value
-	if err := r.RunOn(old, func(h *dsys.ClientHandle) error {
-		var err error
-		latest, err = old.Reg.Read(h)
-		return err
-	}); err != nil {
-		return abort(err)
-	}
-
-	// Seed every successor before activating any: the activation below is
-	// pure table work and cannot fail, so the move is all-or-nothing.
-	for _, sh := range succs {
-		sh := sh
-		if err := r.RunOn(sh, func(h *dsys.ClientHandle) error {
-			return sh.Reg.Write(h, latest)
-		}); err != nil {
-			return abort(err)
+	// Drain in-flight writes on every source.
+	if en.Step < StepDrain {
+		if err := r.Wait(func() bool { return c.writesDrained(en.Sources) }); err != nil {
+			return c.stepErr(en, owner, ev, err, abort)
+		}
+		if !c.advance(en, owner, StepDrain, nil) {
+			return ev, errSuperseded
 		}
 	}
-	for _, sh := range succs {
-		rt.MarkSeeded(sh.Name)
+
+	// Choose the migrated value and record it in the ledger before issuing
+	// any seed RMW. The drained sources are not perfectly frozen — a crashed
+	// client's late-landing RMW may still apply between interrupted attempts
+	// — so a resumed driver must never re-read: all seed attempts have to
+	// write the identical value, or the fixed seed timestamp would pin two
+	// different values at once.
+	if en.Step < StepChooseValue {
+		winner := en.Sources[0]
+		var latest value.Value
+		if mv.Kind == MoveMerge {
+			// Order the two latest values by (installation epoch, timestamp) —
+			// the dual-epoch read's rule — breaking full ties toward the
+			// lexicographically smaller shard name.
+			type cand struct {
+				v     value.Value
+				ts    register.Timestamp
+				epoch int64
+				name  string
+			}
+			cands := make([]cand, len(srcs))
+			for i, src := range srcs {
+				v, ts, err := latestOf(r, src)
+				if err != nil {
+					return c.stepErr(en, owner, ev, err, abort)
+				}
+				cands[i] = cand{v: v, ts: ts, epoch: rt.RouteOf(src.Name).InstalledAt(), name: src.Name}
+			}
+			win := cands[0]
+			for _, cd := range cands[1:] {
+				switch {
+				case win.epoch != cd.epoch:
+					if cd.epoch > win.epoch {
+						win = cd
+					}
+				case win.ts != cd.ts:
+					if win.ts.Less(cd.ts) {
+						win = cd
+					}
+				case cd.name < win.name:
+					win = cd
+				}
+			}
+			winner, latest = win.name, win.v
+			if !c.owns(en, owner) {
+				return ev, errSuperseded
+			}
+			if err := rt.SetMergeWinner(succs[0].Name, winner); err != nil {
+				return abort(err)
+			}
+		} else {
+			v, _, err := latestOf(r, srcs[0])
+			if err != nil {
+				return c.stepErr(en, owner, ev, err, abort)
+			}
+			latest = v
+		}
+		if !c.advance(en, owner, StepChooseValue, func(st *MoveState) {
+			st.Winner, st.SeedValue, st.SeedChosen = winner, latest, true
+		}) {
+			return ev, errSuperseded
+		}
 	}
 
-	// Retire the drained predecessor once its fallback readers are gone.
-	if err := r.Wait(func() bool { return rt.ReadsDrained(name, c.crashedClients()) }); err != nil {
-		return ev, err
+	// Seed every successor with the recorded value before activating any: the
+	// activation below is pure table work and cannot fail, so the move is
+	// all-or-nothing.
+	if en.Step < StepSeed {
+		latest, ok := c.seedValue(en)
+		if !ok {
+			return abort(fmt.Errorf("ledger entry reached seeding with no recorded value"))
+		}
+		for _, sh := range succs {
+			if err := seedInto(r, sh, latest); err != nil {
+				return c.stepErr(en, owner, ev, err, abort)
+			}
+		}
+		if !c.advance(en, owner, StepSeed, nil) {
+			return ev, errSuperseded
+		}
 	}
-	if err := set.RetireShard(name); err != nil {
-		return ev, err
+
+	// Activate.
+	if en.Step < StepActivate {
+		if !c.owns(en, owner) {
+			return ev, errSuperseded
+		}
+		for _, sh := range succs {
+			rt.MarkSeeded(sh.Name)
+		}
+		if !c.advance(en, owner, StepActivate, nil) {
+			return ev, errSuperseded
+		}
 	}
-	c.record(ev, len(succs))
+
+	// Retire the drained sources once their fallback readers are gone. Past
+	// activation the move can no longer abort — only an interruption (driver
+	// death) can stop it, and Resume finishes the retirement.
+	if en.Step < StepRetire {
+		if err := r.Wait(func() bool { return c.readsDrained(en.Sources) }); err != nil {
+			return c.interrupt(en, owner, ev, err)
+		}
+		if !c.owns(en, owner) {
+			return ev, errSuperseded
+		}
+		for _, name := range en.Sources {
+			if err := set.RetireShard(name); err != nil {
+				// Leave the entry resumable rather than wedged: it is neither
+				// done nor cleanly rolled back.
+				return c.interrupt(en, owner, ev, err)
+			}
+		}
+		if !c.advance(en, owner, StepRetire, nil) {
+			return ev, errSuperseded
+		}
+	}
+	if !c.finish(en, owner, ev, len(succs)) {
+		return ev, errSuperseded
+	}
 	return ev, nil
 }
 
-// add installs a dedicated shard for exactly `key`, forked from the register
-// the key routes to today. The origin keeps serving its other keys (it is not
+// driveAdd executes (or resumes) the dedicated-fork protocol: install a
+// dedicated shard for exactly the move's key, forked from the register the
+// key routes to. The origin keeps serving its other keys (it is not
 // drained): the fork point is the origin's latest value at seed time.
-func (c *Coordinator) add(r Runner, key string) (Event, error) {
+func (c *Coordinator) driveAdd(r Runner, en *moveEntry, owner int64) (Event, error) {
 	set, rt := c.set, c.set.Router()
-	if err := rt.BeginMove(); err != nil {
-		return Event{}, err
-	}
-	defer rt.EndMove()
+	key := en.Move.Shard
 
-	origin := set.ForKey(key)
-	sh, err := set.AddRegion(shard.Spec{Name: key, Algorithm: origin.Algorithm, Config: origin.Reg.Config()})
-	if err != nil {
-		return Event{}, err
+	if en.Step < StepGrowRegions {
+		origin := set.ForKey(key)
+		if _, err := asTimestamped(origin); err != nil {
+			c.markAborted(en, owner, err)
+			return Event{}, err
+		}
+		sh, err := set.AddRegion(shard.Spec{Name: key, Algorithm: origin.Algorithm, Config: origin.Reg.Config()})
+		if err != nil {
+			c.markAborted(en, owner, err)
+			return Event{}, err
+		}
+		if _, ok := sh.Reg.(register.SeedWriter); !ok {
+			err := fmt.Errorf("successor %q: register %s has no idempotent seed write", sh.Name, sh.Reg.Name())
+			c.retireRegions([]string{sh.Name})
+			c.markAborted(en, owner, err)
+			return Event{}, err
+		}
+		if !c.advance(en, owner, StepGrowRegions, func(st *MoveState) { st.Successors = []string{key} }) {
+			return Event{}, errSuperseded
+		}
 	}
-	originRoute, epoch, err := rt.InstallDedicated(sh)
-	if err != nil {
-		rt.MarkRetired(sh.Name)
-		_ = set.Cluster().RetireObjects(sh.Base, sh.Span)
-		return Event{}, err
+	succ := set.Region(key)
+	if succ == nil {
+		return Event{}, fmt.Errorf("reconfig: successor region %q vanished", key)
 	}
-	ev := Event{Kind: MoveAdd, Shard: key, Successors: []string{sh.Name}, Epoch: epoch, Step: set.Cluster().LogicalTime()}
+
+	if en.Step < StepTableFlip {
+		originRoute, epoch, err := rt.InstallDedicated(succ)
+		if err != nil {
+			rt.MarkRetired(succ.Name)
+			_ = set.Cluster().RetireObjects(succ.Base, succ.Span)
+			c.markAborted(en, owner, err)
+			return Event{}, err
+		}
+		flipStep := set.Cluster().LogicalTime()
+		if !c.advance(en, owner, StepTableFlip, func(st *MoveState) {
+			st.Sources = []string{originRoute.Shard().Name}
+			st.Epoch, st.FlipStep = epoch, flipStep
+		}) {
+			return Event{}, errSuperseded
+		}
+	}
+	ev := eventOf(en.MoveState)
+	originName := en.Sources[0]
+	originSh := set.Shard(originName)
 	abort := func(cause error) (Event, error) {
-		rt.AbortDedicated(sh.Name)
-		_ = set.Cluster().RetireObjects(sh.Base, sh.Span)
+		if !c.owns(en, owner) {
+			return ev, errSuperseded
+		}
+		rt.AbortDedicated(key)
+		_ = set.Cluster().RetireObjects(succ.Base, succ.Span)
 		// Free the key for a retry: a dedicated shard's name must equal its
 		// key, so the burned route has to be unregistered, not suffixed.
-		_ = rt.DeleteRetiredRoute(sh.Name)
+		_ = rt.DeleteRetiredRoute(key)
+		c.markAborted(en, owner, cause)
 		return ev, fmt.Errorf("add of %q aborted: %w", key, cause)
 	}
 
@@ -431,63 +949,124 @@ func (c *Coordinator) add(r Runner, key string) (Event, error) {
 	// stays routed for its other keys, so it cannot be drained by starvation
 	// alone: hold its new write admissions, wait out the in-flight ones, read
 	// the settled value, then reopen. Reads are unaffected throughout.
-	originName := originRoute.Shard().Name
+	//
+	// The hold is lifted only when the move ends — completion or abort. An
+	// interrupted driver leaves it in place: releasing on interruption would
+	// admit writes in the gap before Resume takes over, and a gap write still
+	// in flight when the resumed driver reads the fork point could complete
+	// into the origin after the seed captured an older value. Resume
+	// re-asserts the hold (idempotent) and re-waits the drain regardless of
+	// the recorded step for the same reason.
+	if !c.owns(en, owner) {
+		return ev, errSuperseded
+	}
 	if err := rt.HoldWrites(originName); err != nil {
 		return abort(err)
 	}
-	defer rt.ReleaseHold(originName)
-	if err := r.Wait(func() bool { return rt.WritesDrained(originName, c.crashedClients()) }); err != nil {
-		return abort(err)
+	abortReleasing := func(cause error) (Event, error) {
+		rt.ReleaseHold(originName)
+		return abort(cause)
 	}
-	var latest value.Value
-	if err := r.RunOn(originRoute.Shard(), func(h *dsys.ClientHandle) error {
-		var err error
-		latest, err = originRoute.Shard().Reg.Read(h)
-		return err
-	}); err != nil {
-		return abort(err)
+	if err := r.Wait(func() bool { return c.writesDrained([]string{originName}) }); err != nil {
+		return c.stepErr(en, owner, ev, err, abortReleasing)
 	}
-	if err := r.RunOn(sh, func(h *dsys.ClientHandle) error { return sh.Reg.Write(h, latest) }); err != nil {
-		return abort(err)
+	if !c.advance(en, owner, StepDrain, nil) {
+		return ev, errSuperseded
 	}
-	rt.MarkSeeded(sh.Name)
-	c.record(ev, 1)
+	if en.Step < StepChooseValue {
+		latest, _, err := latestOf(r, originSh)
+		if err != nil {
+			return c.stepErr(en, owner, ev, err, abortReleasing)
+		}
+		if !c.advance(en, owner, StepChooseValue, func(st *MoveState) {
+			st.Winner, st.SeedValue, st.SeedChosen = originName, latest, true
+		}) {
+			return ev, errSuperseded
+		}
+	}
+	if en.Step < StepSeed {
+		latest, ok := c.seedValue(en)
+		if !ok {
+			return abortReleasing(fmt.Errorf("ledger entry reached seeding with no recorded value"))
+		}
+		if err := seedInto(r, succ, latest); err != nil {
+			return c.stepErr(en, owner, ev, err, abortReleasing)
+		}
+		if !c.advance(en, owner, StepSeed, nil) {
+			return ev, errSuperseded
+		}
+	}
+	if en.Step < StepActivate {
+		if !c.owns(en, owner) {
+			return ev, errSuperseded
+		}
+		rt.MarkSeeded(succ.Name)
+		if !c.advance(en, owner, StepActivate, nil) {
+			return ev, errSuperseded
+		}
+	}
+	if !c.finish(en, owner, ev, 1) {
+		return ev, errSuperseded
+	}
+	rt.ReleaseHold(originName)
 	return ev, nil
 }
 
-// remove drops a dedicated shard: its key rejoins hash routing and the
-// dedicated register is discarded once drained.
-func (c *Coordinator) remove(r Runner, name string) (Event, error) {
+// driveRemove executes (or resumes) the drop of a dedicated shard: its key
+// rejoins hash routing and the dedicated register is discarded once drained.
+func (c *Coordinator) driveRemove(r Runner, en *moveEntry, owner int64) (Event, error) {
 	set, rt := c.set, c.set.Router()
-	if err := rt.BeginMove(); err != nil {
-		return Event{}, err
+	name := en.Move.Shard
+	if set.Shard(name) == nil {
+		cause := fmt.Errorf("unknown shard %q", name)
+		c.markAborted(en, owner, cause)
+		return Event{}, cause
 	}
-	defer rt.EndMove()
 
-	sh := set.Shard(name)
-	if sh == nil {
-		return Event{}, fmt.Errorf("unknown shard %q", name)
+	if en.Step < StepTableFlip {
+		epoch, err := rt.UnrouteDedicated(name)
+		if err != nil {
+			c.markAborted(en, owner, err)
+			return Event{}, err
+		}
+		flipStep := set.Cluster().LogicalTime()
+		if !c.advance(en, owner, StepTableFlip, func(st *MoveState) { st.Epoch, st.FlipStep = epoch, flipStep }) {
+			return Event{}, errSuperseded
+		}
 	}
-	epoch, err := rt.UnrouteDedicated(name)
-	if err != nil {
-		return Event{}, err
+	ev := eventOf(en.MoveState)
+
+	// No rollback exists past the unroute (the key already rehashed); every
+	// failure from here is an interruption Resume finishes.
+	if en.Step < StepDrain {
+		err := r.Wait(func() bool {
+			return c.writesDrained([]string{name}) && c.readsDrained([]string{name})
+		})
+		if err != nil {
+			return c.interrupt(en, owner, ev, err)
+		}
+		if !c.advance(en, owner, StepDrain, nil) {
+			return ev, errSuperseded
+		}
 	}
-	ev := Event{Kind: MoveRemove, Shard: name, Epoch: epoch, Step: set.Cluster().LogicalTime()}
-	drained := func() bool {
-		crashed := c.crashedClients()
-		return rt.WritesDrained(name, crashed) && rt.ReadsDrained(name, crashed)
+	if en.Step < StepRetire {
+		if !c.owns(en, owner) {
+			return ev, errSuperseded
+		}
+		if err := set.RetireShard(name); err != nil {
+			return c.interrupt(en, owner, ev, err)
+		}
+		// Unregister the route so the key can be forked onto a fresh dedicated
+		// shard again later.
+		if err := rt.DeleteRetiredRoute(name); err != nil {
+			return c.interrupt(en, owner, ev, err)
+		}
+		if !c.advance(en, owner, StepRetire, nil) {
+			return ev, errSuperseded
+		}
 	}
-	if err := r.Wait(drained); err != nil {
-		return ev, err
+	if !c.finish(en, owner, ev, 0) {
+		return ev, errSuperseded
 	}
-	if err := set.RetireShard(name); err != nil {
-		return ev, err
-	}
-	// Unregister the route so the key can be forked onto a fresh dedicated
-	// shard again later.
-	if err := rt.DeleteRetiredRoute(name); err != nil {
-		return ev, err
-	}
-	c.record(ev, 0)
 	return ev, nil
 }

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"spacebounds/internal/dsys"
+
 	"spacebounds/internal/register"
 	_ "spacebounds/internal/register/abd"
 	_ "spacebounds/internal/register/adaptive"
@@ -409,5 +411,549 @@ func TestDedicatedShardCanBeReAdded(t *testing.T) {
 	}
 	if st := co.Stats(); st.Adds != 3 || st.Removes != 3 {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestMergeCombinesShards merges two written shards and checks the value-
+// ordering rule, routing, lineage, pruned-branch accounting and the ledger.
+func TestMergeCombinesShards(t *testing.T) {
+	set := newSet(t, 2)
+	defer set.Close()
+	co := NewCoordinator(set)
+	runner := NewLiveRunner(set, 1<<28)
+
+	// s0 gets two writes (ts 2), s1 one (ts 1): both routes are epoch-0
+	// installs, so the timestamp decides and s0's value wins.
+	if err := set.Write(1, "s0", value.Sequenced(1, 1, dataLen)); err != nil {
+		t.Fatal(err)
+	}
+	want := value.Sequenced(1, 2, dataLen)
+	if err := set.Write(1, "s0", want); err != nil {
+		t.Fatal(err)
+	}
+	loserVal := value.Sequenced(2, 1, dataLen)
+	if err := set.Write(2, "s1", loserVal); err != nil {
+		t.Fatal(err)
+	}
+
+	ev, err := co.Apply(runner, Move{Kind: MoveMerge, Shard: "s0", Shard2: "s1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Successors) != 1 || ev.Successors[0] != "s0+s1" {
+		t.Fatalf("successors = %v", ev.Successors)
+	}
+	// Both sources retired; every key — the old shard names included — now
+	// routes to the single successor.
+	for _, name := range []string{"s0", "s1"} {
+		if got := set.Router().RouteOf(name).State(); got != shard.RouteRetired {
+			t.Fatalf("source %s state = %v, want retired", name, got)
+		}
+		if got := set.ForKey(name).Name; got != "s0+s1" {
+			t.Fatalf("ForKey(%q) = %s, want s0+s1", name, got)
+		}
+	}
+	got, err := set.Read(9, "s0+s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("merged read = %v, want winner value %v", got, want)
+	}
+	// Lineage follows the winner; the loser is a pruned branch.
+	lineage := set.Lineage("s0+s1")
+	if len(lineage) != 2 || lineage[0] != "s0" || lineage[1] != "s0+s1" {
+		t.Fatalf("lineage = %v, want [s0 s0+s1]", lineage)
+	}
+	pruned := set.Router().PrunedBranches()
+	if len(pruned) != 1 || pruned[0] != "s1" {
+		t.Fatalf("pruned branches = %v, want [s1]", pruned)
+	}
+	st := co.Stats()
+	if st.Merges != 1 || st.SeedWrites != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	ledger := co.Ledger()
+	if len(ledger) != 1 || !ledger[0].Done || ledger[0].Winner != "s0" || ledger[0].Step != StepRetire {
+		t.Fatalf("ledger = %+v", ledger)
+	}
+	if co.InFlight() != nil {
+		t.Fatal("completed move still in flight")
+	}
+	// Storage stays summation-exact across the merge.
+	snap, perShard := set.StorageBreakdown()
+	sum := 0
+	for _, bits := range perShard {
+		sum += bits
+	}
+	if sum != snap.BaseObjectBits {
+		t.Fatalf("per-shard bits sum to %d, snapshot says %d", sum, snap.BaseObjectBits)
+	}
+}
+
+// TestMergeOrderingPrefersNewerEpoch pins the (epoch, timestamp) rule: a
+// source installed in a later epoch wins even when the other source holds a
+// higher register timestamp.
+func TestMergeOrderingPrefersNewerEpoch(t *testing.T) {
+	set := newSet(t, 2)
+	defer set.Close()
+	co := NewCoordinator(set)
+	runner := NewLiveRunner(set, 1<<28)
+
+	// s0 accumulates a high timestamp; s1 is drained onto s1/0 (installed at a
+	// later epoch) carrying a low-timestamp value.
+	for i := 1; i <= 3; i++ {
+		if err := set.Write(1, "s0", value.Sequenced(1, i, dataLen)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := value.Sequenced(2, 1, dataLen)
+	if err := set.Write(2, "s1", want); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Apply(runner, Move{Kind: MoveDrain, Shard: "s1"}); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := co.Apply(runner, Move{Kind: MoveMerge, Shard: "s0", Shard2: "s1/0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := set.Read(9, ev.Successors[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("merged read = %v, want later-epoch value %v", got, want)
+	}
+	ledger := co.Ledger()
+	if w := ledger[len(ledger)-1].Winner; w != "s1/0" {
+		t.Fatalf("winner = %q, want s1/0", w)
+	}
+}
+
+// TestMergeValidation exercises the merge error paths.
+func TestMergeValidation(t *testing.T) {
+	set := newSet(t, 2)
+	defer set.Close()
+	co := NewCoordinator(set)
+	runner := NewLiveRunner(set, 1<<28)
+
+	if _, err := co.Apply(runner, Move{Kind: MoveMerge, Shard: "s0", Shard2: "s0"}); err == nil {
+		t.Fatal("self-merge accepted")
+	}
+	if _, err := co.Apply(runner, Move{Kind: MoveMerge, Shard: "s0", Shard2: "nope"}); err == nil {
+		t.Fatal("merge with unknown shard accepted")
+	}
+	if _, err := co.Apply(runner, Move{Kind: MoveMerge, Shard: "s0"}); err == nil {
+		t.Fatal("merge without second source accepted")
+	}
+	if _, err := co.Apply(runner, Move{Kind: MoveSplit, Shard: "s0", Shard2: "s1"}); err == nil {
+		t.Fatal("split with second source accepted")
+	}
+	// Failed validations must not leave ledger entries in flight.
+	if co.InFlight() != nil {
+		t.Fatalf("in-flight entry after validation failures: %+v", co.InFlight())
+	}
+	// A merged pair cannot be re-merged.
+	if _, err := co.Apply(runner, Move{Kind: MoveMerge, Shard: "s0", Shard2: "s1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Apply(runner, Move{Kind: MoveMerge, Shard: "s0", Shard2: "s1"}); err == nil {
+		t.Fatal("re-merge of retired shards accepted")
+	}
+}
+
+// interruptRunner delegates to an inner runner but fails with ErrInterrupted
+// after a fixed number of runner calls — a deterministic stand-in for a
+// controller that dies at an arbitrary migration step.
+type interruptRunner struct {
+	inner Runner
+	left  int
+}
+
+func (r *interruptRunner) step() error {
+	if r.left <= 0 {
+		return ErrInterrupted
+	}
+	r.left--
+	return nil
+}
+
+func (r *interruptRunner) RunOn(sh *shard.Shard, fn func(h *dsys.ClientHandle) error) error {
+	if err := r.step(); err != nil {
+		return err
+	}
+	return r.inner.RunOn(sh, fn)
+}
+
+func (r *interruptRunner) Wait(check func() bool) error {
+	if err := r.step(); err != nil {
+		return err
+	}
+	return r.inner.Wait(check)
+}
+
+// TestInterruptedMovesResumeAtEveryStep kills the driver after every possible
+// number of runner calls, for every move kind, and requires that Resume
+// re-drives the interrupted move to completion with the migrated value
+// intact and no route left mid-lifecycle — the crash-resumability claim,
+// checked exhaustively at the unit level (the simulator explores the same
+// property under adversarial schedules).
+func TestInterruptedMovesResumeAtEveryStep(t *testing.T) {
+	moves := []struct {
+		name string
+		prep func(t *testing.T, set *shard.Set, co *Coordinator, r Runner)
+		mv   Move
+		key  string // key to read back afterwards
+	}{
+		{name: "split", mv: Move{Kind: MoveSplit, Shard: "s0"}, key: "s0"},
+		{name: "drain", mv: Move{Kind: MoveDrain, Shard: "s0"}, key: "s0"},
+		{name: "merge", mv: Move{Kind: MoveMerge, Shard: "s0", Shard2: "s1"}, key: "s0"},
+		{
+			name: "add",
+			mv:   Move{Kind: MoveAdd, Shard: "hot"},
+			key:  "hot",
+		},
+		{
+			name: "remove",
+			prep: func(t *testing.T, set *shard.Set, co *Coordinator, r Runner) {
+				if _, err := co.Apply(r, Move{Kind: MoveAdd, Shard: "hot"}); err != nil {
+					t.Fatal(err)
+				}
+			},
+			mv:  Move{Kind: MoveRemove, Shard: "hot"},
+			key: "hot",
+		},
+	}
+	for _, tc := range moves {
+		t.Run(tc.name, func(t *testing.T) {
+			for budget := 0; budget < 32; budget++ {
+				set := newSet(t, 2)
+				co := NewCoordinator(set)
+				clean := NewLiveRunner(set, 1<<28)
+				if tc.prep != nil {
+					tc.prep(t, set, co, clean)
+				}
+				want := value.Sequenced(7, budget+1, dataLen)
+				if err := set.Write(7, tc.key, want); err != nil {
+					set.Close()
+					t.Fatal(err)
+				}
+				_, err := co.Apply(&interruptRunner{inner: clean, left: budget}, tc.mv)
+				if err == nil {
+					// The budget outlasted the move: the protocol has no more
+					// interruption points to test.
+					set.Close()
+					return
+				}
+				if !IsInterruption(err) {
+					set.Close()
+					t.Fatalf("budget %d: non-interruption error: %v", budget, err)
+				}
+				fl := co.InFlight()
+				if fl == nil || !fl.Interrupted {
+					set.Close()
+					t.Fatalf("budget %d: interrupted move not in flight: %+v", budget, fl)
+				}
+				// An interrupted add must keep the origin's writes held: a
+				// write admitted before Resume re-drives the move could still
+				// be in flight when the fork point is read, and the seed
+				// would miss it.
+				if tc.name == "add" && len(fl.Sources) == 1 {
+					if _, held, err := set.Router().TryAcquireWrite(99, fl.Sources[0]); err != nil || !held {
+						set.Close()
+						t.Fatalf("budget %d: interrupted add left origin %q unheld (held=%v err=%v)",
+							budget, fl.Sources[0], held, err)
+					}
+				}
+				resumed, _, err := co.Resume(clean)
+				if err != nil || !resumed {
+					set.Close()
+					t.Fatalf("budget %d: resume = %v, %v", budget, resumed, err)
+				}
+				if co.InFlight() != nil {
+					set.Close()
+					t.Fatalf("budget %d: move still in flight after resume", budget)
+				}
+				// The migrated (or surviving) value must read back, and no
+				// route may be left seeding or draining.
+				got, err := set.Read(9, tc.key)
+				if err != nil {
+					set.Close()
+					t.Fatalf("budget %d: post-resume read: %v", budget, err)
+				}
+				if tc.name != "remove" && !got.Equal(want) {
+					set.Close()
+					t.Fatalf("budget %d: post-resume read = %v, want %v", budget, got, want)
+				}
+				for _, name := range set.Router().Names() {
+					st := set.Router().RouteOf(name).State()
+					if st == shard.RouteSeeding || st == shard.RouteDraining {
+						set.Close()
+						t.Fatalf("budget %d: route %s left %v after resume", budget, name, st)
+					}
+				}
+				ledger := co.Ledger()
+				last := ledger[len(ledger)-1]
+				if !last.Done || last.Resumes != 1 {
+					set.Close()
+					t.Fatalf("budget %d: ledger entry = %+v", budget, last)
+				}
+				set.Close()
+			}
+			t.Fatal("interruption budget never outlasted the move; raise the sweep bound")
+		})
+	}
+}
+
+// TestResumeWithoutInFlightMove is a no-op.
+func TestResumeWithoutInFlightMove(t *testing.T) {
+	set := newSet(t, 1)
+	defer set.Close()
+	co := NewCoordinator(set)
+	resumed, _, err := co.Resume(NewLiveRunner(set, 1<<28))
+	if resumed || err != nil {
+		t.Fatalf("Resume on empty ledger = %v, %v", resumed, err)
+	}
+}
+
+// TestMergeAbortRollsBack makes the merge's migration read fail (unformable
+// quorum on one source) and checks the clean rollback: both sources active,
+// the successor retired, the ledger entry aborted, and a retry succeeding
+// after the nodes return.
+func TestMergeAbortRollsBack(t *testing.T) {
+	set := newSet(t, 2)
+	defer set.Close()
+	co := NewCoordinator(set)
+	runner := NewLiveRunner(set, 1<<28)
+
+	want := value.Sequenced(5, 1, dataLen)
+	if err := set.Write(5, "s0", want); err != nil {
+		t.Fatal(err)
+	}
+	sh := set.Shard("s0")
+	for node := 0; node < 2; node++ {
+		if err := set.Cluster().CrashObject(sh.Base + node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := co.Apply(runner, Move{Kind: MoveMerge, Shard: "s0", Shard2: "s1"}); err == nil {
+		t.Fatal("merge with an unformable quorum must abort")
+	}
+	for _, name := range []string{"s0", "s1"} {
+		if got := set.Router().RouteOf(name).State(); got != shard.RouteActive {
+			t.Fatalf("aborted merge left %s in state %v, want active", name, got)
+		}
+	}
+	ledger := co.Ledger()
+	if len(ledger) != 1 || !ledger[0].Aborted || ledger[0].AbortReason == "" {
+		t.Fatalf("ledger = %+v", ledger)
+	}
+	// An aborted merge pruned nothing: neither source's history ends here.
+	if pruned := set.Router().PrunedBranches(); len(pruned) != 0 {
+		t.Fatalf("aborted merge reports pruned branches: %v", pruned)
+	}
+	if st := co.Stats(); st.Aborts != 1 || st.Merges != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	for node := 0; node < 2; node++ {
+		if err := set.Cluster().RestartObject(sh.Base + node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ev, err := co.Apply(runner, Move{Kind: MoveMerge, Shard: "s0", Shard2: "s1"})
+	if err != nil {
+		t.Fatalf("retried merge after abort: %v", err)
+	}
+	got, err := set.Read(9, ev.Successors[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("post-retry merged read = %v, want %v", got, want)
+	}
+}
+
+// TestApplyPlanAndEvents drives a plan through the coordinator and checks the
+// event log and ledger rendering (the strings feed simulator fingerprints, so
+// every status shape must render).
+func TestApplyPlanAndEvents(t *testing.T) {
+	set := newSet(t, 2)
+	defer set.Close()
+	co := NewCoordinator(set)
+	runner := NewLiveRunner(set, 1<<28)
+
+	plan := Plan{Moves: []Move{
+		{Kind: MoveSplit, Shard: "s0"},
+		{Kind: MoveMerge, Shard: "s0/0", Shard2: "s0/1"},
+	}}
+	if err := co.ApplyPlan(runner, plan); err != nil {
+		t.Fatal(err)
+	}
+	evs := co.Events()
+	if len(evs) != 2 || evs[0].Kind != MoveSplit || evs[1].Kind != MoveMerge {
+		t.Fatalf("events = %v", evs)
+	}
+	if evs[1].String() == "" || evs[1].Shard2 != "s0/1" {
+		t.Fatalf("merge event = %+v", evs[1])
+	}
+	if err := co.ApplyPlan(runner, Plan{Moves: []Move{{Kind: MoveKind(99)}}}); err == nil {
+		t.Fatal("unknown move kind accepted")
+	}
+	for _, m := range co.Ledger() {
+		if m.String() == "" {
+			t.Fatalf("empty ledger rendering for %+v", m)
+		}
+	}
+	for _, mv := range []Move{{Kind: MoveSplit, Shard: "x"}, {Kind: MoveMerge, Shard: "a", Shard2: "b"}} {
+		if mv.String() == "" {
+			t.Fatalf("empty move rendering for %+v", mv)
+		}
+	}
+	for _, k := range []MoveKind{MoveSplit, MoveDrain, MoveAdd, MoveRemove, MoveMerge, MoveKind(99)} {
+		if k.String() == "" {
+			t.Fatalf("empty kind rendering for %d", int(k))
+		}
+	}
+	for _, s := range []MoveStep{StepPlanned, StepGrowRegions, StepTableFlip, StepDrain, StepSeed, StepActivate, StepRetire, MoveStep(99)} {
+		if s.String() == "" {
+			t.Fatalf("empty step rendering for %d", int(s))
+		}
+	}
+}
+
+// TestControlledRunnerDrivesMove applies a split through the controlled-mode
+// runner: the migration runs as a scheduled client task, every wait yields to
+// the policy, and the move completes under the fair scheduler.
+func TestControlledRunnerDrivesMove(t *testing.T) {
+	specs := []shard.Spec{
+		{Name: "s0", Algorithm: "adaptive", Config: register.Config{F: 1, K: 2, DataLen: dataLen}},
+		{Name: "s1", Algorithm: "adaptive", Config: register.Config{F: 1, K: 2, DataLen: dataLen}},
+	}
+	set, err := shard.New(specs, dsys.WithControlledMode(), dsys.WithoutAccounting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	cluster := set.Cluster()
+	co := NewCoordinator(set)
+
+	var ev Event
+	th := cluster.SpawnScoped(1<<20, 0, cluster.N(), func(h *dsys.ClientHandle) error {
+		r := NewControlledRunner(h)
+		var err error
+		ev, err = co.Apply(r, Move{Kind: MoveSplit, Shard: "s0"})
+		return err
+	})
+	cluster.Start()
+	if reason := cluster.WaitIdle(); reason != dsys.IdleQuiesced {
+		t.Fatalf("idle reason = %v", reason)
+	}
+	cluster.Close()
+	if err := th.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Successors) != 2 {
+		t.Fatalf("controlled split event = %+v", ev)
+	}
+	if st := co.Stats(); st.Splits != 1 || st.SeedWrites != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestResumeSeedsRecordedValueNotRereadValue pins the ledger-recorded seed:
+// a drained source is not frozen — a crashed client's in-flight RMW can
+// still land between interrupted attempts — so a resumed driver must seed
+// the value the ledger recorded before the first seed RMW was issued, never
+// a re-read one (two different values at the fixed seed timestamp would be
+// undecodable). The test interrupts a split right after the value was
+// chosen, mutates the drained source directly (the late-landing RMW), and
+// requires the successors to carry the originally recorded value.
+func TestResumeSeedsRecordedValueNotRereadValue(t *testing.T) {
+	for budget := 0; budget < 32; budget++ {
+		set := newSet(t, 2)
+		co := NewCoordinator(set)
+		clean := NewLiveRunner(set, 1<<28)
+
+		recorded := value.Sequenced(7, 1, dataLen)
+		if err := set.Write(7, "s0", recorded); err != nil {
+			set.Close()
+			t.Fatal(err)
+		}
+		_, err := co.Apply(&interruptRunner{inner: clean, left: budget}, Move{Kind: MoveSplit, Shard: "s0"})
+		if err == nil {
+			set.Close()
+			return // budget outlasted the move: every choose-point was tested
+		}
+		if !IsInterruption(err) {
+			set.Close()
+			t.Fatalf("budget %d: non-interruption error: %v", budget, err)
+		}
+		fl := co.InFlight()
+		if fl == nil {
+			set.Close()
+			t.Fatalf("budget %d: no in-flight move", budget)
+		}
+		if fl.Step < StepChooseValue {
+			set.Close()
+			continue // value not chosen yet; a later re-read is legitimate
+		}
+		if !fl.SeedChosen || !fl.SeedValue.Equal(recorded) {
+			set.Close()
+			t.Fatalf("budget %d: ledger recorded %v (chosen=%v), want %v",
+				budget, fl.SeedValue, fl.SeedChosen, recorded)
+		}
+		// The late-landing RMW of a crashed client: the drained source's
+		// register changes under the interrupted move.
+		late := value.Sequenced(8, 9, dataLen)
+		if err := set.WriteValue(8, set.Shard("s0"), late); err != nil {
+			set.Close()
+			t.Fatal(err)
+		}
+		if resumed, _, err := co.Resume(clean); err != nil || !resumed {
+			set.Close()
+			t.Fatalf("budget %d: resume = %v, %v", budget, resumed, err)
+		}
+		for _, name := range []string{"s0/0", "s0/1"} {
+			got, err := set.Read(9, name)
+			if err != nil {
+				set.Close()
+				t.Fatalf("budget %d: read %s: %v", budget, name, err)
+			}
+			if !got.Equal(recorded) {
+				set.Close()
+				t.Fatalf("budget %d: successor %s carries %v, want the recorded %v",
+					budget, name, got, recorded)
+			}
+		}
+		set.Close()
+	}
+	t.Fatal("interruption budget never outlasted the move; raise the sweep bound")
+}
+
+// TestMergeRejectsMixedEmulations pins the coordinator-level capability
+// check: merging shards with different register emulations is refused (the
+// successor inherits one emulation and the stitched lineage is checked under
+// its condition, so a weaker prefix must not be smuggled in).
+func TestMergeRejectsMixedEmulations(t *testing.T) {
+	set, err := shard.New([]shard.Spec{
+		{Name: "a", Algorithm: "adaptive", Config: register.Config{F: 1, K: 2, DataLen: dataLen}},
+		{Name: "b", Algorithm: "safereg", Config: register.Config{F: 1, K: 2, DataLen: dataLen}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	co := NewCoordinator(set)
+	if _, err := co.Apply(NewLiveRunner(set, 1<<28), Move{Kind: MoveMerge, Shard: "a", Shard2: "b"}); err == nil {
+		t.Fatal("cross-emulation merge accepted")
+	}
+	for _, name := range []string{"a", "b"} {
+		if got := set.Router().RouteOf(name).State(); got != shard.RouteActive {
+			t.Fatalf("rejected merge left %s %v", name, got)
+		}
+	}
+	if co.InFlight() != nil {
+		t.Fatal("rejected merge left an in-flight entry")
 	}
 }

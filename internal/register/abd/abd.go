@@ -26,7 +26,10 @@ type Register struct {
 	cfg register.Config
 }
 
-var _ register.Register = (*Register)(nil)
+var (
+	_ register.Register   = (*Register)(nil)
+	_ register.SeedWriter = (*Register)(nil)
+)
 
 // New builds an ABD register tolerating cfg.F failures over 2f+1 replicas.
 // The configuration's K must be 1 (replication); Code defaults to the
@@ -97,6 +100,23 @@ func (r *Register) Write(h *dsys.ClientHandle, v value.Value) error {
 	}
 
 	// Phase 2: store the full replica on a majority.
+	_, err = h.InvokeAll(func(obj int) dsys.RMW { return &updateRMW{chunk: replicas[obj]} }, r.cfg.Quorum())
+	return err
+}
+
+// WriteSeed implements register.SeedWriter: the write phase alone, at the
+// fixed register.SeedTS. The update RMW only overwrites strictly older
+// timestamps, so re-driving an interrupted seed is a no-op on every replica
+// the first attempt already reached.
+func (r *Register) WriteSeed(h *dsys.ClientHandle, v value.Value) error {
+	op := h.BeginOp(dsys.OpWrite)
+	defer h.EndOp()
+	replicas, enc, err := register.SeedChunks(r.cfg, op, v)
+	if err != nil {
+		return err
+	}
+	defer enc.Expire()
+	h.SetLocalBlocks(register.ChunkRefs(replicas[:1]))
 	_, err = h.InvokeAll(func(obj int) dsys.RMW { return &updateRMW{chunk: replicas[obj]} }, r.cfg.Quorum())
 	return err
 }

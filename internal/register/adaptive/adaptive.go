@@ -44,7 +44,10 @@ type Register struct {
 	readRetryBudget int
 }
 
-var _ register.Register = (*Register)(nil)
+var (
+	_ register.Register   = (*Register)(nil)
+	_ register.SeedWriter = (*Register)(nil)
+)
 
 // New builds an adaptive register for the given configuration.
 func New(cfg register.Config) (*Register, error) {
@@ -136,6 +139,38 @@ func (r *Register) Write(h *dsys.ClientHandle, v value.Value) error {
 		return err
 	}
 	return nil
+}
+
+// WriteSeed implements register.SeedWriter: update and GC rounds at the fixed
+// register.SeedTS with no read round (the target is a fresh register whose
+// writes are held, so the stored timestamp is known to be zero). The update
+// uses a dedup-guarded RMW so that re-driving an interrupted seed over its own
+// partial first attempt never stores a piece twice.
+func (r *Register) WriteSeed(h *dsys.ClientHandle, v value.Value) error {
+	op := h.BeginOp(dsys.OpWrite)
+	defer h.EndOp()
+	writeSet, enc, err := register.SeedChunks(r.cfg, op, v)
+	if err != nil {
+		return err
+	}
+	defer enc.Expire()
+	h.SetLocalBlocks(register.ChunkRefs(writeSet))
+	full := register.CloneChunks(writeSet[:r.cfg.K])
+	if _, err := h.InvokeAll(func(obj int) dsys.RMW {
+		return &seedUpdateRMW{updateRMW{
+			k:        r.cfg.K,
+			ts:       register.SeedTS,
+			storedTS: register.ZeroTS,
+			piece:    writeSet[obj],
+			full:     register.CloneChunks(full),
+		}}
+	}, r.cfg.Quorum()); err != nil {
+		return err
+	}
+	_, err = h.InvokeAll(func(obj int) dsys.RMW {
+		return &gcRMW{ts: register.SeedTS, piece: writeSet[obj]}
+	}, r.cfg.Quorum())
+	return err
 }
 
 // Read implements register.Register (Algorithm 2, lines 16-22).

@@ -117,6 +117,27 @@ func (u *updateRMW) Blocks() []dsys.BlockRef {
 	return refs
 }
 
+// seedUpdateRMW is updateRMW for reconfiguration seed writes: identical,
+// except that an object already holding this exact seed piece (same fixed
+// timestamp) leaves its state untouched, so a re-driven seed never consumes a
+// second Vp slot with a duplicate.
+type seedUpdateRMW struct {
+	updateRMW
+}
+
+var _ dsys.RMW = (*seedUpdateRMW)(nil)
+
+// Apply implements dsys.RMW.
+func (u *seedUpdateRMW) Apply(state dsys.State) any {
+	s := state.(*objectState)
+	for _, c := range s.vp {
+		if c.TS == u.ts && c.Block.Index == u.piece.Block.Index {
+			return updateResp{Stored: false}
+		}
+	}
+	return u.updateRMW.Apply(state)
+}
+
 // updateResp reports what the update round did; the writer does not depend on
 // it, but tests and traces do.
 type updateResp struct {

@@ -29,7 +29,10 @@ type Register struct {
 	readRetryBudget int
 }
 
-var _ register.Register = (*Register)(nil)
+var (
+	_ register.Register   = (*Register)(nil)
+	_ register.SeedWriter = (*Register)(nil)
+)
 
 // New builds the baseline register for the given configuration.
 func New(cfg register.Config) (*Register, error) {
@@ -113,6 +116,27 @@ func (r *Register) Write(h *dsys.ClientHandle, v value.Value) error {
 
 	// Round 3: commit, enabling garbage collection of strictly older pieces.
 	_, err = h.InvokeAll(func(int) dsys.RMW { return &commitRMW{ts: ts} }, r.cfg.Quorum())
+	return err
+}
+
+// WriteSeed implements register.SeedWriter: store and commit rounds at the
+// fixed register.SeedTS, no read round. The store uses a dedup-guarded RMW —
+// the ordinary store round appends unconditionally, which would double-charge
+// storage when an interrupted seed is re-driven over its own partial first
+// attempt.
+func (r *Register) WriteSeed(h *dsys.ClientHandle, v value.Value) error {
+	op := h.BeginOp(dsys.OpWrite)
+	defer h.EndOp()
+	pieces, enc, err := register.SeedChunks(r.cfg, op, v)
+	if err != nil {
+		return err
+	}
+	defer enc.Expire()
+	h.SetLocalBlocks(register.ChunkRefs(pieces))
+	if _, err := h.InvokeAll(func(obj int) dsys.RMW { return &seedStoreRMW{piece: pieces[obj]} }, r.cfg.Quorum()); err != nil {
+		return err
+	}
+	_, err = h.InvokeAll(func(int) dsys.RMW { return &commitRMW{ts: register.SeedTS} }, r.cfg.Quorum())
 	return err
 }
 
@@ -219,6 +243,29 @@ func (u *storeRMW) Apply(state dsys.State) any {
 
 // Blocks implements dsys.RMW.
 func (u *storeRMW) Blocks() []dsys.BlockRef { return []dsys.BlockRef{u.piece.Ref()} }
+
+// seedStoreRMW is storeRMW for reconfiguration seed writes: identical, except
+// that a piece with the seed's exact timestamp already present is left alone,
+// so a re-driven seed never duplicates the first attempt's pieces.
+type seedStoreRMW struct {
+	piece register.Chunk
+}
+
+var _ dsys.RMW = (*seedStoreRMW)(nil)
+
+// Apply implements dsys.RMW.
+func (u *seedStoreRMW) Apply(state dsys.State) any {
+	s := state.(*objectState)
+	for _, c := range s.pieces {
+		if c.TS == u.piece.TS && c.Block.Index == u.piece.Block.Index {
+			return false
+		}
+	}
+	return (&storeRMW{piece: u.piece}).Apply(state)
+}
+
+// Blocks implements dsys.RMW.
+func (u *seedStoreRMW) Blocks() []dsys.BlockRef { return []dsys.BlockRef{u.piece.Ref()} }
 
 // commitRMW raises the committed timestamp and reclaims strictly older pieces.
 type commitRMW struct {

@@ -175,6 +175,51 @@ type TimestampedReader interface {
 	ReadTimestamped(h *dsys.ClientHandle) (value.Value, Timestamp, error)
 }
 
+// SeedTS is the fixed timestamp of reconfiguration seed writes. It is
+// strictly above ZeroTS (so a dual-epoch read recognizes a seeded successor)
+// and its client component is below every real client ID, so the first
+// client write on a seeded register — whose read phase must intersect the
+// seed's write quorum — always picks a strictly larger timestamp.
+//
+// Fixing the timestamp is what makes seeding idempotent: every WriteSeed of
+// the same value onto a fresh register installs the identical
+// ⟨timestamp, value⟩ pair, so a crash-interrupted migration can simply be
+// re-driven — stale RMWs of an earlier seed attempt that land arbitrarily
+// late are byte-identical no-ops and can never supersede a later client
+// write, which a read-phase-chosen timestamp could (an interrupted seed's
+// partially applied high timestamp may be missed by the retry's read quorum).
+var SeedTS = Timestamp{Num: 1, Client: -1}
+
+// SeedWriter is implemented by register emulations that support the
+// reconfiguration migration writer's idempotent seed write: a write of v at
+// the fixed SeedTS, with no read phase. It must only be used against a fresh
+// (never client-written) register whose writes are held — the seed has to be
+// the register's first write — which is exactly the state a migration
+// successor is in between the routing-table flip and its activation. All
+// built-in emulations implement it.
+type SeedWriter interface {
+	WriteSeed(h *dsys.ClientHandle, v value.Value) error
+}
+
+// SeedChunks is the shared front half of every WriteSeed implementation: it
+// validates v against the configuration, encodes it for the caller's current
+// write operation, and stamps every chunk with the fixed SeedTS. The caller
+// owns the operation (BeginOp/EndOp) and must Expire the returned encoder;
+// only the protocol-specific RMW rounds remain per emulation.
+func SeedChunks(cfg Config, op dsys.OpID, v value.Value) ([]Chunk, *oracle.Encoder, error) {
+	if v.SizeBytes() != cfg.DataLen {
+		return nil, nil, fmt.Errorf("%w: value has %d bytes, config says %d", ErrConfig, v.SizeBytes(), cfg.DataLen)
+	}
+	chunks, enc, err := EncodeWrite(cfg, op.WriteID(), v)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range chunks {
+		chunks[i].TS = SeedTS
+	}
+	return chunks, enc, nil
+}
+
 // Register is a multi-writer multi-reader register emulation bound to a
 // configuration. Implementations are stateless facades: all mutable state
 // lives in the base objects of the cluster the operations run against.

@@ -25,7 +25,10 @@ type Register struct {
 	v0  value.Value
 }
 
-var _ register.Register = (*Register)(nil)
+var (
+	_ register.Register   = (*Register)(nil)
+	_ register.SeedWriter = (*Register)(nil)
+)
 
 // New builds a safe register for the given configuration.
 func New(cfg register.Config) (*Register, error) {
@@ -95,6 +98,22 @@ func (r *Register) Write(h *dsys.ClientHandle, v value.Value) error {
 	_, err = h.InvokeAll(func(obj int) dsys.RMW {
 		return &updateRMW{chunk: pieces[obj]}
 	}, r.cfg.Quorum())
+	return err
+}
+
+// WriteSeed implements register.SeedWriter: the conditional-update round
+// alone, at the fixed register.SeedTS. The update RMW only overwrites
+// strictly older timestamps, so replaying an interrupted seed is idempotent.
+func (r *Register) WriteSeed(h *dsys.ClientHandle, v value.Value) error {
+	op := h.BeginOp(dsys.OpWrite)
+	defer h.EndOp()
+	pieces, enc, err := register.SeedChunks(r.cfg, op, v)
+	if err != nil {
+		return err
+	}
+	defer enc.Expire()
+	h.SetLocalBlocks(register.ChunkRefs(pieces))
+	_, err = h.InvokeAll(func(obj int) dsys.RMW { return &updateRMW{chunk: pieces[obj]} }, r.cfg.Quorum())
 	return err
 }
 

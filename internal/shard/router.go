@@ -49,18 +49,26 @@ func (s RouteState) String() string {
 // to it. All fields are guarded by the owning Router's mutex; accessors take
 // it.
 type Route struct {
-	sh        *Shard
-	parent    string // predecessor shard name ("" for an original shard)
-	depth     int    // split depth, salts the child-selection hash
-	dedicated bool   // installed by AddShard for one exact key
-	unrouted  bool   // dedicated route removed from the table (being retired)
+	sh *Shard
+	// parent is the value-ancestor shard name ("" for an original shard): the
+	// predecessor whose register value seeded this route. A merge successor
+	// has two parents; `parent` is finalized to the merge winner when the
+	// seed's value ordering is decided (SetMergeWinner).
+	parent string
+	// parents lists every migration predecessor (one for split/drain/add
+	// successors, two for a merge successor, nil for an original shard).
+	parents     []string
+	depth       int   // split depth, salts the child-selection hash
+	installedAt int64 // routing epoch this route was installed in (0 for roots)
+	dedicated   bool  // installed by AddShard for one exact key
+	unrouted    bool  // dedicated route removed from the table (being retired)
 
 	state RouteState
 	// heldForFork holds writes on an active route while a dedicated fork of
 	// one of its keys drains and seeds (reads continue; see HoldWrites).
 	heldForFork bool
-	from        *Route   // fallback target while state == RouteSeeding
-	children    []*Route // set once this route was split; routing descends
+	from        *Route   // primary fallback target while state == RouteSeeding
+	children    []*Route // set once this route was split or merged; routing descends
 
 	// writePins / readPins track in-flight operations by client ID. Draining
 	// waits for them — ignoring clients the scheduler has crashed, whose pins
@@ -74,8 +82,31 @@ type Route struct {
 // Shard returns the route's shard.
 func (e *Route) Shard() *Shard { return e.sh }
 
-// Parent returns the name of the shard this route was migrated from, or "".
-func (e *Route) Parent() string { return e.parent }
+// Parent returns the name of the shard whose value seeded this route, or "".
+// For a merge successor this is the merge winner, which SetMergeWinner fixes
+// after installation — hence the lock.
+func (e *Route) Parent() string {
+	e.r.mu.Lock()
+	defer e.r.mu.Unlock()
+	return e.parent
+}
+
+// Parents returns every migration predecessor of this route (two for a merge
+// successor), in installation order.
+func (e *Route) Parents() []string {
+	e.r.mu.Lock()
+	defer e.r.mu.Unlock()
+	return append([]string(nil), e.parents...)
+}
+
+// InstalledAt returns the routing epoch the route was installed in (0 for the
+// original shards). The merge value-ordering rule compares source routes by
+// (installation epoch, register timestamp), mirroring the dual-epoch read.
+func (e *Route) InstalledAt() int64 {
+	e.r.mu.Lock()
+	defer e.r.mu.Unlock()
+	return e.installedAt
+}
 
 // State returns the route's current lifecycle state.
 func (e *Route) State() RouteState {
@@ -96,7 +127,6 @@ type Router struct {
 
 	epoch  int64
 	closed bool
-	moving bool // one migration at a time
 
 	roots  []*Route          // original shards in declaration order (hash ring)
 	byName map[string]*Route // every route ever installed, by shard name
@@ -123,6 +153,9 @@ func (r *Router) newRoute(sh *Shard, parent string, depth int, dedicated bool) *
 	e := &Route{
 		sh: sh, parent: parent, depth: depth, dedicated: dedicated,
 		writePins: make(map[int]int), readPins: make(map[int]int), r: r,
+	}
+	if parent != "" {
+		e.parents = []string{parent}
 	}
 	r.byName[sh.Name] = e
 	r.order = append(r.order, sh.Name)
@@ -163,21 +196,29 @@ func childHash(key string, depth, n int) int {
 }
 
 // resolveLocked routes a key to its current leaf route: an exact shard-name
-// match wins (descending through splits), any other key hashes over the
-// original shard list and descends through splits. Callers must hold r.mu.
+// match wins (descending through splits and merges), any other key hashes
+// over the original shard list and descends. Callers must hold r.mu.
 func (r *Router) resolveLocked(key string) *Route {
-	if e, ok := r.byName[key]; ok && !e.unrouted && (len(e.children) > 0 || e.state != RouteRetired) {
-		return r.descendLocked(e, key)
-	}
-	return r.descendLocked(r.roots[rootHash(key, len(r.roots))], key)
+	e, _ := r.resolvePathLocked(key)
+	return e
 }
 
-// descendLocked walks from a route down through splits to the current leaf.
-func (r *Router) descendLocked(e *Route, key string) *Route {
+// resolvePathLocked is resolveLocked, additionally reporting the route the
+// descent stepped through immediately before reaching the leaf (nil when the
+// leaf was reached directly). During a merge two draining parents share one
+// seeding child; a dual-epoch read must fall back to the parent its key
+// actually descended through — the split-tree descent in reverse — which is
+// exactly what `via` identifies. Callers must hold r.mu.
+func (r *Router) resolvePathLocked(key string) (leaf, via *Route) {
+	e := r.roots[rootHash(key, len(r.roots))]
+	if x, ok := r.byName[key]; ok && !x.unrouted && (len(x.children) > 0 || x.state != RouteRetired) {
+		e = x
+	}
 	for len(e.children) > 0 {
+		via = e
 		e = e.children[childHash(key, e.depth, len(e.children))]
 	}
-	return e
+	return e, via
 }
 
 // ForKey resolves a key to its current leaf shard without pinning.
@@ -246,18 +287,29 @@ func (r *Router) ReleaseWrite(e *Route, client int) {
 // unseeded successor, its predecessor) for a read. fb is non-nil exactly when
 // the read must be a dual-epoch read: read ref's register with its timestamp,
 // and fall back to fb when the timestamp is zero — lexicographic
-// (epoch, timestamp) order across the migration boundary.
+// (epoch, timestamp) order across the migration boundary. For a merge
+// successor the fallback is the draining parent the key descended through, so
+// each key keeps reading its own pre-merge register until the successor is
+// seeded.
 func (r *Router) AcquireRead(client int, key string) (ref, fb *Route, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
 		return nil, nil, fmt.Errorf("shard: router closed")
 	}
-	e := r.resolveLocked(key)
+	e, via := r.resolvePathLocked(key)
 	e.readPins[client]++
-	if e.state == RouteSeeding && e.from != nil && e.from.state != RouteRetired {
-		fb = e.from
-		fb.readPins[client]++
+	if e.state == RouteSeeding {
+		cand := via
+		if cand == nil {
+			// Reached directly (a dedicated fork, or the key names the
+			// successor itself): fall back to the primary predecessor.
+			cand = e.from
+		}
+		if cand != nil && cand.state != RouteRetired {
+			fb = cand
+			fb.readPins[client]++
+		}
 	}
 	return e, fb, nil
 }
@@ -283,27 +335,12 @@ func (r *Router) ReleaseRead(e, fb *Route, client int) {
 	}
 }
 
-// BeginMove reserves the router for one reconfiguration move; moves are
-// serialized because each one atomically rewrites a slice of the table.
-func (r *Router) BeginMove() error {
+// Closed reports whether the router has been shut down with its set;
+// reconfiguration refuses to start moves against a closed table.
+func (r *Router) Closed() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.closed {
-		return fmt.Errorf("shard: router closed")
-	}
-	if r.moving {
-		return fmt.Errorf("shard: another reconfiguration move is in progress")
-	}
-	r.moving = true
-	return nil
-}
-
-// EndMove releases the reservation taken by BeginMove.
-func (r *Router) EndMove() {
-	r.mu.Lock()
-	r.moving = false
-	r.mu.Unlock()
-	r.cond.Broadcast()
+	return r.closed
 }
 
 // InstallSuccessors atomically replaces the leaf route `name` by seeding
@@ -313,6 +350,9 @@ func (r *Router) EndMove() {
 func (r *Router) InstallSuccessors(name string, succs []*Shard) (int64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return 0, fmt.Errorf("shard: router closed")
+	}
 	e, ok := r.byName[name]
 	switch {
 	case !ok:
@@ -329,16 +369,114 @@ func (r *Router) InstallSuccessors(name string, succs []*Shard) (int64, error) {
 			return 0, fmt.Errorf("shard: successor name %q already routed", sh.Name)
 		}
 	}
+	r.epoch++
 	for _, sh := range succs {
 		c := r.newRoute(sh, name, e.depth+1, e.dedicated)
 		c.state = RouteSeeding
 		c.from = e
+		c.installedAt = r.epoch
 		e.children = append(e.children, c)
 	}
 	e.state = RouteDraining
-	r.epoch++
 	r.cond.Broadcast()
 	return r.epoch, nil
+}
+
+// InstallMergeSuccessor atomically replaces the two leaf routes a and b by a
+// single seeding successor — the inverse of a split. Both sources become
+// draining parents of the one child, so every key that routed to either
+// descends to the successor (split-tree descent in reverse), writes are held
+// until the migration writer seeds it, and dual-epoch reads fall back to the
+// parent their key descended through. It returns the new epoch.
+func (r *Router) InstallMergeSuccessor(a, b string, succ *Shard) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0, fmt.Errorf("shard: router closed")
+	}
+	if a == b {
+		return 0, fmt.Errorf("shard: cannot merge shard %q with itself", a)
+	}
+	var sources [2]*Route
+	for i, name := range []string{a, b} {
+		e, ok := r.byName[name]
+		switch {
+		case !ok:
+			return 0, fmt.Errorf("shard: unknown shard %q", name)
+		case e.unrouted || e.state != RouteActive:
+			return 0, fmt.Errorf("shard: shard %q is %v, not active", name, e.state)
+		case len(e.children) > 0:
+			return 0, fmt.Errorf("shard: shard %q was already split", name)
+		case e.dedicated:
+			return 0, fmt.Errorf("shard: dedicated shard %q cannot be merged (remove it instead)", name)
+		}
+		sources[i] = e
+	}
+	if _, dup := r.byName[succ.Name]; dup {
+		return 0, fmt.Errorf("shard: successor name %q already routed", succ.Name)
+	}
+	r.epoch++
+	depth := sources[0].depth
+	if sources[1].depth > depth {
+		depth = sources[1].depth
+	}
+	// The child's lineage parent stays unset until the migration's value
+	// ordering picks the winner (SetMergeWinner): reporting a default winner
+	// would fabricate ancestry in the diagnostics of a run that stranded the
+	// merge before the choice.
+	c := r.newRoute(succ, "", depth+1, false)
+	c.parents = []string{a, b}
+	c.state = RouteSeeding
+	c.from = sources[0]
+	c.installedAt = r.epoch
+	for _, e := range sources {
+		e.children = []*Route{c}
+		e.state = RouteDraining
+	}
+	r.cond.Broadcast()
+	return r.epoch, nil
+}
+
+// SetMergeWinner finalizes a merge successor's value ancestry: winner is the
+// source whose latest value the migration writer chose by the
+// (installation epoch, timestamp) ordering rule. Lineage — and therefore
+// cross-epoch history stitching — follows the winner; the other source's
+// history becomes a pruned branch (PrunedBranches).
+func (r *Router) SetMergeWinner(name, winner string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byName[name]
+	if !ok {
+		return fmt.Errorf("shard: unknown shard %q", name)
+	}
+	for _, p := range e.parents {
+		if p == winner {
+			e.parent = winner
+			return nil
+		}
+	}
+	return fmt.Errorf("shard: %q is not a parent of merge successor %q", winner, name)
+}
+
+// AbortMerge rolls back an InstallMergeSuccessor whose migration could not
+// complete: both sources become active again and the successor is retired.
+// Safe for the same reason AbortSuccessors is — writes were held for the
+// successor throughout, so no client state can have reached it.
+func (r *Router) AbortMerge(a, b string) {
+	r.mu.Lock()
+	ea, eb := r.byName[a], r.byName[b]
+	if ea != nil && eb != nil && ea.state == RouteDraining && eb.state == RouteDraining &&
+		len(ea.children) == 1 && len(eb.children) == 1 && ea.children[0] == eb.children[0] {
+		c := ea.children[0]
+		c.state = RouteRetired
+		c.from = nil
+		c.unrouted = true
+		ea.children, eb.children = nil, nil
+		ea.state, eb.state = RouteActive, RouteActive
+		r.epoch++
+	}
+	r.mu.Unlock()
+	r.cond.Broadcast()
 }
 
 // AbortSuccessors rolls back an InstallSuccessors whose migration could not
@@ -369,6 +507,9 @@ func (r *Router) AbortSuccessors(name string) {
 func (r *Router) InstallDedicated(sh *Shard) (origin *Route, epoch int64, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return nil, 0, fmt.Errorf("shard: router closed")
+	}
 	if _, dup := r.byName[sh.Name]; dup {
 		return nil, 0, fmt.Errorf("shard: shard %q already exists", sh.Name)
 	}
@@ -377,10 +518,11 @@ func (r *Router) InstallDedicated(sh *Shard) (origin *Route, epoch int64, err er
 		return nil, 0, fmt.Errorf("shard: origin %q of dedicated shard %q is %v, not active",
 			origin.sh.Name, sh.Name, origin.state)
 	}
+	r.epoch++
 	e := r.newRoute(sh, origin.sh.Name, 0, true)
 	e.state = RouteSeeding
 	e.from = origin
-	r.epoch++
+	e.installedAt = r.epoch
 	r.cond.Broadcast()
 	return origin, r.epoch, nil
 }
@@ -432,6 +574,9 @@ func (r *Router) AbortDedicated(name string) {
 func (r *Router) UnrouteDedicated(name string) (int64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return 0, fmt.Errorf("shard: router closed")
+	}
 	e, ok := r.byName[name]
 	switch {
 	case !ok:
@@ -612,6 +757,33 @@ func (r *Router) Lineage(name string) []string {
 		cur = e.parent
 	}
 	return chain
+}
+
+// PrunedBranches returns the names of merge losers: sources of a merge whose
+// latest value the ordering rule did not choose, in installation order of
+// their merge successors. Their histories end at the merge — the merged
+// register carries the winner's value on — so consistency checking covers
+// them as separate terminated branches rather than stitching them into the
+// successor's lineage.
+func (r *Router) PrunedBranches() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for _, name := range r.order {
+		e := r.byName[name]
+		// Two parents identify a merge successor; an unrouted one is an
+		// aborted merge, and an empty parent means the value ordering never
+		// ran — in neither case was anything pruned.
+		if len(e.parents) < 2 || e.unrouted || e.parent == "" {
+			continue
+		}
+		for _, p := range e.parents {
+			if p != e.parent {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
 }
 
 // Region is one shard's object region and fault budget, for adversaries and

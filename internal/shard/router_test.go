@@ -109,3 +109,321 @@ func TestForKeyEdgeCases(t *testing.T) {
 		}
 	}
 }
+
+// TestMergeRouteGoldenMapping pins the post-merge key→shard mapping bit for
+// bit, alongside the epoch-0 golden above: merging shard-1 and shard-2 of a
+// 4-shard table must redirect exactly the keys that hashed to either source
+// onto the single successor — split-tree descent in reverse — and leave every
+// other key's placement untouched.
+func TestMergeRouteGoldenMapping(t *testing.T) {
+	set, err := shard.New(specsNamed(4, "shard-%d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	rt := set.Router()
+
+	succ, err := set.AddRegion(shard.Spec{
+		Name:      "shard-1+shard-2",
+		Algorithm: "adaptive",
+		Config:    register.Config{F: 1, K: 2, DataLen: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.InstallMergeSuccessor("shard-1", "shard-2", succ); err != nil {
+		t.Fatal(err)
+	}
+	rt.MarkSeeded(succ.Name)
+
+	// Frozen from the epoch-0 golden: keys that mapped to shard-1 or shard-2
+	// land on the successor, the rest keep their epoch-0 placement.
+	golden := map[string]string{
+		"":                    "shard-1+shard-2", // was shard-1
+		"user-0":              "shard-3",
+		"user-1":              "shard-0",
+		"user-42":             "shard-3",
+		"key-0":               "shard-1+shard-2", // was shard-1
+		"key-1":               "shard-1+shard-2", // was shard-2
+		"key-7":               "shard-0",
+		"alpha":               "shard-3",
+		"beta":                "shard-3",
+		"gamma":               "shard-1+shard-2", // was shard-2
+		"delta":               "shard-1+shard-2", // was shard-1
+		"the-quick-brown-fox": "shard-3",
+		"\x00\x01":            "shard-1+shard-2", // was shard-2
+		"shard-1":             "shard-1+shard-2", // exact old names descend too
+		"shard-2":             "shard-1+shard-2",
+	}
+	for key, want := range golden {
+		if got := set.ForKey(key).Name; got != want {
+			t.Errorf("ForKey(%q) = %s, want %s", key, got, want)
+		}
+	}
+}
+
+// TestWritePinSurvivesFlipAndDrain pins the lifecycle edge case of a write
+// acquired on an active route that a migration then flips to draining: the
+// drain must wait for the pin, and the release must count down cleanly even
+// though the route changed state (and even retires) mid-operation.
+func TestWritePinSurvivesFlipAndDrain(t *testing.T) {
+	set, err := shard.New(specsNamed(2, "s%d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	rt := set.Router()
+
+	ref, held, err := rt.TryAcquireWrite(7, "s0")
+	if err != nil || held {
+		t.Fatalf("acquire on active route: held=%v err=%v", held, err)
+	}
+	succ, err := set.AddRegion(shard.Spec{
+		Name: "s0/0", Algorithm: "adaptive", Config: register.Config{F: 1, K: 2, DataLen: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.InstallSuccessors("s0", []*shard.Shard{succ}); err != nil {
+		t.Fatal(err)
+	}
+	none := map[int]bool{}
+	if rt.WritesDrained("s0", none) {
+		t.Fatal("draining route with a live pin reports drained")
+	}
+	// Excluding the pinning client (as a crash would) drains immediately.
+	if !rt.WritesDrained("s0", map[int]bool{7: true}) {
+		t.Fatal("crashed client's pin must not block the drain")
+	}
+	rt.ReleaseWrite(ref, 7)
+	if !rt.WritesDrained("s0", none) {
+		t.Fatal("released pin still blocks the drain")
+	}
+
+	// A read pinned to the draining route must survive the route retiring
+	// mid-operation: release after retirement is clean, and a fresh resolve
+	// no longer lands there.
+	ref2, fb, err := rt.AcquireRead(9, "s0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref2.Shard().Name != "s0/0" || fb == nil || fb.Shard().Name != "s0" {
+		t.Fatalf("dual-epoch acquire = %v / %v", ref2.Shard().Name, fb)
+	}
+	rt.MarkSeeded("s0/0")
+	rt.MarkRetired("s0")
+	if got := rt.RouteOf("s0").State(); got != shard.RouteRetired {
+		t.Fatalf("s0 state = %v", got)
+	}
+	rt.ReleaseRead(ref2, fb, 9) // must not panic or corrupt pin counts
+	if !rt.ReadsDrained("s0", none) || !rt.ReadsDrained("s0/0", none) {
+		t.Fatal("pins leaked across retirement")
+	}
+	if got := set.ForKey("s0").Name; got != "s0/0" {
+		t.Fatalf("post-retirement ForKey(s0) = %s", got)
+	}
+}
+
+// TestMergeInstallValidation exercises the router-level merge error paths.
+func TestMergeInstallValidation(t *testing.T) {
+	set, err := shard.New(specsNamed(3, "s%d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	rt := set.Router()
+	succ, err := set.AddRegion(shard.Spec{
+		Name: "m", Algorithm: "adaptive", Config: register.Config{F: 1, K: 2, DataLen: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.InstallMergeSuccessor("s0", "s0", succ); err == nil {
+		t.Fatal("self-merge accepted")
+	}
+	if _, err := rt.InstallMergeSuccessor("s0", "nope", succ); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	if _, err := rt.InstallMergeSuccessor("s0", "s1", set.Shard("s2")); err == nil {
+		t.Fatal("already-routed successor name accepted")
+	}
+	epoch, err := rt.InstallMergeSuccessor("s0", "s1", succ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch == 0 {
+		t.Fatal("merge installed no epoch")
+	}
+	// Before the value ordering runs, the child has no lineage parent and
+	// nothing counts as pruned.
+	if got := rt.RouteOf("m").Parent(); got != "" {
+		t.Fatalf("pre-winner parent = %q, want empty", got)
+	}
+	if pruned := rt.PrunedBranches(); len(pruned) != 0 {
+		t.Fatalf("pre-winner pruned branches = %v", pruned)
+	}
+	// Winner must be one of the parents.
+	if err := rt.SetMergeWinner("m", "s2"); err == nil {
+		t.Fatal("non-parent winner accepted")
+	}
+	if err := rt.SetMergeWinner("m", "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.RouteOf("m").Parent(); got != "s1" {
+		t.Fatalf("parent = %q after SetMergeWinner", got)
+	}
+	if got := rt.RouteOf("m").Parents(); len(got) != 2 || got[0] != "s0" || got[1] != "s1" {
+		t.Fatalf("parents = %v", got)
+	}
+	// AbortMerge restores both sources and retires the child.
+	rt.AbortMerge("s0", "s1")
+	if pruned := rt.PrunedBranches(); len(pruned) != 0 {
+		t.Fatalf("aborted merge reports pruned branches: %v", pruned)
+	}
+	for _, name := range []string{"s0", "s1"} {
+		if got := rt.RouteOf(name).State(); got != shard.RouteActive {
+			t.Fatalf("%s state after abort = %v", name, got)
+		}
+	}
+	if got := rt.RouteOf("m").State(); got != shard.RouteRetired {
+		t.Fatalf("child state after abort = %v", got)
+	}
+	if got := set.ForKey("s0").Name; got != "s0" {
+		t.Fatalf("post-abort ForKey(s0) = %s", got)
+	}
+}
+
+// TestRouterDedicatedLifecycle drives the dedicated add/remove cycle and the
+// introspection surface at the router level: install, hold, unroute, delete,
+// abort, and the name/region listings reconfiguration and the adversary
+// consume.
+func TestRouterDedicatedLifecycle(t *testing.T) {
+	set, err := shard.New(specsNamed(2, "s%d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	rt := set.Router()
+
+	if got := rt.Epoch(); got != 0 {
+		t.Fatalf("fresh epoch = %d", got)
+	}
+	ded, err := set.AddRegion(shard.Spec{
+		Name: "hot", Algorithm: "adaptive", Config: register.Config{F: 1, K: 2, DataLen: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin, epoch, err := rt.InstallDedicated(ded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 || origin == nil {
+		t.Fatalf("InstallDedicated = %v, %d", origin, epoch)
+	}
+	if got := rt.RouteOf("hot").InstalledAt(); got != 1 {
+		t.Fatalf("InstalledAt = %d", got)
+	}
+	// Holding the origin makes write acquisition report held; releasing
+	// reopens it, and the held counter advanced.
+	if err := rt.HoldWrites(origin.Shard().Name); err != nil {
+		t.Fatal(err)
+	}
+	if _, held, err := rt.TryAcquireWrite(3, origin.Shard().Name); err != nil || !held {
+		t.Fatalf("write admitted through a hold: held=%v err=%v", held, err)
+	}
+	rt.ReleaseHold(origin.Shard().Name)
+	if ref, held, err := rt.TryAcquireWrite(3, origin.Shard().Name); err != nil || held {
+		t.Fatalf("write held after release: held=%v err=%v", held, err)
+	} else {
+		rt.ReleaseWrite(ref, 3)
+	}
+	if rt.HeldWrites() == 0 {
+		t.Fatal("held-writes counter did not advance")
+	}
+	if err := rt.HoldWrites("nope"); err == nil {
+		t.Fatal("hold on unknown shard accepted")
+	}
+
+	rt.MarkSeeded("hot")
+	if got := rt.RouteOf("hot").State(); got != shard.RouteActive {
+		t.Fatalf("seeded route state = %v", got)
+	}
+	// Lifecycle state strings render for every state (they feed reports).
+	for _, s := range []shard.RouteState{shard.RouteActive, shard.RouteSeeding, shard.RouteDraining, shard.RouteRetired, shard.RouteState(99)} {
+		if s.String() == "" {
+			t.Fatalf("empty state string for %v", int(s))
+		}
+	}
+
+	// The listings see three routes, all leaves, the dedicated one active.
+	if names := rt.Names(); len(names) != 3 {
+		t.Fatalf("Names = %v", names)
+	}
+	if leaves := rt.ActiveLeafNames(); len(leaves) != 3 {
+		t.Fatalf("ActiveLeafNames = %v", leaves)
+	}
+	if leaves := rt.LeafNames(); len(leaves) != 3 {
+		t.Fatalf("LeafNames = %v", leaves)
+	}
+	if regions := rt.Regions(); len(regions) != 3 {
+		t.Fatalf("Regions = %v", regions)
+	}
+	if lin := rt.Lineage("hot"); len(lin) != 2 || lin[0] != origin.Shard().Name {
+		t.Fatalf("Lineage(hot) = %v", lin)
+	}
+	if pruned := rt.PrunedBranches(); len(pruned) != 0 {
+		t.Fatalf("PrunedBranches = %v", pruned)
+	}
+
+	// Unroute, retire, delete: the key rehashes and the name frees up.
+	if _, err := rt.UnrouteDedicated(origin.Shard().Name); err == nil {
+		t.Fatal("unroute of non-dedicated shard accepted")
+	}
+	if _, err := rt.UnrouteDedicated("hot"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.DeleteRetiredRoute("hot"); err == nil {
+		t.Fatal("delete of non-retired route accepted")
+	}
+	rt.MarkRetired("hot")
+	if err := rt.DeleteRetiredRoute("hot"); err != nil {
+		t.Fatal(err)
+	}
+	if rt.RouteOf("hot") != nil {
+		t.Fatal("deleted route still registered")
+	}
+
+	// A fresh dedicated install can be aborted cleanly.
+	ded2, err := set.AddRegion(shard.Spec{
+		Name: "hot", Algorithm: "adaptive", Config: register.Config{F: 1, K: 2, DataLen: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rt.InstallDedicated(ded2); err != nil {
+		t.Fatal(err)
+	}
+	rt.AbortDedicated("hot")
+	if got := rt.RouteOf("hot").State(); got != shard.RouteRetired {
+		t.Fatalf("aborted dedicated route state = %v", got)
+	}
+
+	// AbortSuccessors rolls a split flip back at the router level.
+	succ, err := set.AddRegion(shard.Spec{
+		Name: "s0/0", Algorithm: "adaptive", Config: register.Config{F: 1, K: 2, DataLen: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.InstallSuccessors("s0", []*shard.Shard{succ}); err != nil {
+		t.Fatal(err)
+	}
+	rt.AbortSuccessors("s0")
+	if got := rt.RouteOf("s0").State(); got != shard.RouteActive {
+		t.Fatalf("aborted split left s0 %v", got)
+	}
+	if got := rt.RouteOf("s0/0").State(); got != shard.RouteRetired {
+		t.Fatalf("aborted successor state = %v", got)
+	}
+}

@@ -195,6 +195,20 @@ func (s *Set) Shard(name string) *Shard {
 // Lineage returns the migration ancestry of the named shard, oldest first.
 func (s *Set) Lineage(name string) []string { return s.router.Lineage(name) }
 
+// Region returns the built region with the given name, routed or not, or nil.
+// Between a migration's grow and flip steps a successor region exists without
+// a route; resuming an interrupted move needs to find it again.
+func (s *Set) Region(name string) *Shard {
+	s.rmu.Lock()
+	defer s.rmu.Unlock()
+	for i := len(s.regions) - 1; i >= 0; i-- {
+		if s.regions[i].Name == name {
+			return s.regions[i]
+		}
+	}
+	return nil
+}
+
 // FallbackReads returns how many dual-epoch reads were answered by the old
 // epoch (the successor's register was still unwritten).
 func (s *Set) FallbackReads() int64 { return s.fallbackReads.Load() }
@@ -309,8 +323,20 @@ func (s *Set) ReleaseRead(ref, fb *Route, client int) { s.router.ReleaseRead(ref
 // shared implementation — bypassing the batcher, whose group commit does not
 // carry timestamps.
 func (s *Set) ReadRef(client int, ref, fb *Route) (value.Value, error) {
+	v, _, err := s.ReadRefFell(client, ref, fb)
+	return v, err
+}
+
+// ReadRefFell is ReadRef, additionally reporting whether the old epoch
+// answered the read. History recording needs this: a fallback-answered read
+// observed the predecessor's register and must be recorded in the
+// predecessor's history, which matters for merges, where the predecessor on
+// the key's path may be a pruned branch that never joins the successor's
+// stitched lineage.
+func (s *Set) ReadRefFell(client int, ref, fb *Route) (value.Value, bool, error) {
 	if fb == nil {
-		return s.ReadValue(client, ref.Shard())
+		v, err := s.ReadValue(client, ref.Shard())
+		return v, false, err
 	}
 	var got value.Value
 	var fell bool
@@ -322,7 +348,7 @@ func (s *Set) ReadRef(client int, ref, fb *Route) (value.Value, error) {
 	if fell {
 		s.fallbackReads.Add(1)
 	}
-	return got, err
+	return got, fell, err
 }
 
 // ReadRouted performs a routed read through a whole-cluster handle (live

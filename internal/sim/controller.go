@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"spacebounds/internal/dsys"
+	"spacebounds/internal/reconfig"
+	"spacebounds/internal/shard"
+)
+
+// reconfigClientID is the first controller incarnation's client ID; standby
+// incarnations follow at +1, +2, … . They are far above every workload
+// client, and the generic client-crash move spares them — the controller is
+// crashed only through the budgeted KindCrashController decision.
+const reconfigClientID = 1 << 20
+
+// promoteAfter is the deterministic takeover backstop: a standby controller
+// that has been scheduled this many times while the active incarnation lies
+// crashed promotes itself, so an interrupted migration is always eventually
+// resumed even when the adversary never rolls KindResumeController. (Held
+// writes on a seeding successor would otherwise starve the workload for the
+// rest of the run.)
+const promoteAfter = 64
+
+// controllerState coordinates the adversary's reconfiguration decisions with
+// the controller incarnations. Everything in it is mutated at scheduling
+// points only (by the adversary inside Decide, or by the controller task
+// holding the run token), so its contents are a pure function of the
+// schedule.
+type controllerState struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	kinds    []reconfig.MoveKind // planned moves in release order
+	released int                 // moves released by KindStartMove (or the end-of-workload drain)
+	started  int                 // moves handed to the coordinator
+	active   int                 // index of the active incarnation
+	total    int                 // incarnation count (ControllerCrashes + 1)
+	crashed  bool                // the active incarnation was crashed and not yet replaced
+	crashes  int
+	resumes  int
+	finished bool
+}
+
+// ctrlView is a consistent snapshot for the controller tasks.
+type ctrlView struct {
+	active   int
+	crashed  bool
+	finished bool
+}
+
+func newControllerState(seed int64, plan ReconfigPlan) *controllerState {
+	kinds := make([]reconfig.MoveKind, 0, plan.Splits+plan.Drains+plan.Merges)
+	for s, d, m := plan.Splits, plan.Drains, plan.Merges; s > 0 || d > 0 || m > 0; {
+		if s > 0 {
+			kinds = append(kinds, reconfig.MoveSplit)
+			s--
+		}
+		if d > 0 {
+			kinds = append(kinds, reconfig.MoveDrain)
+			d--
+		}
+		if m > 0 {
+			kinds = append(kinds, reconfig.MoveMerge)
+			m--
+		}
+	}
+	return &controllerState{
+		rng:   rand.New(rand.NewSource(seed ^ 0x5eed4eca)),
+		kinds: kinds,
+		total: plan.ControllerCrashes + 1,
+	}
+}
+
+func (c *controllerState) view() ctrlView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ctrlView{active: c.active, crashed: c.crashed, finished: c.finished}
+}
+
+// release unlocks the next planned move for the controller; it reports
+// whether one was still unreleased.
+func (c *controllerState) release() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.released >= len(c.kinds) {
+		return false
+	}
+	c.released++
+	return true
+}
+
+// releaseAll unlocks every remaining move — the end-of-workload drain that
+// guarantees the plan's budget is attempted even if the adversary never
+// rolled enough KindStartMove decisions.
+func (c *controllerState) releaseAll() {
+	c.mu.Lock()
+	c.released = len(c.kinds)
+	c.mu.Unlock()
+}
+
+// crashActive marks the active incarnation crashed and returns its client ID,
+// provided the crash budget allows it, no crash is already outstanding, a
+// standby remains (the last incarnation is immortal so every interrupted move
+// has a resumer), and the incarnation is still a live task per alive().
+func (c *controllerState) crashActive(alive func(id int) bool) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed || c.finished || c.crashes >= c.total-1 || c.active+1 >= c.total {
+		return 0, false
+	}
+	id := reconfigClientID + c.active
+	if !alive(id) {
+		return 0, false
+	}
+	c.crashed = true
+	c.crashes++
+	return id, true
+}
+
+// resumeNext activates the next standby incarnation after a crash and
+// returns its client ID.
+func (c *controllerState) resumeNext() (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.crashed || c.active+1 >= c.total {
+		return 0, false
+	}
+	c.active++
+	c.crashed = false
+	c.resumes++
+	return reconfigClientID + c.active, true
+}
+
+// promote is the standby's takeover backstop: incarnation i assumes duty if
+// it is still the designated successor of a crashed active incarnation.
+func (c *controllerState) promote(i int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed && c.active+1 == i {
+		c.active = i
+		c.crashed = false
+		c.resumes++
+	}
+}
+
+// nextMove resolves the next released move against the current topology. A
+// move whose kind has no valid target (a merge with no mergeable pair) is
+// consumed without a move. The target choice draws from the controller's own
+// seeded rng, so resolution is part of the deterministic schedule.
+func (c *controllerState) nextMove(set *shard.Set) (reconfig.Move, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.started < c.released {
+		kind := c.kinds[c.started]
+		c.started++
+		leaves := set.Router().ActiveLeafNames()
+		switch kind {
+		case reconfig.MoveSplit, reconfig.MoveDrain:
+			if len(leaves) == 0 {
+				continue
+			}
+			return reconfig.Move{Kind: kind, Shard: leaves[c.rng.Intn(len(leaves))]}, true
+		case reconfig.MoveMerge:
+			// Merge pairs must share an emulation and value size; pick among
+			// the valid pairs in deterministic enumeration order.
+			type pair struct{ a, b string }
+			var pairs []pair
+			for i := 0; i < len(leaves); i++ {
+				for j := i + 1; j < len(leaves); j++ {
+					sa, sb := set.Shard(leaves[i]), set.Shard(leaves[j])
+					if sa.Algorithm == sb.Algorithm && sa.Reg.Config().DataLen == sb.Reg.Config().DataLen {
+						pairs = append(pairs, pair{a: leaves[i], b: leaves[j]})
+					}
+				}
+			}
+			if len(pairs) == 0 {
+				continue
+			}
+			p := pairs[c.rng.Intn(len(pairs))]
+			return reconfig.Move{Kind: reconfig.MoveMerge, Shard: p.a, Shard2: p.b}, true
+		}
+	}
+	return reconfig.Move{}, false
+}
+
+// exhausted reports whether every planned move has been consumed.
+func (c *controllerState) exhausted() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.started >= len(c.kinds)
+}
+
+// finish marks the controller's work complete, releasing every incarnation.
+func (c *controllerState) finish() {
+	c.mu.Lock()
+	c.finished = true
+	c.mu.Unlock()
+}
+
+// counters returns the crash/takeover totals for the result and fingerprint.
+func (c *controllerState) counters() (crashes, resumes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashes, c.resumes
+}
+
+// controllerScript builds one controller incarnation task. Incarnation 0
+// starts on duty; the others park, yielding to the scheduler, until a
+// KindResumeController decision (or the takeover backstop) promotes them
+// after the active incarnation is crashed. On duty the controller first
+// resumes any interrupted move from the coordinator's ledger, then executes
+// released moves until the plan is exhausted and the workload has wound
+// down. Every step — waits included — goes through the scheduler, so whole
+// migrations, their interruptions and their resumptions are part of the
+// deterministic schedule.
+func controllerScript(set *shard.Set, co *reconfig.Coordinator, ctrl *controllerState, incarnation int, workloadDone func() bool) func(*dsys.ClientHandle) error {
+	return func(h *dsys.ClientHandle) error {
+		runner := reconfig.NewControlledRunner(h)
+		stalls := 0
+		for {
+			st := ctrl.view()
+			switch {
+			case st.finished || st.active > incarnation:
+				// All work done, or this incarnation was skipped over.
+				return nil
+			case st.active < incarnation:
+				// Parked standby. The backstop bounds how long a crashed
+				// controller can leave a migration (and the writes held by
+				// its seeding successors) dangling.
+				if st.crashed && st.active+1 == incarnation {
+					stalls++
+					if stalls >= promoteAfter {
+						ctrl.promote(incarnation)
+						continue
+					}
+				}
+				if err := h.Yield(); err != nil {
+					return nil
+				}
+				continue
+			}
+			// On duty. An interrupted move always comes first: until it is
+			// re-driven to completion (or cleanly aborted), its seeding
+			// successors hold writes.
+			if fl := co.InFlight(); fl != nil {
+				if _, _, err := co.Resume(runner); err != nil && reconfig.IsInterruption(err) {
+					return nil // crashed mid-resume, or the cluster halted
+				}
+				continue
+			}
+			if mv, ok := ctrl.nextMove(set); ok {
+				if _, err := co.Apply(runner, mv); err != nil && reconfig.IsInterruption(err) {
+					return nil
+				}
+				// A cleanly aborted move (e.g. a migration read starved by
+				// the adversary) was rolled back; move on.
+				continue
+			}
+			if ctrl.exhausted() {
+				ctrl.finish()
+				return nil
+			}
+			if workloadDone() {
+				// The workload cannot trigger more KindStartMove points;
+				// drain the remaining plan so the budget completes.
+				ctrl.releaseAll()
+				continue
+			}
+			if err := h.Yield(); err != nil {
+				return nil
+			}
+		}
+	}
+}
+
+// workloadDoneFunc builds the controller's workload-completion probe: done
+// and crashed count disjoint workload clients during the run (a crashed task
+// stays parked until Close, so its script's done-increment never fires
+// mid-run), so their sum reaching the client count means no live workload
+// client remains. Crashed controller incarnations also appear in the
+// cluster's crash list and must not count against the workload total.
+func workloadDoneFunc(cluster *dsys.Cluster, done *atomic.Int64, totalClients int) func() bool {
+	return func() bool {
+		crashed := 0
+		for _, cl := range cluster.CrashedClients() {
+			if cl < reconfigClientID {
+				crashed++
+			}
+		}
+		return done.Load()+int64(crashed) >= int64(totalClients)
+	}
+}

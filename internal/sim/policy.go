@@ -8,6 +8,26 @@ import (
 	"spacebounds/internal/dsys"
 )
 
+// Sim-level policy decision kinds, layered above dsys's: with a reconfig
+// plan, migrations are no longer paced by a background task — the adversary
+// decides when a move starts, when the migration controller crashes
+// mid-move, and when a standby controller takes the interrupted move over.
+// They are recorded as fault events, so a failure artifact shows exactly
+// where in the schedule the controller died.
+const (
+	// KindStartMove releases the next planned reconfiguration move; the
+	// active controller picks it up at its next scheduling.
+	KindStartMove = dsys.TraceEventKind("start-move")
+	// KindCrashController crashes the active controller incarnation (it
+	// translates to a dsys client crash of the controller's client ID). Only
+	// rolled while a move is in flight, so the crash lands between migration
+	// steps.
+	KindCrashController = dsys.TraceEventKind("crash-controller")
+	// KindResumeController activates the next standby controller
+	// incarnation, which re-drives the interrupted move from its ledger.
+	KindResumeController = dsys.TraceEventKind("resume-controller")
+)
+
 // FaultRates are the per-scheduling-decision probabilities of the adversary's
 // fault moves. They are rolled once per decision, in the order listed; a move
 // whose preconditions fail (no candidate victim, budget exhausted) falls
@@ -26,6 +46,18 @@ type FaultRates struct {
 	// MaxClientCrashes caps the total number of client crashes (0 = default:
 	// a third of the clients).
 	MaxClientCrashes int
+	// StartMove releases the next planned reconfiguration move (reconfig
+	// plans only; zero with a plan defaults to 0.02).
+	StartMove float64
+	// CrashController crashes the active migration controller while a move is
+	// in flight (bounded by ReconfigPlan.ControllerCrashes; zero with crashes
+	// planned defaults to 0.03).
+	CrashController float64
+	// ResumeController activates the next standby controller after a
+	// controller crash (zero with crashes planned defaults to 0.05; a
+	// deterministic takeover backstop in the standby task bounds the outage
+	// even when this never fires).
+	ResumeController float64
 }
 
 // withDefaults fills an all-zero rate set with the standard adversarial mix.
@@ -38,6 +70,23 @@ func (f FaultRates) withDefaults(totalClients int) FaultRates {
 	}
 	if f.MaxClientCrashes == 0 {
 		f.MaxClientCrashes = totalClients / 3
+	}
+	return f
+}
+
+// withControllerDefaults fills the controller-decision rates for a
+// reconfiguration-enabled run.
+func (f FaultRates) withControllerDefaults(crashes int) FaultRates {
+	if f.StartMove == 0 {
+		f.StartMove = 0.02
+	}
+	if crashes > 0 {
+		if f.CrashController == 0 {
+			f.CrashController = 0.03
+		}
+		if f.ResumeController == 0 {
+			f.ResumeController = 0.05
+		}
 	}
 	return f
 }
@@ -56,7 +105,10 @@ func (e FaultEvent) String() string {
 	if e.Client >= 0 {
 		return fmt.Sprintf("step %d: %s client %d", e.Step, e.Kind, e.Client)
 	}
-	return fmt.Sprintf("step %d: %s object %d", e.Step, e.Kind, e.Object)
+	if e.Object >= 0 {
+		return fmt.Sprintf("step %d: %s object %d", e.Step, e.Kind, e.Object)
+	}
+	return fmt.Sprintf("step %d: %s", e.Step, e.Kind)
 }
 
 // region is one shard's object range and fault budget.
@@ -65,12 +117,14 @@ type region struct {
 }
 
 // adversary is the seeded scheduling policy of the simulator: at every
-// scheduling point it either injects a fault (within the model's budgets) or
-// picks uniformly at random among the enabled moves — running a ready client
-// or applying a pending RMW on a responsive object. Random choice among
-// enabled moves is exactly the delay/reorder power the model's environment
-// has over pending RMWs. The policy is a deterministic function of its seed:
-// replaying a seed replays the schedule.
+// scheduling point it either injects a fault (within the model's budgets),
+// makes a controller decision (release a reconfiguration move, crash the
+// migration controller mid-move, activate a standby), or picks uniformly at
+// random among the enabled moves — running a ready client or applying a
+// pending RMW on a responsive object. Random choice among enabled moves is
+// exactly the delay/reorder power the model's environment has over pending
+// RMWs. The policy is a deterministic function of its seed: replaying a seed
+// replays the schedule.
 type adversary struct {
 	rng *rand.Rand
 	// regions supplies the current shard layout; reconfiguration grows and
@@ -79,10 +133,17 @@ type adversary struct {
 	// pure function of the schedule.
 	regions func() []region
 	rates   FaultRates
-	// immortal clients (the reconfiguration controller) are never crashed: a
-	// controller crash would park a half-installed migration forever, turning
-	// the run into a trivially stuck one instead of an interesting schedule.
+	// immortal clients (the controller incarnations) are exempt from the
+	// generic client-crash move; the controller is crashed only through the
+	// budgeted KindCrashController decision, which the resume machinery pairs
+	// with a takeover.
 	immortal map[int]bool
+	// ctrl is the controller coordination state (nil without a reconfig
+	// plan). The adversary reads and mutates it at scheduling points only.
+	ctrl *controllerState
+	// moveInFlight reports whether a migration is mid-protocol; controller
+	// crashes are only rolled then, so they land between migration steps.
+	moveInFlight func() bool
 
 	crashed       map[int]bool // objects
 	suspended     map[int]bool // objects
@@ -106,7 +167,14 @@ func newAdversary(seed int64, rates FaultRates) *adversary {
 // layout. It must be called before the cluster starts scheduling.
 func (a *adversary) bind(regions func() []region) { a.regions = regions }
 
-// spare marks a client as never-crashed.
+// bindController wires the controller coordination state and the in-flight
+// probe. It must be called before the cluster starts scheduling.
+func (a *adversary) bindController(ctrl *controllerState, inFlight func() bool) {
+	a.ctrl = ctrl
+	a.moveInFlight = inFlight
+}
+
+// spare marks a client as exempt from the generic client-crash move.
 func (a *adversary) spare(client int) { a.immortal[client] = true }
 
 // faultedIn counts crashed plus suspended objects of one region.
@@ -152,33 +220,44 @@ func (a *adversary) note(step int, kind dsys.TraceEventKind, object, client int)
 	a.events = append(a.events, FaultEvent{Step: step, Kind: kind, Object: object, Client: client})
 }
 
+// clientAlive reports whether the view lists the client as a live task.
+func clientAlive(v *dsys.View, client int) bool {
+	for _, cl := range v.Clients {
+		if cl == client {
+			return true
+		}
+	}
+	return false
+}
+
 // Decide implements dsys.Policy.
 func (a *adversary) Decide(v *dsys.View) dsys.Decision {
 	r := a.rates
 	roll := a.rng.Float64()
+	cum := r.CrashObject
 	switch {
-	case roll < r.CrashObject:
+	case roll < cum:
 		if cands := a.faultCandidates(); len(cands) > 0 {
 			obj := cands[a.rng.Intn(len(cands))]
 			a.crashed[obj] = true
 			a.note(v.Step, dsys.TraceCrash, obj, -1)
 			return dsys.Decision{Kind: dsys.KindCrashObject, Object: obj}
 		}
-	case roll < r.CrashObject+r.SuspendObject:
+	case roll < cum+r.SuspendObject:
 		if cands := a.faultCandidates(); len(cands) > 0 {
 			obj := cands[a.rng.Intn(len(cands))]
 			a.suspended[obj] = true
 			a.note(v.Step, dsys.TraceSuspend, obj, -1)
 			return dsys.Decision{Kind: dsys.KindSuspendObject, Object: obj}
 		}
-	case roll < r.CrashObject+r.SuspendObject+r.ResumeObject:
+	case roll < cum+r.SuspendObject+r.ResumeObject:
 		if sus := a.suspendedList(); len(sus) > 0 {
 			obj := sus[a.rng.Intn(len(sus))]
 			delete(a.suspended, obj)
 			a.note(v.Step, dsys.TraceResume, obj, -1)
 			return dsys.Decision{Kind: dsys.KindResumeObject, Object: obj}
 		}
-	case roll < r.CrashObject+r.SuspendObject+r.ResumeObject+r.CrashClient:
+	case roll < cum+r.SuspendObject+r.ResumeObject+r.CrashClient:
 		if a.clientCrashes < r.MaxClientCrashes {
 			cands := make([]int, 0, len(v.Clients))
 			for _, cl := range v.Clients {
@@ -193,10 +272,50 @@ func (a *adversary) Decide(v *dsys.View) dsys.Decision {
 				return dsys.Decision{Kind: dsys.KindCrashClient, Client: client}
 			}
 		}
+	default:
+		if d, ok := a.controllerDecision(v, roll-cum-r.SuspendObject-r.ResumeObject-r.CrashClient); ok {
+			return d
+		}
 	}
+	return a.scheduleMove(v)
+}
 
-	// Ordinary scheduling move: uniformly random among ready clients and
-	// applicable pending RMWs — the random delay/reorder of the environment.
+// controllerDecision rolls the reconfiguration-control moves. A start-move or
+// resume-controller decision mutates the shared controller state and reports
+// !ok so the scheduler still makes an ordinary move this step; a
+// crash-controller decision is a real dsys client crash.
+func (a *adversary) controllerDecision(v *dsys.View, roll float64) (dsys.Decision, bool) {
+	r := a.rates
+	if a.ctrl == nil || roll < 0 {
+		return dsys.Decision{}, false
+	}
+	switch {
+	case roll < r.StartMove:
+		if a.ctrl.release() {
+			a.note(v.Step, KindStartMove, -1, -1)
+		}
+	case roll < r.StartMove+r.CrashController:
+		// Only mid-move (the interesting interleavings are crashes between
+		// migration steps), only while a standby remains, and only if the
+		// active incarnation is still a live task.
+		if a.moveInFlight != nil && a.moveInFlight() {
+			if client, ok := a.ctrl.crashActive(func(id int) bool { return clientAlive(v, id) }); ok {
+				a.note(v.Step, KindCrashController, -1, client)
+				return dsys.Decision{Kind: dsys.KindCrashClient, Client: client}, true
+			}
+		}
+	case roll < r.StartMove+r.CrashController+r.ResumeController:
+		if client, ok := a.ctrl.resumeNext(); ok {
+			a.note(v.Step, KindResumeController, -1, client)
+		}
+	}
+	return dsys.Decision{}, false
+}
+
+// scheduleMove is the ordinary scheduling move: uniformly random among ready
+// clients and applicable pending RMWs — the random delay/reorder of the
+// environment.
+func (a *adversary) scheduleMove(v *dsys.View) dsys.Decision {
 	type move struct {
 		kind   dsys.DecisionKind
 		index  int

@@ -133,3 +133,178 @@ func TestReconfigFingerprintDiffersFromStatic(t *testing.T) {
 		t.Fatal("no reconfiguration was recorded")
 	}
 }
+
+// crashConfig is the standard controller-crash exploration config: merges in
+// the plan and enough crash budget that the PRNG schedule interleaves
+// controller deaths between migration steps.
+func crashConfig(seed int64, provider string) Config {
+	return Config{
+		Seed:         seed,
+		Shards:       []ShardPlan{{Provider: provider}, {Provider: provider}},
+		Clients:      3,
+		OpsPerClient: 6,
+		Reconfig:     ReconfigPlan{Splits: 1, Drains: 1, Merges: 1, ControllerCrashes: 2},
+	}
+}
+
+// TestMergeRunStitchesAndPrunes is the merge acceptance scenario: a seeded
+// run with a merge in the plan completes it, the merged shard's verdict
+// lineage crosses the merge, the value-ordering loser shows up as a pruned-
+// branch verdict, and everything checks clean and replays byte for byte.
+func TestMergeRunStitchesAndPrunes(t *testing.T) {
+	found := false
+	for seed := int64(1); seed <= 20; seed++ {
+		cfg := Config{
+			Seed:         seed,
+			Shards:       []ShardPlan{{Provider: "adaptive"}, {Provider: "adaptive"}},
+			Clients:      3,
+			OpsPerClient: 6,
+			Reconfig:     ReconfigPlan{Merges: 1},
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed() {
+			t.Fatalf("seed %d: %s", seed, FormatFailure(res))
+		}
+		merges := 0
+		for _, ev := range res.Reconfigs {
+			if ev.Kind == reconfig.MoveMerge {
+				merges++
+			}
+		}
+		if merges == 0 {
+			continue
+		}
+		// The merged shard's verdict must stitch a multi-epoch lineage, and
+		// the loser must be checked as a pruned branch.
+		var mergedLineage, prunedSeen bool
+		leafSet := make(map[string]bool)
+		for _, v := range res.Verdicts {
+			if len(v.Lineage) > 1 && v.Lineage[len(v.Lineage)-1] != v.Shard {
+				t.Fatalf("seed %d: lineage %v does not end at shard %s", seed, v.Lineage, v.Shard)
+			}
+			if len(v.Lineage) > 1 {
+				mergedLineage = true
+			}
+			if leafSet[v.Shard+"/"+v.Condition] {
+				t.Fatalf("seed %d: duplicate verdict for %s", seed, v.Shard)
+			}
+			leafSet[v.Shard+"/"+v.Condition] = true
+		}
+		for _, m := range res.Moves {
+			if m.Move.Kind == reconfig.MoveMerge && m.Done {
+				if m.Winner == "" {
+					t.Fatalf("seed %d: completed merge has no winner: %s", seed, m)
+				}
+				for _, v := range res.Verdicts {
+					for _, src := range m.Sources {
+						if src != m.Winner && v.Shard == src {
+							prunedSeen = true
+						}
+					}
+				}
+			}
+		}
+		if !mergedLineage || !prunedSeen {
+			continue
+		}
+		if _, err := Replay(cfg, res.Fingerprint); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		found = true
+		break
+	}
+	if !found {
+		t.Fatal("no seed in 1..20 completed a merge with a stitched lineage and a pruned branch")
+	}
+}
+
+// TestControllerCrashIsResumedAndResolves is the crash-resumability
+// acceptance scenario: across a seed sweep with controller crashes enabled,
+// every run must end with all moves resolved (completed or cleanly aborted)
+// and no route left Seeding/Draining, and at least one seed must actually
+// exercise a crash-then-takeover of an in-flight move.
+func TestControllerCrashIsResumedAndResolves(t *testing.T) {
+	crashSeen, resumedMoveDone := false, false
+	for seed := int64(1); seed <= 30; seed++ {
+		cfg := crashConfig(seed, "adaptive")
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed() {
+			t.Fatalf("seed %d: %s", seed, FormatFailure(res))
+		}
+		if len(res.RouteLeaks) != 0 || len(res.Unresolved()) != 0 {
+			t.Fatalf("seed %d: leaks %v unresolved %v", seed, res.RouteLeaks, res.Unresolved())
+		}
+		if res.ControllerCrashes > 0 {
+			crashSeen = true
+			if res.ControllerResumes == 0 {
+				t.Fatalf("seed %d: %d controller crashes but no takeover", seed, res.ControllerCrashes)
+			}
+		}
+		for _, m := range res.Moves {
+			if m.Resumes > 0 && m.Done {
+				resumedMoveDone = true
+			}
+		}
+	}
+	if !crashSeen {
+		t.Fatal("no seed in 1..30 crashed the controller; raise the rates")
+	}
+	if !resumedMoveDone {
+		t.Fatal("no seed in 1..30 resumed an interrupted move to completion")
+	}
+}
+
+// TestControllerCrashRunsAreDeterministic replays crash-enabled seeds and
+// requires identical fingerprints, ledgers and controller counters.
+func TestControllerCrashRunsAreDeterministic(t *testing.T) {
+	for _, seed := range []int64{2, 11, 23} {
+		cfg := crashConfig(seed, "adaptive")
+		a, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Fingerprint != b.Fingerprint {
+			t.Fatalf("seed %d: fingerprints diverge", seed)
+		}
+		if a.ControllerCrashes != b.ControllerCrashes || a.ControllerResumes != b.ControllerResumes {
+			t.Fatalf("seed %d: controller counters diverge: %d/%d vs %d/%d",
+				seed, a.ControllerCrashes, a.ControllerResumes, b.ControllerCrashes, b.ControllerResumes)
+		}
+		if len(a.Moves) != len(b.Moves) {
+			t.Fatalf("seed %d: ledgers diverge: %v vs %v", seed, a.Moves, b.Moves)
+		}
+		for i := range a.Moves {
+			if a.Moves[i].String() != b.Moves[i].String() {
+				t.Fatalf("seed %d: ledger entry %d diverges:\n%s\n%s", seed, i, a.Moves[i], b.Moves[i])
+			}
+		}
+	}
+}
+
+// TestCrashResumeCleanAcrossProvidersAndSeeds sweeps every provider with
+// merges and controller crashes enabled: no stitched history may violate its
+// condition and no move may be left unresolved.
+func TestCrashResumeCleanAcrossProvidersAndSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep is not short")
+	}
+	for _, provider := range DefaultProviders {
+		failures, err := Explore(crashConfig(0, provider), 1, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", provider, err)
+		}
+		for _, f := range failures {
+			t.Errorf("%s seed %d failed:\n%s", provider, f.Seed, FormatFailure(f))
+		}
+	}
+}

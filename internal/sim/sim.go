@@ -11,12 +11,20 @@
 // violating sub-history.
 //
 // With a Reconfig plan, the simulator additionally drives dynamic
-// reconfiguration as adversary-era moves: a controller task splits and drains
-// shards mid-run at seeded points, the clients route every operation through
-// the epoch-stamped table (yield-retrying while a write's target is still
-// seeding), and each surviving shard's history is stitched across its
-// migration lineage before checking — the first setting in which a checked
-// history spans two configurations of the system at once.
+// reconfiguration as first-class adversary decisions: the scheduling policy
+// decides when each planned split, drain or merge starts (KindStartMove),
+// when the migration controller crashes between migration steps
+// (KindCrashController), and when a standby controller takes the interrupted
+// move over and re-drives it from its step ledger (KindResumeController,
+// with a deterministic takeover backstop). The clients route every operation
+// through the epoch-stamped table (yield-retrying while a write's target is
+// still seeding), and each surviving shard's history is stitched across its
+// migration lineage before checking; a merge's value-ordering loser becomes
+// a pruned branch, checked as its own terminated register. After the run the
+// simulator additionally asserts that reconfiguration resolved: no move left
+// in flight and no route left Seeding or Draining — the crash-resumability
+// claim, falsified if any controller-crash interleaving can strand a
+// migration.
 //
 // Everything the run does is a pure function of Config (the seed in
 // particular): Run twice with the same Config and the histories, verdicts and
@@ -59,19 +67,28 @@ type ShardPlan struct {
 	DataLen int
 }
 
-// ReconfigPlan enables reconfiguration as adversary-era moves: the controller
-// performs the given number of splits and drains at seeded points of the run,
-// targeting seeded-random active shards (successors of earlier moves
-// included, so lineages chain).
+// ReconfigPlan enables reconfiguration as adversary decisions: the policy
+// releases the planned moves at PRNG-chosen scheduling points
+// (KindStartMove), the controller executes them against seeded-random active
+// shards (successors of earlier moves included, so lineages chain), and —
+// with ControllerCrashes > 0 — the policy crashes the controller between
+// migration steps and later activates a standby that resumes the interrupted
+// move from its ledger.
 type ReconfigPlan struct {
 	// Splits is the number of shard splits to perform.
 	Splits int
 	// Drains is the number of shard drains (fresh-region migrations).
 	Drains int
+	// Merges is the number of shard merges (two sources into one successor).
+	Merges int
+	// ControllerCrashes caps the adversary's KindCrashController decisions;
+	// ControllerCrashes+1 controller incarnations are spawned so every
+	// interrupted move has a resumer.
+	ControllerCrashes int
 }
 
-// enabled reports whether any reconfiguration move is planned.
-func (p ReconfigPlan) enabled() bool { return p.Splits > 0 || p.Drains > 0 }
+// Enabled reports whether any reconfiguration move is planned.
+func (p ReconfigPlan) Enabled() bool { return p.Splits > 0 || p.Drains > 0 || p.Merges > 0 }
 
 // Config describes one deterministic simulation run.
 type Config struct {
@@ -139,6 +156,9 @@ func (c Config) withDefaults() Config {
 		c.ReadFraction = 0.4
 	}
 	c.Faults = c.Faults.withDefaults(c.Clients * len(c.Shards))
+	if c.Reconfig.Enabled() {
+		c.Faults = c.Faults.withControllerDefaults(c.Reconfig.ControllerCrashes)
+	}
 	if c.MaxSteps == 0 {
 		c.MaxSteps = 200000
 	}
@@ -171,16 +191,27 @@ type Result struct {
 	CrashedObjects   []int
 	SuspendedObjects []int
 	CrashedClients   []int
-	// Faults is the adversary's fault schedule in injection order.
+	// Faults is the adversary's fault schedule in injection order (controller
+	// crash/resume and move-release decisions included).
 	Faults []FaultEvent
-	// Reconfigs is the applied reconfiguration schedule (splits and drains
-	// with their epochs and logical times), empty without a Reconfig plan.
+	// Reconfigs is the applied reconfiguration schedule (completed moves with
+	// their epochs and logical times), empty without a Reconfig plan.
 	Reconfigs []reconfig.Event
+	// Moves is the full reconfiguration ledger: every move's step record,
+	// completed, aborted and (if the run got stuck) in-flight ones.
+	Moves []reconfig.MoveState
+	// ControllerCrashes / ControllerResumes count the adversary's controller
+	// crash and takeover decisions (backstop promotions included).
+	ControllerCrashes, ControllerResumes int
+	// RouteLeaks lists routes left mid-lifecycle (Seeding or Draining) at the
+	// end of the run; crash-resumable reconfiguration promises there are
+	// none.
+	RouteLeaks []string
 	// Verdicts holds one entry per shard per checked condition.
 	Verdicts []ShardVerdict
-	// Fingerprint is a hash over histories, fault schedule, reconfigurations
-	// and verdicts; two runs of the same Config must produce the same
-	// fingerprint.
+	// Fingerprint is a hash over histories, fault schedule, reconfigurations,
+	// the move ledger and verdicts; two runs of the same Config must produce
+	// the same fingerprint.
 	Fingerprint string
 }
 
@@ -195,8 +226,23 @@ func (r *Result) Violations() []ShardVerdict {
 	return out
 }
 
-// Failed reports whether any checked condition was violated.
-func (r *Result) Failed() bool { return len(r.Violations()) > 0 }
+// Unresolved returns the moves the run left in flight: neither completed nor
+// cleanly aborted.
+func (r *Result) Unresolved() []reconfig.MoveState {
+	var out []reconfig.MoveState
+	for _, m := range r.Moves {
+		if m.InFlight() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Failed reports whether any checked condition was violated, a route was
+// left mid-lifecycle, or a move was left unresolved.
+func (r *Result) Failed() bool {
+	return len(r.Violations()) > 0 || len(r.RouteLeaks) > 0 || len(r.Unresolved()) > 0
+}
 
 // conditionFor maps a provider to the consistency condition its emulation
 // claims (and the paper proves): the adaptive algorithm and the replicated /
@@ -212,10 +258,6 @@ func conditionFor(provider string) (string, func(*history.History) error) {
 // configurations with more clients per shard, which would let two shards'
 // IDs collide (and a KindCrashClient decision kill both tasks at once).
 const clientStride = 100
-
-// reconfigClientID is the controller task's client ID; it is far above every
-// workload client and the adversary never crashes it.
-const reconfigClientID = 1 << 20
 
 // clientID assigns globally unique client IDs: shards are strided so that a
 // client's ID also identifies its home shard in histories and timestamps.
@@ -268,7 +310,6 @@ func Run(cfg Config) (*Result, error) {
 		})
 	}
 	adv := newAdversary(cfg.Seed, cfg.Faults)
-	adv.spare(reconfigClientID)
 	set, err := shard.New(specs,
 		dsys.WithControlledMode(),
 		dsys.WithPolicy(adv),
@@ -305,13 +346,13 @@ func Run(cfg Config) (*Result, error) {
 	// Spawn every client before Start so tickets — and therefore the whole
 	// schedule — are assigned deterministically. Without a reconfig plan the
 	// clients are pinned to their home shard exactly as before; with one they
-	// route every operation, because their home shard may be split or drained
-	// under them mid-run.
+	// route every operation, because their home shard may be split, merged or
+	// drained under them mid-run.
 	var handles []*dsys.TaskHandle
 	for si, sh := range set.Shards() {
 		for cl := 0; cl < cfg.Clients; cl++ {
 			id := clientID(si, cl)
-			if cfg.Reconfig.enabled() {
+			if cfg.Reconfig.Enabled() {
 				handles = append(handles, cluster.SpawnScoped(id, 0, cluster.N(),
 					routedClientScript(cfg, set, recorders, sh.Name, &completedOps, &doneClients, id)))
 			} else {
@@ -320,9 +361,22 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 	}
-	if cfg.Reconfig.enabled() {
-		handles = append(handles, cluster.SpawnScoped(reconfigClientID, 0, cluster.N(),
-			reconfigController(cfg, set, co, &completedOps, &doneClients, totalClients)))
+	var ctrl *controllerState
+	if cfg.Reconfig.Enabled() {
+		// ControllerCrashes+1 incarnations, spawned up front so tickets stay
+		// deterministic: incarnation 0 starts on duty, the rest park until the
+		// adversary (or the takeover backstop) promotes them. The generic
+		// client-crash move spares them all; KindCrashController is the only
+		// way a controller dies.
+		ctrl = newControllerState(cfg.Seed, cfg.Reconfig)
+		done := workloadDoneFunc(cluster, &doneClients, totalClients)
+		for i := 0; i < cfg.Reconfig.ControllerCrashes+1; i++ {
+			id := reconfigClientID + i
+			adv.spare(id)
+			handles = append(handles, cluster.SpawnScoped(id, 0, cluster.N(),
+				controllerScript(set, co, ctrl, i, done)))
+		}
+		adv.bindController(ctrl, func() bool { return co.InFlight() != nil })
 	}
 	cluster.Start()
 	reason := cluster.WaitIdle()
@@ -337,21 +391,30 @@ func Run(cfg Config) (*Result, error) {
 		Faults:           adv.events,
 		Reconfigs:        co.Events(),
 	}
+	if ctrl != nil {
+		res.ControllerCrashes, res.ControllerResumes = ctrl.counters()
+	}
+	// Crash-resumable reconfiguration promises that the run ends with every
+	// route settled: a leak here means some controller-crash interleaving
+	// stranded a migration.
+	for _, name := range set.Router().Names() {
+		if st := set.Router().RouteOf(name).State(); st == shard.RouteSeeding || st == shard.RouteDraining {
+			res.RouteLeaks = append(res.RouteLeaks, fmt.Sprintf("%s:%v", name, st))
+		}
+	}
 	cluster.Close()
 	for _, h := range handles {
 		_ = h.Wait() // crashed clients report ErrHalted; that is their crash
 	}
+	res.Moves = co.Ledger() // after Wait: interruption flags are settled
 
 	// One verdict per surviving leaf shard, its history stitched across its
 	// migration lineage (for an unreconfigured run the lineage is the shard
-	// itself and stitching is the identity).
-	providerOf := func(name string) string {
-		if sh := set.Shard(name); sh != nil {
-			return sh.Algorithm
-		}
-		return ""
-	}
-	for _, name := range set.Router().LeafNames() {
+	// itself and stitching is the identity) — plus one per pruned merge
+	// branch, whose history ends at the merge that discarded its value.
+	checkNames := set.Router().LeafNames()
+	checkNames = append(checkNames, set.Router().PrunedBranches()...)
+	for _, name := range checkNames {
 		sh := set.Shard(name)
 		v0 := value.Zero(sh.Reg.Config().DataLen)
 		lineage := set.Lineage(name)
@@ -362,7 +425,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		h := history.Merge(v0, chain...)
-		provider := providerOf(name)
+		provider := sh.Algorithm
 		cond, check := conditionFor(provider)
 		res.Verdicts = append(res.Verdicts, verdict(name, provider, cond, lineage, h, check))
 		if cfg.CheckLinearizable {
@@ -446,9 +509,21 @@ func routedClientScript(cfg Config, set *shard.Set, recs *simRecorders, home str
 				if err != nil {
 					return nil // router closed with the cluster
 				}
+				// A dual-epoch read is recorded in the history of the register
+				// that answered it: invocations are recorded against both
+				// epochs, and the loser stays incomplete (which constrains no
+				// checker). This matters for merges — a fallback read answered
+				// by the value-ordering loser belongs to the pruned branch's
+				// history, not to the successor's stitched lineage.
 				rec := recs.forShard(ref.Shard().Name)
 				op := rec.BeginRead(id)
-				v, err := readVia(h, ref, fb)
+				var fbRec *history.Recorder
+				var fbOp *history.Op
+				if fb != nil {
+					fbRec = recs.forShard(fb.Shard().Name)
+					fbOp = fbRec.BeginRead(id)
+				}
+				v, fell, err := shard.ReadRouted(h, ref, fb)
 				rt.ReleaseRead(ref, fb, id)
 				if err != nil {
 					if errors.Is(err, dsys.ErrHalted) {
@@ -456,7 +531,11 @@ func routedClientScript(cfg Config, set *shard.Set, recs *simRecorders, home str
 					}
 					continue
 				}
-				rec.EndRead(op, v)
+				if fell {
+					fbRec.EndRead(fbOp, v)
+				} else {
+					rec.EndRead(op, v)
+				}
 				completed.Add(1)
 				continue
 			}
@@ -503,81 +582,24 @@ func routedClientScript(cfg Config, set *shard.Set, recs *simRecorders, home str
 // KeySpaceName returns the i-th shared key of the reconfiguration keyspace.
 func KeySpaceName(i int) string { return fmt.Sprintf("key-%d", i) }
 
-// readVia performs a routed read through a whole-cluster handle; the
-// dual-epoch logic is shard.ReadRouted, shared with the live path.
-func readVia(h *dsys.ClientHandle, ref, fb *shard.Route) (value.Value, error) {
-	v, _, err := shard.ReadRouted(h, ref, fb)
-	return v, err
-}
-
-// reconfigController is the controller task: it performs the plan's splits
-// and drains at seeded points of the run — after roughly i/(n+1) of the
-// expected operations have completed, or once all clients are done or
-// crashed, whichever comes first — against seeded-random active shards. All
-// of its steps (waits included) go through the scheduler, so the whole
-// migration is part of the deterministic schedule.
-func reconfigController(cfg Config, set *shard.Set, co *reconfig.Coordinator, completed, done *atomic.Int64, totalClients int) func(*dsys.ClientHandle) error {
-	return func(h *dsys.ClientHandle) error {
-		rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed4eca))
-		runner := reconfig.NewControlledRunner(h)
-		cluster := set.Cluster()
-		kinds := make([]reconfig.MoveKind, 0, cfg.Reconfig.Splits+cfg.Reconfig.Drains)
-		for s, d := cfg.Reconfig.Splits, cfg.Reconfig.Drains; s > 0 || d > 0; {
-			if s > 0 {
-				kinds = append(kinds, reconfig.MoveSplit)
-				s--
-			}
-			if d > 0 {
-				kinds = append(kinds, reconfig.MoveDrain)
-				d--
-			}
-		}
-		totalOps := int64(totalClients * cfg.OpsPerClient)
-		for i, kind := range kinds {
-			threshold := totalOps * int64(i+1) / int64(len(kinds)+1)
-			for completed.Load() < threshold {
-				// done and crashed count disjoint clients during the run: a
-				// crashed task stays parked until Close, so its script's
-				// done-increment never fires mid-run. Their sum reaching the
-				// client count therefore means no live client remains.
-				if done.Load()+int64(len(cluster.CrashedClients())) >= int64(totalClients) {
-					break // the workload cannot complete more operations
-				}
-				if err := h.Yield(); err != nil {
-					return nil
-				}
-			}
-			leaves := set.Router().ActiveLeafNames()
-			if len(leaves) == 0 {
-				continue
-			}
-			target := leaves[rng.Intn(len(leaves))]
-			if _, err := co.Apply(runner, reconfig.Move{Kind: kind, Shard: target}); err != nil {
-				if errors.Is(err, dsys.ErrHalted) {
-					return nil
-				}
-				// An aborted move (e.g. a seed write starved by the adversary)
-				// leaves the table rolled back; try the next move.
-				continue
-			}
-		}
-		return nil
-	}
-}
-
 // fingerprint hashes everything observable about the run: per-shard histories
 // (operations with their logical intervals and values), the fault schedule,
-// the reconfiguration schedule, the scheduling step count and idle reason,
-// and every checker verdict.
+// the reconfiguration schedule and full move ledger, the controller
+// crash/takeover counters, route leaks, the scheduling step count and idle
+// reason, and every checker verdict.
 func fingerprint(r *Result) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "steps=%d reason=%s\n", r.Steps, r.Reason)
 	fmt.Fprintf(h, "crashed=%v suspended=%v clients=%v\n", r.CrashedObjects, r.SuspendedObjects, r.CrashedClients)
+	fmt.Fprintf(h, "ctrl crashes=%d resumes=%d leaks=%v\n", r.ControllerCrashes, r.ControllerResumes, r.RouteLeaks)
 	for _, ev := range r.Faults {
 		fmt.Fprintf(h, "fault %s\n", ev)
 	}
 	for _, ev := range r.Reconfigs {
 		fmt.Fprintf(h, "reconfig %s\n", ev)
+	}
+	for _, m := range r.Moves {
+		fmt.Fprintf(h, "ledger %s\n", m)
 	}
 	for _, v := range r.Verdicts {
 		fmt.Fprintf(h, "shard %s lineage %v condition %s err=%v\n", v.Shard, v.Lineage, v.Condition, v.Err)
@@ -640,6 +662,18 @@ func FormatFailure(r *Result) string {
 		for _, ev := range r.Reconfigs {
 			fmt.Fprintf(&b, "  %s\n", ev)
 		}
+	}
+	if len(r.Moves) > 0 {
+		fmt.Fprintf(&b, "move ledger (%d controller crashes, %d takeovers):\n", r.ControllerCrashes, r.ControllerResumes)
+		for _, m := range r.Moves {
+			fmt.Fprintf(&b, "  %s\n", m)
+		}
+	}
+	for _, leak := range r.RouteLeaks {
+		fmt.Fprintf(&b, "route left mid-lifecycle at run end: %s\n", leak)
+	}
+	for _, m := range r.Unresolved() {
+		fmt.Fprintf(&b, "move left unresolved at run end: %s\n", m)
 	}
 	for _, v := range r.Violations() {
 		fmt.Fprintf(&b, "shard %s (%s) violates %s: %v\n", v.Shard, v.Provider, v.Condition, v.Err)

@@ -56,8 +56,9 @@ type ShardedSpec struct {
 	Reconfig []ReconfigMove
 }
 
-// ReconfigMove schedules one live reconfiguration move. Exactly one of Split
-// and Drain must name a shard.
+// ReconfigMove schedules one live reconfiguration move. Exactly one of
+// Split, Drain and Merge must name a shard (Merge additionally needs
+// MergeWith).
 type ReconfigMove struct {
 	// AfterOps triggers the move once this many operations have completed.
 	AfterOps int
@@ -65,16 +66,21 @@ type ReconfigMove struct {
 	Split string
 	// Drain names a shard to migrate onto a fresh region.
 	Drain string
+	// Merge and MergeWith name two shards to merge into one successor.
+	Merge     string
+	MergeWith string
 }
 
 func (m ReconfigMove) move() (reconfig.Move, error) {
 	switch {
-	case m.Split != "" && m.Drain == "":
+	case m.Split != "" && m.Drain == "" && m.Merge == "" && m.MergeWith == "":
 		return reconfig.Move{Kind: reconfig.MoveSplit, Shard: m.Split}, nil
-	case m.Drain != "" && m.Split == "":
+	case m.Drain != "" && m.Split == "" && m.Merge == "" && m.MergeWith == "":
 		return reconfig.Move{Kind: reconfig.MoveDrain, Shard: m.Drain}, nil
+	case m.Merge != "" && m.MergeWith != "" && m.Split == "" && m.Drain == "":
+		return reconfig.Move{Kind: reconfig.MoveMerge, Shard: m.Merge, Shard2: m.MergeWith}, nil
 	default:
-		return reconfig.Move{}, fmt.Errorf("workload: reconfig move must set exactly one of Split/Drain: %+v", m)
+		return reconfig.Move{}, fmt.Errorf("workload: reconfig move must set exactly one of Split/Drain/Merge(+MergeWith): %+v", m)
 	}
 }
 
@@ -110,10 +116,12 @@ type AppliedReconfig struct {
 	TriggeredAtOps int
 	// Took is the wall-clock duration of the migration.
 	Took time.Duration
-	// OpsPerSecBefore is the completed-op rate from the start of the run to
-	// the trigger; OpsPerSecAfter the rate from migration completion to the
-	// end of the run. A healthy elastic split shows After ≥ Before: the new
-	// epoch has more nodes.
+	// OpsPerSecBefore is the completed-op rate from the previous successful
+	// move's completion (or the start of the run) to the trigger;
+	// OpsPerSecAfter the rate from migration completion to the end of the
+	// run. A healthy elastic split shows After ≥ Before: the new epoch has
+	// more nodes. A move that failed migrated nothing, so it gets no windows
+	// and does not advance the baseline the next move's window starts at.
 	OpsPerSecBefore, OpsPerSecAfter float64
 	// Err is the migration error, if any ("" on success).
 	Err string
@@ -235,13 +243,26 @@ func runShardedOp(set *shard.Set, recs *recorderSet, t *tally, completed *atomic
 			t.mu.Unlock()
 			return
 		}
+		// A dual-epoch read is recorded in the history of the register that
+		// answered it: invocations are recorded against both epochs and the
+		// loser stays incomplete (incomplete reads constrain no checker).
+		// This matters for merges — a fallback read answered by the value-
+		// ordering loser belongs to the pruned branch's history, not to the
+		// successor's stitched lineage.
 		name := ref.Shard().Name
 		rec := recs.forShard(name)
-		var hop *history.Op
+		var hop, fbOp *history.Op
+		var fbRec *history.Recorder
 		if rec != nil {
 			hop = rec.BeginRead(client)
 		}
-		v, err := set.ReadRef(client, ref, fb)
+		if fb != nil && recs != nil {
+			fbRec = recs.forShard(fb.Shard().Name)
+			if fbRec != nil {
+				fbOp = fbRec.BeginRead(client)
+			}
+		}
+		v, fell, err := set.ReadRefFell(client, ref, fb)
 		set.ReleaseRead(ref, fb, client)
 		if err != nil {
 			t.mu.Lock()
@@ -249,7 +270,12 @@ func runShardedOp(set *shard.Set, recs *recorderSet, t *tally, completed *atomic
 			t.mu.Unlock()
 			return
 		}
-		if rec != nil {
+		if fell {
+			name = fb.Shard().Name
+			if fbRec != nil {
+				fbRec.EndRead(fbOp, v)
+			}
+		} else if rec != nil {
 			rec.EndRead(hop, v)
 		}
 		completed.Add(1)
@@ -298,6 +324,11 @@ func runShardedOp(set *shard.Set, recs *recorderSet, t *tally, completed *atomic
 func runReconfigSchedule(set *shard.Set, spec ShardedSpec, completed *atomic.Int64, start time.Time, workloadDone <-chan struct{}) ([]AppliedReconfig, reconfig.Stats) {
 	co := reconfig.NewCoordinator(set)
 	applied := make([]AppliedReconfig, 0, len(spec.Reconfig))
+	// The before-window baseline: the completed-op count and time of the last
+	// successful move. A failed move must not advance it — its abort migrated
+	// nothing, so the next move's before-window still measures the epoch the
+	// last successful move installed.
+	baseOps, baseAt := 0, time.Duration(0)
 	for i, m := range spec.Reconfig {
 		mv, _ := m.move() // validated by Validate
 		for completed.Load() < int64(m.AfterOps) {
@@ -318,14 +349,19 @@ func runReconfigSchedule(set *shard.Set, spec ShardedSpec, completed *atomic.Int
 			Successors:     ev.Successors,
 			TriggeredAtOps: at,
 			Took:           time.Since(t0),
-			completedAt:    time.Since(start),
-			opsAtDone:      int(completed.Load()),
-		}
-		if elapsed > 0 {
-			ar.OpsPerSecBefore = float64(at) / elapsed.Seconds()
 		}
 		if err != nil {
+			// No throughput windows for a failed move: reporting rates around
+			// an abort would attribute the old epoch's throughput to a
+			// migration that never happened.
 			ar.Err = err.Error()
+		} else {
+			ar.completedAt = time.Since(start)
+			ar.opsAtDone = int(completed.Load())
+			if window := elapsed - baseAt; window > 0 {
+				ar.OpsPerSecBefore = float64(at-baseOps) / window.Seconds()
+			}
+			baseOps, baseAt = ar.opsAtDone, ar.completedAt
 		}
 		applied = append(applied, ar)
 	}
@@ -432,6 +468,9 @@ func RunSharded(set *shard.Set, spec ShardedSpec) (*ShardedResult, error) {
 		total := int(completed.Load())
 		for i := range res.Reconfigs {
 			ar := &res.Reconfigs[i]
+			if ar.Err != "" {
+				continue // failed moves get no throughput windows
+			}
 			if window := end - ar.completedAt; window > 0 {
 				ar.OpsPerSecAfter = float64(total-ar.opsAtDone) / window.Seconds()
 			}

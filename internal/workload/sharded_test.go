@@ -292,3 +292,96 @@ func TestRunShardedReconfigValidation(t *testing.T) {
 		t.Fatal("ambiguous reconfig move accepted")
 	}
 }
+
+// TestReconfigAbortDoesNotSkewWindows is the regression test for the
+// before/after throughput-window miscount: a move that aborts mid-schedule
+// must report no rate windows at all, and must not advance the baseline the
+// next move's before-window is measured from. Before the fix, the aborted
+// move reported an after-rate as if it had migrated, and the following move's
+// before-window started at the abort.
+func TestReconfigAbortDoesNotSkewWindows(t *testing.T) {
+	set := newSet(t, 2)
+	res, err := workload.RunSharded(set, workload.ShardedSpec{
+		Clients:      4,
+		OpsPerClient: 60,
+		ReadFraction: 0.3,
+		Keys:         8,
+		Seed:         11,
+		Reconfig: []workload.ReconfigMove{
+			{AfterOps: 30, Split: "s0"},
+			{AfterOps: 60, Drain: "no-such-shard"}, // injected abort
+			{AfterOps: 90, Drain: "s1"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reconfigs) != 3 {
+		t.Fatalf("applied %d moves, want 3", len(res.Reconfigs))
+	}
+	good, bad, tail := res.Reconfigs[0], res.Reconfigs[1], res.Reconfigs[2]
+	if good.Err != "" || tail.Err != "" {
+		t.Fatalf("control moves failed: %q / %q", good.Err, tail.Err)
+	}
+	if bad.Err == "" {
+		t.Fatal("move on an unknown shard did not fail")
+	}
+	// The regression: before the fix, a failed move reported a before-rate
+	// (measured from the run start) and an after-rate (as if it had
+	// migrated). Window *positivity* for the successful moves is only
+	// asserted where it is deterministic — a move that completes after the
+	// workload has already ended legitimately reports no after-window.
+	if bad.OpsPerSecBefore != 0 || bad.OpsPerSecAfter != 0 {
+		t.Fatalf("failed move reports throughput windows: before=%v after=%v",
+			bad.OpsPerSecBefore, bad.OpsPerSecAfter)
+	}
+	if good.OpsPerSecBefore <= 0 {
+		t.Fatalf("successful move lost its before-window: %+v", good)
+	}
+	if res.ReconfigStats.Splits != 1 || res.ReconfigStats.Drains != 1 || res.ReconfigStats.Aborts != 1 {
+		t.Fatalf("reconfig stats = %+v", res.ReconfigStats)
+	}
+}
+
+// TestRunShardedWithMergeSchedule merges two shards under live load: zero
+// failed operations, the merged shard serves both sources' keys, and the
+// stitched winner-lineage history is strongly regular.
+func TestRunShardedWithMergeSchedule(t *testing.T) {
+	set := newSet(t, 2)
+	res, err := workload.RunSharded(set, workload.ShardedSpec{
+		Clients:       4,
+		OpsPerClient:  60,
+		ReadFraction:  0.3,
+		Keys:          8,
+		Seed:          13,
+		RecordHistory: true,
+		Reconfig: []workload.ReconfigMove{
+			{AfterOps: 80, Merge: "s0", MergeWith: "s1"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WriteErrors+res.ReadErrors != 0 {
+		t.Fatalf("%d writes / %d reads failed during the live merge", res.WriteErrors, res.ReadErrors)
+	}
+	if len(res.Reconfigs) != 1 || res.Reconfigs[0].Err != "" {
+		t.Fatalf("merge did not apply cleanly: %+v", res.Reconfigs)
+	}
+	if res.ReconfigStats.Merges != 1 {
+		t.Fatalf("reconfig stats = %+v", res.ReconfigStats)
+	}
+	if _, ok := res.PerShardBits["s0+s1"]; !ok {
+		t.Fatalf("merged shard missing from PerShardBits: %v", res.PerShardBits)
+	}
+	if err := res.CheckRegularity(); err != nil {
+		t.Fatalf("stitched regularity across the merge: %v", err)
+	}
+	sum := 0
+	for _, bits := range res.PerShardBits {
+		sum += bits
+	}
+	if sum != res.FinalSnapshot.BaseObjectBits {
+		t.Fatalf("per-shard bits sum to %d, snapshot says %d", sum, res.FinalSnapshot.BaseObjectBits)
+	}
+}

@@ -263,3 +263,113 @@ func TestLiveSplitThroughputRecovers(t *testing.T) {
 			ar.OpsPerSecBefore, ar.OpsPerSecAfter)
 	}
 }
+
+// TestStoreMergeShardsLive merges two shards of a live store while clients
+// hammer keys of both: zero failed operations, the merged shard serves both
+// namespaces, and the inverse move round-trips (split the merged shard
+// again).
+func TestStoreMergeShardsLive(t *testing.T) {
+	store, err := spacebounds.Open(spacebounds.Options{
+		Shards: []spacebounds.ShardSpec{
+			{Name: "s0"}, {Name: "s1"}, {Name: "s2"},
+		},
+		F: 1, K: 2, ValueSize: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	const clients = 6
+	const opsPerClient = 150
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	for c := 1; c <= clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload := make([]byte, 32)
+			for i := 0; i < opsPerClient; i++ {
+				key := fmt.Sprintf("key-%d", (c+i)%16)
+				payload[0] = byte(i)
+				if err := store.WriteKey(c, key, payload); err != nil {
+					failed.Add(1)
+					return
+				}
+				if _, err := store.ReadKey(c, key); err != nil {
+					failed.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	merged, err := store.MergeShards("s0", "s1")
+	if err != nil {
+		t.Fatalf("merge under load: %v", err)
+	}
+	if merged != "s0+s1" {
+		t.Fatalf("merged shard = %q", merged)
+	}
+	wg.Wait()
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d operations failed during the live merge", n)
+	}
+
+	// Both old namespaces answer through the merged shard.
+	if err := store.WriteKey(1, "s0", []byte("after-merge")); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"s0", "s1"} {
+		got, err := store.ReadKey(2, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got[:len("after-merge")]) != "after-merge" {
+			t.Fatalf("read of %q after merge = %q", key, got[:16])
+		}
+	}
+	// The inverse move still works: split the merged shard again.
+	if _, err := store.SplitShard(merged); err != nil {
+		t.Fatalf("re-split of merged shard: %v", err)
+	}
+	st := store.ReconfigStats()
+	if st.Merges != 1 || st.Splits != 1 || st.Aborts != 0 {
+		t.Fatalf("reconfig stats = %+v", st)
+	}
+
+	// A quiet store has nothing to resume; the recovery entry points are
+	// no-ops that report so.
+	resumed, err := store.ResumeMoves()
+	if err != nil || resumed != 0 {
+		t.Fatalf("ResumeMoves on settled store = %d, %v", resumed, err)
+	}
+}
+
+// TestStoreResizeWithMerge drives a merge through the Resize plan API and
+// validates the op-shape checks.
+func TestStoreResizeWithMerge(t *testing.T) {
+	store, err := spacebounds.Open(spacebounds.Options{
+		Shards: []spacebounds.ShardSpec{{Name: "a"}, {Name: "b"}},
+		F:      1, K: 2, ValueSize: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if err := store.Resize([]spacebounds.ResizeOp{{Merge: "a"}}); err == nil {
+		t.Fatal("merge without MergeWith accepted")
+	}
+	if err := store.Resize([]spacebounds.ResizeOp{{MergeWith: "b"}}); err == nil {
+		t.Fatal("MergeWith without Merge accepted")
+	}
+	if err := store.Resize([]spacebounds.ResizeOp{{Split: "a", MergeWith: "b"}}); err == nil {
+		t.Fatal("ambiguous op accepted")
+	}
+	if err := store.Resize([]spacebounds.ResizeOp{{Merge: "a", MergeWith: "b"}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := store.ReconfigStats(); st.Merges != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -321,8 +321,25 @@ func (s *Store) CrashShardNode(key string, node int) error {
 // RestartNode brings a crashed node back with the state it had when it
 // crashed (fail-recover). Writes that raced the crash window are lost on that
 // node, exactly like messages to a down replica; the quorum protocols repair
-// on the next operations.
-func (s *Store) RestartNode(id int) error { return s.set.Cluster().RestartObject(id) }
+// on the next operations. Restarting is also the store's recovery entry
+// point: if the reconfiguration ledger holds a move whose driver died
+// mid-migration, the restart resumes it (see ResumeMoves). The in-flight
+// check is done before touching the reconfiguration lock, so a restart never
+// blocks behind a healthy migration another goroutine is driving; a resume
+// failure is reported with the successful restart made explicit, so callers
+// do not retry the restart itself.
+func (s *Store) RestartNode(id int) error {
+	if err := s.set.Cluster().RestartObject(id); err != nil {
+		return err
+	}
+	if fl := s.recon.InFlight(); fl == nil || !fl.Interrupted {
+		return nil
+	}
+	if _, err := s.ResumeMoves(); err != nil {
+		return fmt.Errorf("spacebounds: node %d restarted; resuming interrupted reconfiguration failed: %w", id, err)
+	}
+	return nil
+}
 
 // FaultStats reports the injected crash/restart counts (zero when fault
 // injection is disabled).
@@ -377,7 +394,8 @@ func (s *Store) StorageBreakdown() (total int, perShard map[string]int) {
 // StorageSnapshot returns the full storage breakdown across all shards.
 func (s *Store) StorageSnapshot() *storagecost.Snapshot { return s.set.StorageSnapshot() }
 
-// ResizeOp is one step of a Resize plan; exactly one field must be set.
+// ResizeOp is one step of a Resize plan; exactly one of Split, Drain, Add,
+// Remove and Merge must be set (Merge additionally needs MergeWith).
 type ResizeOp struct {
 	// Split names a shard to split into two successors on fresh regions.
 	Split string
@@ -388,6 +406,9 @@ type ResizeOp struct {
 	// Remove names a dedicated shard to drop (its key rejoins hash routing;
 	// the dedicated register's value is discarded with its namespace).
 	Remove string
+	// Merge and MergeWith name two shards to merge into one successor.
+	Merge     string
+	MergeWith string
 }
 
 // move translates the facade op into a reconfig move.
@@ -406,8 +427,11 @@ func (op ResizeOp) move() (reconfig.Move, error) {
 	if op.Remove != "" {
 		set, mv = set+1, reconfig.Move{Kind: reconfig.MoveRemove, Shard: op.Remove}
 	}
-	if set != 1 {
-		return mv, fmt.Errorf("spacebounds: resize op must set exactly one of Split/Drain/Add/Remove, got %+v", op)
+	if op.Merge != "" {
+		set, mv = set+1, reconfig.Move{Kind: reconfig.MoveMerge, Shard: op.Merge, Shard2: op.MergeWith}
+	}
+	if set != 1 || (op.Merge != "") != (op.MergeWith != "") {
+		return mv, fmt.Errorf("spacebounds: resize op must set exactly one of Split/Drain/Add/Remove/Merge(+MergeWith), got %+v", op)
 	}
 	return mv, nil
 }
@@ -416,8 +440,12 @@ func (op ResizeOp) move() (reconfig.Move, error) {
 type ReconfigStats struct {
 	// Epoch is the current routing epoch (0 until the first move).
 	Epoch int64
-	// Splits, Drains, Adds, Removes count completed moves.
-	Splits, Drains, Adds, Removes int
+	// Splits, Drains, Adds, Removes, Merges count completed moves.
+	Splits, Drains, Adds, Removes, Merges int
+	// Resumes counts takeovers of interrupted moves (a move interrupted
+	// twice counts twice, whatever its eventual outcome); Aborts counts
+	// cleanly rolled-back moves.
+	Resumes, Aborts int
 	// SeedWrites counts migration-writer replays into successor shards.
 	SeedWrites int
 	// FallbackReads counts dual-epoch reads answered by the old epoch.
@@ -467,6 +495,45 @@ func (s *Store) DrainShard(name string) (string, error) {
 	return ev.Successors[0], nil
 }
 
+// MergeShards merges two shards into a single successor on a fresh region —
+// the inverse of SplitShard — while the store keeps serving. Keys of both
+// sources route to the successor, which is seeded with the latest value of
+// the source that wins the (installation epoch, timestamp) ordering; the
+// other source's value is discarded with its register, exactly like the
+// value ordering of a dual-epoch read. It returns the successor shard name.
+func (s *Store) MergeShards(a, b string) (string, error) {
+	ev, err := s.apply(reconfig.Move{Kind: reconfig.MoveMerge, Shard: a, Shard2: b})
+	if err != nil {
+		return "", err
+	}
+	return ev.Successors[0], nil
+}
+
+// ResumeMoves re-drives a reconfiguration move whose driver died
+// mid-migration, picking up from the step ledger's last completed step. A
+// live store's moves normally run synchronously inside Resize and friends,
+// so there is usually nothing to do; the method exists for the fail-recover
+// path (RestartNode calls it) and for embedders driving moves from their own
+// goroutines. It reports how many moves were resumed.
+func (s *Store) ResumeMoves() (int, error) {
+	s.reconMu.Lock()
+	defer s.reconMu.Unlock()
+	resumed := 0
+	for {
+		fl := s.recon.InFlight()
+		if fl == nil || !fl.Interrupted {
+			return resumed, nil
+		}
+		took, _, err := s.recon.Resume(s.migRunner())
+		if err != nil {
+			return resumed, err
+		}
+		if took {
+			resumed++
+		}
+	}
+}
+
 // AddShard forks the given key onto a dedicated shard seeded from the
 // register the key currently routes to. The origin keeps serving its other
 // keys.
@@ -508,6 +575,7 @@ func (s *Store) ReconfigStats() ReconfigStats {
 	st := s.recon.Stats()
 	return ReconfigStats{
 		Epoch: st.Epoch, Splits: st.Splits, Drains: st.Drains, Adds: st.Adds, Removes: st.Removes,
+		Merges: st.Merges, Resumes: st.Resumes, Aborts: st.Aborts,
 		SeedWrites: st.SeedWrites, FallbackReads: st.FallbackReads, HeldWrites: st.HeldWrites,
 	}
 }
