@@ -1,8 +1,9 @@
 GO ?= go
 
 # Benchmarks gated by the CI regression check; sleep-dominated (simulated
-# node service time), so their ops/s is stable across machines.
-BENCH_GATE ?= BenchmarkShardedLiveThroughput
+# node service time), so their ops/s is stable across machines. The loopback
+# leg prices the RMW envelope wire format against the direct path.
+BENCH_GATE ?= BenchmarkShardedLiveThroughput|BenchmarkLoopbackLiveThroughput
 BENCH_TIME ?= 300ms
 # Minimum total test coverage (percent) enforced by `make cover`.
 COVER_FLOOR ?= 78
@@ -12,7 +13,7 @@ SIM_SMOKE_SEEDS ?= 50
 # Fuzzing budget for the checker fuzz smoke.
 FUZZ_TIME ?= 20s
 
-.PHONY: build test race bench bench-json bench-check cover fmt-check examples sim-smoke sim-soak sim-soak-reconfig sim-soak-merge fuzz-smoke
+.PHONY: build test race bench bench-json bench-check cover fmt-check examples sim-smoke sim-soak sim-soak-reconfig sim-soak-merge fuzz-smoke e2e-smoke e2e-chaos
 
 # Compile everything and run static checks.
 build:
@@ -87,12 +88,28 @@ sim-soak-merge:
 		-sim-reconfig-splits 1 -sim-reconfig-drains 1 -sim-reconfig-merges 2 \
 		-sim-controller-crashes 2 -sim-live=false -sim-out sim-failures-merge.txt
 
-# Short coverage-guided fuzz of the history package: FuzzCheckers pins the
-# consistency-condition hierarchy and checker determinism, FuzzHistoryMerge
-# (FUZZ_TARGET=FuzzHistoryMerge) the cross-epoch stitching invariants.
+# Short coverage-guided fuzz runs. Defaults to the history package, where
+# FuzzCheckers pins the consistency-condition hierarchy and checker
+# determinism and FuzzHistoryMerge (FUZZ_TARGET=FuzzHistoryMerge) the
+# cross-epoch stitching invariants; FUZZ_TARGET=FuzzEnvelopeRoundTrip
+# FUZZ_PKG=./internal/register fuzzes the wire codecs of all four register
+# providers (any payload that decodes must re-encode byte-identically).
 FUZZ_TARGET ?= FuzzCheckers
+FUZZ_PKG ?= ./internal/history
 fuzz-smoke:
-	$(GO) test -run='^$$' -fuzz=$(FUZZ_TARGET) -fuzztime=$(FUZZ_TIME) ./internal/history
+	$(GO) test -run='^$$' -fuzz=$(FUZZ_TARGET) -fuzztime=$(FUZZ_TIME) $(FUZZ_PKG)
+
+# Black-box end-to-end smoke of the TCP transport: builds the spacenode and
+# spacebench binaries, starts a 4-node cluster on ephemeral ports, runs the
+# paced sharded workload as a real client, SIGKILLs one node mid-run,
+# restarts it with -recover on the same port, and checks the recorded
+# history for strong regularity. -short keeps the paced window brief for PR
+# CI; the nightly chaos leg runs the full window repeatedly.
+e2e-smoke:
+	$(GO) test -run TestClusterEndToEnd -short -count=1 ./cmd/spacenode
+
+e2e-chaos:
+	$(GO) test -run TestClusterEndToEnd -count=5 -timeout 15m ./cmd/spacenode
 
 # Run every example end-to-end with a tiny step budget.
 examples:

@@ -16,12 +16,16 @@ import (
 
 	"spacebounds"
 	"spacebounds/internal/adversary"
+	"spacebounds/internal/dsys"
 	"spacebounds/internal/erasure"
 	"spacebounds/internal/register"
 	"spacebounds/internal/register/abd"
 	"spacebounds/internal/register/adaptive"
 	"spacebounds/internal/register/ecreg"
 	"spacebounds/internal/register/safereg"
+	"spacebounds/internal/shard"
+	"spacebounds/internal/transport"
+	"spacebounds/internal/value"
 	"spacebounds/internal/workload"
 )
 
@@ -381,6 +385,76 @@ func BenchmarkShardedLiveThroughput(b *testing.B) {
 					b.Fatalf("live split: %v", err)
 				}
 			}
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
+		})
+	}
+}
+
+// BenchmarkLoopbackLiveThroughput prices the wire format on the hot path: the
+// same keyed live workload run directly against a shard set versus through
+// the loopback transport, where every RMW and response is codec-encoded,
+// envelope-marshalled, unmarshalled and decoded before the local engine
+// applies it. Both variants simulate a 50µs node service time, so ops/s is
+// dominated by the simulated cluster and stable across machines; the gate in
+// CI (cmd/benchdiff, 25% tolerance) enforces that envelope serialization
+// stays a rounding error next to a single node service period.
+func BenchmarkLoopbackLiveThroughput(b *testing.B) {
+	const (
+		clients   = 8
+		valueSize = 1024
+	)
+	specs := func() []shard.Spec {
+		return []shard.Spec{{
+			Name:      "s0",
+			Algorithm: "adaptive",
+			Config:    register.Config{F: 2, K: 2, DataLen: valueSize},
+		}}
+	}
+	for _, mode := range []string{"direct", "loopback"} {
+		b.Run(fmt.Sprintf("transport=%s/clients=%d", mode, clients), func(b *testing.B) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(max(clients, runtime.NumCPU())))
+			backing, err := shard.New(specs(), dsys.WithLiveLatency(50*time.Microsecond))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer backing.Close()
+			set := backing
+			if mode == "loopback" {
+				set, err = shard.NewRemote(specs(), transport.NewLoopback(backing.Cluster()))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer set.Close()
+			}
+			sh := set.Shards()[0]
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for cl := 1; cl <= clients; cl++ {
+				cl := cl
+				ops := b.N / clients
+				if cl <= b.N%clients {
+					ops++
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < ops; i++ {
+						if i%10 == 9 {
+							if _, err := set.ReadValue(cl, sh); err != nil {
+								b.Error(err)
+								return
+							}
+							continue
+						}
+						if err := set.WriteValue(cl, sh, value.Sequenced(cl, i, valueSize)); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
 			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
 		})
 	}

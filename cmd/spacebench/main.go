@@ -14,6 +14,18 @@
 //	spacebench -markdown       # emit GitHub-flavoured markdown tables
 //	spacebench -throughput -shards 8 -skew 1.2 -clients 8 -ops 2000
 //	spacebench -sim -seeds 500 -sim-out sim-failures.txt
+//
+// With -connect, spacebench is instead a client of a real multi-process
+// cluster: it dials the given spacenode addresses, runs the same sharded
+// workload over the TCP envelope transport with history recording, and
+// checks the recorded histories against the provider's consistency
+// condition — the same checkers the deterministic simulator uses. The
+// checkers assume the registers start from their initial value with this
+// run's writes the only writes, so run one checked client per cluster
+// lifetime: a second run against nodes that kept state from an earlier run
+// reads values the checker never saw written and reports false violations.
+//
+//	spacebench -connect 127.0.0.1:9001,127.0.0.1:9002 -algo adaptive -shards 4 -clients 4 -ops 200
 package main
 
 import (
@@ -27,6 +39,7 @@ import (
 
 	"spacebounds/internal/dsys"
 	"spacebounds/internal/experiments"
+	"spacebounds/internal/history"
 	"spacebounds/internal/register"
 	_ "spacebounds/internal/register/abd"
 	_ "spacebounds/internal/register/adaptive"
@@ -34,6 +47,7 @@ import (
 	_ "spacebounds/internal/register/safereg"
 	"spacebounds/internal/shard"
 	"spacebounds/internal/sim"
+	"spacebounds/internal/transport"
 	"spacebounds/internal/workload"
 )
 
@@ -64,6 +78,10 @@ type cliConfig struct {
 	arrivalRate float64
 	split       string
 	resizeAt    int
+
+	// Client mode.
+	connect   string
+	recordOut string
 
 	// Simulation mode.
 	sim             bool
@@ -110,6 +128,9 @@ func parseArgs(args []string, errOut io.Writer) (*cliConfig, error) {
 	fs.StringVar(&c.split, "split", "", "live-split this shard mid-run and report throughput before/after (throughput mode)")
 	fs.IntVar(&c.resizeAt, "resize-at", 0, "completed-op threshold that triggers -split; 0 means half the scheduled operations (throughput mode)")
 
+	fs.StringVar(&c.connect, "connect", "", "comma-separated spacenode addresses; runs the workload as a client of that cluster (client mode)")
+	fs.StringVar(&c.recordOut, "record-out", "", "write the recorded per-shard histories to this file when the consistency check fails (client mode)")
+
 	fs.BoolVar(&c.sim, "sim", false, "explore seeded adversarial fault schedules with the deterministic simulator")
 	fs.IntVar(&c.seeds, "seeds", 50, "number of seeds per simulated configuration (sim mode)")
 	fs.StringVar(&c.simProviders, "sim-providers", strings.Join(sim.DefaultProviders, ","),
@@ -136,6 +157,8 @@ func parseArgs(args []string, errOut io.Writer) (*cliConfig, error) {
 // execute dispatches the parsed configuration. Normal output goes to out.
 func (c *cliConfig) execute(out io.Writer) error {
 	switch {
+	case c.connect != "":
+		return runClient(c, out)
 	case c.sim:
 		return runSim(c, out)
 	case c.throughput:
@@ -362,6 +385,120 @@ func runSimLive(c *cliConfig, out io.Writer, provider string) error {
 	fmt.Fprintf(out, "sim live %-14s %d ops (%d errors under churn): %s\n", provider,
 		res.CompletedWrites+res.CompletedReads, res.WriteErrors+res.ReadErrors, checked)
 	return nil
+}
+
+// runClient dials a spacenode cluster, runs the sharded workload over the
+// TCP envelope transport with history recording, and checks the recorded
+// histories against the provider's consistency condition: strong regularity
+// for the regular emulations, strong safety for the safe register.
+func runClient(c *cliConfig, out io.Writer) error {
+	if c.split != "" {
+		return fmt.Errorf("-split requires the in-process store; it cannot be combined with -connect")
+	}
+	addrs := strings.Split(c.connect, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	layout := transport.Layout{
+		Algorithm: c.algo,
+		Shards:    c.shards,
+		F:         c.f,
+		K:         c.k,
+		ValueSize: c.valueSize,
+	}
+	if c.algo == "abd" || c.algo == "safereg" {
+		layout.K = 1
+	}
+	specs, err := layout.Specs()
+	if err != nil {
+		return err
+	}
+	cli, err := transport.Dial(addrs)
+	if err != nil {
+		return err
+	}
+	set, err := shard.NewRemote(specs, cli)
+	if err != nil {
+		_ = cli.Close()
+		return err
+	}
+	defer set.Close()
+
+	start := time.Now()
+	res, err := workload.RunSharded(set, workload.ShardedSpec{
+		Clients:       c.clients,
+		OpsPerClient:  c.ops,
+		ReadFraction:  c.reads,
+		Keys:          c.keys,
+		ZipfS:         c.skew,
+		Seed:          c.seed,
+		ArrivalRate:   c.arrivalRate,
+		RecordHistory: true,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	total := res.CompletedWrites + res.CompletedReads
+	fmt.Fprintf(out, "client: %d nodes, %d shards (%s, f=%d, k=%d), %d clients × %d ops\n",
+		len(addrs), layout.Shards, layout.Algorithm, layout.F, layout.K, c.clients, c.ops)
+	fmt.Fprintf(out, "  completed: %d ops (%d writes, %d reads) in %v  ->  %.0f ops/s\n",
+		total, res.CompletedWrites, res.CompletedReads, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds())
+	if res.WriteErrors+res.ReadErrors > 0 {
+		fmt.Fprintf(out, "  errors: %d writes, %d reads (nodes down mid-run count here; completed ops must still be consistent)\n",
+			res.WriteErrors, res.ReadErrors)
+	}
+	if total == 0 {
+		// An empty history passes every checker trivially; a run where nothing
+		// completed is a dead cluster, not a consistent one.
+		return fmt.Errorf("no operations completed (%d write errors, %d read errors)",
+			res.WriteErrors, res.ReadErrors)
+	}
+
+	var checkErr error
+	condition := "strong regularity"
+	if c.algo == "safereg" {
+		condition = "strong safety"
+		for name, h := range res.Histories {
+			if err := history.CheckStrongSafety(h); err != nil {
+				checkErr = fmt.Errorf("shard %q: %w", name, err)
+				break
+			}
+		}
+	} else {
+		checkErr = res.CheckRegularity()
+	}
+	if checkErr == nil {
+		fmt.Fprintf(out, "  history check: %s ok (%d shards)\n", condition, len(res.Histories))
+		return nil
+	}
+	if c.recordOut != "" {
+		if werr := os.WriteFile(c.recordOut, []byte(formatHistories(res.Histories)), 0o644); werr != nil {
+			fmt.Fprintf(out, "  (failed to write %s: %v)\n", c.recordOut, werr)
+		} else {
+			fmt.Fprintf(out, "  recorded histories written to %s\n", c.recordOut)
+		}
+	}
+	return fmt.Errorf("history violates %s: %w", condition, checkErr)
+}
+
+// formatHistories dumps the recorded per-shard histories, one operation per
+// line, for offline analysis of a failed run.
+func formatHistories(hs map[string]*history.History) string {
+	names := make([]string, 0, len(hs))
+	for name := range hs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	b := &strings.Builder{}
+	for _, name := range names {
+		fmt.Fprintf(b, "shard %s:\n", name)
+		for _, op := range hs[name].Ops {
+			fmt.Fprintf(b, "  %s\n", op)
+		}
+	}
+	return b.String()
 }
 
 // runThroughput drives a sharded store with a keyed workload and prints

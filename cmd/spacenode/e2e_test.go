@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestClusterEndToEnd is the black-box test of the whole wire stack: it
+// builds the real binaries, starts a 4-node spacenode cluster on ephemeral
+// ports, runs the sharded workload against it through spacebench's client
+// mode at a paced arrival rate, kills one node with SIGKILL mid-run, restarts
+// it in recovery mode on the same port, and requires the client to finish
+// with its recorded history passing the strong-regularity checker.
+func TestClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		// The -short variant still kills and restarts a node; it just runs a
+		// shorter paced window.
+		runClusterE2E(t, 120, 150, 300*time.Millisecond, 600*time.Millisecond)
+		return
+	}
+	runClusterE2E(t, 240, 120, 500*time.Millisecond, 1000*time.Millisecond)
+}
+
+// runClusterE2E drives one kill-and-recover run: opsPerClient operations per
+// client dispatched at ratePerSec, the victim killed at killAt and restarted
+// with -recover at restartAt.
+func runClusterE2E(t *testing.T, opsPerClient int, ratePerSec float64, killAt, restartAt time.Duration) {
+	bin := t.TempDir()
+	nodeBin := filepath.Join(bin, "spacenode")
+	benchBin := filepath.Join(bin, "spacebench")
+	buildBinary(t, nodeBin, "spacebounds/cmd/spacenode")
+	buildBinary(t, benchBin, "spacebounds/cmd/spacebench")
+
+	const (
+		nodes  = 4
+		shards = 2
+		algo   = "adaptive"
+	)
+	layoutArgs := []string{
+		"-nodes", fmt.Sprint(nodes),
+		"-algo", algo, "-shards", fmt.Sprint(shards), "-f", "1", "-k", "1", "-valuesize", "64",
+	}
+
+	procs := make([]*exec.Cmd, nodes)
+	addrs := make([]string, nodes)
+	for n := 0; n < nodes; n++ {
+		procs[n], addrs[n] = startNode(t, nodeBin,
+			append([]string{"-listen", "127.0.0.1:0", "-node", fmt.Sprint(n)}, layoutArgs...))
+	}
+	defer func() {
+		for _, p := range procs {
+			if p != nil && p.Process != nil {
+				_ = p.Process.Kill()
+				_ = p.Wait()
+			}
+		}
+	}()
+
+	// The recorded history lands in the test tempdir unless CI points
+	// E2E_HISTORY_DIR at a directory that survives the test, so a failing run
+	// can upload it as an artifact.
+	histDir := bin
+	if d := os.Getenv("E2E_HISTORY_DIR"); d != "" {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatalf("E2E_HISTORY_DIR %q: %v", d, err)
+		}
+		histDir = d
+	}
+	histFile := filepath.Join(histDir, "history.txt")
+
+	// The client paces its arrivals, so the run's wall-clock window is
+	// opsPerClient/ratePerSec regardless of cluster health — long enough to
+	// span the kill and the recovery below.
+	clientOut := &bytes.Buffer{}
+	client := exec.Command(benchBin,
+		"-connect", strings.Join(addrs, ","),
+		"-algo", algo, "-shards", fmt.Sprint(shards), "-f", "1", "-k", "1", "-valuesize", "64",
+		"-clients", "3", "-ops", fmt.Sprint(opsPerClient),
+		"-arrival-rate", fmt.Sprint(ratePerSec),
+		"-keys", "8", "-reads", "0.4", "-seed", "7",
+		"-record-out", histFile,
+	)
+	client.Stdout = clientOut
+	client.Stderr = clientOut
+	if err := client.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill one node mid-run — hard, as a crash would.
+	const victim = 2
+	time.Sleep(killAt)
+	if err := procs[victim].Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("kill node %d: %v", victim, err)
+	}
+	_ = procs[victim].Wait()
+
+	// Restart it on the same port, in recovery mode: its state is gone, so it
+	// must refuse reads per object until writes repair them.
+	time.Sleep(restartAt - killAt)
+	procs[victim], _ = startNode(t, nodeBin,
+		append([]string{"-listen", addrs[victim], "-node", fmt.Sprint(victim), "-recover"}, layoutArgs...))
+
+	err := client.Wait()
+	out := clientOut.String()
+	if err != nil {
+		if data, rerr := os.ReadFile(histFile); rerr == nil {
+			t.Logf("recorded history:\n%s", data)
+		}
+		t.Fatalf("client failed: %v\noutput:\n%s", err, out)
+	}
+	if !strings.Contains(out, "history check: strong regularity ok") {
+		t.Fatalf("client output missing history verdict:\n%s", out)
+	}
+	t.Logf("client output:\n%s", out)
+}
+
+// buildBinary builds pkg into path with the module's toolchain.
+func buildBinary(t *testing.T, path, pkg string) {
+	t.Helper()
+	cmd := exec.Command("go", "build", "-o", path, pkg)
+	cmd.Dir = "../.." // module root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+}
+
+// startNode launches one spacenode and scrapes its LISTENING line.
+func startNode(t *testing.T, bin string, args []string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "LISTENING "); ok {
+				select {
+				case addrCh <- rest:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr
+	case <-time.After(10 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatalf("spacenode %v did not report LISTENING", args)
+		return nil, ""
+	}
+}

@@ -1,0 +1,147 @@
+// Command spacenode hosts one node's share of a sharded deployment's base
+// objects behind the TCP envelope transport. Every node of a cluster is
+// started with the same layout flags and its own -node index; clients
+// (spacebench -connect) expand the same layout, so object placement needs no
+// runtime coordination.
+//
+// The node prints "LISTENING <addr>" once it accepts connections — start it
+// with -listen 127.0.0.1:0 and scrape the line to learn the ephemeral port.
+//
+// A node restarted after a crash has lost its base objects' state. Restart it
+// with -recover: read-only rounds are refused per object until a mutating
+// round has applied there, so the recovered node re-joins quorums without
+// ever serving its empty state as if it were current.
+//
+// Usage:
+//
+//	spacenode -listen 127.0.0.1:9001 -node 0 -nodes 4 -algo adaptive -shards 4 -f 1 -k 1
+//	spacenode -listen 127.0.0.1:9001 -node 0 -nodes 4 -recover ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"spacebounds/internal/register"
+	_ "spacebounds/internal/register/abd"
+	_ "spacebounds/internal/register/adaptive"
+	_ "spacebounds/internal/register/ecreg"
+	_ "spacebounds/internal/register/safereg"
+	"spacebounds/internal/shard"
+	"spacebounds/internal/transport"
+)
+
+// nodeConfig carries the parsed flags.
+type nodeConfig struct {
+	listen    string
+	node      int
+	nodes     int
+	algo      string
+	shards    int
+	f, k      int
+	valueSize int
+	recovery  bool
+}
+
+func parseArgs(args []string, errOut io.Writer) (*nodeConfig, error) {
+	c := &nodeConfig{}
+	fs := flag.NewFlagSet("spacenode", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	fs.StringVar(&c.listen, "listen", "127.0.0.1:0", "address to listen on (port 0 picks an ephemeral port)")
+	fs.IntVar(&c.node, "node", 0, "this node's index in [0,nodes)")
+	fs.IntVar(&c.nodes, "nodes", 1, "total number of nodes in the deployment")
+	fs.StringVar(&c.algo, "algo", "adaptive", "register provider per shard: adaptive, abd, ecreg, safereg")
+	fs.IntVar(&c.shards, "shards", 1, "number of shards")
+	fs.IntVar(&c.f, "f", 1, "crash failures tolerated per shard")
+	fs.IntVar(&c.k, "k", 1, "erasure decode threshold per shard")
+	fs.IntVar(&c.valueSize, "valuesize", 64, "value size in bytes")
+	fs.BoolVar(&c.recovery, "recover", false, "start in recovery mode: refuse reads per object until a write has applied (use after a crash)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if len(fs.Args()) > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if c.nodes < 1 || c.node < 0 || c.node >= c.nodes {
+		return nil, fmt.Errorf("-node %d out of range [0,%d)", c.node, c.nodes)
+	}
+	return c, nil
+}
+
+// run starts the node and blocks until stop is signalled.
+func run(c *nodeConfig, out io.Writer, stop <-chan os.Signal) error {
+	layout := transport.Layout{
+		Algorithm: c.algo,
+		Shards:    c.shards,
+		F:         c.f,
+		K:         c.k,
+		ValueSize: c.valueSize,
+	}
+	specs, err := layout.Specs()
+	if err != nil {
+		return err
+	}
+	// The node builds the full cluster's object table but hosts only its
+	// placement's slice; hosting is a predicate, not a copy, so the unhosted
+	// objects cost a few empty structs.
+	set, err := shard.New(specs)
+	if err != nil {
+		return err
+	}
+	defer set.Close()
+
+	opts := []transport.ServerOption{
+		transport.WithHosts(layout.HostedBy(c.nodes, c.node)),
+	}
+	if c.recovery {
+		opts = append(opts, transport.WithRecovery())
+	}
+	srv := transport.NewServer(set.Cluster(), opts...)
+	addr, err := srv.Listen(c.listen)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(out, "LISTENING %s\n", addr)
+	fmt.Fprintf(out, "spacenode %d/%d: %s, %d shards (f=%d, k=%d), hosting %d of %d objects, recovery=%v\n",
+		c.node, c.nodes, c.algo, c.shards, c.f, c.k,
+		countHosted(layout, c.nodes, c.node), layout.TotalObjects(), c.recovery)
+	<-stop
+	return nil
+}
+
+func countHosted(l transport.Layout, nodes, node int) int {
+	hosted := 0
+	for obj := 0; obj < l.TotalObjects(); obj++ {
+		if l.HostedBy(nodes, node)(obj) {
+			hosted++
+		}
+	}
+	return hosted
+}
+
+func main() {
+	cfg, err := parseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		if err == flag.ErrHelp {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "spacenode: %v\n", err)
+		os.Exit(2)
+	}
+	// NewByName panics late otherwise; fail fast on a bad provider name.
+	if _, err := register.NewByName(cfg.algo, register.Config{F: cfg.f, K: cfg.k, DataLen: cfg.valueSize}); err != nil {
+		fmt.Fprintf(os.Stderr, "spacenode: %v\n", err)
+		os.Exit(2)
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(cfg, os.Stdout, stop); err != nil {
+		fmt.Fprintf(os.Stderr, "spacenode: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"spacebounds/internal/transport"
+)
+
+func TestParseArgs(t *testing.T) {
+	c, err := parseArgs([]string{
+		"-listen", "127.0.0.1:9001", "-node", "2", "-nodes", "4",
+		"-algo", "abd", "-shards", "3", "-f", "2", "-k", "1", "-valuesize", "128", "-recover",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := nodeConfig{
+		listen: "127.0.0.1:9001", node: 2, nodes: 4,
+		algo: "abd", shards: 3, f: 2, k: 1, valueSize: 128, recovery: true,
+	}
+	if *c != want {
+		t.Fatalf("parseArgs = %+v, want %+v", *c, want)
+	}
+
+	for _, bad := range [][]string{
+		{"-node", "4", "-nodes", "4"},          // index out of range
+		{"-node", "-1"},                        // negative index
+		{"-nodes", "0"},                        // empty deployment
+		{"-node", "0", "-nodes", "1", "extra"}, // positional leftovers
+		{"-no-such-flag"},
+	} {
+		if _, err := parseArgs(bad, io.Discard); err == nil {
+			t.Fatalf("parseArgs(%v) accepted", bad)
+		}
+	}
+}
+
+func TestCountHosted(t *testing.T) {
+	l := transport.Layout{Algorithm: "adaptive", Shards: 2, F: 1, K: 1, ValueSize: 64}
+	total := 0
+	for node := 0; node < 4; node++ {
+		total += countHosted(l, 4, node)
+	}
+	if total != l.TotalObjects() {
+		t.Fatalf("nodes host %d objects in total, want %d", total, l.TotalObjects())
+	}
+	// 2 shards x 3 objects over 4 nodes round-robin: no node hosts more than 2.
+	for node := 0; node < 4; node++ {
+		if n := countHosted(l, 4, node); n > 2 {
+			t.Fatalf("node %d hosts %d objects, want <= 2", node, n)
+		}
+	}
+}
+
+// run must come up, report its address and hosting summary, and exit cleanly
+// when signalled — the lifecycle the e2e test drives through the binary.
+func TestRunListensAndStops(t *testing.T) {
+	c, err := parseArgs([]string{"-listen", "127.0.0.1:0", "-node", "0", "-nodes", "2"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, pw := io.Pipe()
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		defer pw.Close()
+		done <- run(c, pw, stop)
+	}()
+
+	sc := bufio.NewScanner(pr)
+	if !sc.Scan() {
+		t.Fatalf("no output before exit: %v", <-done)
+	}
+	addr, ok := strings.CutPrefix(sc.Text(), "LISTENING ")
+	if !ok {
+		t.Fatalf("first line = %q, want LISTENING prefix", sc.Text())
+	}
+	if !sc.Scan() || !strings.Contains(sc.Text(), "hosting") {
+		t.Fatalf("missing hosting summary, got %q", sc.Text())
+	}
+
+	// The reported address accepts envelope rounds.
+	cl, err := transport.Dial([]string{addr}, transport.WithPlacement(func(int) int { return 0 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	stop <- os.Interrupt
+	io.Copy(io.Discard, pr)
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsBadLayout(t *testing.T) {
+	c, err := parseArgs([]string{"-algo", "no-such-provider"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan os.Signal)
+	if err := run(c, &bytes.Buffer{}, stop); err == nil {
+		t.Fatal("run accepted an unknown provider")
+	}
+	c2, err := parseArgs([]string{"-listen", "no-such-host-zzz:0"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(c2, &bytes.Buffer{}, stop); err == nil {
+		t.Fatal("run accepted an unresolvable listen address")
+	}
+}

@@ -26,9 +26,10 @@ func main() {
 	defer store.Close()
 	fmt.Printf("started %s over %d base objects\n", store.Algorithm(), store.Nodes())
 
-	// Client 1 writes.
+	// Client 1 writes. Keys route to shards; with a single shard every key
+	// addresses the same register, and "default" is that shard's name.
 	msg := "erasure codes meet replication"
-	if err := store.Write(1, []byte(msg)); err != nil {
+	if err := store.WriteKey(1, "default", []byte(msg)); err != nil {
 		log.Fatalf("write: %v", err)
 	}
 	fmt.Printf("client 1 wrote %q\n", msg)
@@ -41,7 +42,7 @@ func main() {
 	fmt.Println("crashed base object 0")
 
 	// Client 2 reads despite the failure.
-	got, err := store.Read(2)
+	got, err := store.ReadKey(2, "default")
 	if err != nil {
 		log.Fatalf("read: %v", err)
 	}

@@ -1,6 +1,7 @@
 package dsys
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -17,6 +18,11 @@ type ClientHandle struct {
 	task *clientTask // nil in live mode
 	base int
 	span int
+
+	// ctx bounds remote rounds (deadline/cancellation plumbed through the
+	// transport's Invoke). Nil means context.Background(). The in-process
+	// engines ignore it: controlled-mode schedules must stay deterministic.
+	ctx context.Context
 
 	currentOp OpID
 }
@@ -47,7 +53,26 @@ func (h *ClientHandle) Sub(base, span int) (*ClientHandle, error) {
 	if base < 0 || span < 1 || base+span > limit {
 		return nil, fmt.Errorf("%w: sub-scope [%d,%d)", ErrUnknownObject, base, base+span)
 	}
-	return &ClientHandle{c: h.c, id: h.id, task: h.task, base: h.base + base, span: span}, nil
+	return &ClientHandle{c: h.c, id: h.id, task: h.task, base: h.base + base, span: span, ctx: h.ctx}, nil
+}
+
+// WithContext returns a handle for the same client, task and scope whose
+// remote rounds are bounded by ctx: a transport-backed Invoke observes the
+// context's deadline and cancellation. The in-process engines are unaffected.
+// The derived handle shares the parent's task and must not be used
+// concurrently with it.
+func (h *ClientHandle) WithContext(ctx context.Context) *ClientHandle {
+	dup := *h
+	dup.ctx = ctx
+	return &dup
+}
+
+// context returns the handle's round context, defaulting to Background.
+func (h *ClientHandle) context() context.Context {
+	if h.ctx != nil {
+		return h.ctx
+	}
+	return context.Background()
 }
 
 // N returns the number of base objects visible to this handle (the scope's
@@ -141,10 +166,32 @@ func (h *ClientHandle) Invoke(targets []int, makeRMW func(obj int) RMW, quorum i
 			return nil, fmt.Errorf("%w: %d", ErrUnknownObject, obj)
 		}
 	}
+	if h.c.remote != nil {
+		return h.invokeRemote(targets, makeRMW, quorum)
+	}
 	if h.c.opts.mode == Live {
 		return h.invokeLive(targets, makeRMW, quorum)
 	}
 	return h.invokeControlled(targets, makeRMW, quorum)
+}
+
+// invokeRemote delegates the round to the remote cluster's transport:
+// scope-local targets are translated to global object IDs on the way out and
+// responses are translated back, so region-scoped register code runs
+// unchanged against a cluster hosted in other processes.
+func (h *ClientHandle) invokeRemote(targets []int, makeRMW func(obj int) RMW, quorum int) (map[int]any, error) {
+	global := make([]int, len(targets))
+	for i, obj := range targets {
+		global[i] = h.base + obj
+	}
+	resp, err := h.c.remote.InvokeRound(h.context(), h.id, global, func(g int) RMW {
+		return makeRMW(g - h.base)
+	}, quorum)
+	local := make(map[int]any, len(resp))
+	for g, r := range resp {
+		local[g-h.base] = r
+	}
+	return local, err
 }
 
 // invokeControlled registers pending RMWs and blocks until the scheduling
@@ -221,7 +268,7 @@ func (h *ClientHandle) invokeLive(targets []int, makeRMW func(obj int) RMW, quor
 		resp[objID] = r
 	}
 	if len(resp) < quorum {
-		return resp, fmt.Errorf("%w: only %d of %d required responses available", ErrStuck, len(resp), quorum)
+		return resp, fmt.Errorf("%w: only %d of %d required responses available", ErrQuorumUnavailable, len(resp), quorum)
 	}
 	return resp, nil
 }
@@ -280,7 +327,7 @@ func (h *ClientHandle) invokeLiveLatency(targets []int, makeRMW func(obj int) RM
 		}
 	}
 	if len(resp) < quorum {
-		return resp, fmt.Errorf("%w: only %d of %d required responses available", ErrStuck, len(resp), quorum)
+		return resp, fmt.Errorf("%w: only %d of %d required responses available", ErrQuorumUnavailable, len(resp), quorum)
 	}
 	return resp, nil
 }
@@ -317,7 +364,7 @@ func (h *ClientHandle) invokeLiveBatched(targets []int, makeRMW func(obj int) RM
 		if c.liveHalted.Load() {
 			return resp, ErrHalted
 		}
-		return resp, fmt.Errorf("%w: only %d of %d required responses available", ErrStuck, len(resp), quorum)
+		return resp, fmt.Errorf("%w: only %d of %d required responses available", ErrQuorumUnavailable, len(resp), quorum)
 	}
 	return resp, nil
 }

@@ -265,6 +265,11 @@ type Cluster struct {
 	liveHalted atomic.Bool
 	closed     chan struct{}
 
+	// remote, when non-nil, makes this a client-side view of a cluster hosted
+	// elsewhere: Invoke rounds are delegated to it instead of applying RMWs on
+	// the placeholder local objects. Set by NewRemoteCluster.
+	remote RoundInvoker
+
 	acct *storagecost.Accountant
 	wg   sync.WaitGroup
 }
@@ -469,6 +474,7 @@ func (c *Cluster) Close() {
 	}
 	c.cond.Broadcast()
 	c.wg.Wait()
+	c.closeRemote()
 }
 
 // CrashObject crashes base object id: pending and future RMWs on it never
@@ -483,7 +489,7 @@ func (c *Cluster) CrashObject(id int) error {
 	}
 	if objects[id].retired.Load() {
 		c.mu.Unlock()
-		return fmt.Errorf("dsys: object %d is retired", id)
+		return fmt.Errorf("%w: %d", ErrRetiredObject, id)
 	}
 	objects[id].crashed.Store(true)
 	c.idleReason = ""
@@ -524,7 +530,7 @@ func (c *Cluster) RestartObject(id int) error {
 	}
 	if objects[id].retired.Load() {
 		c.mu.Unlock()
-		return fmt.Errorf("dsys: object %d is retired", id)
+		return fmt.Errorf("%w: %d", ErrRetiredObject, id)
 	}
 	objects[id].crashed.Store(false)
 	c.idleReason = ""

@@ -108,6 +108,24 @@ var (
 	ErrBadQuorum = errors.New("dsys: quorum larger than number of targets")
 	// ErrUnknownObject indicates an RMW aimed at a non-existent base object.
 	ErrUnknownObject = errors.New("dsys: unknown base object")
+	// ErrQuorumUnavailable is returned when a round cannot gather the required
+	// quorum of responses — too many of the targeted base objects are crashed,
+	// retired, or unreachable. It wraps ErrStuck: a client waiting for a quorum
+	// that cannot form is the live-mode reading of a stuck run, so existing
+	// errors.Is(err, ErrStuck) checks keep matching.
+	ErrQuorumUnavailable = fmt.Errorf("%w: quorum unavailable", ErrStuck)
+	// ErrRetiredObject indicates an operation aimed at a base object that was
+	// permanently decommissioned by reconfiguration.
+	ErrRetiredObject = errors.New("dsys: base object retired")
+	// ErrObjectDown indicates an RMW aimed at a crashed base object; the RMW
+	// does not take effect until the object is restarted.
+	ErrObjectDown = errors.New("dsys: base object crashed")
+	// ErrRecovering indicates a read-only RMW refused by a node that restarted
+	// with empty state and has not yet seen a mutating RMW on that object.
+	ErrRecovering = errors.New("dsys: base object recovering")
+	// ErrRemote wraps transport-level failures that have no more specific
+	// sentinel, so remote faults remain distinguishable from local ones.
+	ErrRemote = errors.New("dsys: remote invocation failed")
 )
 
 // IdleReason explains why WaitIdle returned.

@@ -179,6 +179,18 @@ type Stats struct {
 // the scheduler only observes it when the cluster shuts down.
 var ErrInterrupted = errors.New("reconfig: migration interrupted")
 
+// ErrMoveInFlight is returned by Submit while another move is in flight (the
+// coordinator serializes moves; resume or finish the current one first).
+var ErrMoveInFlight = errors.New("reconfig: a move is already in flight")
+
+// ErrNotMigratable marks a source register that lacks the timestamped read
+// migration requires.
+var ErrNotMigratable = errors.New("reconfig: register cannot be migrated (no timestamped read)")
+
+// ErrNoSeedWriter marks a successor register that lacks the idempotent seed
+// write migration requires.
+var ErrNoSeedWriter = errors.New("reconfig: register has no idempotent seed write")
+
 // errSuperseded is returned by a driver whose move was taken over by Resume;
 // it must not touch the ledger or the routing table again.
 var errSuperseded = errors.New("reconfig: move driver superseded by resume")
@@ -390,7 +402,7 @@ func (c *Coordinator) begin(mv Move) (*moveEntry, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.inFlight != nil {
-		return nil, fmt.Errorf("reconfig: move %v is in flight (resume it first)", c.inFlight.Move)
+		return nil, fmt.Errorf("%w: move %v (resume it first)", ErrMoveInFlight, c.inFlight.Move)
 	}
 	c.nextID++
 	c.nextOwner++
@@ -555,7 +567,7 @@ func (c *Coordinator) retireRegions(names []string) {
 func seedInto(r Runner, succ *shard.Shard, v value.Value) error {
 	sw, ok := succ.Reg.(register.SeedWriter)
 	if !ok {
-		return fmt.Errorf("successor %q: register %s has no idempotent seed write", succ.Name, succ.Reg.Name())
+		return fmt.Errorf("successor %q (register %s): %w", succ.Name, succ.Reg.Name(), ErrNoSeedWriter)
 	}
 	return r.RunOn(succ, func(h *dsys.ClientHandle) error { return sw.WriteSeed(h, v) })
 }
@@ -589,7 +601,7 @@ func (c *Coordinator) readsDrained(names []string) bool {
 func asTimestamped(sh *shard.Shard) (register.TimestampedReader, error) {
 	tr, ok := sh.Reg.(register.TimestampedReader)
 	if !ok {
-		return nil, fmt.Errorf("shard %q: register %s cannot be migrated (no timestamped read)", sh.Name, sh.Reg.Name())
+		return nil, fmt.Errorf("shard %q (register %s): %w", sh.Name, sh.Reg.Name(), ErrNotMigratable)
 	}
 	return tr, nil
 }
@@ -643,7 +655,7 @@ func (c *Coordinator) driveMigrate(r Runner, en *moveEntry, owner int64) (Event,
 	for i, name := range en.Sources {
 		sh := set.Shard(name)
 		if sh == nil {
-			return invalid(fmt.Errorf("unknown shard %q", name))
+			return invalid(fmt.Errorf("%w %q", shard.ErrUnknownShard, name))
 		}
 		if _, err := asTimestamped(sh); err != nil {
 			return invalid(err)
@@ -690,7 +702,7 @@ func (c *Coordinator) driveMigrate(r Runner, en *moveEntry, owner int64) (Event,
 				return Event{}, err
 			}
 			if _, ok := sh.Reg.(register.SeedWriter); !ok {
-				err := fmt.Errorf("successor %q: register %s has no idempotent seed write", sh.Name, sh.Reg.Name())
+				err := fmt.Errorf("successor %q (register %s): %w", sh.Name, sh.Reg.Name(), ErrNoSeedWriter)
 				c.retireRegions(append(names, sh.Name))
 				c.markAborted(en, owner, err)
 				return Event{}, err
@@ -898,7 +910,7 @@ func (c *Coordinator) driveAdd(r Runner, en *moveEntry, owner int64) (Event, err
 			return Event{}, err
 		}
 		if _, ok := sh.Reg.(register.SeedWriter); !ok {
-			err := fmt.Errorf("successor %q: register %s has no idempotent seed write", sh.Name, sh.Reg.Name())
+			err := fmt.Errorf("successor %q (register %s): %w", sh.Name, sh.Reg.Name(), ErrNoSeedWriter)
 			c.retireRegions([]string{sh.Name})
 			c.markAborted(en, owner, err)
 			return Event{}, err
@@ -1018,7 +1030,7 @@ func (c *Coordinator) driveRemove(r Runner, en *moveEntry, owner int64) (Event, 
 	set, rt := c.set, c.set.Router()
 	name := en.Move.Shard
 	if set.Shard(name) == nil {
-		cause := fmt.Errorf("unknown shard %q", name)
+		cause := fmt.Errorf("%w %q", shard.ErrUnknownShard, name)
 		c.markAborted(en, owner, cause)
 		return Event{}, cause
 	}

@@ -1,0 +1,46 @@
+package register_test
+
+import (
+	"testing"
+
+	"spacebounds/internal/dsys"
+	"spacebounds/internal/register"
+)
+
+// BenchmarkEnvelopeCodec measures the full wire path of one RMW per kind —
+// codec encode, envelope marshal, unmarshal, codec decode — which is the
+// per-request serialization cost the loopback transport adds to the local
+// engine and the TCP transport pays per frame.
+func BenchmarkEnvelopeCodec(b *testing.B) {
+	op := dsys.OpID{Client: 11, Seq: 42, Kind: dsys.OpWrite}
+	for _, kind := range register.CodecKinds() {
+		payload := seedPayloads()[kind]
+		c, ok := register.CodecByKind(kind)
+		if !ok {
+			b.Fatalf("kind %q not registered", kind)
+		}
+		rmw, err := c.Decode(payload)
+		if err != nil {
+			b.Fatalf("%s: seed does not decode: %v", kind, err)
+		}
+		b.Run(kind, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				env, err := register.EncodeEnvelope(op, 5, rmw)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wire, err := env.MarshalBinary()
+				if err != nil {
+					b.Fatal(err)
+				}
+				got, err := dsys.UnmarshalEnvelope(wire)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := register.DecodeRMW(got); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

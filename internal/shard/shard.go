@@ -20,6 +20,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -29,6 +30,10 @@ import (
 	"spacebounds/internal/storagecost"
 	"spacebounds/internal/value"
 )
+
+// ErrUnknownShard is returned (wrapped with the offending name) by set
+// operations naming a shard that does not exist.
+var ErrUnknownShard = errors.New("shard: unknown shard")
 
 // Spec describes one named shard: which register emulation backs it (a
 // provider name from internal/register) and its configuration.
@@ -133,6 +138,37 @@ func New(specs []Spec, opts ...dsys.Option) (*Set, error) {
 	return s, nil
 }
 
+// NewRemote builds the client side of a sharded deployment: the same
+// registers and routing as New, but every quorum round is delivered by inv —
+// a transport reaching the processes that actually host the base objects —
+// instead of a local engine. Both sides must expand the same specs in the
+// same order so the shards' global base offsets agree. Closing the set closes
+// inv if it implements io.Closer.
+func NewRemote(specs []Spec, inv dsys.RoundInvoker) (*Set, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("shard: empty spec list")
+	}
+	var shards []*Shard
+	total := 0
+	seen := make(map[string]bool, len(specs))
+	for _, spec := range specs {
+		if seen[spec.Name] {
+			return nil, fmt.Errorf("shard: duplicate shard name %q", spec.Name)
+		}
+		sh, init, err := buildShard(spec)
+		if err != nil {
+			return nil, err
+		}
+		seen[spec.Name] = true
+		sh.Base = total
+		total += len(init) // states live remotely; only the span matters here
+		shards = append(shards, sh)
+	}
+	s := &Set{router: newRouter(shards), regions: shards}
+	s.cluster = dsys.NewRemoteCluster(total, inv)
+	return s, nil
+}
+
 // Cluster returns the shared cluster.
 func (s *Set) Cluster() *dsys.Cluster { return s.cluster }
 
@@ -174,7 +210,7 @@ func (s *Set) AddRegion(spec Spec) (*Shard, error) {
 func (s *Set) RetireShard(name string) error {
 	e := s.router.RouteOf(name)
 	if e == nil {
-		return fmt.Errorf("shard: unknown shard %q", name)
+		return fmt.Errorf("%w %q", ErrUnknownShard, name)
 	}
 	s.router.MarkRetired(name)
 	return s.cluster.RetireObjects(e.Shard().Base, e.Shard().Span)
@@ -416,7 +452,7 @@ func (s *Set) Read(client int, key string) (value.Value, error) {
 func (s *Set) CrashNode(name string, node int) error {
 	sh := s.Shard(name)
 	if sh == nil {
-		return fmt.Errorf("shard: unknown shard %q", name)
+		return fmt.Errorf("%w %q", ErrUnknownShard, name)
 	}
 	if node < 0 || node >= sh.Span {
 		return fmt.Errorf("shard %q: node %d out of range [0,%d)", name, node, sh.Span)

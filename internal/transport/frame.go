@@ -1,0 +1,149 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// The wire protocol is length-prefixed frames over TCP:
+//
+//	u32 length | payload
+//
+// where the payload of a request frame is `u64 requestID | dsys.Envelope`
+// and of a response frame `u64 requestID | dsys.Response`. Request IDs are
+// chosen by the client and only need to be unique per connection; they are
+// what lets many quorum rounds share one pipelined connection.
+
+// maxFrameLen bounds a single frame; anything larger indicates a corrupt or
+// hostile stream.
+const maxFrameLen = 64 << 20
+
+// ErrFrame reports a malformed frame on the wire.
+var ErrFrame = errors.New("transport: malformed frame")
+
+// appendFrame appends the u32 length prefix and payload to dst.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// readFrame reads one length-prefixed frame and returns its payload in a
+// fresh slice.
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameLen {
+		return nil, fmt.Errorf("%w: length %d exceeds limit", ErrFrame, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// frameSender serializes frame writes onto one connection through a single
+// writer goroutine. Senders enqueue complete frames; the writer drains
+// whatever has accumulated, writes it through one buffered writer, and
+// flushes once per drained batch — so frames enqueued by concurrent quorum
+// rounds while a flush is in progress coalesce into a single socket write,
+// the connection-level analogue of the batched quorum engine's group commit.
+type frameSender struct {
+	conn net.Conn
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte
+	closed bool
+	err    error
+
+	done chan struct{}
+}
+
+// newFrameSender starts the writer goroutine for conn.
+func newFrameSender(conn net.Conn) *frameSender {
+	s := &frameSender{conn: conn, done: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	go s.run()
+	return s
+}
+
+// send enqueues one frame payload (without length prefix) for writing. It
+// fails once the sender is closed or the connection has errored.
+func (s *frameSender) send(payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		if s.err != nil {
+			return s.err
+		}
+		return net.ErrClosed
+	}
+	s.queue = append(s.queue, payload)
+	s.cond.Signal()
+	return nil
+}
+
+// close stops the writer after it has drained already-enqueued frames. It
+// does not close the connection; the owner does.
+func (s *frameSender) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-s.done
+}
+
+// fail latches a write error and stops accepting frames.
+func (s *frameSender) fail(err error) {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.err = err
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *frameSender) run() {
+	defer close(s.done)
+	bw := bufio.NewWriter(s.conn)
+	var hdr [4]byte
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		batch := s.queue
+		s.queue = nil
+		s.mu.Unlock()
+
+		for _, payload := range batch {
+			binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+			if _, err := bw.Write(hdr[:]); err != nil {
+				s.fail(err)
+				return
+			}
+			if _, err := bw.Write(payload); err != nil {
+				s.fail(err)
+				return
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			s.fail(err)
+			return
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package transport
+
+import (
+	"fmt"
+
+	"spacebounds/internal/register"
+	"spacebounds/internal/shard"
+)
+
+// Placement maps a global base-object ID to the node hosting it. Client and
+// servers must agree on the placement; it is pure configuration, derived on
+// both sides from the same Layout.
+type Placement func(object int) int
+
+// RoundRobin places object i on node i mod nodes. With node count at least a
+// shard's span (n = 2f+k), consecutive objects of one shard land on distinct
+// nodes, so killing a single node costs each shard at most one base object —
+// within the f the quorum system tolerates.
+func RoundRobin(nodes int) Placement {
+	return func(object int) int { return object % nodes }
+}
+
+// Layout describes a homogeneous sharded deployment compactly enough to pass
+// on a command line. spacenode and the spacebench client both expand it with
+// Specs(), so the two sides derive identical shard base offsets and object
+// placements without any runtime coordination.
+type Layout struct {
+	// Algorithm is the register provider name ("adaptive", "abd", "ecreg",
+	// "safereg").
+	Algorithm string
+	// Shards is the number of shards.
+	Shards int
+	// F and K parameterize each shard's space bound n = 2f+k.
+	F, K int
+	// ValueSize is each shard's value size in bytes.
+	ValueSize int
+}
+
+// Specs expands the layout into shard specs ("shard-0" ... "shard-N-1").
+func (l Layout) Specs() ([]shard.Spec, error) {
+	if l.Shards < 1 {
+		return nil, fmt.Errorf("transport: layout needs at least one shard, got %d", l.Shards)
+	}
+	specs := make([]shard.Spec, l.Shards)
+	for i := range specs {
+		specs[i] = shard.Spec{
+			Name:      fmt.Sprintf("shard-%d", i),
+			Algorithm: l.Algorithm,
+			Config:    register.Config{F: l.F, K: l.K, DataLen: l.ValueSize},
+		}
+	}
+	return specs, nil
+}
+
+// Span returns the number of base objects per shard (n = 2f+k).
+func (l Layout) Span() int { return 2*l.F + l.K }
+
+// TotalObjects returns the number of base objects across all shards.
+func (l Layout) TotalObjects() int { return l.Shards * l.Span() }
+
+// HostedBy returns the predicate selecting the objects RoundRobin(nodes)
+// places on the given node — what a spacenode passes to WithHosts.
+func (l Layout) HostedBy(nodes, node int) func(object int) bool {
+	return func(object int) bool { return object%nodes == node }
+}

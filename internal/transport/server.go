@@ -1,0 +1,232 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"spacebounds/internal/dsys"
+	"spacebounds/internal/register"
+)
+
+type serverOptions struct {
+	hosts    func(object int) bool
+	recovery bool
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*serverOptions)
+
+// WithHosts restricts the server to the base objects the predicate accepts;
+// envelopes for other objects are answered StatusNotHosted. By default the
+// server hosts every object of its cluster.
+func WithHosts(hosts func(object int) bool) ServerOption {
+	return func(o *serverOptions) { o.hosts = hosts }
+}
+
+// WithRecovery starts the server in recovery mode: read-only RMW kinds are
+// refused per object (StatusRecovering) until a mutating RMW has applied to
+// that object. A process restarted after a crash lost its in-memory base
+// objects; refusing reads until a fresh write lands keeps a recovered node
+// from serving stale (empty) state into a quorum, for every provider — once
+// a write with a current timestamp applies, answering can only raise the
+// timestamps the round observes.
+func WithRecovery() ServerOption {
+	return func(o *serverOptions) { o.recovery = true }
+}
+
+// Server hosts a cluster's base objects behind the TCP frame protocol. Each
+// accepted connection gets a reader loop and a pipelined frame sender, so
+// requests from one client interleave with responses to others without
+// head-of-line blocking on slow consumers.
+type Server struct {
+	cluster *dsys.Cluster
+	opts    serverOptions
+
+	// repaired[i] flips once object i has applied a mutating RMW; recovery
+	// mode gates read-only kinds on it.
+	repaired []atomic.Bool
+
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer wraps a local cluster. The cluster is borrowed: closing the
+// server does not close it.
+func NewServer(cluster *dsys.Cluster, opts ...ServerOption) *Server {
+	o := serverOptions{}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s := &Server{
+		cluster:  cluster,
+		opts:     o,
+		repaired: make([]atomic.Bool, cluster.N()),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	return s
+}
+
+// Listen binds the address (use "127.0.0.1:0" for an ephemeral port) and
+// starts accepting connections. It returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return nil, net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	_ = conn.Close()
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(conn)
+	sender := newFrameSender(conn)
+	defer sender.close()
+	br := bufio.NewReader(conn)
+	for {
+		frame, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		if len(frame) < 8 {
+			return
+		}
+		reqID := binary.BigEndian.Uint64(frame[:8])
+		resp := s.serve(frame[8:])
+		out := binary.BigEndian.AppendUint64(make([]byte, 0, 32+len(resp.Payload)+len(resp.Detail)), reqID)
+		out, err = resp.AppendBinary(out)
+		if err != nil {
+			return
+		}
+		if err := sender.send(out); err != nil {
+			return
+		}
+	}
+}
+
+// serve executes one request envelope against the cluster and builds the
+// response. Faults are reported as typed statuses, never by dropping the
+// request — the client decides whether the round can still reach quorum.
+func (s *Server) serve(body []byte) dsys.Response {
+	env, err := dsys.UnmarshalEnvelope(body)
+	if err != nil {
+		return dsys.Response{Status: dsys.StatusBadRequest, Detail: err.Error()}
+	}
+	resp := dsys.Response{Op: env.Op, Object: env.Object}
+	if s.opts.hosts != nil && !s.opts.hosts(env.Object) {
+		resp.Status = dsys.StatusNotHosted
+		return resp
+	}
+	rmw, err := register.DecodeRMW(env)
+	if err != nil {
+		resp.Status = dsys.StatusBadRequest
+		resp.Detail = err.Error()
+		return resp
+	}
+	readOnly := register.KindReadOnly(env.Kind)
+	if s.opts.recovery && readOnly &&
+		env.Object >= 0 && env.Object < len(s.repaired) && !s.repaired[env.Object].Load() {
+		resp.Status = dsys.StatusRecovering
+		return resp
+	}
+	out, err := s.cluster.ApplyOne(env.Object, rmw)
+	if err != nil {
+		switch {
+		case errors.Is(err, dsys.ErrUnknownObject):
+			resp.Status = dsys.StatusUnknownObject
+		case errors.Is(err, dsys.ErrRetiredObject):
+			resp.Status = dsys.StatusRetired
+		case errors.Is(err, dsys.ErrObjectDown):
+			resp.Status = dsys.StatusObjectDown
+		case errors.Is(err, dsys.ErrHalted):
+			resp.Status = dsys.StatusHalted
+		default:
+			resp.Status = dsys.StatusBadRequest
+			resp.Detail = err.Error()
+		}
+		return resp
+	}
+	if !readOnly && env.Object >= 0 && env.Object < len(s.repaired) {
+		s.repaired[env.Object].Store(true)
+	}
+	payload, err := register.EncodeResponse(env.Kind, out)
+	if err != nil {
+		resp.Status = dsys.StatusBadRequest
+		resp.Detail = fmt.Sprintf("encode response: %v", err)
+		return resp
+	}
+	resp.Status = dsys.StatusOK
+	resp.Payload = payload
+	return resp
+}
+
+// Close stops accepting, closes every connection, and waits for the handler
+// goroutines. The backing cluster is left running.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,358 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spacebounds/internal/dsys"
+	"spacebounds/internal/register"
+)
+
+// RemoteError wraps a failure attributed to a specific node, so callers can
+// tell which side of the wire failed while errors.Is still reaches the
+// underlying dsys sentinel (ErrObjectDown, ErrRetiredObject, ErrRecovering,
+// ErrHalted, ...).
+type RemoteError struct {
+	Node string
+	Err  error
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return fmt.Sprintf("transport: node %s: %v", e.Node, e.Err) }
+
+// Unwrap exposes the underlying sentinel to errors.Is / errors.As.
+func (e *RemoteError) Unwrap() error { return e.Err }
+
+// Client defaults.
+const (
+	// DefaultRoundTimeout bounds one quorum round when the caller's context
+	// carries no deadline. A round outliving it returns ErrQuorumUnavailable
+	// with whatever responses arrived; stragglers still take effect remotely,
+	// exactly like RMWs applied after a client was rescheduled.
+	DefaultRoundTimeout = 5 * time.Second
+	// DefaultDialTimeout bounds one connection attempt.
+	DefaultDialTimeout = 2 * time.Second
+	// DefaultRedialBackoff is how long a node is considered down after a
+	// failed dial before the next attempt; rounds in between fail fast on
+	// that node instead of queueing on the dialer.
+	DefaultRedialBackoff = 500 * time.Millisecond
+)
+
+type clientOptions struct {
+	placement     Placement
+	roundTimeout  time.Duration
+	dialTimeout   time.Duration
+	redialBackoff time.Duration
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*clientOptions)
+
+// WithPlacement overrides the object→node placement (default: round-robin
+// over the address list).
+func WithPlacement(p Placement) ClientOption { return func(o *clientOptions) { o.placement = p } }
+
+// WithRoundTimeout overrides the default per-round deadline applied when the
+// caller's context has none. Zero disables the default (rounds then wait for
+// the context alone).
+func WithRoundTimeout(d time.Duration) ClientOption {
+	return func(o *clientOptions) { o.roundTimeout = d }
+}
+
+// WithDialTimeout overrides the per-connection dial timeout.
+func WithDialTimeout(d time.Duration) ClientOption {
+	return func(o *clientOptions) { o.dialTimeout = d }
+}
+
+// nodeSlot is the per-node connection state. Each node has its own mutex so
+// rounds touching healthy nodes never serialize behind a dial to a dead one.
+type nodeSlot struct {
+	mu        sync.Mutex
+	conn      *clientConn
+	downUntil time.Time
+}
+
+// Client is the TCP Transport: one pipelined connection per node, reused
+// across rounds and redialed on failure. It implements dsys.RoundInvoker, so
+// dsys.NewRemoteCluster (and shard.NewRemote above it) plug it in directly.
+type Client struct {
+	addrs  []string
+	opts   clientOptions
+	slots  []*nodeSlot
+	reqSeq atomic.Uint64
+	closed atomic.Bool
+}
+
+var _ Transport = (*Client)(nil)
+
+// Dial creates a client for the given node addresses. Connections are opened
+// lazily on first use, so Dial itself never blocks on the network.
+func Dial(addrs []string, opts ...ClientOption) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("transport: no node addresses")
+	}
+	o := clientOptions{
+		roundTimeout:  DefaultRoundTimeout,
+		dialTimeout:   DefaultDialTimeout,
+		redialBackoff: DefaultRedialBackoff,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.placement == nil {
+		o.placement = RoundRobin(len(addrs))
+	}
+	slots := make([]*nodeSlot, len(addrs))
+	for i := range slots {
+		slots[i] = &nodeSlot{}
+	}
+	return &Client{addrs: addrs, opts: o, slots: slots}, nil
+}
+
+// clientConn is one live connection: a pipelined frame sender plus a reader
+// goroutine dispatching responses to the rounds that sent the requests.
+type clientConn struct {
+	addr   string
+	conn   net.Conn
+	sender *frameSender
+
+	pmu     sync.Mutex
+	pending map[uint64]*pendingCall
+	dead    atomic.Bool
+}
+
+// pendingCall routes one request's response back to its round.
+type pendingCall struct {
+	obj  int
+	kind string
+	ch   chan<- roundMsg
+}
+
+// roundMsg is one per-object outcome delivered to a waiting round: either a
+// wire response or a connection-level failure.
+type roundMsg struct {
+	obj  int
+	kind string
+	resp dsys.Response
+	err  error
+}
+
+// getConn returns the node's live connection, dialing if necessary. A failed
+// dial marks the node down for the redial backoff so concurrent rounds fail
+// fast instead of stacking up behind the dialer.
+func (c *Client) getConn(ctx context.Context, node int) (*clientConn, error) {
+	slot := c.slots[node]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.conn != nil && !slot.conn.dead.Load() {
+		return slot.conn, nil
+	}
+	if now := time.Now(); now.Before(slot.downUntil) {
+		return nil, fmt.Errorf("%w: node %s in redial backoff", dsys.ErrRemote, c.addrs[node])
+	}
+	d := net.Dialer{Timeout: c.opts.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addrs[node])
+	if err != nil {
+		slot.downUntil = time.Now().Add(c.opts.redialBackoff)
+		return nil, err
+	}
+	cc := &clientConn{
+		addr:    c.addrs[node],
+		conn:    conn,
+		sender:  newFrameSender(conn),
+		pending: make(map[uint64]*pendingCall),
+	}
+	go cc.readLoop()
+	slot.conn = cc
+	return cc, nil
+}
+
+// register enrolls a request for response dispatch.
+func (cc *clientConn) register(reqID uint64, call *pendingCall) {
+	cc.pmu.Lock()
+	cc.pending[reqID] = call
+	cc.pmu.Unlock()
+}
+
+// deregister removes a request; late responses for it are dropped, exactly
+// like responses to a client that has moved on (the RMW still took effect).
+func (cc *clientConn) deregister(reqID uint64) {
+	cc.pmu.Lock()
+	delete(cc.pending, reqID)
+	cc.pmu.Unlock()
+}
+
+// take removes and returns the pending call for a response frame.
+func (cc *clientConn) take(reqID uint64) *pendingCall {
+	cc.pmu.Lock()
+	call := cc.pending[reqID]
+	delete(cc.pending, reqID)
+	cc.pmu.Unlock()
+	return call
+}
+
+// shutdown marks the connection dead and fails every pending call. Each
+// round channel has capacity for all its requests, so these sends never
+// block even if the round has already returned.
+func (cc *clientConn) shutdown(err error) {
+	if !cc.dead.CompareAndSwap(false, true) {
+		return
+	}
+	cc.sender.fail(err)
+	_ = cc.conn.Close()
+	cc.pmu.Lock()
+	pending := cc.pending
+	cc.pending = make(map[uint64]*pendingCall)
+	cc.pmu.Unlock()
+	for _, call := range pending {
+		call.ch <- roundMsg{obj: call.obj, kind: call.kind, err: &RemoteError{Node: cc.addr, Err: err}}
+	}
+}
+
+// readLoop dispatches response frames until the connection fails.
+func (cc *clientConn) readLoop() {
+	br := bufio.NewReader(cc.conn)
+	for {
+		frame, err := readFrame(br)
+		if err != nil {
+			cc.shutdown(err)
+			return
+		}
+		if len(frame) < 8 {
+			cc.shutdown(fmt.Errorf("%w: response frame of %d bytes", ErrFrame, len(frame)))
+			return
+		}
+		reqID := binary.BigEndian.Uint64(frame[:8])
+		resp, err := dsys.UnmarshalResponse(frame[8:])
+		if err != nil {
+			cc.shutdown(err)
+			return
+		}
+		if call := cc.take(reqID); call != nil {
+			call.ch <- roundMsg{obj: call.obj, kind: call.kind, resp: resp}
+		}
+	}
+}
+
+// sentRequest tracks one dispatched request for end-of-round deregistration.
+type sentRequest struct {
+	conn  *clientConn
+	reqID uint64
+}
+
+// InvokeRound implements dsys.RoundInvoker: it ships one envelope per target
+// to the hosting nodes over the pipelined connections and waits until quorum
+// OK responses have arrived, the context expires, or every dispatched request
+// has failed. Targets are global object IDs; the result map is keyed by them.
+func (c *Client) InvokeRound(ctx context.Context, client int, targets []int, makeRMW func(obj int) dsys.RMW, quorum int) (map[int]any, error) {
+	if c.closed.Load() {
+		return nil, net.ErrClosed
+	}
+	if _, has := ctx.Deadline(); !has && c.opts.roundTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.roundTimeout)
+		defer cancel()
+	}
+
+	ch := make(chan roundMsg, len(targets))
+	sent := make([]sentRequest, 0, len(targets))
+	dispatched := 0
+	var lastErr error
+	op := dsys.OpID{Client: client}
+	for _, obj := range targets {
+		rmw := makeRMW(obj)
+		env, err := register.EncodeEnvelope(op, obj, rmw)
+		if err != nil {
+			// No codec for this RMW type: a programming error, not a fault.
+			return nil, err
+		}
+		node := c.opts.placement(obj)
+		if node < 0 || node >= len(c.addrs) {
+			return nil, fmt.Errorf("%w: object %d placed on node %d of %d", dsys.ErrRemote, obj, node, len(c.addrs))
+		}
+		cc, err := c.getConn(ctx, node)
+		if err != nil {
+			lastErr = &RemoteError{Node: c.addrs[node], Err: err}
+			continue
+		}
+		reqID := c.reqSeq.Add(1)
+		frame := binary.BigEndian.AppendUint64(make([]byte, 0, 40+len(env.Kind)+len(env.Payload)), reqID)
+		frame, err = env.AppendBinary(frame)
+		if err != nil {
+			return nil, err
+		}
+		cc.register(reqID, &pendingCall{obj: obj, kind: env.Kind, ch: ch})
+		if err := cc.sender.send(frame); err != nil {
+			cc.deregister(reqID)
+			lastErr = &RemoteError{Node: cc.addr, Err: err}
+			continue
+		}
+		sent = append(sent, sentRequest{conn: cc, reqID: reqID})
+		dispatched++
+	}
+	defer func() {
+		// Stragglers past the quorum (or past a timeout) are dropped; their
+		// RMWs still take effect remotely, as the model prescribes.
+		for _, s := range sent {
+			s.conn.deregister(s.reqID)
+		}
+	}()
+
+	resp := make(map[int]any, dispatched)
+	received := 0
+	for received < dispatched && len(resp) < quorum {
+		select {
+		case m := <-ch:
+			received++
+			if m.err != nil {
+				lastErr = m.err
+				continue
+			}
+			if m.resp.Status != dsys.StatusOK {
+				lastErr = &RemoteError{Node: "", Err: m.resp.Status.Err()}
+				continue
+			}
+			v, err := register.DecodeResponse(m.kind, m.resp.Payload)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			resp[m.obj] = v
+		case <-ctx.Done():
+			return resp, fmt.Errorf("%w: %d of %d responses when round ended (%v)",
+				dsys.ErrQuorumUnavailable, len(resp), quorum, ctx.Err())
+		}
+	}
+	if len(resp) < quorum {
+		if lastErr != nil {
+			return resp, fmt.Errorf("%w: only %d of %d required responses available (last failure: %v)",
+				dsys.ErrQuorumUnavailable, len(resp), quorum, lastErr)
+		}
+		return resp, fmt.Errorf("%w: only %d of %d required responses available",
+			dsys.ErrQuorumUnavailable, len(resp), quorum)
+	}
+	return resp, nil
+}
+
+// Close implements Transport: it tears down every connection. In-flight
+// rounds fail with connection errors.
+func (c *Client) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, slot := range c.slots {
+		slot.mu.Lock()
+		if slot.conn != nil {
+			slot.conn.shutdown(net.ErrClosed)
+			slot.conn = nil
+		}
+		slot.mu.Unlock()
+	}
+	return nil
+}

@@ -270,6 +270,10 @@ func pad(sh *shard.Shard, val []byte) (value.Value, error) {
 
 // Write stores val on the default shard on behalf of the given client ID,
 // preserving the original single-register facade.
+//
+// Deprecated: use WriteKey with an explicit key. The positional form only
+// addresses the default (first) shard and hides the routing step every other
+// store entry point goes through.
 func (s *Store) Write(client int, val []byte) error {
 	return s.WriteKey(client, s.defKey, val)
 }
@@ -292,6 +296,8 @@ func (s *Store) WriteKey(client int, key string, val []byte) error {
 }
 
 // Read returns the default shard's current value on behalf of the client.
+//
+// Deprecated: use ReadKey with an explicit key, for the same reason as Write.
 func (s *Store) Read(client int) ([]byte, error) {
 	return s.ReadKey(client, s.defKey)
 }
@@ -580,8 +586,11 @@ func (s *Store) ReconfigStats() ReconfigStats {
 	}
 }
 
-// Close stops fault injection and shuts the simulated cluster down.
-func (s *Store) Close() {
+// Close stops fault injection and shuts the cluster down — including, for a
+// store backed by a remote cluster, the transport behind it. It implements
+// io.Closer; closing an already-closed store is a no-op.
+func (s *Store) Close() error {
 	s.faults.halt()
 	s.set.Close()
+	return nil
 }
