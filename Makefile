@@ -13,7 +13,7 @@ SIM_SMOKE_SEEDS ?= 50
 # Fuzzing budget for the checker fuzz smoke.
 FUZZ_TIME ?= 20s
 
-.PHONY: build test race bench bench-json bench-check cover fmt-check examples sim-smoke sim-soak sim-soak-reconfig sim-soak-merge fuzz-smoke e2e-smoke e2e-chaos
+.PHONY: build test race bench bench-json bench-check cover fmt-check examples sim-smoke sim-soak sim-soak-reconfig sim-soak-merge fuzz-smoke e2e-smoke e2e-chaos linkcheck
 
 # Compile everything and run static checks.
 build:
@@ -106,10 +106,16 @@ fuzz-smoke:
 # history for strong regularity. -short keeps the paced window brief for PR
 # CI; the nightly chaos leg runs the full window repeatedly.
 e2e-smoke:
-	$(GO) test -run TestClusterEndToEnd -short -count=1 ./cmd/spacenode
+	$(GO) test -run 'TestClusterEndToEnd|TestClusterMetricsEndToEnd' -short -count=1 ./cmd/spacenode
 
 e2e-chaos:
 	$(GO) test -run TestClusterEndToEnd -count=5 -timeout 15m ./cmd/spacenode
+
+# Verify every relative markdown link (README, DESIGN, ROADMAP, docs/, ...)
+# resolves, including #heading anchors. Dependency-free; external URLs are
+# not fetched. Blocking nightly, advisory on PRs (see ci.yml).
+linkcheck:
+	$(GO) run ./cmd/linkcheck
 
 # Run every example end-to-end with a tiny step budget.
 examples:

@@ -182,7 +182,7 @@ func TestFaultInjectorRespectsBudgetAndStops(t *testing.T) {
 			// node Y if Y crashes right after X restarts (two faults observed
 			// across one restart boundary), which fail-fast clients surface
 			// as an error.
-			if _, err := store.Read(1); err != nil {
+			if _, err := store.ReadKey(1, "only"); err != nil {
 				failedReads++
 			} else {
 				okReads++

@@ -214,10 +214,10 @@ func BenchmarkOperationLatency(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				payload[0] = byte(i)
-				if err := store.Write(1, payload); err != nil {
+				if err := store.WriteKey(1, "default", payload); err != nil {
 					b.Fatal(err)
 				}
-				if _, err := store.Read(2); err != nil {
+				if _, err := store.ReadKey(2, "default"); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -286,17 +286,27 @@ func BenchmarkShardedLiveThroughput(b *testing.B) {
 		shards, clients int
 		batch           bool
 		split           bool // live SplitShard("s0") at the half-way mark
+		metrics         bool // full instrumentation via Options.Metrics
 	}{
-		{1, 8, false, false},
-		{8, 8, false, false},
-		{1, 32, false, false},
-		{1, 32, true, false},
-		{8, 32, true, false},
-		{4, 32, true, true},
+		{1, 8, false, false, false},
+		{8, 8, false, false, false},
+		{1, 32, false, false, false},
+		{1, 32, true, false, false},
+		{8, 32, true, false, false},
+		{4, 32, true, true, false},
+		// The metrics=on twin of the 8×32 batched case is the observability
+		// overhead gate: same topology, every histogram live, allocs/op
+		// reported. The CI bench gate holds its ops/s within the shared 25%
+		// tolerance of the baseline, i.e. instrumentation must stay invisible
+		// next to a 50µs service period.
+		{8, 32, true, false, true},
 	} {
 		name := fmt.Sprintf("shards=%d/clients=%d/batch=%s", tc.shards, tc.clients, onOff(tc.batch))
 		if tc.split {
 			name += "/split=mid"
+		}
+		if tc.metrics {
+			name += "/metrics=on"
 		}
 		b.Run(name, func(b *testing.B) {
 			// Give every client its own scheduling context even on small
@@ -313,6 +323,10 @@ func BenchmarkShardedLiveThroughput(b *testing.B) {
 			}
 			if tc.batch {
 				opts.Batch = spacebounds.BatchOptions{MaxSize: 32}
+			}
+			if tc.metrics {
+				opts.Metrics = spacebounds.NewMetrics()
+				b.ReportAllocs()
 			}
 			store, err := spacebounds.Open(opts)
 			if err != nil {
@@ -481,7 +495,7 @@ func BenchmarkAdaptiveLiveThroughput(b *testing.B) {
 		client := 0
 		for pb.Next() {
 			client++
-			if err := store.Write(client%16+1, payload); err != nil {
+			if err := store.WriteKey(client%16+1, "default", payload); err != nil {
 				b.Fatal(err)
 			}
 		}

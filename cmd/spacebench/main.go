@@ -40,6 +40,7 @@ import (
 	"spacebounds/internal/dsys"
 	"spacebounds/internal/experiments"
 	"spacebounds/internal/history"
+	"spacebounds/internal/metrics"
 	"spacebounds/internal/register"
 	_ "spacebounds/internal/register/abd"
 	_ "spacebounds/internal/register/adaptive"
@@ -82,6 +83,9 @@ type cliConfig struct {
 	// Client mode.
 	connect   string
 	recordOut string
+
+	// Shared by throughput and client mode.
+	metricsAddr string
 
 	// Simulation mode.
 	sim             bool
@@ -130,6 +134,7 @@ func parseArgs(args []string, errOut io.Writer) (*cliConfig, error) {
 
 	fs.StringVar(&c.connect, "connect", "", "comma-separated spacenode addresses; runs the workload as a client of that cluster (client mode)")
 	fs.StringVar(&c.recordOut, "record-out", "", "write the recorded per-shard histories to this file when the consistency check fails (client mode)")
+	fs.StringVar(&c.metricsAddr, "metrics-addr", "", "serve Prometheus /metrics and expvar /debug/vars on this address during the run (throughput and client modes; empty: disabled)")
 
 	fs.BoolVar(&c.sim, "sim", false, "explore seeded adversarial fault schedules with the deterministic simulator")
 	fs.IntVar(&c.seeds, "seeds", 50, "number of seeds per simulated configuration (sim mode)")
@@ -413,7 +418,20 @@ func runClient(c *cliConfig, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cli, err := transport.Dial(addrs)
+	// Client runs are always instrumented: the transport and quorum-round
+	// histograms cost next to nothing next to real network RPCs, and the
+	// run ends with a latency summary. -metrics-addr additionally serves
+	// the registry live during the run.
+	reg := metrics.NewRegistry()
+	if c.metricsAddr != "" {
+		msrv, err := metrics.Serve(c.metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+		fmt.Fprintf(out, "METRICS %s\n", msrv.Addr())
+	}
+	cli, err := transport.Dial(addrs, transport.WithMetrics(reg))
 	if err != nil {
 		return err
 	}
@@ -423,6 +441,7 @@ func runClient(c *cliConfig, out io.Writer) error {
 		return err
 	}
 	defer set.Close()
+	set.SetMetrics(reg)
 
 	start := time.Now()
 	res, err := workload.RunSharded(set, workload.ShardedSpec{
@@ -449,6 +468,8 @@ func runClient(c *cliConfig, out io.Writer) error {
 		fmt.Fprintf(out, "  errors: %d writes, %d reads (nodes down mid-run count here; completed ops must still be consistent)\n",
 			res.WriteErrors, res.ReadErrors)
 	}
+	fmt.Fprintln(out, "  metrics summary:")
+	reg.WriteSummary(out)
 	if total == 0 {
 		// An empty history passes every checker trivially; a run where nothing
 		// completed is a dead cluster, not a consistent one.
@@ -541,6 +562,17 @@ func runThroughput(c *cliConfig, out io.Writer) error {
 	if batching {
 		set.EnableBatching(batchCfg)
 	}
+	var reg *metrics.Registry
+	if c.metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		msrv, err := metrics.Serve(c.metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+		fmt.Fprintf(out, "METRICS %s\n", msrv.Addr())
+		set.SetMetrics(reg)
+	}
 
 	spec := workload.ShardedSpec{
 		Clients:      clients,
@@ -601,6 +633,10 @@ func runThroughput(c *cliConfig, out io.Writer) error {
 		fmt.Fprintf(out, "    %-6s %6d ops  %8d bits\n", name, res.PerShardOps[name], res.PerShardBits[name])
 	}
 	fmt.Fprintf(out, "  total base-object storage: %d bits\n", res.FinalSnapshot.BaseObjectBits)
+	if reg != nil {
+		fmt.Fprintln(out, "  metrics summary:")
+		reg.WriteSummary(out)
+	}
 	return nil
 }
 

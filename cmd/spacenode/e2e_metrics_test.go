@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestClusterMetricsEndToEnd is the black-box test of the observability
+// surface: a 4-node spacenode cluster started with -metrics-addr serves
+// Prometheus /metrics and expvar /debug/vars while a spacebench -connect run
+// is in flight, the client's own -metrics-addr endpoint exposes live
+// transport-RPC and quorum-round histograms mid-run, and the client finishes
+// by printing its latency summary.
+func TestClusterMetricsEndToEnd(t *testing.T) {
+	bin := t.TempDir()
+	nodeBin := filepath.Join(bin, "spacenode")
+	benchBin := filepath.Join(bin, "spacebench")
+	buildBinary(t, nodeBin, "spacebounds/cmd/spacenode")
+	buildBinary(t, benchBin, "spacebounds/cmd/spacebench")
+
+	const (
+		nodes  = 4
+		shards = 2
+	)
+	layoutArgs := []string{
+		"-nodes", fmt.Sprint(nodes),
+		"-algo", "adaptive", "-shards", fmt.Sprint(shards), "-f", "1", "-k", "1", "-valuesize", "64",
+	}
+	procs := make([]*exec.Cmd, nodes)
+	addrs := make([]string, nodes)
+	maddrs := make([]string, nodes)
+	for n := 0; n < nodes; n++ {
+		procs[n], addrs[n], maddrs[n] = startNodeWithMetrics(t, nodeBin,
+			append([]string{"-listen", "127.0.0.1:0", "-metrics-addr", "127.0.0.1:0", "-node", fmt.Sprint(n)}, layoutArgs...))
+	}
+	defer func() {
+		for _, p := range procs {
+			if p != nil && p.Process != nil {
+				_ = p.Process.Kill()
+				_ = p.Wait()
+			}
+		}
+	}()
+
+	// Paced client: ~150 ops at 100/s keeps the run in flight for over a
+	// second, long enough to scrape everything mid-run.
+	stderrBuf := &bytes.Buffer{}
+	client := exec.Command(benchBin,
+		"-connect", strings.Join(addrs, ","),
+		"-algo", "adaptive", "-shards", fmt.Sprint(shards), "-f", "1", "-k", "1", "-valuesize", "64",
+		"-clients", "3", "-ops", "50", "-arrival-rate", "100",
+		"-keys", "8", "-reads", "0.4", "-seed", "7",
+		"-metrics-addr", "127.0.0.1:0",
+	)
+	stdout, err := client.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Stderr = stderrBuf
+	if err := client.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// One goroutine owns stdout: it surfaces the METRICS line as soon as it
+	// appears and accumulates everything for the end-of-run assertions.
+	metricsLine := make(chan string, 1)
+	outDone := make(chan string, 1)
+	go func() {
+		var lines []string
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			lines = append(lines, line)
+			if rest, ok := strings.CutPrefix(line, "METRICS "); ok {
+				select {
+				case metricsLine <- rest:
+				default:
+				}
+			}
+		}
+		outDone <- strings.Join(lines, "\n")
+	}()
+	var clientMetrics string
+	select {
+	case clientMetrics = <-metricsLine:
+	case <-time.After(10 * time.Second):
+		t.Fatal("client did not report METRICS")
+	}
+
+	// Mid-run, the client's endpoint must show completed transport RPCs and
+	// quorum rounds; poll briefly since the scrape races the first rounds.
+	waitForMetric(t, clientMetrics, "spacebounds_transport_rpc_seconds_count")
+	clientPage := httpGet(t, "http://"+clientMetrics+"/metrics")
+	for _, family := range []string{
+		"spacebounds_transport_rpc_seconds_bucket",
+		"spacebounds_transport_inflight_frames",
+		"spacebounds_transport_redials_total",
+		"spacebounds_dsys_quorum_round_seconds_bucket",
+		"spacebounds_dsys_quorum_rounds_total",
+	} {
+		if !strings.Contains(clientPage, family) {
+			t.Errorf("client /metrics missing %s:\n%.2000s", family, clientPage)
+		}
+	}
+	if !strings.Contains(httpGet(t, "http://"+clientMetrics+"/debug/vars"), `"spacebounds"`) {
+		t.Errorf("client /debug/vars missing the published registry")
+	}
+
+	// Every node serves both endpoints mid-run, with the server-side request
+	// histogram and the applies counter live on the nodes the run touches.
+	for n := 0; n < nodes; n++ {
+		page := httpGet(t, "http://"+maddrs[n]+"/metrics")
+		for _, family := range []string{
+			"spacebounds_transport_server_request_seconds",
+			"spacebounds_dsys_quorum_round_seconds",
+			"spacebounds_dsys_applies_total",
+		} {
+			if !strings.Contains(page, family) {
+				t.Errorf("node %d /metrics missing %s:\n%.2000s", n, family, page)
+			}
+		}
+		if !strings.Contains(httpGet(t, "http://"+maddrs[n]+"/debug/vars"), `"spacebounds"`) {
+			t.Errorf("node %d /debug/vars missing the published registry", n)
+		}
+	}
+	waitForMetric(t, maddrs[0], "spacebounds_transport_server_requests_total")
+
+	waitErr := client.Wait()
+	out := <-outDone
+	if waitErr != nil {
+		t.Fatalf("client failed: %v\noutput:\n%s\nstderr:\n%s", waitErr, out, stderrBuf.String())
+	}
+	if !strings.Contains(out, "metrics summary:") || !strings.Contains(out, "spacebounds_transport_rpc_seconds") {
+		t.Fatalf("client output missing final metrics summary:\n%s", out)
+	}
+	if !strings.Contains(out, "history check: strong regularity ok") {
+		t.Fatalf("client output missing history verdict:\n%s", out)
+	}
+}
+
+// startNodeWithMetrics launches one spacenode and scrapes its LISTENING and
+// METRICS lines.
+func startNodeWithMetrics(t *testing.T, bin string, args []string) (*exec.Cmd, string, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	var listen, metrics string
+	for sc.Scan() && (listen == "" || metrics == "") {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "LISTENING "); ok {
+			listen = rest
+		}
+		if rest, ok := strings.CutPrefix(line, "METRICS "); ok {
+			metrics = rest
+		}
+	}
+	if listen == "" || metrics == "" {
+		_ = cmd.Process.Kill()
+		t.Fatalf("spacenode %v did not report LISTENING and METRICS (got %q, %q)", args, listen, metrics)
+	}
+	// Keep draining so the node never blocks on a full stdout pipe.
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	return cmd, listen, metrics
+}
+
+// waitForMetric polls addr's /metrics until the named series reports a
+// nonzero value (the workload has demonstrably flowed through it).
+func waitForMetric(t *testing.T, addr, name string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, line := range strings.Split(httpGet(t, "http://"+addr+"/metrics"), "\n") {
+			if strings.HasPrefix(line, name) && !strings.HasSuffix(line, " 0") {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("metric %s stayed zero on %s", name, addr)
+}
+
+// httpGet fetches a URL and returns the body.
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(body)
+}

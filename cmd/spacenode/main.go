@@ -26,6 +26,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"spacebounds/internal/metrics"
 	"spacebounds/internal/register"
 	_ "spacebounds/internal/register/abd"
 	_ "spacebounds/internal/register/adaptive"
@@ -37,14 +38,15 @@ import (
 
 // nodeConfig carries the parsed flags.
 type nodeConfig struct {
-	listen    string
-	node      int
-	nodes     int
-	algo      string
-	shards    int
-	f, k      int
-	valueSize int
-	recovery  bool
+	listen      string
+	node        int
+	nodes       int
+	algo        string
+	shards      int
+	f, k        int
+	valueSize   int
+	recovery    bool
+	metricsAddr string
 }
 
 func parseArgs(args []string, errOut io.Writer) (*nodeConfig, error) {
@@ -60,6 +62,7 @@ func parseArgs(args []string, errOut io.Writer) (*nodeConfig, error) {
 	fs.IntVar(&c.k, "k", 1, "erasure decode threshold per shard")
 	fs.IntVar(&c.valueSize, "valuesize", 64, "value size in bytes")
 	fs.BoolVar(&c.recovery, "recover", false, "start in recovery mode: refuse reads per object until a write has applied (use after a crash)")
+	fs.StringVar(&c.metricsAddr, "metrics-addr", "", "serve Prometheus /metrics and expvar /debug/vars on this address (empty: disabled; port 0 picks an ephemeral port)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -99,6 +102,17 @@ func run(c *nodeConfig, out io.Writer, stop <-chan os.Signal) error {
 	}
 	if c.recovery {
 		opts = append(opts, transport.WithRecovery())
+	}
+	if c.metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		set.SetMetrics(reg)
+		opts = append(opts, transport.WithServerMetrics(reg))
+		msrv, err := metrics.Serve(c.metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+		fmt.Fprintf(out, "METRICS %s\n", msrv.Addr())
 	}
 	srv := transport.NewServer(set.Cluster(), opts...)
 	addr, err := srv.Listen(c.listen)

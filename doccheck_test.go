@@ -1,0 +1,105 @@
+package spacebounds_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestExportedIdentifiersDocumented is the godoc gate for the public facade:
+// every exported top-level identifier in the root package — types, functions,
+// methods, consts, vars, and exported struct fields — must carry a doc
+// comment. It runs in the ordinary test job, so an undocumented export fails
+// CI the same way a broken test does. (go vet catches malformed directives
+// and mismatched comment placement; it does not require comments to exist,
+// which is this test's job.)
+func TestExportedIdentifiersDocumented(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["spacebounds"]
+	if !ok {
+		t.Fatalf("package spacebounds not found in %v", pkgs)
+	}
+	var missing []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, what))
+	}
+	for name, file := range pkg.Files {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					report(d.Pos(), "func "+funcName(d)+" has no doc comment")
+				}
+			case *ast.GenDecl:
+				checkGenDecl(d, report)
+			}
+		}
+	}
+	for _, m := range missing {
+		t.Error(m)
+	}
+	if len(missing) > 0 {
+		t.Log("every exported identifier of the facade needs a doc comment; see the godoc conventions in CONTRIBUTING docs or existing files")
+	}
+}
+
+// funcName renders a function or method name for the failure message.
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	return "(" + types(d.Recv.List[0].Type) + ") " + d.Name.Name
+}
+
+// types renders a receiver type expression.
+func types(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.StarExpr:
+		return "*" + types(v.X)
+	case *ast.IndexExpr:
+		return types(v.X)
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// checkGenDecl enforces docs on exported type/const/var declarations and on
+// the exported fields of struct types.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string)) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+				report(s.Pos(), "type "+s.Name.Name+" has no doc comment")
+			}
+			if st, ok := s.Type.(*ast.StructType); ok && s.Name.IsExported() {
+				for _, f := range st.Fields.List {
+					for _, n := range f.Names {
+						if n.IsExported() && f.Doc == nil && f.Comment == nil {
+							report(n.Pos(), "field "+s.Name.Name+"."+n.Name+" has no doc comment")
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, n := range s.Names {
+				if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					report(n.Pos(), "const/var "+n.Name+" has no doc comment")
+				}
+			}
+		}
+	}
+}

@@ -166,6 +166,17 @@ func (h *ClientHandle) Invoke(targets []int, makeRMW func(obj int) RMW, quorum i
 			return nil, fmt.Errorf("%w: %d", ErrUnknownObject, obj)
 		}
 	}
+	if m := h.c.met.Load(); m != nil {
+		start := time.Now()
+		resp, err := h.dispatch(targets, makeRMW, quorum)
+		m.observeRound(h.base, start, err)
+		return resp, err
+	}
+	return h.dispatch(targets, makeRMW, quorum)
+}
+
+// dispatch routes a validated round to the engine variant behind the handle.
+func (h *ClientHandle) dispatch(targets []int, makeRMW func(obj int) RMW, quorum int) (map[int]any, error) {
 	if h.c.remote != nil {
 		return h.invokeRemote(targets, makeRMW, quorum)
 	}

@@ -270,6 +270,11 @@ type Cluster struct {
 	// the placeholder local objects. Set by NewRemoteCluster.
 	remote RoundInvoker
 
+	// met, when non-nil, instruments quorum rounds and applies (see
+	// SetMetrics). Atomic so attaching a registry never contends with rounds
+	// in flight, and disabled operation costs a single pointer load.
+	met atomic.Pointer[clusterMetrics]
+
 	acct *storagecost.Accountant
 	wg   sync.WaitGroup
 }

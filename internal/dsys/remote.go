@@ -78,5 +78,8 @@ func (c *Cluster) ApplyOne(id int, rmw RMW) (any, error) {
 	r := rmw.Apply(o.state)
 	o.applied++
 	o.liveMu.Unlock()
+	if m := c.met.Load(); m != nil {
+		m.applies.Inc()
+	}
 	return r, nil
 }

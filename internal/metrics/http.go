@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns the Prometheus text-format scrape handler for the
+// registry (mounted at /metrics by Serve).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// PublishExpvar publishes the registry into the process-global expvar
+// namespace under the given name, so the standard /debug/vars page includes
+// it next to memstats. Publishing the same name twice is a no-op (expvar
+// forbids replacement), which makes the call safe for tests that build many
+// registries in one process — only the first one wins the global name.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, r)
+}
+
+// Server is a running metrics HTTP endpoint (see Serve).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve binds addr and serves the registry over HTTP:
+//
+//	/metrics     Prometheus text format
+//	/debug/vars  standard expvar JSON (the registry published as "spacebounds")
+//
+// It returns once the listener is bound; requests are served in the
+// background until Close. Pass an address with port 0 to pick an ephemeral
+// port and read it back from Addr.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	r.PublishExpvar("spacebounds")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}

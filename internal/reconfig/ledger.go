@@ -3,6 +3,7 @@ package reconfig
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"spacebounds/internal/value"
 )
@@ -141,6 +142,11 @@ func (m MoveState) String() string {
 type moveEntry struct {
 	MoveState
 	owner int64
+
+	// stepStart is the instant the entry's last step completed (or the move
+	// began / resumed); the metrics layer uses it to time the next step. Zero
+	// when no registry is attached.
+	stepStart time.Time
 }
 
 // mergeName returns the canonical successor name of a merge move.

@@ -1,0 +1,55 @@
+package reconfig
+
+import (
+	"time"
+
+	"spacebounds/internal/metrics"
+)
+
+// Metric families emitted by the reconfiguration subsystem: how long each
+// ledger step takes and how moves end. Together they make migration stalls
+// visible while a move is still in flight — the one-shot Stats struct only
+// reports after the fact.
+const (
+	metricStepSeconds = "spacebounds_reconfig_step_seconds"
+	metricMovesTotal  = "spacebounds_reconfig_moves_total"
+)
+
+// reconfigMetrics holds the coordinator's instrumentation handles.
+type reconfigMetrics struct {
+	reg *metrics.Registry
+}
+
+// SetMetrics attaches a registry to the coordinator: every completed ledger
+// step observes its latency (labeled by step name) and every move that
+// finishes, aborts, or is interrupted bumps an outcome counter (labeled by
+// move kind). Passing nil detaches.
+func (c *Coordinator) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		c.met.Store(nil)
+		return
+	}
+	// Eagerly register the families so they appear on the scrape page (and in
+	// the doc-sync walk) before the first move runs.
+	reg.Histogram(metricStepSeconds, "migration ledger step latency by step", metrics.LatencyBuckets(), metrics.L("step", StepTableFlip.String()))
+	reg.Counter(metricMovesTotal, "reconfiguration moves by kind and outcome", metrics.L("kind", MoveSplit.String()), metrics.L("outcome", "done"))
+	c.met.Store(&reconfigMetrics{reg: reg})
+}
+
+// observeStep records one completed ledger step. start is the instant the
+// previous step completed (or the move began); a zero start — a move planned
+// before metrics were attached, or resumed from an interrupted driver — is
+// skipped rather than recorded as an absurd latency.
+func (m *reconfigMetrics) observeStep(step MoveStep, start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	m.reg.Histogram(metricStepSeconds, "migration ledger step latency by step", metrics.LatencyBuckets(), metrics.L("step", step.String())).ObserveSince(start)
+}
+
+// countOutcome records how a move ended: "done", "aborted", or "interrupted"
+// (interrupted moves stay in the ledger for Resume, so one move may count
+// several interruptions before its final done/aborted).
+func (m *reconfigMetrics) countOutcome(kind MoveKind, outcome string) {
+	m.reg.Counter(metricMovesTotal, "reconfiguration moves by kind and outcome", metrics.L("kind", kind.String()), metrics.L("outcome", outcome)).Inc()
+}

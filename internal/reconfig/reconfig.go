@@ -58,6 +58,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spacebounds/internal/dsys"
@@ -285,6 +286,10 @@ type Coordinator struct {
 	inFlight  *moveEntry
 	nextID    int
 	nextOwner int64
+
+	// met, when non-nil, instruments ledger steps and move outcomes (see
+	// SetMetrics). Atomic so attachment never contends with a move in flight.
+	met atomic.Pointer[reconfigMetrics]
 }
 
 // NewCoordinator returns a coordinator for the set.
@@ -371,6 +376,11 @@ func (c *Coordinator) Resume(r Runner) (bool, Event, error) {
 	en.owner = owner
 	en.Resumes++
 	en.Interrupted = false
+	if c.met.Load() != nil {
+		// Restart the step clock: the gap since the interruption is operator
+		// time, not step time.
+		en.stepStart = time.Now()
+	}
 	c.stats.Resumes++
 	c.mu.Unlock()
 	ev, err := c.drive(r, en, owner)
@@ -407,6 +417,9 @@ func (c *Coordinator) begin(mv Move) (*moveEntry, error) {
 	c.nextID++
 	c.nextOwner++
 	en := &moveEntry{MoveState: MoveState{ID: c.nextID, Move: mv, Sources: sources}, owner: c.nextOwner}
+	if c.met.Load() != nil {
+		en.stepStart = time.Now()
+	}
 	c.ledger = append(c.ledger, en)
 	c.inFlight = en
 	return en, nil
@@ -446,6 +459,10 @@ func (c *Coordinator) advance(en *moveEntry, owner int64, step MoveStep, mut fun
 	}
 	if step > en.Step {
 		en.Step = step
+		if m := c.met.Load(); m != nil {
+			m.observeStep(step, en.stepStart)
+			en.stepStart = time.Now()
+		}
 	}
 	return true
 }
@@ -456,6 +473,9 @@ func (c *Coordinator) markInterrupted(en *moveEntry, owner int64) {
 	defer c.mu.Unlock()
 	if en.owner == owner {
 		en.Interrupted = true
+		if m := c.met.Load(); m != nil {
+			m.countOutcome(en.Move.Kind, "interrupted")
+		}
 	}
 }
 
@@ -472,6 +492,9 @@ func (c *Coordinator) markAborted(en *moveEntry, owner int64, cause error) {
 		c.inFlight = nil
 	}
 	c.stats.Aborts++
+	if m := c.met.Load(); m != nil {
+		m.countOutcome(en.Move.Kind, "aborted")
+	}
 }
 
 // finish closes the entry as done, records the event and bumps the per-kind
@@ -499,6 +522,9 @@ func (c *Coordinator) finish(en *moveEntry, owner int64, ev Event, seeds int) bo
 		c.stats.Removes++
 	case MoveMerge:
 		c.stats.Merges++
+	}
+	if m := c.met.Load(); m != nil {
+		m.countOutcome(en.Move.Kind, "done")
 	}
 	return true
 }

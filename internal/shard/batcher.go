@@ -2,6 +2,7 @@ package shard
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spacebounds/internal/dsys"
@@ -58,6 +59,10 @@ type Batcher struct {
 	cfg   BatchConfig
 	write lane
 	read  lane
+
+	// met, when non-nil, holds the batch-wait/batch-size histograms (see
+	// setMetrics). Atomic so attachment never blocks a lane.
+	met atomic.Pointer[batcherMetrics]
 }
 
 // newBatcher builds the shard's batcher. laneClientBase is the client ID the
@@ -94,6 +99,7 @@ type batchResp struct {
 type batchReq struct {
 	v    value.Value // payload for writes; unused for reads
 	done chan batchResp
+	enq  time.Time // enqueue instant; zero unless metrics are attached
 }
 
 // lane is one direction (writes or reads) of a shard's batcher.
@@ -131,6 +137,9 @@ func (b *Batcher) Read() (value.Value, error) {
 // is running, and waits for the response.
 func (b *Batcher) submit(l *lane, v value.Value) batchResp {
 	req := &batchReq{v: v, done: make(chan batchResp, 1)}
+	if b.met.Load() != nil {
+		req.enq = time.Now()
+	}
 	l.mu.Lock()
 	l.pending = append(l.pending, req)
 	if !l.running {
@@ -181,6 +190,9 @@ func (b *Batcher) runLane(l *lane) {
 		l.rounds++
 		l.mu.Unlock()
 
+		if m := b.met.Load(); m != nil {
+			m.observeBatch(l == &b.write, batch, time.Now())
+		}
 		var resp batchResp
 		if l == &b.write {
 			// Group commit: the round writes the latest-arrived value.

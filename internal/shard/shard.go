@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"spacebounds/internal/dsys"
+	"spacebounds/internal/metrics"
 	"spacebounds/internal/register"
 	"spacebounds/internal/storagecost"
 	"spacebounds/internal/value"
@@ -81,6 +82,10 @@ type Set struct {
 	regions []*Shard
 
 	fallbackReads atomic.Int64 // dual-epoch reads answered by the old epoch
+
+	// met, when non-nil, is the registry attached by SetMetrics; AddRegion
+	// reads it to label and instrument regions created after attachment.
+	met atomic.Pointer[metrics.Registry]
 }
 
 // batcherClientBase is the first client ID handed to batcher lanes. Real
@@ -196,10 +201,18 @@ func (s *Set) AddRegion(spec Spec) (*Shard, error) {
 	s.rmu.Lock()
 	s.regions = append(s.regions, sh)
 	s.rmu.Unlock()
+	reg := s.met.Load()
+	if reg != nil {
+		s.cluster.LabelRegion(sh.Base, sh.Name)
+	}
 	s.bmu.Lock()
 	if s.batchCfg != nil {
-		s.batchers[sh.Name] = newBatcher(s, sh, *s.batchCfg, batcherClientBase+2*s.nextLane)
+		b := newBatcher(s, sh, *s.batchCfg, batcherClientBase+2*s.nextLane)
 		s.nextLane++
+		if reg != nil {
+			b.setMetrics(reg, sh.Name)
+		}
+		s.batchers[sh.Name] = b
 	}
 	s.bmu.Unlock()
 	return sh, nil
@@ -271,9 +284,14 @@ func (s *Set) EnableBatching(cfg BatchConfig) {
 	defer s.bmu.Unlock()
 	s.batchCfg = &cfg
 	s.batchers = make(map[string]*Batcher)
+	reg := s.met.Load()
 	for _, sh := range s.router.Shards() {
-		s.batchers[sh.Name] = newBatcher(s, sh, cfg, batcherClientBase+2*s.nextLane)
+		b := newBatcher(s, sh, cfg, batcherClientBase+2*s.nextLane)
 		s.nextLane++
+		if reg != nil {
+			b.setMetrics(reg, sh.Name)
+		}
+		s.batchers[sh.Name] = b
 	}
 }
 

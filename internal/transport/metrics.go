@@ -1,0 +1,95 @@
+package transport
+
+import (
+	"time"
+
+	"spacebounds/internal/dsys"
+	"spacebounds/internal/metrics"
+)
+
+// Metric families emitted by the transport. Client-side series are labeled by
+// node address so a flapping or slow node stands out; server-side series are
+// labeled by response status so fault statuses (object-down, recovering, ...)
+// are countable without log scraping.
+const (
+	metricRPCSeconds     = "spacebounds_transport_rpc_seconds"
+	metricRedialsTotal   = "spacebounds_transport_redials_total"
+	metricInflightFrames = "spacebounds_transport_inflight_frames"
+	metricServerSeconds  = "spacebounds_transport_server_request_seconds"
+	metricServerTotal    = "spacebounds_transport_server_requests_total"
+)
+
+// WithMetrics instruments the client against the registry: per-node RPC
+// latency (request frame out to response frame in), redials, and in-flight
+// frames. Series are created at Dial, so every configured node appears on the
+// scrape page even before its first round.
+func WithMetrics(reg *metrics.Registry) ClientOption {
+	return func(o *clientOptions) { o.metrics = reg }
+}
+
+// nodeMetrics is the client's per-node instrumentation.
+type nodeMetrics struct {
+	rpc      *metrics.Histogram
+	redials  *metrics.Counter
+	inflight *metrics.Gauge
+}
+
+// newNodeMetrics builds the per-node series; nil registry yields nil (every
+// use site is nil-checked or nil-safe).
+func newNodeMetrics(reg *metrics.Registry, addr string) *nodeMetrics {
+	if reg == nil {
+		return nil
+	}
+	node := metrics.L("node", addr)
+	return &nodeMetrics{
+		rpc:      reg.Histogram(metricRPCSeconds, "request-to-response latency of one frame by node", metrics.LatencyBuckets(), node),
+		redials:  reg.Counter(metricRedialsTotal, "connection dial attempts beyond the first by node", node),
+		inflight: reg.Gauge(metricInflightFrames, "request frames awaiting a response by node", node),
+	}
+}
+
+// observeResponse records a frame's completion: the in-flight gauge drops and,
+// if the call carries a start instant, its latency is observed. Failed frames
+// (connection shutdown) are not timed — the latency series means served
+// responses, not timeouts.
+func (nm *nodeMetrics) observeResponse(call *pendingCall, ok bool) {
+	if nm == nil {
+		return
+	}
+	nm.inflight.Add(-1)
+	if ok && !call.start.IsZero() {
+		nm.rpc.ObserveSince(call.start)
+	}
+}
+
+// serverMetrics is the server's instrumentation (see WithServerMetrics).
+type serverMetrics struct {
+	reg     *metrics.Registry
+	latency *metrics.Histogram
+}
+
+// WithServerMetrics instruments the server against the registry: request
+// service latency and a per-status response counter.
+func WithServerMetrics(reg *metrics.Registry) ServerOption {
+	return func(o *serverOptions) {
+		if reg == nil {
+			return
+		}
+		o.metrics = &serverMetrics{
+			reg:     reg,
+			latency: reg.Histogram(metricServerSeconds, "server-side request service latency", metrics.LatencyBuckets()),
+		}
+		// Eagerly register the counter family so it appears on the scrape page
+		// before the first request.
+		reg.Counter(metricServerTotal, "requests served by response status", metrics.L("status", dsys.StatusOK.String()))
+	}
+}
+
+// observeServe records one served request.
+func (sm *serverMetrics) observeServe(start time.Time, status dsys.Status) {
+	if sm == nil {
+		return
+	}
+	sm.latency.ObserveSince(start)
+	sm.reg.Counter(metricServerTotal, "requests served by response status", metrics.L("status", status.String())).Inc()
+}

@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"spacebounds/internal/dsys"
 	"spacebounds/internal/register"
@@ -16,6 +17,7 @@ import (
 type serverOptions struct {
 	hosts    func(object int) bool
 	recovery bool
+	metrics  *serverMetrics
 }
 
 // ServerOption configures a Server.
@@ -138,7 +140,12 @@ func (s *Server) handleConn(conn net.Conn) {
 			return
 		}
 		reqID := binary.BigEndian.Uint64(frame[:8])
+		var start time.Time
+		if s.opts.metrics != nil {
+			start = time.Now()
+		}
 		resp := s.serve(frame[8:])
+		s.opts.metrics.observeServe(start, resp.Status)
 		out := binary.BigEndian.AppendUint64(make([]byte, 0, 32+len(resp.Payload)+len(resp.Detail)), reqID)
 		out, err = resp.AppendBinary(out)
 		if err != nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"spacebounds/internal/dsys"
+	"spacebounds/internal/metrics"
 	"spacebounds/internal/register"
 )
 
@@ -49,6 +50,7 @@ type clientOptions struct {
 	roundTimeout  time.Duration
 	dialTimeout   time.Duration
 	redialBackoff time.Duration
+	metrics       *metrics.Registry
 }
 
 // ClientOption configures a Client.
@@ -76,6 +78,7 @@ type nodeSlot struct {
 	mu        sync.Mutex
 	conn      *clientConn
 	downUntil time.Time
+	dialed    bool // a dial has been attempted; later attempts count as redials
 }
 
 // Client is the TCP Transport: one pipelined connection per node, reused
@@ -85,6 +88,7 @@ type Client struct {
 	addrs  []string
 	opts   clientOptions
 	slots  []*nodeSlot
+	nms    []*nodeMetrics // per-node instrumentation; nil entries when disabled
 	reqSeq atomic.Uint64
 	closed atomic.Bool
 }
@@ -109,10 +113,12 @@ func Dial(addrs []string, opts ...ClientOption) (*Client, error) {
 		o.placement = RoundRobin(len(addrs))
 	}
 	slots := make([]*nodeSlot, len(addrs))
+	nms := make([]*nodeMetrics, len(addrs))
 	for i := range slots {
 		slots[i] = &nodeSlot{}
+		nms[i] = newNodeMetrics(o.metrics, addrs[i])
 	}
-	return &Client{addrs: addrs, opts: o, slots: slots}, nil
+	return &Client{addrs: addrs, opts: o, slots: slots, nms: nms}, nil
 }
 
 // clientConn is one live connection: a pipelined frame sender plus a reader
@@ -121,6 +127,7 @@ type clientConn struct {
 	addr   string
 	conn   net.Conn
 	sender *frameSender
+	nm     *nodeMetrics // nil when metrics are disabled
 
 	pmu     sync.Mutex
 	pending map[uint64]*pendingCall
@@ -129,9 +136,10 @@ type clientConn struct {
 
 // pendingCall routes one request's response back to its round.
 type pendingCall struct {
-	obj  int
-	kind string
-	ch   chan<- roundMsg
+	obj   int
+	kind  string
+	ch    chan<- roundMsg
+	start time.Time // send instant; zero unless metrics are enabled
 }
 
 // roundMsg is one per-object outcome delivered to a waiting round: either a
@@ -156,6 +164,11 @@ func (c *Client) getConn(ctx context.Context, node int) (*clientConn, error) {
 	if now := time.Now(); now.Before(slot.downUntil) {
 		return nil, fmt.Errorf("%w: node %s in redial backoff", dsys.ErrRemote, c.addrs[node])
 	}
+	nm := c.nms[node]
+	if slot.dialed && nm != nil {
+		nm.redials.Inc()
+	}
+	slot.dialed = true
 	d := net.Dialer{Timeout: c.opts.dialTimeout}
 	conn, err := d.DialContext(ctx, "tcp", c.addrs[node])
 	if err != nil {
@@ -166,6 +179,7 @@ func (c *Client) getConn(ctx context.Context, node int) (*clientConn, error) {
 		addr:    c.addrs[node],
 		conn:    conn,
 		sender:  newFrameSender(conn),
+		nm:      nm,
 		pending: make(map[uint64]*pendingCall),
 	}
 	go cc.readLoop()
@@ -178,22 +192,35 @@ func (cc *clientConn) register(reqID uint64, call *pendingCall) {
 	cc.pmu.Lock()
 	cc.pending[reqID] = call
 	cc.pmu.Unlock()
+	if cc.nm != nil {
+		cc.nm.inflight.Add(1)
+	}
 }
 
 // deregister removes a request; late responses for it are dropped, exactly
 // like responses to a client that has moved on (the RMW still took effect).
+// The in-flight gauge drops only if the call was still pending — a response
+// (take) or connection failure (shutdown) may have accounted for it already.
 func (cc *clientConn) deregister(reqID uint64) {
 	cc.pmu.Lock()
+	call, ok := cc.pending[reqID]
 	delete(cc.pending, reqID)
 	cc.pmu.Unlock()
+	if ok {
+		cc.nm.observeResponse(call, false)
+	}
 }
 
-// take removes and returns the pending call for a response frame.
+// take removes and returns the pending call for a response frame, recording
+// its latency.
 func (cc *clientConn) take(reqID uint64) *pendingCall {
 	cc.pmu.Lock()
 	call := cc.pending[reqID]
 	delete(cc.pending, reqID)
 	cc.pmu.Unlock()
+	if call != nil {
+		cc.nm.observeResponse(call, true)
+	}
 	return call
 }
 
@@ -211,6 +238,7 @@ func (cc *clientConn) shutdown(err error) {
 	cc.pending = make(map[uint64]*pendingCall)
 	cc.pmu.Unlock()
 	for _, call := range pending {
+		cc.nm.observeResponse(call, false)
 		call.ch <- roundMsg{obj: call.obj, kind: call.kind, err: &RemoteError{Node: cc.addr, Err: err}}
 	}
 }
@@ -287,7 +315,11 @@ func (c *Client) InvokeRound(ctx context.Context, client int, targets []int, mak
 		if err != nil {
 			return nil, err
 		}
-		cc.register(reqID, &pendingCall{obj: obj, kind: env.Kind, ch: ch})
+		call := &pendingCall{obj: obj, kind: env.Kind, ch: ch}
+		if cc.nm != nil {
+			call.start = time.Now()
+		}
+		cc.register(reqID, call)
 		if err := cc.sender.send(frame); err != nil {
 			cc.deregister(reqID)
 			lastErr = &RemoteError{Node: cc.addr, Err: err}

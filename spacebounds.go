@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"spacebounds/internal/dsys"
+	"spacebounds/internal/metrics"
 	"spacebounds/internal/reconfig"
 	"spacebounds/internal/register"
 	_ "spacebounds/internal/register/abd"
@@ -119,7 +120,26 @@ type Options struct {
 	// store (zero value: disabled). Never more than F nodes per shard are
 	// down at once, so a healthy store stays available throughout.
 	Faults FaultOptions
+	// Metrics, when non-nil, instruments the store against the given registry:
+	// per-shard quorum-round latency and outcomes, batch-wait and batch-size
+	// distributions, and migration step timings all become live series the
+	// registry exports over Prometheus and expvar (see docs/METRICS.md).
+	// Nil disables instrumentation at the cost of one predictable branch per
+	// hot-path operation.
+	Metrics *Metrics
 }
+
+// Metrics is the store's metrics registry: counters, gauges, and fixed-bucket
+// latency histograms exported in Prometheus text format (Handler, or Serve
+// for a standalone endpoint) and as expvar JSON (String / PublishExpvar). A
+// registry is passive — it only aggregates what instrumented components
+// record into it — so one registry may be shared by a Store, a transport
+// client, and anything else that accepts one.
+type Metrics = metrics.Registry
+
+// NewMetrics creates an empty metrics registry to pass in Options.Metrics
+// (and to transport clients via WithMetrics, where applicable).
+func NewMetrics() *Metrics { return metrics.NewRegistry() }
 
 // BatchOptions configures the batched quorum engine. The zero value disables
 // batching; setting either field enables it.
@@ -190,7 +210,13 @@ type Store struct {
 	recon         *reconfig.Coordinator
 	reconMu       sync.Mutex // serializes reconfiguration moves
 	nextMigClient int        // next migration-writer client ID
+
+	metrics *Metrics // nil unless Options.Metrics was set
 }
+
+// Metrics returns the registry the store was opened with, or nil when
+// instrumentation is disabled.
+func (s *Store) Metrics() *Metrics { return s.metrics }
 
 // Open builds the register shards and their shared simulated cluster.
 func Open(opts Options) (*Store, error) {
@@ -227,6 +253,11 @@ func Open(opts Options) (*Store, error) {
 	}
 	def := set.Shards()[0]
 	store := &Store{set: set, def: def, defKey: def.Name, recon: reconfig.NewCoordinator(set)}
+	if opts.Metrics != nil {
+		set.SetMetrics(opts.Metrics)
+		store.recon.SetMetrics(opts.Metrics)
+		store.metrics = opts.Metrics
+	}
 	if opts.Faults.enabled() {
 		store.faults.start(store, opts.Faults)
 	}
@@ -355,7 +386,10 @@ func (s *Store) FaultStats() FaultStats { return s.faults.Stats() }
 // operations completed through the batchers and the physical quorum rounds
 // that carried them. All zeros when batching is disabled.
 type BatchStats struct {
-	Writes, Reads           int
+	// Writes and Reads count operations completed through the batchers.
+	Writes, Reads int
+	// WriteRounds and ReadRounds count the physical quorum rounds dispatched
+	// to carry them; ops/rounds is the amortization factor per direction.
 	WriteRounds, ReadRounds int
 }
 
@@ -412,8 +446,9 @@ type ResizeOp struct {
 	// Remove names a dedicated shard to drop (its key rejoins hash routing;
 	// the dedicated register's value is discarded with its namespace).
 	Remove string
-	// Merge and MergeWith name two shards to merge into one successor.
-	Merge     string
+	// Merge names the first of two shards to merge into one successor.
+	Merge string
+	// MergeWith names the second shard of a Merge.
 	MergeWith string
 }
 

@@ -32,13 +32,13 @@ func TestStoreWriteReadCrash(t *testing.T) {
 			}
 			defer s.Close()
 			want := []byte("the quick brown fox")
-			if err := s.Write(1, want); err != nil {
+			if err := s.WriteKey(1, "default", want); err != nil {
 				t.Fatalf("write: %v", err)
 			}
 			if err := s.CrashNode(0); err != nil {
 				t.Fatalf("crash: %v", err)
 			}
-			got, err := s.Read(2)
+			got, err := s.ReadKey(2, "default")
 			if err != nil {
 				t.Fatalf("read: %v", err)
 			}
@@ -61,7 +61,7 @@ func TestStoreRejectsOversizedValue(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if err := s.Write(1, make([]byte, 9)); err == nil {
+	if err := s.WriteKey(1, "default", make([]byte, 9)); err == nil {
 		t.Fatal("oversized value accepted")
 	}
 }
@@ -155,16 +155,40 @@ func TestStoreShardedKeyRouting(t *testing.T) {
 			t.Fatalf("key %s read %q, want prefix %q", key, got, want)
 		}
 	}
-	// Back-compat Write/Read hit the default (first) shard.
+}
+
+// TestDeprecatedPositionalWriteRead pins the back-compat contract of the
+// deprecated positional Write/Read: they address the default (first) shard,
+// interchangeably with WriteKey/ReadKey under that shard's name. Every other
+// caller has migrated to the keyed forms; this test is the one deliberate
+// holdout keeping the deprecated surface honest until it is removed.
+func TestDeprecatedPositionalWriteRead(t *testing.T) {
+	s, err := Open(Options{
+		ValueSize: 32,
+		Shards:    []ShardSpec{{Name: "first"}, {Name: "second"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
 	if err := s.Write(1, []byte("direct")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.ReadKey(2, "a")
+	got, err := s.ReadKey(2, "first")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got[:6], []byte("direct")) {
-		t.Fatalf("default-shard write not visible via shard name: %q", got)
+		t.Fatalf("positional write not visible via the default shard's name: %q", got)
+	}
+	if err := s.WriteKey(3, "first", []byte("keyed!")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = s.Read(4); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:6], []byte("keyed!")) {
+		t.Fatalf("positional read missed the keyed write: %q", got)
 	}
 }
 
@@ -212,11 +236,11 @@ func TestStoreConcurrentClients(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 3; i++ {
-				if err := s.Write(client, []byte(fmt.Sprintf("client-%d-gen-%d", client, i))); err != nil {
+				if err := s.WriteKey(client, "default", []byte(fmt.Sprintf("client-%d-gen-%d", client, i))); err != nil {
 					t.Errorf("client %d write: %v", client, err)
 					return
 				}
-				if _, err := s.Read(client); err != nil {
+				if _, err := s.ReadKey(client, "default"); err != nil {
 					t.Errorf("client %d read: %v", client, err)
 					return
 				}
