@@ -2,8 +2,9 @@ GO ?= go
 
 # Benchmarks gated by the CI regression check; sleep-dominated (simulated
 # node service time), so their ops/s is stable across machines. The loopback
-# leg prices the RMW envelope wire format against the direct path.
-BENCH_GATE ?= BenchmarkShardedLiveThroughput|BenchmarkLoopbackLiveThroughput
+# leg prices the RMW envelope wire format against the direct path; the WAL
+# recovery leg bounds replay cost as the journal grows.
+BENCH_GATE ?= BenchmarkShardedLiveThroughput|BenchmarkLoopbackLiveThroughput|BenchmarkWALRecovery
 BENCH_TIME ?= 300ms
 # Minimum total test coverage (percent) enforced by `make cover`.
 COVER_FLOOR ?= 78
@@ -13,7 +14,7 @@ SIM_SMOKE_SEEDS ?= 50
 # Fuzzing budget for the checker fuzz smoke.
 FUZZ_TIME ?= 20s
 
-.PHONY: build test race bench bench-json bench-check cover fmt-check examples sim-smoke sim-soak sim-soak-reconfig sim-soak-merge fuzz-smoke e2e-smoke e2e-chaos linkcheck
+.PHONY: build test race bench bench-json bench-check cover fmt-check examples sim-smoke sim-soak sim-soak-reconfig sim-soak-merge fuzz-smoke e2e-smoke e2e-chaos e2e-recovery linkcheck
 
 # Compile everything and run static checks.
 build:
@@ -93,7 +94,10 @@ sim-soak-merge:
 # determinism and FuzzHistoryMerge (FUZZ_TARGET=FuzzHistoryMerge) the
 # cross-epoch stitching invariants; FUZZ_TARGET=FuzzEnvelopeRoundTrip
 # FUZZ_PKG=./internal/register fuzzes the wire codecs of all four register
-# providers (any payload that decodes must re-encode byte-identically).
+# providers (any payload that decodes must re-encode byte-identically);
+# FUZZ_TARGET=FuzzWALReplay FUZZ_PKG=./internal/wal feeds damaged segment and
+# snapshot files to the write-ahead log (open + replay must refuse or repair,
+# never panic).
 FUZZ_TARGET ?= FuzzCheckers
 FUZZ_PKG ?= ./internal/history
 fuzz-smoke:
@@ -110,6 +114,13 @@ e2e-smoke:
 
 e2e-chaos:
 	$(GO) test -run TestClusterEndToEnd -count=5 -timeout 15m ./cmd/spacenode
+
+# Durable-recovery end to end: per-node WAL directories, one node SIGKILLed
+# mid-run and restarted as a fresh process that must rebuild its state by
+# replaying its journal before listening (asserted via its WAL REPLAY line),
+# with the client's history passing the strong-regularity checker.
+e2e-recovery:
+	$(GO) test -run TestClusterRecoveryEndToEnd -count=1 -timeout 10m ./cmd/spacenode
 
 # Verify every relative markdown link (README, DESIGN, ROADMAP, docs/, ...)
 # resolves, including #heading anchors. Dependency-free; external URLs are

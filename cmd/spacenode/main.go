@@ -12,10 +12,17 @@
 // round has applied there, so the recovered node re-joins quorums without
 // ever serving its empty state as if it were current.
 //
+// With -wal-dir the node journals every applied mutating round to a
+// write-ahead log and, on restart, replays the log before listening — the
+// replayed objects come back with their pre-crash state and serve reads
+// immediately, even under -recover (replay marks them repaired). The node
+// prints "WAL REPLAY <stats>" after a replay so operators can see what was
+// recovered.
+//
 // Usage:
 //
 //	spacenode -listen 127.0.0.1:9001 -node 0 -nodes 4 -algo adaptive -shards 4 -f 1 -k 1
-//	spacenode -listen 127.0.0.1:9001 -node 0 -nodes 4 -recover ...
+//	spacenode -listen 127.0.0.1:9001 -node 0 -nodes 4 -wal-dir /var/lib/spacenode-0 -recover ...
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	_ "spacebounds/internal/register/safereg"
 	"spacebounds/internal/shard"
 	"spacebounds/internal/transport"
+	"spacebounds/internal/wal"
 )
 
 // nodeConfig carries the parsed flags.
@@ -47,6 +55,10 @@ type nodeConfig struct {
 	valueSize   int
 	recovery    bool
 	metricsAddr string
+
+	walDir    string
+	walSyncEv int
+	walSnapEv int
 }
 
 func parseArgs(args []string, errOut io.Writer) (*nodeConfig, error) {
@@ -63,6 +75,9 @@ func parseArgs(args []string, errOut io.Writer) (*nodeConfig, error) {
 	fs.IntVar(&c.valueSize, "valuesize", 64, "value size in bytes")
 	fs.BoolVar(&c.recovery, "recover", false, "start in recovery mode: refuse reads per object until a write has applied (use after a crash)")
 	fs.StringVar(&c.metricsAddr, "metrics-addr", "", "serve Prometheus /metrics and expvar /debug/vars on this address (empty: disabled; port 0 picks an ephemeral port)")
+	fs.StringVar(&c.walDir, "wal-dir", "", "write-ahead log directory: journal applied rounds and replay them before serving (empty: in-memory only)")
+	fs.IntVar(&c.walSyncEv, "wal-sync-every", 1, "records appended between fsyncs (1: sync every record)")
+	fs.IntVar(&c.walSnapEv, "wal-snapshot-every", 0, "records appended between snapshots, which truncate the log (0: default 4096)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -103,8 +118,9 @@ func run(c *nodeConfig, out io.Writer, stop <-chan os.Signal) error {
 	if c.recovery {
 		opts = append(opts, transport.WithRecovery())
 	}
+	var reg *metrics.Registry
 	if c.metricsAddr != "" {
-		reg := metrics.NewRegistry()
+		reg = metrics.NewRegistry()
 		set.SetMetrics(reg)
 		opts = append(opts, transport.WithServerMetrics(reg))
 		msrv, err := metrics.Serve(c.metricsAddr, reg)
@@ -114,7 +130,35 @@ func run(c *nodeConfig, out io.Writer, stop <-chan os.Signal) error {
 		defer msrv.Close()
 		fmt.Fprintf(out, "METRICS %s\n", msrv.Addr())
 	}
+	// Replay the write-ahead log BEFORE listening: the node must not answer a
+	// single round with state older than what it journaled.
+	var journal *wal.Journal
+	if c.walDir != "" {
+		journal, err = wal.Open(wal.Config{Dir: c.walDir, SyncEvery: c.walSyncEv, SnapshotEvery: c.walSnapEv})
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		if reg != nil {
+			journal.SetMetrics(reg)
+		}
+		stats, err := journal.Replay(set.Cluster())
+		if err != nil {
+			return fmt.Errorf("wal replay: %w", err)
+		}
+		journal.Attach(set.Cluster())
+		fmt.Fprintf(out, "WAL REPLAY %s\n", stats)
+	}
 	srv := transport.NewServer(set.Cluster(), opts...)
+	if journal != nil && c.recovery {
+		// Replayed objects hold current state; serving their reads right away
+		// only removes needless unavailability.
+		for obj := 0; obj < layout.TotalObjects(); obj++ {
+			if journal.Covered(obj) {
+				srv.MarkRepaired(obj)
+			}
+		}
+	}
 	addr, err := srv.Listen(c.listen)
 	if err != nil {
 		return err

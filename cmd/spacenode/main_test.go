@@ -22,6 +22,7 @@ func TestParseArgs(t *testing.T) {
 	want := nodeConfig{
 		listen: "127.0.0.1:9001", node: 2, nodes: 4,
 		algo: "abd", shards: 3, f: 2, k: 1, valueSize: 128, recovery: true,
+		walSyncEv: 1,
 	}
 	if *c != want {
 		t.Fatalf("parseArgs = %+v, want %+v", *c, want)

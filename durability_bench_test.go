@@ -1,0 +1,54 @@
+// Recovery benchmark: how long a durable store takes to come back as its
+// write-ahead log grows. Part of the gated set (BENCH_GATE) so a regression
+// in replay cost fails bench-check like a throughput regression would.
+package spacebounds_test
+
+import (
+	"fmt"
+	"testing"
+
+	"spacebounds"
+)
+
+// BenchmarkWALRecovery measures Open on a directory seeded with a log of the
+// given size: journal scan, CRC checks, and RMW re-application into a fresh
+// cluster. SnapshotEvery is set far above the seeded sizes so every iteration
+// replays the full log — the worst case a snapshot would otherwise truncate.
+func BenchmarkWALRecovery(b *testing.B) {
+	for _, writes := range []int{64, 512} {
+		b.Run(fmt.Sprintf("writes=%d", writes), func(b *testing.B) {
+			dir := b.TempDir()
+			opts := spacebounds.Options{
+				ValueSize: 64,
+				Durability: spacebounds.Durability{
+					Dir:           dir,
+					SyncEvery:     256,     // seeding speed; durability is not under test
+					SnapshotEvery: 1 << 30, // never: keep the whole log for replay
+				},
+			}
+			s, err := spacebounds.Open(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			val := []byte("recovery-benchmark-value")
+			for i := 0; i < writes; i++ {
+				if err := s.WriteKey(1, "default", val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := spacebounds.Open(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

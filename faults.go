@@ -38,6 +38,12 @@ type FaultStats struct {
 	Crashes int
 	// Restarts is the number of crashed nodes brought back.
 	Restarts int
+	// FailedRestarts is the number of restart attempts that errored — most
+	// commonly because a reconfiguration retired the node's region during its
+	// outage. Crashes == Restarts + FailedRestarts + (nodes currently down),
+	// so a store whose counters drift apart is observable instead of silently
+	// losing restarts.
+	FailedRestarts int
 }
 
 // faultInjector is the store's background fault process.
@@ -92,17 +98,21 @@ func (fi *faultInjector) start(s *Store, opts FaultOptions) {
 			case now := <-ticker.C:
 				// Restart nodes whose downtime has elapsed. A node whose shard
 				// was retired by a reconfiguration in the meantime cannot be
-				// restarted; its outage is simply dropped with the region.
+				// restarted; its outage is dropped with the region, but the
+				// failed attempt is counted so the Crashes/Restarts gap stays
+				// explainable from the stats alone.
 				if opts.Downtime > 0 {
 					kept := down[:0]
 					for _, o := range down {
 						if now.Sub(o.since) >= opts.Downtime {
 							downIn[o.shard]--
+							fi.mu.Lock()
 							if s.set.Cluster().RestartObject(o.node) == nil {
-								fi.mu.Lock()
 								fi.stats.Restarts++
-								fi.mu.Unlock()
+							} else {
+								fi.stats.FailedRestarts++
 							}
+							fi.mu.Unlock()
 							continue
 						}
 						kept = append(kept, o)

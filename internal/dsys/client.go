@@ -275,6 +275,7 @@ func (h *ClientHandle) invokeLive(targets []int, makeRMW func(obj int) RMW, quor
 		obj.liveMu.Lock()
 		r := rmw.Apply(obj.state)
 		obj.applied++
+		c.journalApply(h.base+objID, rmw)
 		obj.liveMu.Unlock()
 		resp[objID] = r
 	}
@@ -326,6 +327,7 @@ func (h *ClientHandle) invokeLiveLatency(targets []int, makeRMW func(obj int) RM
 			}
 			r := rmw.Apply(obj.state)
 			obj.applied++
+			c.journalApply(h.base+objID, rmw)
 			obj.liveMu.Unlock()
 			ch <- result{obj: objID, resp: r, ok: true}
 		}(objID, obj)

@@ -275,6 +275,10 @@ type Cluster struct {
 	// in flight, and disabled operation costs a single pointer load.
 	met atomic.Pointer[clusterMetrics]
 
+	// jour, when non-nil, journals every applied mutating RMW for durability
+	// (see SetJournal). Same atomic-pointer attachment pattern as met.
+	jour atomic.Pointer[journalHolder]
+
 	acct *storagecost.Accountant
 	wg   sync.WaitGroup
 }
@@ -810,6 +814,9 @@ func (c *Cluster) snapshotLocked() *storagecost.Snapshot {
 			refs: p.rmw.Blocks(),
 		})
 	}
+	if h := c.jour.Load(); h != nil {
+		reporters = append(reporters, durableReporter{j: h.j})
+	}
 	return storagecost.Collect(reporters, nil)
 }
 
@@ -917,6 +924,7 @@ func (c *Cluster) objectServer(o *object) {
 		} else {
 			for i, r := range batch {
 				results[i] = liveResult{obj: r.obj, resp: r.rmw.Apply(o.state), ok: true}
+				c.journalApply(o.id, r.rmw)
 			}
 			o.applied += n
 		}

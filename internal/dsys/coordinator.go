@@ -195,6 +195,7 @@ func (c *Cluster) applyPendingLocked(index int) {
 	}
 	resp := p.rmw.Apply(obj.state)
 	obj.applied++
+	c.journalApply(p.object, p.rmw)
 	p.call.Done = true
 	p.call.Response = resp
 	c.idleReason = ""

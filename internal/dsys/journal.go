@@ -1,0 +1,125 @@
+package dsys
+
+import (
+	"fmt"
+
+	"spacebounds/internal/storagecost"
+)
+
+// Journal is the durability hook a cluster drives: every mutating RMW that
+// takes effect is reported to the attached journal from inside the object's
+// apply critical section, so the journal's record order matches the apply
+// order per object exactly. DurableBlocks feeds the journal's on-disk
+// footprint into storage snapshots on the durable axis.
+//
+// The interface lives here (rather than the wal package importing dsys the
+// other way around) for the same reason clusterMetrics does: the cluster is
+// the attachment point, and it must not depend on how durability is
+// implemented.
+type Journal interface {
+	// RecordApply journals one applied RMW for the given global object ID.
+	// It is called under the object's apply lock; implementations must not
+	// call back into the cluster from it.
+	RecordApply(object int, rmw RMW)
+	// DurableBlocks reports the journal's current on-disk footprint for
+	// storage accounting (DurableLog / DurableSnapshot locations).
+	DurableBlocks() []storagecost.BlockInfo
+}
+
+// durableReporter adapts a journal's on-disk footprint to
+// storagecost.Reporter so snapshots carry the durability axis.
+type durableReporter struct{ j Journal }
+
+// StorageBlocks implements storagecost.Reporter.
+func (r durableReporter) StorageBlocks() []storagecost.BlockInfo { return r.j.DurableBlocks() }
+
+// journalHolder wraps the Journal interface so a single atomic pointer
+// swap attaches or detaches it (same pattern as clusterMetrics).
+type journalHolder struct{ j Journal }
+
+// SetJournal attaches a journal to the cluster (nil detaches). Attach the
+// journal before admitting traffic: applies that race with the attachment may
+// or may not be recorded.
+func (c *Cluster) SetJournal(j Journal) {
+	if j == nil {
+		c.jour.Store(nil)
+		return
+	}
+	c.jour.Store(&journalHolder{j: j})
+}
+
+// journalApply reports one applied RMW to the attached journal, if any.
+// Callers hold the object's apply lock (liveMu, or c.mu in controlled mode),
+// which is what serializes the journal's record order with the apply order.
+func (c *Cluster) journalApply(object int, rmw RMW) {
+	if h := c.jour.Load(); h != nil {
+		h.j.RecordApply(object, rmw)
+	}
+}
+
+// ReadObjectState runs fn with the object's live state under its apply lock.
+// A snapshotter uses it to observe a state that is not mid-Apply; fn must not
+// retain the state past the call or invoke cluster methods.
+func (c *Cluster) ReadObjectState(id int, fn func(s State)) error {
+	objects := c.objs()
+	if id < 0 || id >= len(objects) {
+		return fmt.Errorf("%w: %d", ErrUnknownObject, id)
+	}
+	o := objects[id]
+	if o.retired.Load() {
+		return fmt.Errorf("%w: %d", ErrRetiredObject, id)
+	}
+	o.liveMu.Lock()
+	fn(o.state)
+	o.liveMu.Unlock()
+	return nil
+}
+
+// RestoreObjectState replaces the object's state wholesale, bypassing the
+// journal. Recovery uses it to install a decoded snapshot state before
+// replaying the log suffix on top.
+func (c *Cluster) RestoreObjectState(id int, s State) error {
+	objects := c.objs()
+	if id < 0 || id >= len(objects) {
+		return fmt.Errorf("%w: %d", ErrUnknownObject, id)
+	}
+	o := objects[id]
+	if o.retired.Load() {
+		return fmt.Errorf("%w: %d", ErrRetiredObject, id)
+	}
+	o.liveMu.Lock()
+	o.state = s
+	o.liveMu.Unlock()
+	return nil
+}
+
+// ReplayApply applies a journaled RMW during recovery. Unlike ApplyOne it
+// deliberately ignores the crashed flag — replay happens while the object is
+// still marked down, which is also what guarantees no live client races the
+// replay — and it reports nothing back to the journal or the metrics, since
+// the RMW was already recorded when it first applied.
+func (c *Cluster) ReplayApply(id int, rmw RMW) (any, error) {
+	objects := c.objs()
+	if id < 0 || id >= len(objects) {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownObject, id)
+	}
+	o := objects[id]
+	if o.retired.Load() {
+		return nil, fmt.Errorf("%w: %d", ErrRetiredObject, id)
+	}
+	o.liveMu.Lock()
+	r := rmw.Apply(o.state)
+	o.applied++
+	o.liveMu.Unlock()
+	return r, nil
+}
+
+// ObjectDown reports whether the base object is currently crashed. The facade
+// uses it to decide whether a node restart needs a recovery replay first.
+func (c *Cluster) ObjectDown(id int) bool {
+	objects := c.objs()
+	if id < 0 || id >= len(objects) {
+		return false
+	}
+	return objects[id].crashed.Load()
+}

@@ -1,0 +1,141 @@
+package dsys
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"spacebounds/internal/storagecost"
+)
+
+// recJournal records RecordApply calls and reports fixed durable blocks.
+type recJournal struct {
+	mu      sync.Mutex
+	applies []int
+	blocks  []storagecost.BlockInfo
+}
+
+func (j *recJournal) RecordApply(object int, rmw RMW) {
+	j.mu.Lock()
+	j.applies = append(j.applies, object)
+	j.mu.Unlock()
+}
+
+func (j *recJournal) DurableBlocks() []storagecost.BlockInfo { return j.blocks }
+
+func (j *recJournal) recorded() []int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]int(nil), j.applies...)
+}
+
+// TestJournalRecordsAppliesAndDurableBlocks: an attached journal sees every
+// applied RMW, its durable blocks ride along in storage samples on the
+// durable axis, and detaching stops both.
+func TestJournalRecordsAppliesAndDurableBlocks(t *testing.T) {
+	c := newTestCluster(3, WithLiveMode())
+	defer c.Close()
+	j := &recJournal{blocks: []storagecost.BlockInfo{
+		{Location: storagecost.Location{Kind: storagecost.DurableLog, ID: 0}, Bits: 64},
+		{Location: storagecost.Location{Kind: storagecost.DurableSnapshot, ID: 1}, Bits: 32},
+	}}
+	c.SetJournal(j)
+	for i := 0; i < 2; i++ {
+		if _, err := c.ApplyOne(0, addBlockRMW{bits: 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := j.recorded(); len(got) != 2 || got[0] != 0 || got[1] != 0 {
+		t.Fatalf("journal recorded %v, want [0 0]", got)
+	}
+	snap := c.SampleStorage()
+	if snap.DurableLogBits != 64 || snap.DurableSnapshotBits != 32 {
+		t.Fatalf("durable axis = log %d / snap %d, want 64 / 32", snap.DurableLogBits, snap.DurableSnapshotBits)
+	}
+	if snap.DurableBits() != 96 {
+		t.Fatalf("DurableBits = %d, want 96", snap.DurableBits())
+	}
+
+	c.SetJournal(nil)
+	if _, err := c.ApplyOne(1, addBlockRMW{bits: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.recorded(); len(got) != 2 {
+		t.Fatalf("detached journal still recorded: %v", got)
+	}
+	if snap := c.SampleStorage(); snap.DurableBits() != 0 {
+		t.Fatalf("detached journal still reports %d durable bits", snap.DurableBits())
+	}
+}
+
+// TestObjectStateReadRestoreReplay covers the recovery surface: observing a
+// state under its apply lock, installing a decoded snapshot state, and
+// re-applying journaled RMWs on top — including while the object is crashed,
+// which is exactly when recovery runs.
+func TestObjectStateReadRestoreReplay(t *testing.T) {
+	c := newTestCluster(3, WithLiveMode())
+	defer c.Close()
+	if _, err := c.ApplyOne(0, addBlockRMW{bits: 8}); err != nil {
+		t.Fatal(err)
+	}
+	var counter int
+	if err := c.ReadObjectState(0, func(s State) { counter = s.(*testState).counter }); err != nil {
+		t.Fatal(err)
+	}
+	if counter != 1 {
+		t.Fatalf("observed counter = %d, want 1", counter)
+	}
+
+	if err := c.CrashObject(0); err != nil {
+		t.Fatal(err)
+	}
+	if !c.ObjectDown(0) {
+		t.Fatal("ObjectDown(0) = false after crash")
+	}
+	if err := c.RestoreObjectState(0, &testState{counter: 5}); err != nil {
+		t.Fatal(err)
+	}
+	// ReplayApply works on the crashed object (recovery replays before the
+	// restart) and bypasses journal and metrics.
+	out, err := c.ReplayApply(0, addBlockRMW{bits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != 6 {
+		t.Fatalf("ReplayApply = %v, want 6 (restored 5 + 1)", out)
+	}
+	if err := c.RestartObject(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.ObjectDown(0) {
+		t.Fatal("ObjectDown(0) = true after restart")
+	}
+
+	// Error paths: unknown and retired objects, and the out-of-range probe.
+	for name, err := range map[string]error{
+		"ReadObjectState":    c.ReadObjectState(99, func(State) {}),
+		"RestoreObjectState": c.RestoreObjectState(99, &testState{}),
+	} {
+		if !errors.Is(err, ErrUnknownObject) {
+			t.Fatalf("%s(99) = %v, want ErrUnknownObject", name, err)
+		}
+	}
+	if _, err := c.ReplayApply(-1, addBlockRMW{}); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("ReplayApply(-1) = %v, want ErrUnknownObject", err)
+	}
+	if c.ObjectDown(99) {
+		t.Fatal("ObjectDown(99) = true for unknown object")
+	}
+	if err := c.RetireObjects(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReadObjectState(2, func(State) {}); !errors.Is(err, ErrRetiredObject) {
+		t.Fatalf("ReadObjectState(retired) = %v, want ErrRetiredObject", err)
+	}
+	if err := c.RestoreObjectState(2, &testState{}); !errors.Is(err, ErrRetiredObject) {
+		t.Fatalf("RestoreObjectState(retired) = %v, want ErrRetiredObject", err)
+	}
+	if _, err := c.ReplayApply(2, addBlockRMW{}); !errors.Is(err, ErrRetiredObject) {
+		t.Fatalf("ReplayApply(retired) = %v, want ErrRetiredObject", err)
+	}
+}

@@ -77,6 +77,7 @@ func (c *Cluster) ApplyOne(id int, rmw RMW) (any, error) {
 	o.liveMu.Lock()
 	r := rmw.Apply(o.state)
 	o.applied++
+	c.journalApply(id, rmw)
 	o.liveMu.Unlock()
 	if m := c.met.Load(); m != nil {
 		m.applies.Inc()

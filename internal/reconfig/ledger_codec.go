@@ -1,0 +1,103 @@
+package reconfig
+
+import (
+	"fmt"
+
+	"spacebounds/internal/register"
+	"spacebounds/internal/value"
+)
+
+// The move ledger's wire codec. Reconfig encodes its own records — the WAL
+// below it stores opaque payloads keyed by ledger ID — so the journal layer
+// never needs to import this package. The format rides on the same
+// deterministic big-endian WireWriter/WireReader framing as the RMW codecs.
+
+// moveStateVersion guards the record layout; bump it on any field change.
+const moveStateVersion = 1
+
+// EncodeMoveState serializes one ledger entry.
+func EncodeMoveState(m MoveState) []byte {
+	var w register.WireWriter
+	w.Int(moveStateVersion)
+	w.Int(m.ID)
+	w.Int(int(m.Move.Kind))
+	w.Bytes([]byte(m.Move.Shard))
+	w.Bytes([]byte(m.Move.Shard2))
+	w.Int(len(m.Sources))
+	for _, s := range m.Sources {
+		w.Bytes([]byte(s))
+	}
+	w.Int(len(m.Successors))
+	for _, s := range m.Successors {
+		w.Bytes([]byte(s))
+	}
+	w.Bytes([]byte(m.Winner))
+	w.Bool(m.SeedChosen)
+	w.Bytes(m.SeedValue.Bytes())
+	w.Int(int(m.Step))
+	w.Int(int(m.Epoch))
+	w.Int(int(m.FlipStep))
+	w.Int(m.Resumes)
+	w.Bool(m.Interrupted)
+	w.Bool(m.Aborted)
+	w.Bytes([]byte(m.AbortReason))
+	w.Bool(m.Done)
+	return w.Finish()
+}
+
+// DecodeMoveState rebuilds a ledger entry from EncodeMoveState's output.
+func DecodeMoveState(payload []byte) (MoveState, error) {
+	r := register.NewWireReader(payload)
+	if v := r.Int(); v != moveStateVersion {
+		if err := r.Finish(); err != nil {
+			return MoveState{}, err
+		}
+		return MoveState{}, fmt.Errorf("reconfig: unsupported move record version %d", v)
+	}
+	// Each listed name costs at least its 8-byte length prefix, so a count
+	// beyond the payload size can only come from corruption; reject it before
+	// allocating.
+	names := func() ([]string, error) {
+		n := r.Int()
+		if n == 0 {
+			return nil, nil
+		}
+		if n < 0 || n > len(payload)/8 {
+			return nil, fmt.Errorf("reconfig: corrupt move record: name count %d", n)
+		}
+		out := make([]string, n)
+		for i := range out {
+			out[i] = string(r.Bytes())
+		}
+		return out, nil
+	}
+	var m MoveState
+	var err error
+	m.ID = r.Int()
+	m.Move.Kind = MoveKind(r.Int())
+	m.Move.Shard = string(r.Bytes())
+	m.Move.Shard2 = string(r.Bytes())
+	if m.Sources, err = names(); err != nil {
+		return MoveState{}, err
+	}
+	if m.Successors, err = names(); err != nil {
+		return MoveState{}, err
+	}
+	m.Winner = string(r.Bytes())
+	m.SeedChosen = r.Bool()
+	if b := r.Bytes(); len(b) > 0 || m.SeedChosen {
+		m.SeedValue = value.FromBytes(b)
+	}
+	m.Step = MoveStep(r.Int())
+	m.Epoch = int64(r.Int())
+	m.FlipStep = int64(r.Int())
+	m.Resumes = r.Int()
+	m.Interrupted = r.Bool()
+	m.Aborted = r.Bool()
+	m.AbortReason = string(r.Bytes())
+	m.Done = r.Bool()
+	if err := r.Finish(); err != nil {
+		return MoveState{}, err
+	}
+	return m, nil
+}

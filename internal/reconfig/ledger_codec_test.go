@@ -1,0 +1,69 @@
+package reconfig
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"spacebounds/internal/register"
+	"spacebounds/internal/value"
+)
+
+// TestMoveStateCodecRoundTrip round-trips a fully populated entry and a
+// minimal one; the decoded struct must be identical field for field.
+func TestMoveStateCodecRoundTrip(t *testing.T) {
+	full := MoveState{
+		ID:          3,
+		Move:        Move{Kind: MoveMerge, Shard: "s0", Shard2: "s1"},
+		Sources:     []string{"s0", "s1"},
+		Successors:  []string{"s0+s1"},
+		Winner:      "s1",
+		SeedValue:   value.Sequenced(7, 3, dataLen),
+		SeedChosen:  true,
+		Step:        StepGrowRegions,
+		Epoch:       42,
+		FlipStep:    99,
+		Resumes:     2,
+		Interrupted: true,
+		AbortReason: "",
+	}
+	for name, m := range map[string]MoveState{
+		"full":    full,
+		"minimal": {ID: 1, Move: Move{Kind: MoveSplit, Shard: "s0"}},
+		"aborted": {ID: 2, Move: Move{Kind: MoveDrain, Shard: "s1"}, Aborted: true, AbortReason: "test abort"},
+	} {
+		got, err := DecodeMoveState(EncodeMoveState(m))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("%s: round trip diverged:\n got  %+v\n want %+v", name, got, m)
+		}
+	}
+}
+
+// TestMoveStateCodecRejectsCorruption: wrong version, truncated payload, and
+// an impossible name count are all decode errors, never silent zero values.
+func TestMoveStateCodecRejectsCorruption(t *testing.T) {
+	var wrongVersion register.WireWriter
+	wrongVersion.Int(99)
+	if _, err := DecodeMoveState(wrongVersion.Finish()); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("wrong version: err = %v", err)
+	}
+
+	good := EncodeMoveState(MoveState{ID: 1, Move: Move{Kind: MoveSplit, Shard: "s0"}})
+	if _, err := DecodeMoveState(good[:len(good)-3]); err == nil {
+		t.Fatal("truncated payload decoded without error")
+	}
+
+	var badCount register.WireWriter
+	badCount.Int(moveStateVersion)
+	badCount.Int(1)              // ID
+	badCount.Int(int(MoveSplit)) // kind
+	badCount.Bytes([]byte("s0"))
+	badCount.Bytes(nil)
+	badCount.Int(1 << 40) // sources count far beyond the payload size
+	if _, err := DecodeMoveState(badCount.Finish()); err == nil || !strings.Contains(err.Error(), "corrupt move record") {
+		t.Fatalf("oversized name count: err = %v", err)
+	}
+}

@@ -290,6 +290,9 @@ type Coordinator struct {
 	// met, when non-nil, instruments ledger steps and move outcomes (see
 	// SetMetrics). Atomic so attachment never contends with a move in flight.
 	met atomic.Pointer[reconfigMetrics]
+
+	// jour, when non-nil, journals every ledger transition (see SetJournal).
+	jour atomic.Pointer[moveJournalHolder]
 }
 
 // NewCoordinator returns a coordinator for the set.
@@ -382,6 +385,7 @@ func (c *Coordinator) Resume(r Runner) (bool, Event, error) {
 		en.stepStart = time.Now()
 	}
 	c.stats.Resumes++
+	c.recordLocked(en)
 	c.mu.Unlock()
 	ev, err := c.drive(r, en, owner)
 	return true, ev, err
@@ -422,6 +426,7 @@ func (c *Coordinator) begin(mv Move) (*moveEntry, error) {
 	}
 	c.ledger = append(c.ledger, en)
 	c.inFlight = en
+	c.recordLocked(en)
 	return en, nil
 }
 
@@ -464,6 +469,7 @@ func (c *Coordinator) advance(en *moveEntry, owner int64, step MoveStep, mut fun
 			en.stepStart = time.Now()
 		}
 	}
+	c.recordLocked(en)
 	return true
 }
 
@@ -476,6 +482,7 @@ func (c *Coordinator) markInterrupted(en *moveEntry, owner int64) {
 		if m := c.met.Load(); m != nil {
 			m.countOutcome(en.Move.Kind, "interrupted")
 		}
+		c.recordLocked(en)
 	}
 }
 
@@ -495,6 +502,7 @@ func (c *Coordinator) markAborted(en *moveEntry, owner int64, cause error) {
 	if m := c.met.Load(); m != nil {
 		m.countOutcome(en.Move.Kind, "aborted")
 	}
+	c.recordLocked(en)
 }
 
 // finish closes the entry as done, records the event and bumps the per-kind
@@ -526,6 +534,7 @@ func (c *Coordinator) finish(en *moveEntry, owner int64, ev Event, seeds int) bo
 	if m := c.met.Load(); m != nil {
 		m.countOutcome(en.Move.Kind, "done")
 	}
+	c.recordLocked(en)
 	return true
 }
 

@@ -1,0 +1,28 @@
+package abd
+
+import (
+	"spacebounds/internal/dsys"
+	"spacebounds/internal/register"
+)
+
+// State codec for snapshot persistence: the full replica state is a single
+// timestamped chunk.
+func init() {
+	register.RegisterStateCodec(register.StateCodec{
+		Kind: "abd.state",
+		Encode: func(s dsys.State) ([]byte, error) {
+			st := s.(*objectState)
+			var w register.WireWriter
+			w.Chunk(st.chunk)
+			return w.Finish(), nil
+		},
+		Decode: func(payload []byte) (dsys.State, error) {
+			r := register.NewWireReader(payload)
+			st := &objectState{chunk: r.Chunk()}
+			if err := r.Finish(); err != nil {
+				return nil, err
+			}
+			return st, nil
+		},
+	}, &objectState{})
+}

@@ -1,0 +1,33 @@
+package adaptive
+
+import (
+	"spacebounds/internal/dsys"
+	"spacebounds/internal/register"
+)
+
+// State codec for snapshot persistence. The adaptive state is encoded whole
+// (index, stored timestamp, Vp and Vf piece sets) rather than reconstructed
+// from synthetic updates: updateRMW.Apply is order-sensitive in how it fills
+// Vp, so only a verbatim state copy is guaranteed to replay correctly.
+func init() {
+	register.RegisterStateCodec(register.StateCodec{
+		Kind: "adaptive.state",
+		Encode: func(s dsys.State) ([]byte, error) {
+			st := s.(*objectState)
+			var w register.WireWriter
+			w.Int(st.index)
+			w.TS(st.storedTS)
+			w.Chunks(st.vp)
+			w.Chunks(st.vf)
+			return w.Finish(), nil
+		},
+		Decode: func(payload []byte) (dsys.State, error) {
+			r := register.NewWireReader(payload)
+			st := &objectState{index: r.Int(), storedTS: r.TS(), vp: r.Chunks(), vf: r.Chunks()}
+			if err := r.Finish(); err != nil {
+				return nil, err
+			}
+			return st, nil
+		},
+	}, &objectState{})
+}

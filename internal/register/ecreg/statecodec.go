@@ -1,0 +1,30 @@
+package ecreg
+
+import (
+	"spacebounds/internal/dsys"
+	"spacebounds/internal/register"
+)
+
+// State codec for snapshot persistence: the base-object index, the highest
+// committed timestamp, and every not-yet-reclaimed piece.
+func init() {
+	register.RegisterStateCodec(register.StateCodec{
+		Kind: "ec.state",
+		Encode: func(s dsys.State) ([]byte, error) {
+			st := s.(*objectState)
+			var w register.WireWriter
+			w.Int(st.index)
+			w.TS(st.committedTS)
+			w.Chunks(st.pieces)
+			return w.Finish(), nil
+		},
+		Decode: func(payload []byte) (dsys.State, error) {
+			r := register.NewWireReader(payload)
+			st := &objectState{index: r.Int(), committedTS: r.TS(), pieces: r.Chunks()}
+			if err := r.Finish(); err != nil {
+				return nil, err
+			}
+			return st, nil
+		},
+	}, &objectState{})
+}

@@ -1,0 +1,29 @@
+package safereg
+
+import (
+	"spacebounds/internal/dsys"
+	"spacebounds/internal/register"
+)
+
+// State codec for snapshot persistence: the base-object index plus the stored
+// piece.
+func init() {
+	register.RegisterStateCodec(register.StateCodec{
+		Kind: "safe.state",
+		Encode: func(s dsys.State) ([]byte, error) {
+			st := s.(*objectState)
+			var w register.WireWriter
+			w.Int(st.index)
+			w.Chunk(st.chunk)
+			return w.Finish(), nil
+		},
+		Decode: func(payload []byte) (dsys.State, error) {
+			r := register.NewWireReader(payload)
+			st := &objectState{index: r.Int(), chunk: r.Chunk()}
+			if err := r.Finish(); err != nil {
+				return nil, err
+			}
+			return st, nil
+		},
+	}, &objectState{})
+}

@@ -1,0 +1,100 @@
+package register
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+
+	"spacebounds/internal/dsys"
+)
+
+// This file is the base-object *state* codec registry, the snapshot-side
+// sibling of the RMW codec registry in codec.go: each register emulation
+// registers, from its package init, one StateCodec for its objectState type,
+// keyed both by a stable wire name ("abd.state") and by the state's concrete
+// Go type. A write-ahead log uses it to persist a base object's full state in
+// a snapshot and to rebuild a live State on replay — the decoded form has the
+// registered concrete type, so Apply-ing logged RMWs on top of it behaves
+// exactly as it did in the original process, and Blocks() keeps Definition-2
+// accounting exact across a restart.
+
+// StateCodec describes the wire encoding of one provider's base-object state.
+type StateCodec struct {
+	// Kind is the stable wire name, conventionally "<provider>.state".
+	Kind string
+	// Encode serializes the full state. It is called under the object's apply
+	// lock, so it observes no mid-Apply state.
+	Encode func(s dsys.State) ([]byte, error)
+	// Decode rebuilds a live State from Encode's output.
+	Decode func(payload []byte) (dsys.State, error)
+}
+
+var (
+	stateCodecMu     sync.RWMutex
+	stateCodecByKind = make(map[string]StateCodec)
+	stateCodecByType = make(map[reflect.Type]StateCodec)
+)
+
+// RegisterStateCodec installs a state codec for the State whose concrete type
+// is that of prototype. Like RegisterCodec it panics on duplicates; providers
+// call it from init, one registration per provider.
+func RegisterStateCodec(c StateCodec, prototype dsys.State) {
+	if c.Kind == "" || c.Encode == nil || c.Decode == nil {
+		panic(fmt.Sprintf("register: incomplete state codec for kind %q", c.Kind))
+	}
+	t := reflect.TypeOf(prototype)
+	stateCodecMu.Lock()
+	defer stateCodecMu.Unlock()
+	if _, dup := stateCodecByKind[c.Kind]; dup {
+		panic(fmt.Sprintf("register: duplicate state codec kind %q", c.Kind))
+	}
+	if _, dup := stateCodecByType[t]; dup {
+		panic(fmt.Sprintf("register: duplicate state codec for type %v", t))
+	}
+	stateCodecByKind[c.Kind] = c
+	stateCodecByType[t] = c
+}
+
+// StateCodecKinds returns the registered state kind names, sorted.
+func StateCodecKinds() []string {
+	stateCodecMu.RLock()
+	defer stateCodecMu.RUnlock()
+	kinds := make([]string, 0, len(stateCodecByKind))
+	for k := range stateCodecByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// EncodeState serializes a base-object state, returning its wire kind and
+// payload.
+func EncodeState(s dsys.State) (kind string, payload []byte, err error) {
+	stateCodecMu.RLock()
+	c, ok := stateCodecByType[reflect.TypeOf(s)]
+	stateCodecMu.RUnlock()
+	if !ok {
+		return "", nil, fmt.Errorf("%w: no state codec for type %T", ErrCodec, s)
+	}
+	payload, err = c.Encode(s)
+	if err != nil {
+		return "", nil, fmt.Errorf("%w: encoding %s: %v", ErrCodec, c.Kind, err)
+	}
+	return c.Kind, payload, nil
+}
+
+// DecodeState rebuilds a live base-object state of the given wire kind.
+func DecodeState(kind string, payload []byte) (dsys.State, error) {
+	stateCodecMu.RLock()
+	c, ok := stateCodecByKind[kind]
+	stateCodecMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown state kind %q", ErrCodec, kind)
+	}
+	s, err := c.Decode(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: decoding %s: %v", ErrCodec, kind, err)
+	}
+	return s, nil
+}

@@ -522,6 +522,59 @@ func (s *Set) StorageBreakdown() (snap *storagecost.Snapshot, perShard map[strin
 	return snap, perShard
 }
 
+// DurabilityBreakdown samples storage once and attributes the durable
+// (WAL log + snapshot) bits to shards the same way StorageBreakdown
+// attributes base-object bits. Framing, move-ledger, and snapshot-overhead
+// bytes — charged by the journal to a pseudo-object outside every region —
+// come back in ledger, so total == sum(perShard) + ledger exactly. All zeros
+// when no journal is attached.
+func (s *Set) DurabilityBreakdown() (total int, perShard map[string]int, ledger int) {
+	snap := s.StorageSnapshot()
+	s.rmu.Lock()
+	regions := make([]*Shard, len(s.regions))
+	copy(regions, s.regions)
+	s.rmu.Unlock()
+	perShard = make(map[string]int, len(regions))
+	attributed := 0
+	for _, sh := range regions {
+		bits := 0
+		for obj := sh.Base; obj < sh.Base+sh.Span; obj++ {
+			bits += snap.PerObjectDurableBits[obj]
+		}
+		attributed += bits
+		e := s.router.RouteOf(sh.Name)
+		if bits > 0 || e == nil || e.State() != RouteRetired {
+			perShard[sh.Name] = bits
+		}
+	}
+	total = snap.DurableBits()
+	ledger = total - attributed
+	return total, perShard, ledger
+}
+
+// InitialStateOf builds a fresh initial state for the base object with the
+// given global ID, using its region's register emulation. Recovery uses it
+// as the floor a crashed object's durable records replay on top of.
+func (s *Set) InitialStateOf(id int) (dsys.State, error) {
+	s.rmu.Lock()
+	var owner *Shard
+	for _, sh := range s.regions {
+		if id >= sh.Base && id < sh.Base+sh.Span {
+			owner = sh
+			break
+		}
+	}
+	s.rmu.Unlock()
+	if owner == nil {
+		return nil, fmt.Errorf("shard: no region owns base object %d", id)
+	}
+	init, err := owner.Reg.InitialStates(value.Zero(owner.Reg.Config().DataLen))
+	if err != nil {
+		return nil, fmt.Errorf("shard %q: initial states: %w", owner.Name, err)
+	}
+	return init[id-owner.Base], nil
+}
+
 // Close shuts the routing table and the shared cluster down.
 func (s *Set) Close() {
 	s.router.close()

@@ -41,6 +41,17 @@ func WithRecovery() ServerOption {
 	return func(o *serverOptions) { o.recovery = true }
 }
 
+// MarkRepaired marks one base object as repaired without waiting for a
+// mutating RMW: a node that replayed the object's state from its write-ahead
+// log before serving already holds current (not empty) state, so read
+// refusal would only add unavailability. Out-of-range IDs are ignored.
+// A no-op unless the server runs with WithRecovery.
+func (s *Server) MarkRepaired(object int) {
+	if object >= 0 && object < len(s.repaired) {
+		s.repaired[object].Store(true)
+	}
+}
+
 // Server hosts a cluster's base objects behind the TCP frame protocol. Each
 // accepted connection gets a reader loop and a pipelined frame sender, so
 // requests from one client interleave with responses to others without

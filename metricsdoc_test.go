@@ -66,10 +66,11 @@ func TestMetricsDocSync(t *testing.T) {
 	reg := spacebounds.NewMetrics()
 
 	store, err := spacebounds.Open(spacebounds.Options{
-		ValueSize: 64,
-		Shards:    []spacebounds.ShardSpec{{Name: "a"}, {Name: "b"}},
-		Batch:     spacebounds.BatchOptions{MaxSize: 4},
-		Metrics:   reg,
+		ValueSize:  64,
+		Shards:     []spacebounds.ShardSpec{{Name: "a"}, {Name: "b"}},
+		Batch:      spacebounds.BatchOptions{MaxSize: 4},
+		Durability: spacebounds.Durability{Dir: t.TempDir()},
+		Metrics:    reg,
 	})
 	if err != nil {
 		t.Fatal(err)

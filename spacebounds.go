@@ -22,6 +22,7 @@
 package spacebounds
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -37,6 +38,7 @@ import (
 	"spacebounds/internal/shard"
 	"spacebounds/internal/storagecost"
 	"spacebounds/internal/value"
+	"spacebounds/internal/wal"
 )
 
 // Algorithm selects a register emulation.
@@ -120,6 +122,13 @@ type Options struct {
 	// store (zero value: disabled). Never more than F nodes per shard are
 	// down at once, so a healthy store stays available throughout.
 	Faults FaultOptions
+	// Durability enables the write-ahead log: every applied mutating RMW and
+	// every reconfiguration ledger transition is journaled to Durability.Dir,
+	// Open replays whatever the directory holds before serving, and
+	// RestartNode rebuilds a crashed node's state from disk instead of
+	// resuming from its pre-crash memory. Zero value: disabled (the store is
+	// purely in-memory, as before).
+	Durability Durability
 	// Metrics, when non-nil, instruments the store against the given registry:
 	// per-shard quorum-round latency and outcomes, batch-wait and batch-size
 	// distributions, and migration step timings all become live series the
@@ -140,6 +149,26 @@ type Metrics = metrics.Registry
 // NewMetrics creates an empty metrics registry to pass in Options.Metrics
 // (and to transport clients via WithMetrics, where applicable).
 func NewMetrics() *Metrics { return metrics.NewRegistry() }
+
+// Durability configures the per-store write-ahead log (see internal/wal).
+// Setting Dir enables it; the other fields tune the sync and snapshot
+// policies. Durable bytes are accounted on their own axis — DurabilityBits,
+// never StorageBits — because the paper's space measure (Definition 2) counts
+// only the bits stored in the volatile base objects.
+type Durability struct {
+	// Dir is the journal directory (created if absent). Empty disables
+	// durability.
+	Dir string
+	// SyncEvery is the number of appended records between fsyncs (default 1:
+	// sync every record — crash-durable but slowest).
+	SyncEvery int
+	// SnapshotEvery is the number of appended records between background
+	// snapshots, which bound log length and replay time (default 4096).
+	SnapshotEvery int
+}
+
+// enabled reports whether the zero-value-off journal was requested.
+func (d Durability) enabled() bool { return d.Dir != "" }
 
 // BatchOptions configures the batched quorum engine. The zero value disables
 // batching; setting either field enables it.
@@ -211,7 +240,12 @@ type Store struct {
 	reconMu       sync.Mutex // serializes reconfiguration moves
 	nextMigClient int        // next migration-writer client ID
 
-	metrics *Metrics // nil unless Options.Metrics was set
+	metrics *Metrics     // nil unless Options.Metrics was set
+	wal     *wal.Journal // nil unless Options.Durability was set
+
+	// resumeHook, when non-nil, replaces ResumeMoves in RestartNode's resume
+	// phase; tests inject failures here to exercise the ErrResumeFailed path.
+	resumeHook func() error
 }
 
 // Metrics returns the registry the store was opened with, or nil when
@@ -258,10 +292,56 @@ func Open(opts Options) (*Store, error) {
 		store.recon.SetMetrics(opts.Metrics)
 		store.metrics = opts.Metrics
 	}
+	if opts.Durability.enabled() {
+		if err := store.openJournal(opts); err != nil {
+			set.Close()
+			return nil, err
+		}
+	}
 	if opts.Faults.enabled() {
 		store.faults.start(store, opts.Faults)
 	}
 	return store, nil
+}
+
+// openJournal opens the write-ahead log, replays whatever it holds into the
+// freshly built cluster and ledger, and only then attaches it for journaling
+// new operations — replayed records must not be re-journaled. The caller
+// closes the set on error; the journal is closed here.
+func (s *Store) openJournal(opts Options) error {
+	j, err := wal.Open(wal.Config{
+		Dir:           opts.Durability.Dir,
+		SyncEvery:     opts.Durability.SyncEvery,
+		SnapshotEvery: opts.Durability.SnapshotEvery,
+	})
+	if err != nil {
+		return err
+	}
+	if opts.Metrics != nil {
+		j.SetMetrics(opts.Metrics)
+	}
+	moves := j.Moves()
+	states := make([]reconfig.MoveState, 0, len(moves))
+	for _, mr := range moves {
+		ms, err := reconfig.DecodeMoveState(mr.Payload)
+		if err != nil {
+			j.Close()
+			return fmt.Errorf("spacebounds: restoring reconfiguration ledger: move %d: %w", mr.ID, err)
+		}
+		states = append(states, ms)
+	}
+	if err := s.recon.RestoreLedger(states); err != nil {
+		j.Close()
+		return fmt.Errorf("spacebounds: restoring reconfiguration ledger: %w", err)
+	}
+	if _, err := j.Replay(s.set.Cluster()); err != nil {
+		j.Close()
+		return fmt.Errorf("spacebounds: replaying write-ahead log: %w", err)
+	}
+	j.Attach(s.set.Cluster())
+	s.recon.SetJournal(j)
+	s.wal = j
+	return nil
 }
 
 // Algorithm returns the name of the default (first) shard's emulation.
@@ -355,25 +435,61 @@ func (s *Store) CrashShardNode(key string, node int) error {
 	return s.set.CrashNode(s.set.ForKey(key).Name, node)
 }
 
-// RestartNode brings a crashed node back with the state it had when it
-// crashed (fail-recover). Writes that raced the crash window are lost on that
-// node, exactly like messages to a down replica; the quorum protocols repair
-// on the next operations. Restarting is also the store's recovery entry
-// point: if the reconfiguration ledger holds a move whose driver died
-// mid-migration, the restart resumes it (see ResumeMoves). The in-flight
-// check is done before touching the reconfiguration lock, so a restart never
-// blocks behind a healthy migration another goroutine is driving; a resume
-// failure is reported with the successful restart made explicit, so callers
-// do not retry the restart itself.
+// Restart error classes. RestartNode does two separable jobs — bring the
+// node back, then resume any interrupted reconfiguration — and its callers
+// need to know which one failed: a restart failure means the node is still
+// down and the call may be retried; a resume failure means the node is UP and
+// only the interrupted move still needs driving (retry the restart and the
+// quorum protocols stay correct, but ResumeMoves alone is cheaper).
+var (
+	// ErrRestartFailed wraps failures of the restart phase: the node did not
+	// come back (and, on a durable store, its on-disk state was not replayed).
+	ErrRestartFailed = errors.New("spacebounds: node restart failed")
+	// ErrResumeFailed wraps failures of the resume phase: the node IS back,
+	// but the interrupted reconfiguration could not be resumed. The ledger
+	// entry stays interrupted and re-drivable via ResumeMoves.
+	ErrResumeFailed = errors.New("spacebounds: resuming interrupted reconfiguration failed")
+)
+
+// RestartNode brings a crashed node back. On an in-memory store it resumes
+// with the state it had when it crashed (fail-recover): writes that raced the
+// crash window are lost on that node, exactly like messages to a down
+// replica, and the quorum protocols repair on the next operations. On a
+// durable store the node instead rebuilds from the write-ahead log — fresh
+// initial state, then snapshot and journaled RMWs replayed — so it returns
+// with everything it had acknowledged before the crash, wiped memory
+// notwithstanding. Restarting is also the store's recovery entry point: if
+// the reconfiguration ledger holds a move whose driver died mid-migration,
+// the restart resumes it (see ResumeMoves). The in-flight check is done
+// before touching the reconfiguration lock, so a restart never blocks behind
+// a healthy migration another goroutine is driving. Failures are classed:
+// errors.Is(err, ErrRestartFailed) means the node is still down; errors.Is(
+// err, ErrResumeFailed) means the node is up and only the interrupted move
+// still needs driving — callers must not conflate the two, which is why the
+// resume error never travels unwrapped.
 func (s *Store) RestartNode(id int) error {
-	if err := s.set.Cluster().RestartObject(id); err != nil {
-		return err
+	cl := s.set.Cluster()
+	if s.wal != nil && cl.ObjectDown(id) {
+		fresh, err := s.set.InitialStateOf(id)
+		if err != nil {
+			return fmt.Errorf("%w: node %d: %w", ErrRestartFailed, id, err)
+		}
+		if _, err := s.wal.ReplayObject(cl, id, fresh); err != nil {
+			return fmt.Errorf("%w: node %d: rebuilding state from the write-ahead log: %w", ErrRestartFailed, id, err)
+		}
+	}
+	if err := cl.RestartObject(id); err != nil {
+		return fmt.Errorf("%w: node %d: %w", ErrRestartFailed, id, err)
 	}
 	if fl := s.recon.InFlight(); fl == nil || !fl.Interrupted {
 		return nil
 	}
-	if _, err := s.ResumeMoves(); err != nil {
-		return fmt.Errorf("spacebounds: node %d restarted; resuming interrupted reconfiguration failed: %w", id, err)
+	resume := s.resumeHook
+	if resume == nil {
+		resume = func() error { _, err := s.ResumeMoves(); return err }
+	}
+	if err := resume(); err != nil {
+		return fmt.Errorf("%w: node %d restarted: %w", ErrResumeFailed, id, err)
 	}
 	return nil
 }
@@ -433,6 +549,34 @@ func (s *Store) StorageBreakdown() (total int, perShard map[string]int) {
 
 // StorageSnapshot returns the full storage breakdown across all shards.
 func (s *Store) StorageSnapshot() *storagecost.Snapshot { return s.set.StorageSnapshot() }
+
+// DurabilityBits returns the current on-disk footprint of the write-ahead
+// log in bits (live segments plus the current snapshot), or 0 when
+// durability is disabled. Durable bits are deliberately NOT part of
+// StorageBits: the paper's space measure counts only the bits held in the
+// volatile base objects, and the log is a different resource with a
+// different lifecycle (it is truncated by snapshots, not by the protocol).
+func (s *Store) DurabilityBits() int {
+	if s.wal == nil {
+		return 0
+	}
+	total, _, _ := s.set.DurabilityBreakdown()
+	return total
+}
+
+// DurabilityBreakdown returns, from one consistent storage sample, the total
+// durable bits and their attribution: perShard maps each shard name to the
+// bits its objects' journal records and snapshot entries occupy, and ledger
+// is the remainder — reconfiguration move records plus per-file framing and
+// snapshot overhead. The sample is summation-exact: total always equals the
+// sum of the per-shard values plus ledger. All zeros when durability is
+// disabled.
+func (s *Store) DurabilityBreakdown() (total int, perShard map[string]int, ledger int) {
+	if s.wal == nil {
+		return 0, map[string]int{}, 0
+	}
+	return s.set.DurabilityBreakdown()
+}
 
 // ResizeOp is one step of a Resize plan; exactly one of Split, Drain, Add,
 // Remove and Merge must be set (Merge additionally needs MergeWith).
@@ -627,5 +771,8 @@ func (s *Store) ReconfigStats() ReconfigStats {
 func (s *Store) Close() error {
 	s.faults.halt()
 	s.set.Close()
+	if s.wal != nil {
+		return s.wal.Close()
+	}
 	return nil
 }
