@@ -287,19 +287,24 @@ func BenchmarkShardedLiveThroughput(b *testing.B) {
 		batch           bool
 		split           bool // live SplitShard("s0") at the half-way mark
 		metrics         bool // full instrumentation via Options.Metrics
+		trc             bool // every op traced via Options.Trace (Sample: 1)
 	}{
-		{1, 8, false, false, false},
-		{8, 8, false, false, false},
-		{1, 32, false, false, false},
-		{1, 32, true, false, false},
-		{8, 32, true, false, false},
-		{4, 32, true, true, false},
+		{1, 8, false, false, false, false},
+		{8, 8, false, false, false, false},
+		{1, 32, false, false, false, false},
+		{1, 32, true, false, false, false},
+		{8, 32, true, false, false, false},
+		{4, 32, true, true, false, false},
 		// The metrics=on twin of the 8×32 batched case is the observability
 		// overhead gate: same topology, every histogram live, allocs/op
 		// reported. The CI bench gate holds its ops/s within the shared 25%
 		// tolerance of the baseline, i.e. instrumentation must stay invisible
 		// next to a 50µs service period.
-		{8, 32, true, false, true},
+		{8, 32, true, false, true, false},
+		// The trace=on twin additionally samples EVERY operation into the
+		// trace flight recorder — the worst-case tracing overhead (production
+		// sampling is fractional), held to the same 25% gate.
+		{8, 32, true, false, true, true},
 	} {
 		name := fmt.Sprintf("shards=%d/clients=%d/batch=%s", tc.shards, tc.clients, onOff(tc.batch))
 		if tc.split {
@@ -307,6 +312,9 @@ func BenchmarkShardedLiveThroughput(b *testing.B) {
 		}
 		if tc.metrics {
 			name += "/metrics=on"
+		}
+		if tc.trc {
+			name += "/trace=on"
 		}
 		b.Run(name, func(b *testing.B) {
 			// Give every client its own scheduling context even on small
@@ -327,6 +335,11 @@ func BenchmarkShardedLiveThroughput(b *testing.B) {
 			if tc.metrics {
 				opts.Metrics = spacebounds.NewMetrics()
 				b.ReportAllocs()
+			}
+			if tc.trc {
+				opts.Trace = spacebounds.NewTracer(spacebounds.TraceOptions{
+					Sample: 1, Node: -1, Proc: "bench", Metrics: opts.Metrics,
+				})
 			}
 			store, err := spacebounds.Open(opts)
 			if err != nil {

@@ -48,6 +48,7 @@ import (
 	_ "spacebounds/internal/register/safereg"
 	"spacebounds/internal/shard"
 	"spacebounds/internal/sim"
+	"spacebounds/internal/trace"
 	"spacebounds/internal/transport"
 	"spacebounds/internal/workload"
 )
@@ -86,6 +87,12 @@ type cliConfig struct {
 
 	// Shared by throughput and client mode.
 	metricsAddr string
+
+	// Tracing (client mode).
+	traceSample float64
+	traceSlow   time.Duration
+	traceOut    string
+	tracePeers  string
 
 	// Simulation mode.
 	sim             bool
@@ -135,6 +142,10 @@ func parseArgs(args []string, errOut io.Writer) (*cliConfig, error) {
 	fs.StringVar(&c.connect, "connect", "", "comma-separated spacenode addresses; runs the workload as a client of that cluster (client mode)")
 	fs.StringVar(&c.recordOut, "record-out", "", "write the recorded per-shard histories to this file when the consistency check fails (client mode)")
 	fs.StringVar(&c.metricsAddr, "metrics-addr", "", "serve Prometheus /metrics and expvar /debug/vars on this address during the run (throughput and client modes; empty: disabled)")
+	fs.Float64Var(&c.traceSample, "trace-sample", 0, "probability an operation is traced end to end; 1 traces every op (client mode)")
+	fs.DurationVar(&c.traceSlow, "trace-slow", 0, "retain whole-trace captures of ops slower than this (client mode; 0: disabled)")
+	fs.StringVar(&c.traceOut, "trace-out", "", "write the merged trace dump (client spans plus every -trace-peers scrape) to this JSON file (client mode)")
+	fs.StringVar(&c.tracePeers, "trace-peers", "", "comma-separated node metrics addresses whose /debug/trace to scrape into the final summary and -trace-out (client mode)")
 
 	fs.BoolVar(&c.sim, "sim", false, "explore seeded adversarial fault schedules with the deterministic simulator")
 	fs.IntVar(&c.seeds, "seeds", 50, "number of seeds per simulated configuration (sim mode)")
@@ -423,15 +434,30 @@ func runClient(c *cliConfig, out io.Writer) error {
 	// run ends with a latency summary. -metrics-addr additionally serves
 	// the registry live during the run.
 	reg := metrics.NewRegistry()
+	var tr *trace.Tracer
+	if c.traceEnabled() {
+		tr = trace.New(trace.Options{
+			Sample:  c.traceSample,
+			Slow:    c.traceSlow,
+			Proc:    "client",
+			Node:    -1,
+			Metrics: reg,
+		})
+	}
 	if c.metricsAddr != "" {
-		msrv, err := metrics.Serve(c.metricsAddr, reg)
+		msrv, err := metrics.Serve(c.metricsAddr, reg,
+			metrics.Mount{Pattern: "/debug/trace", Handler: tr.Handler()})
 		if err != nil {
 			return err
 		}
 		defer msrv.Close()
 		fmt.Fprintf(out, "METRICS %s\n", msrv.Addr())
 	}
-	cli, err := transport.Dial(addrs, transport.WithMetrics(reg))
+	dialOpts := []transport.ClientOption{transport.WithMetrics(reg)}
+	if tr != nil {
+		dialOpts = append(dialOpts, transport.WithTracer(tr))
+	}
+	cli, err := transport.Dial(addrs, dialOpts...)
 	if err != nil {
 		return err
 	}
@@ -442,6 +468,18 @@ func runClient(c *cliConfig, out io.Writer) error {
 	}
 	defer set.Close()
 	set.SetMetrics(reg)
+	if tr != nil {
+		set.SetTracer(tr)
+	}
+	// Mirror the throughput mode's batching semantics over the real cluster:
+	// either flag enables client-side group commit.
+	if c.batch > 0 || c.batchDelay > 0 {
+		batchCfg := shard.BatchConfig{MaxSize: c.batch, MaxDelay: c.batchDelay}
+		if batchCfg.MaxSize <= 0 {
+			batchCfg.MaxSize = 16
+		}
+		set.EnableBatching(batchCfg)
+	}
 
 	start := time.Now()
 	res, err := workload.RunSharded(set, workload.ShardedSpec{
@@ -470,6 +508,21 @@ func runClient(c *cliConfig, out io.Writer) error {
 	}
 	fmt.Fprintln(out, "  metrics summary:")
 	reg.WriteSummary(out)
+	if tr != nil {
+		peers := scrapePeerTraces(c.tracePeers, out)
+		spans := tr.Snapshot()
+		for _, pd := range peers {
+			spans = append(spans, pd.Spans...)
+		}
+		printSlowOps(out, spans, 5)
+		if c.traceOut != "" {
+			if err := writeMergedDump(c.traceOut, tr, peers); err != nil {
+				fmt.Fprintf(out, "  (failed to write %s: %v)\n", c.traceOut, err)
+			} else {
+				fmt.Fprintf(out, "  trace dump written to %s\n", c.traceOut)
+			}
+		}
+	}
 	if total == 0 {
 		// An empty history passes every checker trivially; a run where nothing
 		// completed is a dead cluster, not a consistent one.

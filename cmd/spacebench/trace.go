@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"spacebounds/internal/trace"
+)
+
+// traceEnabled reports whether any trace flag asked for a client tracer.
+func (c *cliConfig) traceEnabled() bool {
+	return c.traceSample > 0 || c.traceSlow > 0 || c.traceOut != ""
+}
+
+// scrapePeerTraces fetches /debug/trace from each peer metrics address
+// (comma-separated host:port) and returns the parsed dumps. A peer that
+// cannot be reached is reported on out and skipped — a killed node's spans
+// are simply absent from the merge, not fatal to the run.
+func scrapePeerTraces(peers string, out io.Writer) []trace.Dump {
+	var dumps []trace.Dump
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, p := range strings.Split(peers, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		resp, err := client.Get("http://" + p + "/debug/trace")
+		if err != nil {
+			fmt.Fprintf(out, "  trace: peer %s unreachable: %v\n", p, err)
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if err != nil {
+			fmt.Fprintf(out, "  trace: peer %s: %v\n", p, err)
+			continue
+		}
+		d, err := trace.ParseDump(body)
+		if err != nil {
+			fmt.Fprintf(out, "  trace: peer %s: bad dump: %v\n", p, err)
+			continue
+		}
+		dumps = append(dumps, d)
+	}
+	return dumps
+}
+
+// writeMergedDump writes the client's dump with every peer's spans merged in,
+// so one file holds the complete multi-process traces of the run.
+func writeMergedDump(path string, tr *trace.Tracer, peers []trace.Dump) error {
+	d := tr.Dump()
+	d.Proc = "merged"
+	for _, pd := range peers {
+		d.Spans = append(d.Spans, pd.Spans...)
+	}
+	sort.Slice(d.Spans, func(i, j int) bool { return d.Spans[i].Start.Before(d.Spans[j].Start) })
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// printSlowOps prints the n slowest fully-captured ops with a per-stage span
+// breakdown — which part of the op's latency was batch wait, quorum round,
+// per-node RPC, node apply, or WAL durability.
+func printSlowOps(out io.Writer, spans []trace.Span, n int) {
+	asm := trace.Assemble(spans)
+	shown := 0
+	for _, a := range asm {
+		if a.Root.ID == 0 || shown >= n {
+			break
+		}
+		if shown == 0 {
+			fmt.Fprintf(out, "  slowest traced ops:\n")
+		}
+		shown++
+		fmt.Fprintf(out, "    trace %016x  %-5s shard %-8s %10s\n",
+			a.Trace, a.Root.Note, a.Root.Shard, fmtDur(a.Root.Duration))
+		for _, s := range a.Spans {
+			if s.ID == a.Root.ID {
+				continue
+			}
+			offset := s.Start.Sub(a.Root.Start)
+			fmt.Fprintf(out, "      +%-9s %-12s %10s  %s", fmtDur(offset), s.Stage, fmtDur(s.Duration), s.Proc)
+			if s.Note != "" {
+				fmt.Fprintf(out, "  (%s)", s.Note)
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	if shown == 0 {
+		fmt.Fprintf(out, "  no traced ops captured (raise -trace-sample)\n")
+	}
+}
+
+// fmtDur renders a duration at microsecond precision — span durations are
+// measured in nanoseconds, and full precision only adds noise.
+func fmtDur(d time.Duration) string { return d.Round(time.Microsecond).String() }

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"spacebounds/internal/trace"
+)
+
+// fakeSpans builds one complete two-span trace plus a rootless fragment.
+func fakeSpans(base time.Time) []trace.Span {
+	return []trace.Span{
+		{Trace: 7, ID: 1, Stage: trace.StageOp, Shard: "s0", Note: "write",
+			Proc: "client", Start: base, Duration: 3 * time.Millisecond},
+		{Trace: 7, ID: 2, Parent: 1, Stage: trace.StageRound, Shard: "s0",
+			Proc: "client", Start: base.Add(time.Millisecond), Duration: 2 * time.Millisecond},
+		{Trace: 9, ID: 5, Parent: 4, Stage: trace.StageApply, Note: "abd.write",
+			Proc: "node-1", Start: base, Duration: time.Millisecond},
+	}
+}
+
+func TestPrintSlowOps(t *testing.T) {
+	var buf strings.Builder
+	printSlowOps(&buf, fakeSpans(time.Now()), 5)
+	out := buf.String()
+	for _, want := range []string{
+		"slowest traced ops:",
+		"trace 0000000000000007",
+		"write", "shard s0",
+		"quorum-round",
+		"+1ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printSlowOps output missing %q:\n%s", want, out)
+		}
+	}
+	// The rootless fragment (trace 9) must not be shown as an op.
+	if strings.Contains(out, "0000000000000009") {
+		t.Errorf("printSlowOps listed a rootless fragment:\n%s", out)
+	}
+
+	buf.Reset()
+	printSlowOps(&buf, nil, 5)
+	if !strings.Contains(buf.String(), "no traced ops captured") {
+		t.Errorf("empty span list did not print the fallback, got %q", buf.String())
+	}
+}
+
+func TestScrapePeerTracesAndMergedDump(t *testing.T) {
+	// One live peer, one dead address, one serving garbage.
+	tr := trace.New(trace.Options{Sample: 1, Proc: "node-0", Node: 0})
+	sp := tr.Start(trace.Context{Trace: 42, Span: 41}, trace.StageApply)
+	sp.Done()
+	live := httptest.NewServer(tr.Handler())
+	defer live.Close()
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("not json"))
+	}))
+	defer garbage.Close()
+
+	peerList := strings.Join([]string{
+		strings.TrimPrefix(live.URL, "http://"),
+		"127.0.0.1:1", // nothing listens on the reserved port
+		strings.TrimPrefix(garbage.URL, "http://"),
+		"", // blank entries are tolerated
+	}, ",")
+	var report strings.Builder
+	dumps := scrapePeerTraces(peerList, &report)
+	if len(dumps) != 1 {
+		t.Fatalf("scraped %d dumps, want 1 (report: %s)", len(dumps), report.String())
+	}
+	if dumps[0].Proc != "node-0" || len(dumps[0].Spans) != 1 {
+		t.Fatalf("scraped dump = proc %q with %d spans, want node-0 with 1", dumps[0].Proc, len(dumps[0].Spans))
+	}
+	if !strings.Contains(report.String(), "unreachable") || !strings.Contains(report.String(), "bad dump") {
+		t.Errorf("report did not mention the failing peers: %q", report.String())
+	}
+
+	// Merging the scraped dump with a client tracer lands both processes'
+	// spans in one parseable file.
+	cliTr := trace.New(trace.Options{Sample: 1, Proc: "client", Node: -1})
+	op := cliTr.Start(trace.Context{Trace: cliTr.SpanID()}, trace.StageOp)
+	op.Done()
+	path := filepath.Join(t.TempDir(), "merged.json")
+	if err := writeMergedDump(path, cliTr, dumps); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := trace.ParseDump(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Proc != "merged" || len(merged.Spans) != 2 {
+		t.Fatalf("merged dump = proc %q with %d spans, want merged with 2", merged.Proc, len(merged.Spans))
+	}
+	procs := map[string]bool{}
+	for _, s := range merged.Spans {
+		procs[s.Proc] = true
+	}
+	if !procs["client"] || !procs["node-0"] {
+		t.Errorf("merged spans from %v, want client and node-0", procs)
+	}
+}
+
+func TestTraceEnabled(t *testing.T) {
+	for _, tc := range []struct {
+		c    cliConfig
+		want bool
+	}{
+		{cliConfig{}, false},
+		{cliConfig{traceSample: 0.5}, true},
+		{cliConfig{traceSlow: time.Millisecond}, true},
+		{cliConfig{traceOut: "x.json"}, true},
+	} {
+		if got := tc.c.traceEnabled(); got != tc.want {
+			t.Errorf("traceEnabled(%+v) = %v, want %v", tc.c, got, tc.want)
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"spacebounds/internal/metrics"
 	"spacebounds/internal/register"
@@ -40,6 +41,7 @@ import (
 	_ "spacebounds/internal/register/ecreg"
 	_ "spacebounds/internal/register/safereg"
 	"spacebounds/internal/shard"
+	"spacebounds/internal/trace"
 	"spacebounds/internal/transport"
 	"spacebounds/internal/wal"
 )
@@ -55,6 +57,9 @@ type nodeConfig struct {
 	valueSize   int
 	recovery    bool
 	metricsAddr string
+
+	traceSample float64
+	traceSlow   time.Duration
 
 	walDir    string
 	walSyncEv int
@@ -74,7 +79,9 @@ func parseArgs(args []string, errOut io.Writer) (*nodeConfig, error) {
 	fs.IntVar(&c.k, "k", 1, "erasure decode threshold per shard")
 	fs.IntVar(&c.valueSize, "valuesize", 64, "value size in bytes")
 	fs.BoolVar(&c.recovery, "recover", false, "start in recovery mode: refuse reads per object until a write has applied (use after a crash)")
-	fs.StringVar(&c.metricsAddr, "metrics-addr", "", "serve Prometheus /metrics and expvar /debug/vars on this address (empty: disabled; port 0 picks an ephemeral port)")
+	fs.StringVar(&c.metricsAddr, "metrics-addr", "", "serve Prometheus /metrics, expvar /debug/vars, pprof /debug/pprof/ and the trace dump /debug/trace on this address (empty: disabled; port 0 picks an ephemeral port)")
+	fs.Float64Var(&c.traceSample, "trace-sample", 1, "probability of locally originated traces; requests arriving with a wire trace context are always recorded (needs -metrics-addr)")
+	fs.DurationVar(&c.traceSlow, "trace-slow", 0, "retain whole-trace captures of ops slower than this (0: disabled)")
 	fs.StringVar(&c.walDir, "wal-dir", "", "write-ahead log directory: journal applied rounds and replay them before serving (empty: in-memory only)")
 	fs.IntVar(&c.walSyncEv, "wal-sync-every", 1, "records appended between fsyncs (1: sync every record)")
 	fs.IntVar(&c.walSnapEv, "wal-snapshot-every", 0, "records appended between snapshots, which truncate the log (0: default 4096)")
@@ -119,11 +126,22 @@ func run(c *nodeConfig, out io.Writer, stop <-chan os.Signal) error {
 		opts = append(opts, transport.WithRecovery())
 	}
 	var reg *metrics.Registry
+	var tr *trace.Tracer
 	if c.metricsAddr != "" {
 		reg = metrics.NewRegistry()
 		set.SetMetrics(reg)
 		opts = append(opts, transport.WithServerMetrics(reg))
-		msrv, err := metrics.Serve(c.metricsAddr, reg)
+		tr = trace.New(trace.Options{
+			Sample:  c.traceSample,
+			Slow:    c.traceSlow,
+			Proc:    fmt.Sprintf("node-%d", c.node),
+			Node:    c.node,
+			Metrics: reg,
+		})
+		set.SetTracer(tr)
+		opts = append(opts, transport.WithServerTracer(tr))
+		msrv, err := metrics.Serve(c.metricsAddr, reg,
+			metrics.Mount{Pattern: "/debug/trace", Handler: tr.Handler()})
 		if err != nil {
 			return err
 		}
@@ -141,6 +159,9 @@ func run(c *nodeConfig, out io.Writer, stop <-chan os.Signal) error {
 		defer journal.Close()
 		if reg != nil {
 			journal.SetMetrics(reg)
+		}
+		if tr != nil {
+			journal.SetTracer(tr)
 		}
 		stats, err := journal.Replay(set.Cluster())
 		if err != nil {

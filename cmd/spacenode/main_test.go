@@ -4,10 +4,12 @@ import (
 	"bufio"
 	"bytes"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 	"testing"
 
+	"spacebounds/internal/trace"
 	"spacebounds/internal/transport"
 )
 
@@ -22,7 +24,7 @@ func TestParseArgs(t *testing.T) {
 	want := nodeConfig{
 		listen: "127.0.0.1:9001", node: 2, nodes: 4,
 		algo: "abd", shards: 3, f: 2, k: 1, valueSize: 128, recovery: true,
-		walSyncEv: 1,
+		traceSample: 1, walSyncEv: 1,
 	}
 	if *c != want {
 		t.Fatalf("parseArgs = %+v, want %+v", *c, want)
@@ -94,6 +96,60 @@ func TestRunListensAndStops(t *testing.T) {
 
 	stop <- os.Interrupt
 	io.Copy(io.Discard, pr)
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestRunServesTraceEndpoint brings a node up with metrics, tracing, and a
+// journal all enabled — the fully instrumented configuration — and checks the
+// observability surface in-process: the METRICS line names a live endpoint
+// whose /debug/trace serves this node's (empty, node-named) dump.
+func TestRunServesTraceEndpoint(t *testing.T) {
+	c, err := parseArgs([]string{
+		"-listen", "127.0.0.1:0", "-node", "0", "-nodes", "2",
+		"-metrics-addr", "127.0.0.1:0", "-trace-slow", "5ms",
+		"-wal-dir", t.TempDir(), "-recover",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, pw := io.Pipe()
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		defer pw.Close()
+		done <- run(c, pw, stop)
+	}()
+
+	var maddr string
+	sc := bufio.NewScanner(pr)
+	for maddr == "" {
+		if !sc.Scan() {
+			t.Fatalf("no METRICS line before exit: %v", <-done)
+		}
+		maddr, _ = strings.CutPrefix(sc.Text(), "METRICS ")
+	}
+	go io.Copy(io.Discard, pr) // keep run's remaining output draining
+
+	resp, err := http.Get("http://" + maddr + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := trace.ParseDump(body)
+	if err != nil {
+		t.Fatalf("ParseDump(%q): %v", body, err)
+	}
+	if d.Proc != "node-0" || d.Node != 0 || d.SlowSeconds != 0.005 {
+		t.Fatalf("dump header = %q/%d/%v, want node-0/0/0.005", d.Proc, d.Node, d.SlowSeconds)
+	}
+
+	stop <- os.Interrupt
 	if err := <-done; err != nil {
 		t.Fatalf("run: %v", err)
 	}

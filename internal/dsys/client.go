@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"time"
+
+	"spacebounds/internal/trace"
 )
 
 // ClientHandle is a client's interface to the cluster. Handles are created by
@@ -166,13 +168,17 @@ func (h *ClientHandle) Invoke(targets []int, makeRMW func(obj int) RMW, quorum i
 			return nil, fmt.Errorf("%w: %d", ErrUnknownObject, obj)
 		}
 	}
+	hh, sp := h.traceRound()
 	if m := h.c.met.Load(); m != nil {
 		start := time.Now()
-		resp, err := h.dispatch(targets, makeRMW, quorum)
+		resp, err := hh.dispatch(targets, makeRMW, quorum)
 		m.observeRound(h.base, start, err)
+		h.finishRound(&sp)
 		return resp, err
 	}
-	return h.dispatch(targets, makeRMW, quorum)
+	resp, err := hh.dispatch(targets, makeRMW, quorum)
+	h.finishRound(&sp)
+	return resp, err
 }
 
 // dispatch routes a validated round to the engine variant behind the handle.
@@ -265,6 +271,7 @@ func (h *ClientHandle) invokeLive(targets []int, makeRMW func(obj int) RMW, quor
 		return h.invokeLiveLatency(targets, makeRMW, quorum)
 	}
 	objects := c.objs()
+	tc := trace.FromContext(h.ctx)
 	resp := make(map[int]any, len(targets))
 	for _, objID := range targets {
 		obj := objects[h.base+objID]
@@ -275,7 +282,7 @@ func (h *ClientHandle) invokeLive(targets []int, makeRMW func(obj int) RMW, quor
 		obj.liveMu.Lock()
 		r := rmw.Apply(obj.state)
 		obj.applied++
-		c.journalApply(h.base+objID, rmw)
+		c.journalApplyTraced(h.base+objID, rmw, tc)
 		obj.liveMu.Unlock()
 		resp[objID] = r
 	}
@@ -306,6 +313,7 @@ func (h *ClientHandle) invokeLiveLatency(targets []int, makeRMW func(obj int) RM
 		ok   bool
 	}
 	objects := c.objs()
+	tc := trace.FromContext(h.ctx)
 	ch := make(chan result, len(targets))
 	dispatched := 0
 	for _, objID := range targets {
@@ -327,7 +335,7 @@ func (h *ClientHandle) invokeLiveLatency(targets []int, makeRMW func(obj int) RM
 			}
 			r := rmw.Apply(obj.state)
 			obj.applied++
-			c.journalApply(h.base+objID, rmw)
+			c.journalApplyTraced(h.base+objID, rmw, tc)
 			obj.liveMu.Unlock()
 			ch <- result{obj: objID, resp: r, ok: true}
 		}(objID, obj)
@@ -355,6 +363,7 @@ func (h *ClientHandle) invokeLiveLatency(targets []int, makeRMW func(obj int) RM
 func (h *ClientHandle) invokeLiveBatched(targets []int, makeRMW func(obj int) RMW, quorum int) (map[int]any, error) {
 	c := h.c
 	objects := c.objs()
+	tc := trace.FromContext(h.ctx)
 	ch := make(chan liveResult, len(targets))
 	dispatched := 0
 	for _, objID := range targets {
@@ -362,7 +371,7 @@ func (h *ClientHandle) invokeLiveBatched(targets []int, makeRMW func(obj int) RM
 		if obj.crashed.Load() || obj.retired.Load() {
 			continue
 		}
-		if c.enqueueLive(obj, &liveReq{rmw: makeRMW(objID), client: h.id, obj: objID, ch: ch}) {
+		if c.enqueueLive(obj, &liveReq{rmw: makeRMW(objID), client: h.id, obj: objID, ch: ch, tc: tc}) {
 			dispatched++
 		}
 	}

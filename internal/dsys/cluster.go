@@ -8,6 +8,7 @@ import (
 
 	"spacebounds/internal/oracle"
 	"spacebounds/internal/storagecost"
+	"spacebounds/internal/trace"
 )
 
 // Mode selects how RMW scheduling is performed.
@@ -184,6 +185,7 @@ type liveReq struct {
 	client int
 	obj    int // scope-local object ID, echoed in the result
 	ch     chan<- liveResult
+	tc     trace.Context // the enqueueing operation's trace context
 }
 
 // liveResult is the reply to a liveReq. ok is false when the object crashed
@@ -278,6 +280,10 @@ type Cluster struct {
 	// jour, when non-nil, journals every applied mutating RMW for durability
 	// (see SetJournal). Same atomic-pointer attachment pattern as met.
 	jour atomic.Pointer[journalHolder]
+
+	// trc, when non-nil, records quorum-round spans and forwards trace
+	// contexts to the journal (see SetTracer). Same attachment pattern as met.
+	trc atomic.Pointer[clusterTrace]
 
 	acct *storagecost.Accountant
 	wg   sync.WaitGroup
@@ -924,7 +930,7 @@ func (c *Cluster) objectServer(o *object) {
 		} else {
 			for i, r := range batch {
 				results[i] = liveResult{obj: r.obj, resp: r.rmw.Apply(o.state), ok: true}
-				c.journalApply(o.id, r.rmw)
+				c.journalApplyTraced(o.id, r.rmw, r.tc)
 			}
 			o.applied += n
 		}

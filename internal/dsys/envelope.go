@@ -20,6 +20,13 @@ type Envelope struct {
 	Object  int
 	Kind    string
 	Payload []byte
+	// Trace and Span carry the operation's trace context (see
+	// internal/trace): the sampled trace ID and the client-side span the
+	// node's stages should parent under. Both zero means untraced, and an
+	// untraced envelope is encoded in the version-1 layout, so peers
+	// predating the trace extension still decode every untraced frame.
+	Trace uint64
+	Span  uint64
 }
 
 // Status is the typed outcome of a remotely applied RMW. Anything other than
@@ -108,8 +115,15 @@ type Response struct {
 }
 
 // envelopeVersion tags the wire layout so a future format change is
-// detectable instead of silently mis-parsed.
-const envelopeVersion = 1
+// detectable instead of silently mis-parsed. Version 2 extends version 1
+// with a trailing trace context; encoders emit the oldest version that can
+// carry the envelope (version 1 when untraced), and decoders accept both, so
+// the extension is invisible to untraced traffic and to old peers receiving
+// it.
+const (
+	envelopeVersion   = 1
+	envelopeVersionV2 = 2
+)
 
 // ErrEnvelope reports a malformed envelope or response on the wire.
 var ErrEnvelope = errors.New("dsys: malformed envelope")
@@ -117,11 +131,12 @@ var ErrEnvelope = errors.New("dsys: malformed envelope")
 // AppendBinary appends the envelope's wire encoding to b and returns the
 // extended slice. Layout (big-endian):
 //
-//	u8  version
+//	u8  version (1 untraced, 2 traced)
 //	u64 op.client   u64 op.seq   u8 op.kind
 //	u64 object
 //	u16 len(kind)    kind bytes
 //	u32 len(payload) payload bytes
+//	u64 trace   u64 span          (version 2 only)
 func (e Envelope) AppendBinary(b []byte) ([]byte, error) {
 	if len(e.Kind) > math.MaxUint16 {
 		return nil, fmt.Errorf("%w: kind of length %d", ErrEnvelope, len(e.Kind))
@@ -129,13 +144,22 @@ func (e Envelope) AppendBinary(b []byte) ([]byte, error) {
 	if len(e.Payload) > math.MaxUint32 {
 		return nil, fmt.Errorf("%w: payload of length %d", ErrEnvelope, len(e.Payload))
 	}
-	b = append(b, envelopeVersion)
+	traced := e.Trace != 0 || e.Span != 0
+	if traced {
+		b = append(b, envelopeVersionV2)
+	} else {
+		b = append(b, envelopeVersion)
+	}
 	b = appendOpID(b, e.Op)
 	b = binary.BigEndian.AppendUint64(b, uint64(e.Object))
 	b = binary.BigEndian.AppendUint16(b, uint16(len(e.Kind)))
 	b = append(b, e.Kind...)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(e.Payload)))
 	b = append(b, e.Payload...)
+	if traced {
+		b = binary.BigEndian.AppendUint64(b, e.Trace)
+		b = binary.BigEndian.AppendUint64(b, e.Span)
+	}
 	return b, nil
 }
 
@@ -144,17 +168,24 @@ func (e Envelope) MarshalBinary() ([]byte, error) {
 	return e.AppendBinary(make([]byte, 0, 32+len(e.Kind)+len(e.Payload)))
 }
 
-// UnmarshalEnvelope decodes an envelope, rejecting trailing bytes.
+// UnmarshalEnvelope decodes an envelope, rejecting trailing bytes. Both wire
+// versions are accepted: a version-1 (pre-trace) envelope decodes with an
+// empty trace context rather than an error.
 func UnmarshalEnvelope(b []byte) (Envelope, error) {
 	var e Envelope
 	cur := cursor{b: b}
-	if v := cur.u8(); v != envelopeVersion {
+	v := cur.u8()
+	if v != envelopeVersion && v != envelopeVersionV2 {
 		return e, fmt.Errorf("%w: version %d", ErrEnvelope, v)
 	}
 	e.Op = cur.opID()
 	e.Object = int(cur.u64())
 	e.Kind = string(cur.bytes16())
 	e.Payload = cur.bytes32()
+	if v == envelopeVersionV2 {
+		e.Trace = cur.u64()
+		e.Span = cur.u64()
+	}
 	if err := cur.finish(); err != nil {
 		return Envelope{}, err
 	}

@@ -1,0 +1,136 @@
+package dsys
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+// goldenOp is the operation identity used by every golden case.
+var goldenOp = OpID{Client: 11, Seq: 42, Kind: OpWrite}
+
+// goldenV1 is the pinned version-1 wire encoding of
+// Envelope{Op: goldenOp, Object: 5, Kind: "abd.update", Payload: 0xdeadbe}.
+// These bytes are what every pre-trace peer emits and expects; they must
+// never change.
+const goldenV1 = "01" + // version 1
+	"000000000000000b" + // op.client = 11
+	"000000000000002a" + // op.seq = 42
+	"01" + // op.kind = OpWrite
+	"0000000000000005" + // object = 5
+	"000a" + "6162642e757064617465" + // kind = "abd.update"
+	"00000003" + "deadbe" // payload
+
+// goldenV2 is the same envelope carrying a trace context: version byte 2 and
+// the two trace words appended, everything in between byte-identical to v1.
+const goldenV2 = "02" +
+	"000000000000000b" +
+	"000000000000002a" +
+	"01" +
+	"0000000000000005" +
+	"000a" + "6162642e757064617465" +
+	"00000003" + "deadbe" +
+	"1122334455667788" + // trace
+	"99aabbccddeeff00" // span
+
+func goldenEnvelope() Envelope {
+	return Envelope{Op: goldenOp, Object: 5, Kind: "abd.update", Payload: []byte{0xde, 0xad, 0xbe}}
+}
+
+// TestEnvelopeGoldenV1 pins the untraced encoding to the exact pre-trace
+// bytes: an envelope with a zero trace context must emit version 1, and the
+// pinned version-1 bytes must decode to an envelope with an empty trace
+// context — the back-compat contract with peers that predate the extension.
+func TestEnvelopeGoldenV1(t *testing.T) {
+	want, err := hex.DecodeString(goldenV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := goldenEnvelope().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire, want) {
+		t.Fatalf("untraced envelope bytes drifted from the v1 golden:\n  got  %x\n  want %x", wire, want)
+	}
+	got, err := UnmarshalEnvelope(want)
+	if err != nil {
+		t.Fatalf("pinned v1 bytes no longer decode: %v", err)
+	}
+	if got.Trace != 0 || got.Span != 0 {
+		t.Fatalf("v1 envelope decoded with trace context (%d, %d), want empty", got.Trace, got.Span)
+	}
+	if e := goldenEnvelope(); got.Op != e.Op || got.Object != e.Object || got.Kind != e.Kind || !bytes.Equal(got.Payload, e.Payload) {
+		t.Fatalf("v1 golden decoded to %+v", got)
+	}
+}
+
+// TestEnvelopeGoldenV2 pins the traced encoding: version byte 2 with the
+// trace words trailing, decoding back to the same trace context.
+func TestEnvelopeGoldenV2(t *testing.T) {
+	want, err := hex.DecodeString(goldenV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := goldenEnvelope()
+	e.Trace = 0x1122334455667788
+	e.Span = 0x99aabbccddeeff00
+	wire, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire, want) {
+		t.Fatalf("traced envelope bytes drifted from the v2 golden:\n  got  %x\n  want %x", wire, want)
+	}
+	got, err := UnmarshalEnvelope(want)
+	if err != nil {
+		t.Fatalf("pinned v2 bytes no longer decode: %v", err)
+	}
+	if got.Trace != e.Trace || got.Span != e.Span {
+		t.Fatalf("v2 trace context round-tripped to (%x, %x)", got.Trace, got.Span)
+	}
+	if got.Op != e.Op || got.Object != e.Object || got.Kind != e.Kind || !bytes.Equal(got.Payload, e.Payload) {
+		t.Fatalf("v2 golden decoded to %+v", got)
+	}
+}
+
+// TestEnvelopeTraceRoundTrip checks the traced/untraced encode choice across
+// the field combinations, including the truncation sweep on a v2 frame.
+func TestEnvelopeTraceRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ trace, span uint64 }{
+		{0, 0}, {1, 0}, {0, 1}, {7, 9},
+	} {
+		e := goldenEnvelope()
+		e.Trace, e.Span = tc.trace, tc.span
+		wire, err := e.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantVersion := byte(envelopeVersion)
+		if tc.trace != 0 || tc.span != 0 {
+			wantVersion = envelopeVersionV2
+		}
+		if wire[0] != wantVersion {
+			t.Fatalf("trace (%d,%d) encoded as version %d, want %d", tc.trace, tc.span, wire[0], wantVersion)
+		}
+		got, err := UnmarshalEnvelope(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Trace != tc.trace || got.Span != tc.span {
+			t.Fatalf("trace (%d,%d) round-tripped to (%d,%d)", tc.trace, tc.span, got.Trace, got.Span)
+		}
+	}
+	// Every strict prefix of a traced frame is rejected.
+	e := goldenEnvelope()
+	e.Trace, e.Span = 3, 4
+	wire, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(wire); n++ {
+		if _, err := UnmarshalEnvelope(wire[:n]); err == nil {
+			t.Fatalf("v2 prefix of %d bytes accepted", n)
+		}
+	}
+}

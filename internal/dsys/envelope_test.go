@@ -89,9 +89,15 @@ func TestEnvelopeRejectsBadVersionAndLengths(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad := append([]byte{}, wire...)
-	bad[0] = envelopeVersion + 1
+	bad[0] = envelopeVersionV2 + 1
 	if _, err := UnmarshalEnvelope(bad); !errors.Is(err, ErrEnvelope) {
 		t.Fatalf("version %d accepted: %v", bad[0], err)
+	}
+	// Version 2 on a version-1-sized buffer is not a bad version — it is a
+	// truncation (the trace context is missing).
+	bad[0] = envelopeVersionV2
+	if _, err := UnmarshalEnvelope(bad); !errors.Is(err, ErrEnvelope) {
+		t.Fatalf("v2 envelope without trace bytes accepted: %v", err)
 	}
 	if _, err := UnmarshalResponse(bad); !errors.Is(err, ErrEnvelope) {
 		t.Fatalf("response version %d accepted: %v", bad[0], err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"spacebounds/internal/storagecost"
+	"spacebounds/internal/trace"
 )
 
 // Journal is the durability hook a cluster drives: every mutating RMW that
@@ -26,6 +27,19 @@ type Journal interface {
 	DurableBlocks() []storagecost.BlockInfo
 }
 
+// TracedJournal is the optional extension a journal implements to receive the
+// applying operation's trace context alongside the RMW; the WAL uses it to
+// record wal-append/wal-fsync spans under the operation's trace. Journals
+// that do not implement it keep working unchanged — sampled applies fall back
+// to RecordApply.
+type TracedJournal interface {
+	Journal
+	// RecordApplyTraced is RecordApply for an apply that belongs to a sampled
+	// trace; the same calling rules apply (under the object's apply lock, no
+	// calls back into the cluster).
+	RecordApplyTraced(object int, rmw RMW, tc trace.Context)
+}
+
 // durableReporter adapts a journal's on-disk footprint to
 // storagecost.Reporter so snapshots carry the durability axis.
 type durableReporter struct{ j Journal }
@@ -34,8 +48,13 @@ type durableReporter struct{ j Journal }
 func (r durableReporter) StorageBlocks() []storagecost.BlockInfo { return r.j.DurableBlocks() }
 
 // journalHolder wraps the Journal interface so a single atomic pointer
-// swap attaches or detaches it (same pattern as clusterMetrics).
-type journalHolder struct{ j Journal }
+// swap attaches or detaches it (same pattern as clusterMetrics). The
+// TracedJournal extension is resolved once at attach time, keeping the type
+// assertion off the apply path.
+type journalHolder struct {
+	j  Journal
+	tj TracedJournal // nil when j does not implement the extension
+}
 
 // SetJournal attaches a journal to the cluster (nil detaches). Attach the
 // journal before admitting traffic: applies that race with the attachment may
@@ -45,7 +64,11 @@ func (c *Cluster) SetJournal(j Journal) {
 		c.jour.Store(nil)
 		return
 	}
-	c.jour.Store(&journalHolder{j: j})
+	h := &journalHolder{j: j}
+	if tj, ok := j.(TracedJournal); ok {
+		h.tj = tj
+	}
+	c.jour.Store(h)
 }
 
 // journalApply reports one applied RMW to the attached journal, if any.
@@ -55,6 +78,22 @@ func (c *Cluster) journalApply(object int, rmw RMW) {
 	if h := c.jour.Load(); h != nil {
 		h.j.RecordApply(object, rmw)
 	}
+}
+
+// journalApplyTraced is journalApply carrying the applying operation's trace
+// context: a sampled apply reaches a TracedJournal through the extension so
+// the journal's stages join the operation's trace, and everything else takes
+// the plain path.
+func (c *Cluster) journalApplyTraced(object int, rmw RMW, tc trace.Context) {
+	h := c.jour.Load()
+	if h == nil {
+		return
+	}
+	if tc.Sampled() && h.tj != nil {
+		h.tj.RecordApplyTraced(object, rmw, tc)
+		return
+	}
+	h.j.RecordApply(object, rmw)
 }
 
 // ReadObjectState runs fn with the object's live state under its apply lock.

@@ -3,6 +3,8 @@ package dsys
 import (
 	"fmt"
 	"io"
+
+	"spacebounds/internal/trace"
 )
 
 // emptyState is the placeholder state of a base object whose real state lives
@@ -60,6 +62,14 @@ func (c *Cluster) closeRemote() {
 // lifecycle flags map onto the envelope statuses via the returned sentinel
 // errors (ErrUnknownObject, ErrRetiredObject, ErrObjectDown, ErrHalted).
 func (c *Cluster) ApplyOne(id int, rmw RMW) (any, error) {
+	return c.ApplyOneTraced(id, rmw, trace.Context{})
+}
+
+// ApplyOneTraced is ApplyOne carrying the trace context the RMW's envelope
+// arrived with: a sampled apply forwards it to the journal so WAL stages
+// record under the originating operation's trace. The zero context makes it
+// exactly ApplyOne.
+func (c *Cluster) ApplyOneTraced(id int, rmw RMW, tc trace.Context) (any, error) {
 	if c.liveHalted.Load() {
 		return nil, ErrHalted
 	}
@@ -77,7 +87,7 @@ func (c *Cluster) ApplyOne(id int, rmw RMW) (any, error) {
 	o.liveMu.Lock()
 	r := rmw.Apply(o.state)
 	o.applied++
-	c.journalApply(id, rmw)
+	c.journalApplyTraced(id, rmw, tc)
 	o.liveMu.Unlock()
 	if m := c.met.Load(); m != nil {
 		m.applies.Inc()

@@ -4,6 +4,7 @@ import (
 	"expvar"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
@@ -43,15 +44,24 @@ func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 // Close shuts the endpoint down.
 func (s *Server) Close() error { return s.srv.Close() }
 
+// Mount adds one extra handler to the endpoint Serve builds, so subsystems
+// the metrics package must not import (the trace dump, say) can still ride
+// the same operational port.
+type Mount struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Serve binds addr and serves the registry over HTTP:
 //
-//	/metrics     Prometheus text format
-//	/debug/vars  standard expvar JSON (the registry published as "spacebounds")
+//	/metrics        Prometheus text format
+//	/debug/vars     standard expvar JSON (the registry published as "spacebounds")
+//	/debug/pprof/   standard runtime profiles (CPU, heap, goroutine, block, ...)
 //
-// It returns once the listener is bound; requests are served in the
-// background until Close. Pass an address with port 0 to pick an ephemeral
-// port and read it back from Addr.
-func Serve(addr string, r *Registry) (*Server, error) {
+// plus any extra mounts. It returns once the listener is bound; requests are
+// served in the background until Close. Pass an address with port 0 to pick
+// an ephemeral port and read it back from Addr.
+func Serve(addr string, r *Registry, extra ...Mount) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -60,6 +70,14 @@ func Serve(addr string, r *Registry) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, m := range extra {
+		mux.Handle(m.Pattern, m.Handler)
+	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{ln: ln, srv: srv}, nil

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"spacebounds/internal/trace"
 	"spacebounds/internal/value"
 )
 
@@ -144,9 +145,13 @@ type moveEntry struct {
 	owner int64
 
 	// stepStart is the instant the entry's last step completed (or the move
-	// began / resumed); the metrics layer uses it to time the next step. Zero
-	// when no registry is attached.
+	// began / resumed); the metrics and trace layers use it to time the next
+	// step. Zero when neither is attached.
 	stepStart time.Time
+
+	// traceCtx is the move's trace, opened at begin when a tracer is
+	// attached; each completed step records a StageReconfig span on it.
+	traceCtx trace.Context
 }
 
 // mergeName returns the canonical successor name of a merge move.

@@ -64,6 +64,7 @@ import (
 	"spacebounds/internal/dsys"
 	"spacebounds/internal/register"
 	"spacebounds/internal/shard"
+	"spacebounds/internal/trace"
 	"spacebounds/internal/value"
 )
 
@@ -291,6 +292,10 @@ type Coordinator struct {
 	// SetMetrics). Atomic so attachment never contends with a move in flight.
 	met atomic.Pointer[reconfigMetrics]
 
+	// trc, when non-nil, records one trace per move with a span per ledger
+	// step (see SetTracer).
+	trc atomic.Pointer[trace.Tracer]
+
 	// jour, when non-nil, journals every ledger transition (see SetJournal).
 	jour atomic.Pointer[moveJournalHolder]
 }
@@ -379,7 +384,7 @@ func (c *Coordinator) Resume(r Runner) (bool, Event, error) {
 	en.owner = owner
 	en.Resumes++
 	en.Interrupted = false
-	if c.met.Load() != nil {
+	if c.timingStepsLocked() {
 		// Restart the step clock: the gap since the interruption is operator
 		// time, not step time.
 		en.stepStart = time.Now()
@@ -421,9 +426,10 @@ func (c *Coordinator) begin(mv Move) (*moveEntry, error) {
 	c.nextID++
 	c.nextOwner++
 	en := &moveEntry{MoveState: MoveState{ID: c.nextID, Move: mv, Sources: sources}, owner: c.nextOwner}
-	if c.met.Load() != nil {
+	if c.timingStepsLocked() {
 		en.stepStart = time.Now()
 	}
+	c.beginTraceLocked(en)
 	c.ledger = append(c.ledger, en)
 	c.inFlight = en
 	c.recordLocked(en)
@@ -466,6 +472,9 @@ func (c *Coordinator) advance(en *moveEntry, owner int64, step MoveStep, mut fun
 		en.Step = step
 		if m := c.met.Load(); m != nil {
 			m.observeStep(step, en.stepStart)
+		}
+		c.traceStepLocked(en, step)
+		if c.timingStepsLocked() {
 			en.stepStart = time.Now()
 		}
 	}

@@ -1,0 +1,51 @@
+package reconfig
+
+import (
+	"time"
+
+	"spacebounds/internal/trace"
+)
+
+// SetTracer attaches (or, with nil, detaches) a tracer. Each move then gets
+// its own trace — moves are rare and operator-initiated, so every one is
+// traced regardless of the op sampling rate — with one StageReconfig span per
+// completed ledger step, noted with the step name. Scraping /debug/trace
+// while a migration runs shows which step a stalled move is stuck in.
+func (c *Coordinator) SetTracer(tr *trace.Tracer) { c.trc.Store(tr) }
+
+// Tracer returns the attached tracer, or nil.
+func (c *Coordinator) Tracer() *trace.Tracer { return c.trc.Load() }
+
+// beginTraceLocked opens a fresh trace for a newly begun move. Caller holds
+// c.mu.
+func (c *Coordinator) beginTraceLocked(en *moveEntry) {
+	if tr := c.trc.Load(); tr != nil {
+		en.traceCtx = trace.Context{Trace: tr.SpanID()}
+	}
+}
+
+// traceStepLocked records one completed ledger step as a StageReconfig span
+// on the move's trace. Caller holds c.mu; en.stepStart is the instant the
+// previous step completed (zero when the move predates instrumentation).
+func (c *Coordinator) traceStepLocked(en *moveEntry, step MoveStep) {
+	tr := c.trc.Load()
+	if tr == nil || !en.traceCtx.Sampled() || en.stepStart.IsZero() {
+		return
+	}
+	tr.Record(trace.Span{
+		Trace:    en.traceCtx.Trace,
+		ID:       tr.SpanID(),
+		Parent:   en.traceCtx.Span,
+		Stage:    trace.StageReconfig,
+		Shard:    en.Move.Shard,
+		Note:     step.String(),
+		Start:    en.stepStart,
+		Duration: time.Since(en.stepStart),
+	})
+}
+
+// timingStepsLocked reports whether step completion times are being consumed
+// (by the metrics layer, the tracer, or both), so the step clock should run.
+func (c *Coordinator) timingStepsLocked() bool {
+	return c.met.Load() != nil || c.trc.Load() != nil
+}

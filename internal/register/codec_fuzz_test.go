@@ -134,6 +134,43 @@ func checkRoundTrip(t *testing.T, kind string, payload []byte) {
 	if got := rmw3.Blocks(); got == nil != (rmw.Blocks() == nil) || len(got) != len(rmw.Blocks()) {
 		t.Fatalf("%s: decoded RMW reports %d blocks, original %d", kind, len(got), len(rmw.Blocks()))
 	}
+
+	// Versioned case: the same envelope carrying a trace context must encode
+	// as version 2, round-trip the trace words, and stay a byte fixpoint —
+	// while the untraced wire above stays version 1 (the pre-trace layout old
+	// peers decode).
+	if wire1[0] != 1 {
+		t.Fatalf("%s: untraced envelope encoded as version %d, want 1", kind, wire1[0])
+	}
+	traced := env1
+	traced.Trace = uint64(len(payload))<<32 | 0x5EED
+	traced.Span = uint64(len(kind)) + 1
+	twire1, err := traced.MarshalBinary()
+	if err != nil {
+		t.Fatalf("%s: traced envelope marshal: %v", kind, err)
+	}
+	if twire1[0] != 2 {
+		t.Fatalf("%s: traced envelope encoded as version %d, want 2", kind, twire1[0])
+	}
+	tenv, err := dsys.UnmarshalEnvelope(twire1)
+	if err != nil {
+		t.Fatalf("%s: traced envelope unmarshal: %v", kind, err)
+	}
+	if tenv.Trace != traced.Trace || tenv.Span != traced.Span {
+		t.Fatalf("%s: trace context round-tripped to (%d, %d), want (%d, %d)",
+			kind, tenv.Trace, tenv.Span, traced.Trace, traced.Span)
+	}
+	twire2, err := tenv.MarshalBinary()
+	if err != nil {
+		t.Fatalf("%s: traced envelope re-marshal: %v", kind, err)
+	}
+	if !bytes.Equal(twire1, twire2) {
+		t.Fatalf("%s: traced envelope bytes not a fixpoint:\n  %x\n  %x", kind, twire1, twire2)
+	}
+	// And a v1 (pre-trace) frame always yields the empty trace context.
+	if env2.Trace != 0 || env2.Span != 0 {
+		t.Fatalf("%s: v1 envelope decoded with trace context (%d, %d)", kind, env2.Trace, env2.Span)
+	}
 }
 
 // TestEnvelopeRoundTripAllKinds deterministically verifies the round-trip

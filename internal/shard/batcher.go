@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"spacebounds/internal/dsys"
+	"spacebounds/internal/trace"
 	"spacebounds/internal/value"
 )
 
@@ -99,7 +100,9 @@ type batchResp struct {
 type batchReq struct {
 	v    value.Value // payload for writes; unused for reads
 	done chan batchResp
-	enq  time.Time // enqueue instant; zero unless metrics are attached
+	enq  time.Time     // enqueue instant; zero unless metrics are attached
+	tc   trace.Context // the member operation's trace context
+	tenq time.Time     // enqueue instant for tracing; zero unless tc is sampled
 }
 
 // lane is one direction (writes or reads) of a shard's batcher.
@@ -122,23 +125,38 @@ type lane struct {
 // the latest-arrived value; the earlier ones are superseded at the same
 // instant, exactly as if they had been written and immediately overwritten.
 func (b *Batcher) Write(v value.Value) error {
-	resp := b.submit(&b.write, v)
+	resp := b.submit(&b.write, v, trace.Context{})
 	return resp.err
 }
 
 // Read submits a read for group commit and blocks until the shared read
 // round completes; every member of the round receives the same value.
 func (b *Batcher) Read() (value.Value, error) {
-	resp := b.submit(&b.read, value.Value{})
+	resp := b.submit(&b.read, value.Value{}, trace.Context{})
+	return resp.v, resp.err
+}
+
+// writeTraced is Write carrying the member operation's trace context.
+func (b *Batcher) writeTraced(v value.Value, tc trace.Context) error {
+	resp := b.submit(&b.write, v, tc)
+	return resp.err
+}
+
+// readTraced is Read carrying the member operation's trace context.
+func (b *Batcher) readTraced(tc trace.Context) (value.Value, error) {
+	resp := b.submit(&b.read, value.Value{}, tc)
 	return resp.v, resp.err
 }
 
 // submit enqueues a request on the lane, electing a leader goroutine if none
 // is running, and waits for the response.
-func (b *Batcher) submit(l *lane, v value.Value) batchResp {
-	req := &batchReq{v: v, done: make(chan batchResp, 1)}
+func (b *Batcher) submit(l *lane, v value.Value, tc trace.Context) batchResp {
+	req := &batchReq{v: v, done: make(chan batchResp, 1), tc: tc}
 	if b.met.Load() != nil {
 		req.enq = time.Now()
+	}
+	if tc.Sampled() {
+		req.tenq = time.Now()
 	}
 	l.mu.Lock()
 	l.pending = append(l.pending, req)
@@ -193,19 +211,62 @@ func (b *Batcher) runLane(l *lane) {
 		if m := b.met.Load(); m != nil {
 			m.observeBatch(l == &b.write, batch, time.Now())
 		}
+		// Tracing: each sampled member gets a batch-wait span (enqueue →
+		// dispatch), and the physical round runs under the first sampled
+		// member's context — its quorum rounds are recorded for real. The
+		// other sampled members get a synthetic round span covering the same
+		// interval, so every member's trace accounts for the shared round it
+		// rode (marked "shared" to distinguish it from a round the tracer
+		// measured directly).
+		tr := b.set.trc.Load()
+		var lead trace.Context
+		var roundStart time.Time
+		if tr != nil {
+			laneName := "read"
+			if l == &b.write {
+				laneName = "write"
+			}
+			roundStart = time.Now()
+			for _, r := range batch {
+				if !r.tc.Sampled() {
+					continue
+				}
+				tr.Record(trace.Span{
+					Trace: r.tc.Trace, ID: tr.SpanID(), Parent: r.tc.Span,
+					Stage: trace.StageBatchWait, Shard: b.sh.Name, Note: laneName,
+					Start: r.tenq, Duration: roundStart.Sub(r.tenq),
+				})
+				if !lead.Sampled() {
+					lead = r.tc
+				}
+			}
+		}
 		var resp batchResp
 		if l == &b.write {
 			// Group commit: the round writes the latest-arrived value.
 			winner := batch[n-1].v
-			resp.err = b.set.Run(l.client, b.sh, func(h *dsys.ClientHandle) error {
+			resp.err = b.set.runTraced(l.client, b.sh, lead, func(h *dsys.ClientHandle) error {
 				return b.sh.Reg.Write(h, winner)
 			})
 		} else {
-			resp.err = b.set.Run(l.client, b.sh, func(h *dsys.ClientHandle) error {
+			resp.err = b.set.runTraced(l.client, b.sh, lead, func(h *dsys.ClientHandle) error {
 				var err error
 				resp.v, err = b.sh.Reg.Read(h)
 				return err
 			})
+		}
+		if tr != nil && lead.Sampled() {
+			d := time.Since(roundStart)
+			for _, r := range batch {
+				if !r.tc.Sampled() || r.tc == lead {
+					continue
+				}
+				tr.Record(trace.Span{
+					Trace: r.tc.Trace, ID: tr.SpanID(), Parent: r.tc.Span,
+					Stage: trace.StageRound, Shard: b.sh.Name, Note: "shared",
+					Start: roundStart, Duration: d,
+				})
+			}
 		}
 
 		l.mu.Lock()

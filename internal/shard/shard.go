@@ -20,6 +20,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -29,6 +30,7 @@ import (
 	"spacebounds/internal/metrics"
 	"spacebounds/internal/register"
 	"spacebounds/internal/storagecost"
+	"spacebounds/internal/trace"
 	"spacebounds/internal/value"
 )
 
@@ -86,6 +88,11 @@ type Set struct {
 	// met, when non-nil, is the registry attached by SetMetrics; AddRegion
 	// reads it to label and instrument regions created after attachment.
 	met atomic.Pointer[metrics.Registry]
+
+	// trc, when non-nil, is the tracer attached by SetTracer: operations
+	// begin their root spans at this layer and the batcher records lane
+	// waits into it.
+	trc atomic.Pointer[trace.Tracer]
 }
 
 // batcherClientBase is the first client ID handed to batcher lanes. Real
@@ -205,6 +212,7 @@ func (s *Set) AddRegion(spec Spec) (*Shard, error) {
 	if reg != nil {
 		s.cluster.LabelRegion(sh.Base, sh.Name)
 	}
+	s.cluster.TraceRegion(sh.Base, sh.Name)
 	s.bmu.Lock()
 	if s.batchCfg != nil {
 		b := newBatcher(s, sh, *s.batchCfg, batcherClientBase+2*s.nextLane)
@@ -322,25 +330,43 @@ func (s *Set) BatchStats() BatcherStats {
 // shard's batcher when batching is enabled (the physical round then runs
 // under the batcher lane's client ID rather than the caller's). It addresses
 // the shard directly, bypassing the routing table — use Write for routed,
-// reconfiguration-safe access.
+// reconfiguration-safe access. With a tracer attached it is a root-span
+// entry point: a sampled write's batch wait, quorum rounds, and node-side
+// stages all hang under the span opened here.
 func (s *Set) WriteValue(client int, sh *Shard, v value.Value) error {
+	sp := s.beginOp(sh, "write")
+	err := s.writeValue(client, sh, v, sp.Context())
+	sp.Done()
+	return err
+}
+
+// writeValue is WriteValue under an already-decided trace context.
+func (s *Set) writeValue(client int, sh *Shard, v value.Value, tc trace.Context) error {
 	if b := s.Batcher(sh.Name); b != nil {
-		return b.Write(v)
+		return b.writeTraced(v, tc)
 	}
-	return s.Run(client, sh, func(h *dsys.ClientHandle) error {
+	return s.runTraced(client, sh, tc, func(h *dsys.ClientHandle) error {
 		return sh.Reg.Write(h, v)
 	})
 }
 
 // ReadValue performs a register read on the given shard, through the shard's
 // batcher when batching is enabled. Like WriteValue it bypasses the routing
-// table.
+// table and is a root-span entry point when a tracer is attached.
 func (s *Set) ReadValue(client int, sh *Shard) (value.Value, error) {
+	sp := s.beginOp(sh, "read")
+	got, err := s.readValue(client, sh, sp.Context())
+	sp.Done()
+	return got, err
+}
+
+// readValue is ReadValue under an already-decided trace context.
+func (s *Set) readValue(client int, sh *Shard, tc trace.Context) (value.Value, error) {
 	if b := s.Batcher(sh.Name); b != nil {
-		return b.Read()
+		return b.readTraced(tc)
 	}
 	var got value.Value
-	err := s.Run(client, sh, func(h *dsys.ClientHandle) error {
+	err := s.runTraced(client, sh, tc, func(h *dsys.ClientHandle) error {
 		var err error
 		got, err = sh.Reg.Read(h)
 		return err
@@ -388,13 +414,19 @@ func (s *Set) ReadRef(client int, ref, fb *Route) (value.Value, error) {
 // the key's path may be a pruned branch that never joins the successor's
 // stitched lineage.
 func (s *Set) ReadRefFell(client int, ref, fb *Route) (value.Value, bool, error) {
+	sp := s.beginOp(ref.Shard(), "read")
+	tc := sp.Context()
 	if fb == nil {
-		v, err := s.ReadValue(client, ref.Shard())
+		v, err := s.readValue(client, ref.Shard(), tc)
+		sp.Done()
 		return v, false, err
 	}
 	var got value.Value
 	var fell bool
 	err := s.cluster.RunScoped(client, 0, s.cluster.N(), func(h *dsys.ClientHandle) error {
+		if tc.Sampled() {
+			h = h.WithContext(trace.NewContext(context.Background(), tc))
+		}
 		var err error
 		got, fell, err = ReadRouted(h, ref, fb)
 		return err
@@ -402,6 +434,7 @@ func (s *Set) ReadRefFell(client int, ref, fb *Route) (value.Value, bool, error)
 	if fell {
 		s.fallbackReads.Add(1)
 	}
+	sp.Done()
 	return got, fell, err
 }
 

@@ -1,0 +1,107 @@
+package shard_test
+
+import (
+	"testing"
+
+	"spacebounds/internal/shard"
+	"spacebounds/internal/trace"
+	"spacebounds/internal/value"
+)
+
+// TestSetTracing attaches a fully-sampled tracer to a set and checks the two
+// properties the layer owns: every operation roots an op span labeled by its
+// shard, and the cluster's round spans carry the shard name (not a raw object
+// base) because SetTracer named every existing region.
+func TestSetTracing(t *testing.T) {
+	set, err := shard.New(adaptiveSpecs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+
+	tr := trace.New(trace.Options{Sample: 1, Proc: "shard-test"})
+	set.SetTracer(tr)
+	if set.Tracer() != tr {
+		t.Fatal("Tracer() does not return the attached tracer")
+	}
+	if set.Cluster().Tracer() != tr {
+		t.Fatal("SetTracer did not attach the tracer to the cluster")
+	}
+
+	payload := value.FromBytes(make([]byte, 64))
+	for i := 0; i < 4; i++ {
+		if err := set.WriteValue(i, set.Shard("s0"), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := set.ReadValue(5, set.Shard("s1")); err != nil {
+		t.Fatal(err)
+	}
+
+	ops, rounds := 0, 0
+	shards := make(map[string]bool)
+	for _, s := range tr.Snapshot() {
+		switch s.Stage {
+		case trace.StageOp:
+			ops++
+			shards[s.Shard] = true
+			if s.Parent != 0 {
+				t.Errorf("op span %016x has parent %016x, want root", s.ID, s.Parent)
+			}
+		case trace.StageRound:
+			rounds++
+			if s.Shard != "s0" && s.Shard != "s1" {
+				t.Errorf("round span labeled %q, want a shard name", s.Shard)
+			}
+		}
+	}
+	if ops != 5 {
+		t.Errorf("recorded %d op spans, want 5", ops)
+	}
+	if rounds < 5 {
+		t.Errorf("recorded %d round spans, want at least one per op", rounds)
+	}
+	if !shards["s0"] || !shards["s1"] {
+		t.Errorf("op spans labeled %v, want both s0 and s1", shards)
+	}
+
+	// Detaching stops recording without disturbing operations.
+	set.SetTracer(nil)
+	if set.Tracer() != nil || set.Cluster().Tracer() != nil {
+		t.Fatal("SetTracer(nil) did not detach")
+	}
+	before := len(tr.Snapshot())
+	if err := set.WriteValue(9, set.Shard("s0"), payload); err != nil {
+		t.Fatal(err)
+	}
+	if after := len(tr.Snapshot()); after != before {
+		t.Errorf("detached set recorded %d new spans", after-before)
+	}
+}
+
+// TestSetTracingNamesLateRegions verifies a region added after SetTracer is
+// labeled as it appears, mirroring the metrics path.
+func TestSetTracingNamesLateRegions(t *testing.T) {
+	set, err := shard.New(adaptiveSpecs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	tr := trace.New(trace.Options{Sample: 1})
+	set.SetTracer(tr)
+
+	late := adaptiveSpecs(2)[1] // "s1", distinct from the seed shard
+	sh, err := set.AddRegion(late)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.WriteValue(1, sh, value.FromBytes(make([]byte, 64))); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tr.Snapshot() {
+		if s.Stage == trace.StageRound && s.Shard == "s1" {
+			return
+		}
+	}
+	t.Fatal("no round span labeled by the late-added region's name")
+}

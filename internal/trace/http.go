@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+)
+
+// Assembled is one operation's spans gathered by trace ID: the root span (if
+// the recorder still holds it) plus every span of the trace ordered by start
+// time. Spans from several processes merge into one Assembled the same way —
+// trace IDs travel on the wire, so assembly is a pure group-by.
+type Assembled struct {
+	// Trace is the operation's trace ID.
+	Trace uint64 `json:"trace"`
+	// Root is the operation's root span (zero-valued if not captured).
+	Root Span `json:"root"`
+	// Spans are every captured span of the trace, ordered by start time.
+	Spans []Span `json:"spans"`
+}
+
+// Assemble groups spans by trace ID. Traces whose root span was captured
+// come first, slowest root first; rootless fragments (the root was
+// overwritten in the ring, or lives in another process's recorder) follow in
+// trace-ID order.
+func Assemble(spans []Span) []Assembled {
+	byTrace := make(map[uint64]*Assembled)
+	order := make([]uint64, 0, 8)
+	for _, s := range spans {
+		a := byTrace[s.Trace]
+		if a == nil {
+			a = &Assembled{Trace: s.Trace}
+			byTrace[s.Trace] = a
+			order = append(order, s.Trace)
+		}
+		a.Spans = append(a.Spans, s)
+		if s.Stage == StageOp && s.Parent == 0 {
+			a.Root = s
+		}
+	}
+	out := make([]Assembled, 0, len(order))
+	for _, id := range order {
+		a := byTrace[id]
+		sort.Slice(a.Spans, func(i, j int) bool { return a.Spans[i].Start.Before(a.Spans[j].Start) })
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := out[i].Root.ID != 0, out[j].Root.ID != 0
+		if ri != rj {
+			return ri
+		}
+		if ri && out[i].Root.Duration != out[j].Root.Duration {
+			return out[i].Root.Duration > out[j].Root.Duration
+		}
+		return out[i].Trace < out[j].Trace
+	})
+	return out
+}
+
+// Dump is the /debug/trace response body (and the -trace-out file format):
+// one process's flight-recorder contents plus its slow-op exemplars and
+// per-family slowest-trace links. Merging dumps from several processes is
+// concatenating their Spans and re-running Assemble.
+type Dump struct {
+	// Proc is the recording process's name.
+	Proc string `json:"proc"`
+	// Node is the recording process's node index (-1 for clients).
+	Node int `json:"node"`
+	// Sample is the process's local sampling probability.
+	Sample float64 `json:"sample"`
+	// SlowSeconds is the slow-op exemplar threshold in seconds (0 = off).
+	SlowSeconds float64 `json:"slow_seconds"`
+	// Spans is the flight recorder's contents, ordered by start time.
+	Spans []Span `json:"spans"`
+	// SlowTraces are the retained assembled slow-op exemplars.
+	SlowTraces []Assembled `json:"slow_traces,omitempty"`
+	// Exemplars maps metric family names to their slowest sampled trace.
+	Exemplars map[string]Exemplar `json:"exemplars,omitempty"`
+}
+
+// Dump captures the tracer's current state in the wire format served by
+// Handler (zero value on a nil tracer).
+func (t *Tracer) Dump() Dump {
+	if t == nil {
+		return Dump{Node: -1}
+	}
+	return Dump{
+		Proc:        t.proc,
+		Node:        t.node,
+		Sample:      t.sample,
+		SlowSeconds: t.slow.Seconds(),
+		Spans:       t.Snapshot(),
+		SlowTraces:  t.SlowTraces(),
+		Exemplars:   t.Exemplars(),
+	}
+}
+
+// Handler serves the flight recorder as JSON — the /debug/trace endpoint.
+// Safe on a nil tracer (serves an empty dump).
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(t.Dump())
+	})
+}
+
+// ParseDump decodes one Dump (a /debug/trace response body or a -trace-out
+// file).
+func ParseDump(data []byte) (Dump, error) {
+	var d Dump
+	err := json.Unmarshal(data, &d)
+	return d, err
+}

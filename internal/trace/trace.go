@@ -1,0 +1,441 @@
+// Package trace is the system's per-operation tracing layer: a compact trace
+// context propagated along the whole RMW path (facade → batcher lanes →
+// quorum rounds → transport envelopes → node-side apply → WAL append) and a
+// bounded lock-free flight recorder of fixed-shape spans per process.
+//
+// The design follows the metrics package's discipline, in the same order:
+//
+//  1. Near-zero overhead when disabled. A nil *Tracer is the disabled tracer:
+//     Begin returns the zero (unsampled) Context, Start returns an inert
+//     Pending, and every method is nil-safe, so an untraced hot path pays one
+//     predictable branch per call site and allocates nothing — a test pins
+//     AllocsPerRun == 0.
+//  2. Cheap when enabled but unsampled. The sampling decision is one atomic
+//     xorshift step; an unsampled operation carries the zero Context, which
+//     every downstream call site rejects with a field comparison before doing
+//     any work. Only sampled operations allocate (one *Span per recorded
+//     stage).
+//  3. Bounded. Spans land in a fixed-capacity ring of atomic slots — the
+//     flight recorder. Old spans are overwritten, never accumulated; a
+//     process under sampling pressure loses history, not memory.
+//
+// Trace identity is a pair of uint64s: TraceID names the operation, Span the
+// stage a child hangs under. Both travel on the wire inside the versioned RMW
+// envelope (see internal/dsys), so spans recorded by different processes —
+// client, every storage node it fanned out to, a node restarted mid-run —
+// stitch into one trace by ID alone.
+package trace
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spacebounds/internal/metrics"
+)
+
+// Span stage names. The stages are a closed vocabulary so cross-process
+// assembly and the doc reference stay in sync with the emitting call sites.
+const (
+	// StageOp is the root span of one client operation (write or read).
+	StageOp = "op"
+	// StageBatchWait is the time an operation waited in its shard's batch
+	// lane before the shared quorum round dispatched.
+	StageBatchWait = "batch-wait"
+	// StageRound is one quorum round (an operation may run several).
+	StageRound = "quorum-round"
+	// StageRPC is one request frame's round trip to one node.
+	StageRPC = "rpc"
+	// StageApply is the node-side apply of one RMW to a base object.
+	StageApply = "apply"
+	// StageWALAppend is the write-ahead-log append of one applied RMW
+	// (including the fsync when the sync policy fires on this record).
+	StageWALAppend = "wal-append"
+	// StageWALFsync is the fsync alone, a child of StageWALAppend.
+	StageWALFsync = "wal-fsync"
+	// StageReconfig is one migration ledger step of a reconfiguration move.
+	StageReconfig = "reconfig-step"
+)
+
+// Metric families the tracer registers when given a registry.
+const (
+	metricSpansTotal   = "spacebounds_trace_spans_total"
+	metricSampledTotal = "spacebounds_trace_sampled_traces_total"
+)
+
+// Context is the compact trace context threaded through an operation: the
+// trace ID plus the span the next stage should parent under. The zero Context
+// means "not sampled" and is what every disabled or unsampled path carries.
+type Context struct {
+	// Trace identifies the operation; 0 means unsampled.
+	Trace uint64
+	// Span is the parent span ID for child stages (0 directly under the
+	// trace root).
+	Span uint64
+}
+
+// Sampled reports whether the context belongs to a sampled operation.
+func (c Context) Sampled() bool { return c.Trace != 0 }
+
+// Span is one recorded stage of one operation. Spans are fixed-shape: every
+// stage fills the same fields, so the recorder ring, the /debug/trace JSON,
+// and cross-process assembly need no per-stage schema.
+type Span struct {
+	// Trace is the operation's trace ID.
+	Trace uint64 `json:"trace"`
+	// ID is this span's ID.
+	ID uint64 `json:"id"`
+	// Parent is the span this stage ran under (0 for the root).
+	Parent uint64 `json:"parent,omitempty"`
+	// Stage is one of the Stage* constants.
+	Stage string `json:"stage"`
+	// Shard is the shard (region) name, when the stage knows it.
+	Shard string `json:"shard,omitempty"`
+	// Node is the node index the span was recorded on (-1 for clients).
+	Node int `json:"node"`
+	// Epoch is the routing epoch, when the stage knows it.
+	Epoch int `json:"epoch,omitempty"`
+	// Proc is the recording process's name (stamped by Record).
+	Proc string `json:"proc,omitempty"`
+	// Start is the span's start instant on the recording process's clock.
+	Start time.Time `json:"start"`
+	// Duration is the span's measured duration.
+	Duration time.Duration `json:"duration_ns"`
+	// Note carries stage-specific detail (op kind, lane, ledger step).
+	Note string `json:"note,omitempty"`
+}
+
+// Options configures a Tracer.
+type Options struct {
+	// Sample is the probability (0..1) that Begin starts a new sampled
+	// trace. 0 disables local sampling; propagated sampled contexts are
+	// still recorded, which is how storage nodes (which never originate
+	// operations) participate.
+	Sample float64
+	// Slow is the root-span latency threshold above which a completed
+	// operation's spans are assembled and retained as a slow-op exemplar.
+	// 0 disables slow-op assembly.
+	Slow time.Duration
+	// Capacity is the flight-recorder ring size in spans (rounded up to a
+	// power of two; default 4096).
+	Capacity int
+	// Proc names the recording process (e.g. "node-2", "client"); it is
+	// stamped on every span so merged traces attribute stages to processes.
+	Proc string
+	// Node is the node index stamped on every span; use -1 for clients.
+	Node int
+	// Metrics optionally registers the tracer's own families (spans
+	// recorded, traces sampled) with a registry.
+	Metrics *metrics.Registry
+}
+
+// Tracer records spans into a bounded lock-free ring and makes sampling
+// decisions. A nil *Tracer is the disabled tracer: every method no-ops and
+// allocates nothing.
+type Tracer struct {
+	proc      string
+	node      int
+	slow      time.Duration
+	sample    float64
+	threshold uint64 // Begin samples when rand() <= threshold; 0 disables
+	seed      uint64
+
+	ids    atomic.Uint64
+	rng    atomic.Uint64
+	ring   []atomic.Pointer[Span]
+	mask   uint64
+	cursor atomic.Uint64
+
+	spans   *metrics.Counter
+	sampled *metrics.Counter
+
+	exMu      sync.Mutex
+	exemplars map[string]Exemplar
+
+	slowMu     sync.Mutex
+	slowTraces []Assembled
+}
+
+// maxSlowTraces bounds the retained slow-op exemplar list.
+const maxSlowTraces = 16
+
+// New builds a Tracer. The span-ID space is seeded from the wall clock so
+// concurrently started processes allocate disjoint IDs with high probability
+// (trace IDs only ever need to be unique, never dense or ordered).
+func New(o Options) *Tracer {
+	capacity := o.Capacity
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	seed := uint64(time.Now().UnixNano())
+	t := &Tracer{
+		proc:      o.Proc,
+		node:      o.Node,
+		slow:      o.Slow,
+		sample:    o.Sample,
+		seed:      mix(seed ^ uint64(len(o.Proc))<<56),
+		ring:      make([]atomic.Pointer[Span], size),
+		mask:      uint64(size - 1),
+		exemplars: make(map[string]Exemplar),
+	}
+	t.rng.Store(t.seed | 1)
+	switch {
+	case o.Sample >= 1:
+		t.threshold = ^uint64(0)
+	case o.Sample > 0:
+		t.threshold = uint64(o.Sample * float64(^uint64(0)))
+	}
+	if o.Metrics != nil {
+		t.spans = o.Metrics.Counter(metricSpansTotal, "spans recorded into the trace flight recorder")
+		t.sampled = o.Metrics.Counter(metricSampledTotal, "traces started by local sampling")
+	}
+	return t
+}
+
+// mix is splitmix64's output permutation — enough bit diffusion to turn a
+// counter (or a clock) into well-spread IDs.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// rand advances the tracer's xorshift state and returns the next value.
+func (t *Tracer) rand() uint64 {
+	for {
+		old := t.rng.Load()
+		x := old
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if t.rng.CompareAndSwap(old, x) {
+			return x
+		}
+	}
+}
+
+// SpanID allocates a fresh span ID (0 on a nil tracer). IDs are never zero.
+func (t *Tracer) SpanID() uint64 {
+	if t == nil {
+		return 0
+	}
+	id := mix(t.seed + t.ids.Add(1)*0x9E3779B97F4A7C15)
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// Begin makes one local sampling decision: it returns a fresh root Context
+// with probability Options.Sample and the zero Context otherwise (always zero
+// on a nil tracer). The root Context has Span == 0; the first span recorded
+// under it with Parent == 0 is the operation's root span.
+func (t *Tracer) Begin() Context {
+	if t == nil || t.threshold == 0 {
+		return Context{}
+	}
+	if t.threshold != ^uint64(0) && t.rand() > t.threshold {
+		return Context{}
+	}
+	t.sampled.Inc()
+	return Context{Trace: t.SpanID()}
+}
+
+// Pending is an in-flight span: allocated on the caller's stack by Start,
+// recorded by Done. The zero Pending (what Start returns when the tracer is
+// nil or the context unsampled) is inert — every method no-ops — so call
+// sites need no branches beyond the ones Start already took.
+type Pending struct {
+	t *Tracer
+	// Span is the span under construction; callers may fill Shard, Epoch,
+	// and Note between Start and Done. Trace linkage and timing fields are
+	// managed by Start/Done.
+	Span Span
+}
+
+// Start opens a child span under tc. It returns the inert zero Pending when
+// the tracer is nil or tc is unsampled, so the disabled path allocates
+// nothing.
+func (t *Tracer) Start(tc Context, stage string) Pending {
+	if t == nil || tc.Trace == 0 {
+		return Pending{}
+	}
+	return Pending{t: t, Span: Span{
+		Trace:  tc.Trace,
+		ID:     t.SpanID(),
+		Parent: tc.Span,
+		Stage:  stage,
+		Start:  time.Now(),
+	}}
+}
+
+// Active reports whether the span is really recording.
+func (p *Pending) Active() bool { return p.t != nil }
+
+// Context returns the context child stages should run under: this span as
+// the parent (zero when inert).
+func (p *Pending) Context() Context {
+	if p.t == nil {
+		return Context{}
+	}
+	return Context{Trace: p.Span.Trace, Span: p.Span.ID}
+}
+
+// Done closes the span (duration = elapsed since Start) and records it.
+func (p *Pending) Done() {
+	if p.t == nil {
+		return
+	}
+	p.Span.Duration = time.Since(p.Span.Start)
+	p.t.Record(p.Span)
+}
+
+// Record stores one completed span in the flight recorder (no-op on a nil
+// tracer or an unsampled span). The recorder stamps the process identity;
+// callers never set Proc or Node. A root span (StageOp, Parent 0) whose
+// duration exceeds the slow threshold additionally snapshots its whole trace
+// into the slow-op exemplar list.
+func (t *Tracer) Record(s Span) {
+	if t == nil || s.Trace == 0 {
+		return
+	}
+	s.Proc = t.proc
+	s.Node = t.node
+	sp := new(Span)
+	*sp = s
+	t.ring[(t.cursor.Add(1)-1)&t.mask].Store(sp)
+	t.spans.Inc()
+	if t.slow > 0 && s.Stage == StageOp && s.Parent == 0 && s.Duration >= t.slow {
+		t.noteSlow(s)
+	}
+}
+
+// noteSlow assembles the spans of one slow root's trace out of the ring and
+// retains them, bounded to the most recent maxSlowTraces entries.
+func (t *Tracer) noteSlow(root Span) {
+	var spans []Span
+	for i := range t.ring {
+		if sp := t.ring[i].Load(); sp != nil && sp.Trace == root.Trace {
+			spans = append(spans, *sp)
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	t.slowMu.Lock()
+	defer t.slowMu.Unlock()
+	t.slowTraces = append(t.slowTraces, Assembled{Trace: root.Trace, Root: root, Spans: spans})
+	if len(t.slowTraces) > maxSlowTraces {
+		t.slowTraces = t.slowTraces[len(t.slowTraces)-maxSlowTraces:]
+	}
+}
+
+// Exemplar records the latency of one sampled operation against a metric
+// family, retaining the slowest trace ID seen per family — the link from a
+// latency histogram's tail to a concrete inspectable trace.
+func (t *Tracer) Exemplar(family string, tc Context, d time.Duration) {
+	if t == nil || tc.Trace == 0 {
+		return
+	}
+	t.exMu.Lock()
+	defer t.exMu.Unlock()
+	if ex, ok := t.exemplars[family]; !ok || d.Seconds() > ex.Seconds {
+		t.exemplars[family] = Exemplar{Trace: tc.Trace, Seconds: d.Seconds()}
+	}
+}
+
+// Exemplar is the slowest sampled operation recorded against one metric
+// family: its trace ID and latency.
+type Exemplar struct {
+	// Trace is the slowest operation's trace ID.
+	Trace uint64 `json:"trace"`
+	// Seconds is that operation's recorded latency.
+	Seconds float64 `json:"seconds"`
+}
+
+// Exemplars returns a copy of the per-family slowest-trace table (nil on a
+// nil tracer).
+func (t *Tracer) Exemplars() map[string]Exemplar {
+	if t == nil {
+		return nil
+	}
+	t.exMu.Lock()
+	defer t.exMu.Unlock()
+	out := make(map[string]Exemplar, len(t.exemplars))
+	for k, v := range t.exemplars {
+		out[k] = v
+	}
+	return out
+}
+
+// Snapshot returns the flight recorder's current spans ordered by start time
+// (nil on a nil tracer). Snapshots taken during concurrent recording may
+// miss spans being overwritten, which is the flight-recorder contract.
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	out := make([]Span, 0, len(t.ring))
+	for i := range t.ring {
+		if sp := t.ring[i].Load(); sp != nil {
+			out = append(out, *sp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// SlowTraces returns the retained slow-op exemplar traces, oldest first (nil
+// on a nil tracer).
+func (t *Tracer) SlowTraces() []Assembled {
+	if t == nil {
+		return nil
+	}
+	t.slowMu.Lock()
+	defer t.slowMu.Unlock()
+	return append([]Assembled(nil), t.slowTraces...)
+}
+
+// Sample returns the configured sampling probability (0 on a nil tracer).
+func (t *Tracer) Sample() float64 {
+	if t == nil {
+		return 0
+	}
+	return t.sample
+}
+
+// Slow returns the configured slow-op threshold (0 on a nil tracer).
+func (t *Tracer) Slow() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.slow
+}
+
+// ctxKey is the context.Context key for a trace Context.
+type ctxKey struct{}
+
+// NewContext returns a context carrying tc. Call it only for sampled
+// contexts; attaching the zero Context is legal but wasted allocation.
+func NewContext(ctx context.Context, tc Context) context.Context {
+	return context.WithValue(ctx, ctxKey{}, tc)
+}
+
+// FromContext extracts the trace Context from ctx (zero when absent or ctx
+// is nil).
+func FromContext(ctx context.Context) Context {
+	if ctx == nil {
+		return Context{}
+	}
+	if tc, ok := ctx.Value(ctxKey{}).(Context); ok {
+		return tc
+	}
+	return Context{}
+}

@@ -1,0 +1,298 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"spacebounds/internal/metrics"
+)
+
+// TestDisabledTracerZeroAllocs pins the disabled tracer's whole call-site
+// pattern — sampling decision, span start, span completion, context
+// extraction — at zero allocations, the same contract the metrics package
+// pins for a nil registry. This is what lets every hot path carry tracing
+// unconditionally.
+func TestDisabledTracerZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(1000, func() {
+		bc := tr.Begin()
+		sp := tr.Start(bc, StageOp)
+		sp.Span.Shard = "s0"
+		sp.Done()
+		tc := FromContext(ctx)
+		sp2 := tr.Start(tc, StageRound)
+		sp2.Done()
+		tr.Record(Span{})
+		tr.Exemplar("family", tc, time.Millisecond)
+		_ = tr.SpanID()
+	}); n != 0 {
+		t.Fatalf("disabled tracer allocates %v per op, want 0", n)
+	}
+}
+
+// TestUnsampledZeroAllocs pins the enabled-but-unsampled path: a tracer with
+// Sample 0 must not allocate either, since storage nodes run with exactly
+// this configuration on every unsampled request.
+func TestUnsampledZeroAllocs(t *testing.T) {
+	tr := New(Options{Sample: 0, Proc: "test", Node: -1})
+	if n := testing.AllocsPerRun(1000, func() {
+		bc := tr.Begin()
+		sp := tr.Start(bc, StageOp)
+		sp.Done()
+	}); n != 0 {
+		t.Fatalf("unsampled path allocates %v per op, want 0", n)
+	}
+}
+
+// TestSamplingExtremes checks Begin at probability 0 and 1.
+func TestSamplingExtremes(t *testing.T) {
+	never := New(Options{Sample: 0})
+	always := New(Options{Sample: 1})
+	for i := 0; i < 100; i++ {
+		if never.Begin().Sampled() {
+			t.Fatal("Sample: 0 produced a sampled context")
+		}
+		bc := always.Begin()
+		if !bc.Sampled() {
+			t.Fatal("Sample: 1 produced an unsampled context")
+		}
+		if bc.Span != 0 {
+			t.Fatalf("root context has Span %d, want 0", bc.Span)
+		}
+	}
+}
+
+// TestSamplingProbability checks that a fractional rate lands in a loose
+// band around its expectation.
+func TestSamplingProbability(t *testing.T) {
+	tr := New(Options{Sample: 0.5})
+	hits := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if tr.Begin().Sampled() {
+			hits++
+		}
+	}
+	if hits < n/4 || hits > 3*n/4 {
+		t.Fatalf("Sample: 0.5 hit %d/%d times", hits, n)
+	}
+}
+
+// TestRecordAndSnapshot checks span recording, process stamping, and the
+// ring bound.
+func TestRecordAndSnapshot(t *testing.T) {
+	tr := New(Options{Sample: 1, Capacity: 8, Proc: "p", Node: 3})
+	base := time.Now()
+	for i := 0; i < 20; i++ {
+		tr.Record(Span{Trace: uint64(i + 1), ID: uint64(100 + i), Stage: StageApply, Start: base.Add(time.Duration(i))})
+	}
+	got := tr.Snapshot()
+	if len(got) != 8 {
+		t.Fatalf("ring of capacity 8 holds %d spans", len(got))
+	}
+	for _, s := range got {
+		if s.Trace < 13 {
+			t.Fatalf("ring kept span of trace %d; oldest surviving should be 13", s.Trace)
+		}
+		if s.Proc != "p" || s.Node != 3 {
+			t.Fatalf("span not stamped with process identity: %+v", s)
+		}
+	}
+	// Unsampled spans are dropped.
+	tr.Record(Span{Trace: 0, Stage: StageApply})
+	if len(tr.Snapshot()) != 8 {
+		t.Fatal("zero-trace span was recorded")
+	}
+}
+
+// TestStartDoneParentLinkage checks the Pending helper's ID chaining.
+func TestStartDoneParentLinkage(t *testing.T) {
+	tr := New(Options{Sample: 1})
+	bc := tr.Begin()
+	root := tr.Start(bc, StageOp)
+	child := tr.Start(root.Context(), StageRound)
+	child.Done()
+	root.Done()
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	var rootSpan, childSpan Span
+	for _, s := range spans {
+		switch s.Stage {
+		case StageOp:
+			rootSpan = s
+		case StageRound:
+			childSpan = s
+		}
+	}
+	if rootSpan.Parent != 0 {
+		t.Fatalf("root span has parent %d", rootSpan.Parent)
+	}
+	if childSpan.Parent != rootSpan.ID {
+		t.Fatalf("child parent %d, want root ID %d", childSpan.Parent, rootSpan.ID)
+	}
+	if childSpan.Trace != bc.Trace || rootSpan.Trace != bc.Trace {
+		t.Fatal("spans carry the wrong trace ID")
+	}
+}
+
+// TestContextRoundTrip checks context.Context propagation.
+func TestContextRoundTrip(t *testing.T) {
+	tc := Context{Trace: 7, Span: 9}
+	got := FromContext(NewContext(context.Background(), tc))
+	if got != tc {
+		t.Fatalf("FromContext = %+v, want %+v", got, tc)
+	}
+	if FromContext(context.Background()).Sampled() {
+		t.Fatal("empty context reports sampled")
+	}
+	if FromContext(nil).Sampled() { //nolint:staticcheck // nil-safety contract
+		t.Fatal("nil context reports sampled")
+	}
+}
+
+// TestAssemble checks grouping, root detection, and ordering.
+func TestAssemble(t *testing.T) {
+	base := time.Now()
+	spans := []Span{
+		{Trace: 1, ID: 10, Stage: StageOp, Start: base, Duration: 5 * time.Millisecond},
+		{Trace: 1, ID: 11, Parent: 10, Stage: StageRound, Start: base.Add(time.Microsecond)},
+		{Trace: 2, ID: 20, Stage: StageOp, Start: base, Duration: 9 * time.Millisecond},
+		{Trace: 3, ID: 31, Parent: 30, Stage: StageApply, Start: base}, // rootless fragment
+	}
+	got := Assemble(spans)
+	if len(got) != 3 {
+		t.Fatalf("assembled %d traces, want 3", len(got))
+	}
+	if got[0].Trace != 2 || got[1].Trace != 1 {
+		t.Fatalf("slowest-rooted trace not first: %v, %v", got[0].Trace, got[1].Trace)
+	}
+	if got[2].Trace != 3 || got[2].Root.ID != 0 {
+		t.Fatalf("rootless fragment not last: %+v", got[2])
+	}
+	if len(got[1].Spans) != 2 || got[1].Spans[0].ID != 10 {
+		t.Fatalf("trace 1 spans wrong: %+v", got[1].Spans)
+	}
+}
+
+// TestSlowTraces checks slow-op exemplar capture.
+func TestSlowTraces(t *testing.T) {
+	tr := New(Options{Sample: 1, Slow: time.Millisecond})
+	bc := tr.Begin()
+	tr.Record(Span{Trace: bc.Trace, ID: 2, Parent: 1, Stage: StageRound, Start: time.Now()})
+	tr.Record(Span{Trace: bc.Trace, ID: 1, Stage: StageOp, Start: time.Now(), Duration: 2 * time.Millisecond})
+	slow := tr.SlowTraces()
+	if len(slow) != 1 {
+		t.Fatalf("%d slow traces, want 1", len(slow))
+	}
+	if slow[0].Trace != bc.Trace || len(slow[0].Spans) != 2 {
+		t.Fatalf("slow trace not assembled: %+v", slow[0])
+	}
+	// A fast root records no exemplar.
+	bc2 := tr.Begin()
+	tr.Record(Span{Trace: bc2.Trace, ID: 3, Stage: StageOp, Start: time.Now(), Duration: time.Microsecond})
+	if len(tr.SlowTraces()) != 1 {
+		t.Fatal("fast root captured as slow trace")
+	}
+}
+
+// TestExemplars checks the per-family slowest-trace table.
+func TestExemplars(t *testing.T) {
+	tr := New(Options{Sample: 1})
+	tr.Exemplar("fam", Context{Trace: 1}, 2*time.Millisecond)
+	tr.Exemplar("fam", Context{Trace: 2}, time.Millisecond) // faster; ignored
+	tr.Exemplar("fam", Context{Trace: 3}, 3*time.Millisecond)
+	tr.Exemplar("other", Context{Trace: 4}, time.Microsecond)
+	ex := tr.Exemplars()
+	if ex["fam"].Trace != 3 {
+		t.Fatalf("fam exemplar trace %d, want 3", ex["fam"].Trace)
+	}
+	if ex["other"].Trace != 4 {
+		t.Fatalf("other exemplar trace %d, want 4", ex["other"].Trace)
+	}
+}
+
+// TestHandlerAndParseDump checks the /debug/trace JSON round trip.
+func TestHandlerAndParseDump(t *testing.T) {
+	tr := New(Options{Sample: 0.25, Slow: 50 * time.Millisecond, Proc: "node-1", Node: 1})
+	tr.Record(Span{Trace: 5, ID: 6, Stage: StageWALAppend, Start: time.Now(), Duration: time.Millisecond})
+	tr.Exemplar("f", Context{Trace: 5}, time.Millisecond)
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+	d, err := ParseDump(rec.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Proc != "node-1" || d.Node != 1 || d.Sample != 0.25 || d.SlowSeconds != 0.05 {
+		t.Fatalf("dump header wrong: %+v", d)
+	}
+	if len(d.Spans) != 1 || d.Spans[0].Trace != 5 || d.Spans[0].Stage != StageWALAppend {
+		t.Fatalf("dump spans wrong: %+v", d.Spans)
+	}
+	if d.Exemplars["f"].Trace != 5 {
+		t.Fatalf("dump exemplars wrong: %+v", d.Exemplars)
+	}
+	// A nil tracer serves an empty, parseable dump.
+	rec = httptest.NewRecorder()
+	(*Tracer)(nil).Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if d, err = ParseDump(rec.Body.Bytes()); err != nil || len(d.Spans) != 0 {
+		t.Fatalf("nil tracer dump: %+v err %v", d, err)
+	}
+}
+
+// TestTracerMetrics checks the tracer's own metric families.
+func TestTracerMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := New(Options{Sample: 1, Metrics: reg})
+	bc := tr.Begin()
+	tr.Record(Span{Trace: bc.Trace, ID: 1, Stage: StageOp, Start: time.Now()})
+	if v := reg.Counter(metricSampledTotal, "").Value(); v != 1 {
+		t.Fatalf("sampled counter %d, want 1", v)
+	}
+	if v := reg.Counter(metricSpansTotal, "").Value(); v != 1 {
+		t.Fatalf("spans counter %d, want 1", v)
+	}
+}
+
+// TestSpanIDUniqueness spot-checks ID allocation for collisions and zeros.
+func TestSpanIDUniqueness(t *testing.T) {
+	tr := New(Options{Sample: 1})
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		id := tr.SpanID()
+		if id == 0 {
+			t.Fatal("allocated span ID 0")
+		}
+		if seen[id] {
+			t.Fatalf("span ID %d allocated twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestSpanJSONShape pins the span wire field names that cross-process
+// assembly (and the e2e suite) depend on.
+func TestSpanJSONShape(t *testing.T) {
+	s := Span{Trace: 1, ID: 2, Parent: 3, Stage: StageRPC, Shard: "s0", Node: 2, Epoch: 1, Proc: "node-2", Start: time.Unix(0, 0), Duration: time.Second, Note: "w"}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"trace", "id", "parent", "stage", "shard", "node", "epoch", "proc", "start", "duration_ns", "note"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("span JSON missing %q: %s", key, data)
+		}
+	}
+}

@@ -12,12 +12,14 @@ import (
 
 	"spacebounds/internal/dsys"
 	"spacebounds/internal/register"
+	"spacebounds/internal/trace"
 )
 
 type serverOptions struct {
 	hosts    func(object int) bool
 	recovery bool
 	metrics  *serverMetrics
+	tracer   *trace.Tracer
 }
 
 // ServerOption configures a Server.
@@ -193,7 +195,18 @@ func (s *Server) serve(body []byte) dsys.Response {
 		resp.Status = dsys.StatusRecovering
 		return resp
 	}
-	out, err := s.cluster.ApplyOne(env.Object, rmw)
+	// A wire trace context opens the node-side apply span: it parents under
+	// the client's RPC span by the envelope's span word, and the journal's
+	// WAL stages parent under it in turn.
+	var tc trace.Context
+	var sp trace.Pending
+	if tr := s.opts.tracer; tr != nil && env.Trace != 0 {
+		sp = tr.Start(trace.Context{Trace: env.Trace, Span: env.Span}, trace.StageApply)
+		sp.Span.Note = env.Kind
+		tc = sp.Context()
+	}
+	out, err := s.cluster.ApplyOneTraced(env.Object, rmw, tc)
+	sp.Done()
 	if err != nil {
 		switch {
 		case errors.Is(err, dsys.ErrUnknownObject):

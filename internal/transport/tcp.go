@@ -13,6 +13,7 @@ import (
 	"spacebounds/internal/dsys"
 	"spacebounds/internal/metrics"
 	"spacebounds/internal/register"
+	"spacebounds/internal/trace"
 )
 
 // RemoteError wraps a failure attributed to a specific node, so callers can
@@ -51,6 +52,7 @@ type clientOptions struct {
 	dialTimeout   time.Duration
 	redialBackoff time.Duration
 	metrics       *metrics.Registry
+	tracer        *trace.Tracer
 }
 
 // ClientOption configures a Client.
@@ -127,7 +129,8 @@ type clientConn struct {
 	addr   string
 	conn   net.Conn
 	sender *frameSender
-	nm     *nodeMetrics // nil when metrics are disabled
+	nm     *nodeMetrics  // nil when metrics are disabled
+	tr     *trace.Tracer // nil when tracing is disabled
 
 	pmu     sync.Mutex
 	pending map[uint64]*pendingCall
@@ -139,7 +142,8 @@ type pendingCall struct {
 	obj   int
 	kind  string
 	ch    chan<- roundMsg
-	start time.Time // send instant; zero unless metrics are enabled
+	start time.Time  // send instant; zero unless metrics are enabled
+	sp    trace.Span // prepared RPC span; zero Trace unless the round is sampled
 }
 
 // roundMsg is one per-object outcome delivered to a waiting round: either a
@@ -180,6 +184,7 @@ func (c *Client) getConn(ctx context.Context, node int) (*clientConn, error) {
 		conn:    conn,
 		sender:  newFrameSender(conn),
 		nm:      nm,
+		tr:      c.opts.tracer,
 		pending: make(map[uint64]*pendingCall),
 	}
 	go cc.readLoop()
@@ -220,6 +225,7 @@ func (cc *clientConn) take(reqID uint64) *pendingCall {
 	cc.pmu.Unlock()
 	if call != nil {
 		cc.nm.observeResponse(call, true)
+		cc.recordRPC(call)
 	}
 	return call
 }
@@ -288,6 +294,14 @@ func (c *Client) InvokeRound(ctx context.Context, client int, targets []int, mak
 		defer cancel()
 	}
 
+	// A sampled round stamps its trace context into every envelope: each
+	// request gets a fresh RPC span ID on the wire, so the node's apply (and
+	// WAL) spans parent under the per-node RPC span recorded here.
+	var tc trace.Context
+	if c.opts.tracer != nil {
+		tc = trace.FromContext(ctx)
+	}
+
 	ch := make(chan roundMsg, len(targets))
 	sent := make([]sentRequest, 0, len(targets))
 	dispatched := 0
@@ -299,6 +313,10 @@ func (c *Client) InvokeRound(ctx context.Context, client int, targets []int, mak
 		if err != nil {
 			// No codec for this RMW type: a programming error, not a fault.
 			return nil, err
+		}
+		if tc.Sampled() {
+			env.Trace = tc.Trace
+			env.Span = c.opts.tracer.SpanID()
 		}
 		node := c.opts.placement(obj)
 		if node < 0 || node >= len(c.addrs) {
@@ -318,6 +336,12 @@ func (c *Client) InvokeRound(ctx context.Context, client int, targets []int, mak
 		call := &pendingCall{obj: obj, kind: env.Kind, ch: ch}
 		if cc.nm != nil {
 			call.start = time.Now()
+		}
+		if tc.Sampled() {
+			call.sp = trace.Span{
+				Trace: tc.Trace, ID: env.Span, Parent: tc.Span,
+				Stage: trace.StageRPC, Note: cc.addr, Start: time.Now(),
+			}
 		}
 		cc.register(reqID, call)
 		if err := cc.sender.send(frame); err != nil {

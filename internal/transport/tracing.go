@@ -1,0 +1,36 @@
+package transport
+
+import (
+	"time"
+
+	"spacebounds/internal/trace"
+)
+
+// WithTracer attaches a tracer to the client: rounds whose context carries a
+// sampled trace stamp it into every request envelope (the version-2 wire
+// extension) and record one StageRPC span per served response frame, noted
+// with the node address. Untraced rounds emit byte-identical version-1 frames.
+func WithTracer(tr *trace.Tracer) ClientOption {
+	return func(o *clientOptions) { o.tracer = tr }
+}
+
+// WithServerTracer attaches a tracer to the server: requests arriving with a
+// wire trace context record a StageApply span parented under the client's RPC
+// span, and the journal's WAL stages parent under the apply in turn. Requests
+// without a trace context cost one field comparison.
+func WithServerTracer(tr *trace.Tracer) ServerOption {
+	return func(o *serverOptions) { o.tracer = tr }
+}
+
+// recordRPC closes a served frame's RPC span (no-op for untraced calls).
+// Frames failed by a connection shutdown are not recorded — like the RPC
+// latency histogram, the span series means served responses.
+func (cc *clientConn) recordRPC(call *pendingCall) {
+	if cc.tr == nil || call.sp.Trace == 0 {
+		return
+	}
+	sp := call.sp
+	sp.Duration = time.Since(sp.Start)
+	cc.tr.Record(sp)
+	cc.tr.Exemplar(metricRPCSeconds, trace.Context{Trace: sp.Trace}, sp.Duration)
+}

@@ -29,6 +29,7 @@ import (
 	"spacebounds/internal/oracle"
 	"spacebounds/internal/register"
 	"spacebounds/internal/storagecost"
+	"spacebounds/internal/trace"
 )
 
 // Config configures a journal.
@@ -98,6 +99,13 @@ type Journal struct {
 	wg    sync.WaitGroup
 
 	met atomic.Pointer[walMetrics]
+	trc atomic.Pointer[trace.Tracer]
+
+	// traceTR/traceTC, meaningful only while jmu is held, carry the trace
+	// context of the append in progress so syncLocked can parent the fsync
+	// span it records under the append span (see RecordApplyTraced).
+	traceTR *trace.Tracer
+	traceTC trace.Context
 }
 
 // Open opens (or initializes) the journal directory, scanning snapshots and
@@ -270,24 +278,8 @@ func (j *Journal) newSegmentLocked() error {
 // match the apply order per object. Read-only RMWs are skipped — they carry
 // no state change to replay.
 func (j *Journal) RecordApply(object int, rmw dsys.RMW) {
-	kind, ok := register.KindOf(rmw)
+	payload, ok := j.encodeApply(object, rmw)
 	if !ok {
-		j.jmu.Lock()
-		j.unknownRMWs++
-		j.jmu.Unlock()
-		return
-	}
-	if register.KindReadOnly(kind) {
-		return
-	}
-	env, err := register.EncodeEnvelope(dsys.OpID{}, object, rmw)
-	if err != nil {
-		j.latch(err)
-		return
-	}
-	payload, err := env.MarshalBinary()
-	if err != nil {
-		j.latch(err)
 		return
 	}
 	m := j.met.Load()
@@ -299,6 +291,33 @@ func (j *Journal) RecordApply(object int, rmw dsys.RMW) {
 		m.appendSec.ObserveSince(start)
 		m.appends.Inc()
 	}
+}
+
+// encodeApply encodes one applied RMW into its journal payload, reporting
+// false (and accounting or latching as appropriate) when there is nothing to
+// journal: unknown codec, read-only kind, or an encode failure.
+func (j *Journal) encodeApply(object int, rmw dsys.RMW) ([]byte, bool) {
+	kind, ok := register.KindOf(rmw)
+	if !ok {
+		j.jmu.Lock()
+		j.unknownRMWs++
+		j.jmu.Unlock()
+		return nil, false
+	}
+	if register.KindReadOnly(kind) {
+		return nil, false
+	}
+	env, err := register.EncodeEnvelope(dsys.OpID{}, object, rmw)
+	if err != nil {
+		j.latch(err)
+		return nil, false
+	}
+	payload, err := env.MarshalBinary()
+	if err != nil {
+		j.latch(err)
+		return nil, false
+	}
+	return payload, true
 }
 
 // RecordMove implements reconfig.MoveJournal: journal one move-ledger
@@ -356,17 +375,26 @@ func (j *Journal) appendLocked(r record) {
 	}
 }
 
-// syncLocked fsyncs the active segment. Caller holds jmu.
+// syncLocked fsyncs the active segment. Caller holds jmu. When the append in
+// progress carries a trace context (traceTR set by RecordApplyTraced), the
+// fsync records a StageWALFsync span under the append span — the fsync is
+// charged to whichever traced append tripped the sync policy, even though it
+// covers every append batched since the last sync.
 func (j *Journal) syncLocked() {
 	if j.err != nil || j.closed || j.sinceSync == 0 {
 		return
 	}
 	m := j.met.Load()
 	start := m.now()
+	var fsp trace.Pending
+	if j.traceTR != nil {
+		fsp = j.traceTR.Start(j.traceTC, trace.StageWALFsync)
+	}
 	if err := j.f.Sync(); err != nil {
 		j.err = fmt.Errorf("wal: fsync: %v", err)
 		return
 	}
+	fsp.Done()
 	j.sinceSync = 0
 	if m != nil {
 		m.fsyncSec.ObserveSince(start)

@@ -71,6 +71,7 @@ func TestMetricsDocSync(t *testing.T) {
 		Batch:      spacebounds.BatchOptions{MaxSize: 4},
 		Durability: spacebounds.Durability{Dir: t.TempDir()},
 		Metrics:    reg,
+		Trace:      spacebounds.NewTracer(spacebounds.TraceOptions{Sample: 1, Metrics: reg}),
 	})
 	if err != nil {
 		t.Fatal(err)

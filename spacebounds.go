@@ -136,6 +136,12 @@ type Options struct {
 	// Nil disables instrumentation at the cost of one predictable branch per
 	// hot-path operation.
 	Metrics *Metrics
+	// Trace, when non-nil, attaches a per-operation tracer: sampled
+	// operations record a span per stage (op, batch wait, quorum round, node
+	// apply, WAL append/fsync) into the tracer's ring, and reconfiguration
+	// moves each record a trace of their ledger steps. Nil disables tracing
+	// at the same one-branch cost as Metrics (see docs/TRACING.md).
+	Trace *Tracer
 }
 
 // Metrics is the store's metrics registry: counters, gauges, and fixed-bucket
@@ -241,6 +247,7 @@ type Store struct {
 	nextMigClient int        // next migration-writer client ID
 
 	metrics *Metrics     // nil unless Options.Metrics was set
+	tracer  *Tracer      // nil unless Options.Trace was set
 	wal     *wal.Journal // nil unless Options.Durability was set
 
 	// resumeHook, when non-nil, replaces ResumeMoves in RestartNode's resume
@@ -251,6 +258,10 @@ type Store struct {
 // Metrics returns the registry the store was opened with, or nil when
 // instrumentation is disabled.
 func (s *Store) Metrics() *Metrics { return s.metrics }
+
+// Tracer returns the tracer the store was opened with, or nil when tracing is
+// disabled.
+func (s *Store) Tracer() *Tracer { return s.tracer }
 
 // Open builds the register shards and their shared simulated cluster.
 func Open(opts Options) (*Store, error) {
@@ -292,6 +303,11 @@ func Open(opts Options) (*Store, error) {
 		store.recon.SetMetrics(opts.Metrics)
 		store.metrics = opts.Metrics
 	}
+	if opts.Trace != nil {
+		set.SetTracer(opts.Trace)
+		store.recon.SetTracer(opts.Trace)
+		store.tracer = opts.Trace
+	}
 	if opts.Durability.enabled() {
 		if err := store.openJournal(opts); err != nil {
 			set.Close()
@@ -319,6 +335,9 @@ func (s *Store) openJournal(opts Options) error {
 	}
 	if opts.Metrics != nil {
 		j.SetMetrics(opts.Metrics)
+	}
+	if opts.Trace != nil {
+		j.SetTracer(opts.Trace)
 	}
 	moves := j.Moves()
 	states := make([]reconfig.MoveState, 0, len(moves))

@@ -1,0 +1,182 @@
+package spacebounds_test
+
+import (
+	"io"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"spacebounds"
+	"spacebounds/internal/trace"
+)
+
+// TestStoreTracing opens a fully traced store — batching, durability, and
+// metrics all on — runs a keyed workload plus a live split, and asserts the
+// flight recorder holds complete operation trees: every sampled op roots a
+// trace whose children cover batch wait, the quorum round, and the WAL
+// append, and the split contributes per-step reconfiguration spans. It then
+// round-trips the dump through the HTTP handler to pin the /debug/trace wire
+// format the tools (spacebench -trace-peers, the e2e tests) consume.
+func TestStoreTracing(t *testing.T) {
+	reg := spacebounds.NewMetrics()
+	tr := spacebounds.NewTracer(spacebounds.TraceOptions{
+		Sample:  1,
+		Slow:    time.Nanosecond, // everything is a slow op: exercises retention
+		Proc:    "test",
+		Node:    -1,
+		Metrics: reg,
+	})
+	store, err := spacebounds.Open(spacebounds.Options{
+		ValueSize:  64,
+		Shards:     []spacebounds.ShardSpec{{Name: "a"}, {Name: "b"}},
+		Batch:      spacebounds.BatchOptions{MaxSize: 4},
+		Durability: spacebounds.Durability{Dir: t.TempDir()},
+		Metrics:    reg,
+		Trace:      tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if store.Tracer() != tr {
+		t.Fatal("Store.Tracer() does not return the tracer passed in Options.Trace")
+	}
+
+	const writes = 8
+	for i := 0; i < writes; i++ {
+		if err := store.WriteKey(1, "a", []byte("traced")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := store.ReadKey(2, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.SplitShard("b"); err != nil {
+		t.Fatal(err)
+	}
+
+	d := tr.Dump()
+	if d.Proc != "test" || d.Node != -1 || d.Sample != 1 {
+		t.Fatalf("dump header = %q/%d/%v, want test/-1/1", d.Proc, d.Node, d.Sample)
+	}
+
+	// Every stage an in-process durable store passes through must appear.
+	// (StageRPC and StageApply are transport stages; the e2e cluster test
+	// covers those.)
+	stages := make(map[string]int)
+	for _, s := range d.Spans {
+		stages[s.Stage]++
+	}
+	for _, want := range []string{
+		trace.StageOp, trace.StageBatchWait, trace.StageRound,
+		trace.StageWALAppend, trace.StageReconfig,
+	} {
+		if stages[want] == 0 {
+			t.Errorf("no %s spans in dump (stage counts: %v)", want, stages)
+		}
+	}
+
+	// Assembly yields rooted trees: at least the write/read ops, each with a
+	// quorum round attributable to the root (directly or via the batcher).
+	asm := trace.Assemble(d.Spans)
+	rooted := 0
+	for _, a := range asm {
+		if a.Root.ID == 0 {
+			continue
+		}
+		rooted++
+		ids := map[uint64]bool{a.Root.ID: true}
+		for _, s := range a.Spans {
+			ids[s.ID] = true
+		}
+		round := false
+		for _, s := range a.Spans {
+			if !ids[s.Parent] && s.Parent != 0 {
+				t.Errorf("trace %016x: span %016x (%s) has dangling parent %016x",
+					a.Trace, s.ID, s.Stage, s.Parent)
+			}
+			if s.Stage == trace.StageRound {
+				round = true
+			}
+		}
+		if !round {
+			t.Errorf("trace %016x (%s) has no quorum-round span", a.Trace, a.Root.Note)
+		}
+	}
+	if rooted < writes {
+		t.Errorf("assembled %d rooted traces, want at least %d", rooted, writes)
+	}
+
+	// Slow-op retention and exemplar linkage: with a 1ns threshold every op
+	// qualifies, and the quorum-round family must link to a sampled trace.
+	if len(d.SlowTraces) == 0 {
+		t.Error("Slow threshold set but no slow traces retained")
+	}
+	ex, ok := d.Exemplars["spacebounds_dsys_quorum_round_seconds"]
+	if !ok {
+		t.Errorf("no quorum-round exemplar (families: %v)", keysOf(d.Exemplars))
+	} else if ex.Trace == 0 || ex.Seconds < 0 {
+		t.Errorf("quorum-round exemplar = %+v, want a trace link", ex)
+	}
+
+	// The handler serves the same dump over HTTP, and ParseDump reads it back.
+	srv := httptest.NewServer(tr.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("content type = %q", ct)
+	}
+	parsed, err := trace.ParseDump(body)
+	if err != nil {
+		t.Fatalf("ParseDump: %v", err)
+	}
+	if parsed.Proc != "test" || len(parsed.Spans) == 0 {
+		t.Fatalf("parsed dump = proc %q, %d spans; want test with spans", parsed.Proc, len(parsed.Spans))
+	}
+
+	// The tracer's own meters counted the work.
+	if got := counterValue(t, reg, "spacebounds_trace_spans_total"); got == 0 {
+		t.Error("spacebounds_trace_spans_total = 0 after a traced workload")
+	}
+	if got := counterValue(t, reg, "spacebounds_trace_sampled_traces_total"); got < writes {
+		t.Errorf("spacebounds_trace_sampled_traces_total = %d, want at least %d", got, writes)
+	}
+}
+
+// counterValue reads an unlabeled counter's value off the registry's
+// Prometheus rendering.
+func counterValue(t *testing.T, reg *spacebounds.Metrics, name string) int64 {
+	t.Helper()
+	var buf strings.Builder
+	reg.WritePrometheus(&buf)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseInt(strings.TrimPrefix(line, name+" "), 10, 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("registry exposition has no %s series", name)
+	return 0
+}
+
+func keysOf(m map[string]trace.Exemplar) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
