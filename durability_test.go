@@ -158,6 +158,7 @@ func (failRunner) RunOn(*shard.Shard, func(h *dsys.ClientHandle) error) error {
 	return reconfig.ErrInterrupted
 }
 func (failRunner) Wait(func() bool) error { return reconfig.ErrInterrupted }
+func (failRunner) Checkpoint() error      { return reconfig.ErrInterrupted }
 
 // TestRestartNodeClassifiesResumeFailure is the regression test for the old
 // RestartNode conflating its two jobs: a resume failure must be typed
@@ -237,9 +238,10 @@ func TestRestartNodeClassifiesRestartFailure(t *testing.T) {
 }
 
 // TestFaultStatsCountFailedRestarts is the regression test for the injector
-// silently discarding RestartObject failures: drain a shard while one of its
-// nodes is down, and the injector's attempt to restart the now-retired node
-// must surface in FailedRestarts instead of vanishing.
+// silently discarding outages it cannot restart: drain a shard while one of
+// its nodes is down, and the retired node's outage must surface in the stats
+// (RetiredOutages — the region took the node with it; a restart failure on a
+// still-live region would surface in FailedRestarts) instead of vanishing.
 func TestFaultStatsCountFailedRestarts(t *testing.T) {
 	s, err := Open(Options{
 		ValueSize: 32,
@@ -265,16 +267,16 @@ func TestFaultStatsCountFailedRestarts(t *testing.T) {
 	if _, err := s.DrainShard("default"); err != nil {
 		t.Fatalf("DrainShard with a node down: %v", err)
 	}
-	// When the downtime elapses, the injector's restart of the retired node
-	// must fail — and be counted.
-	for s.FaultStats().FailedRestarts == 0 {
+	// At the tick after the drain, the injector must notice the region is
+	// gone and release the outage — counted, not dropped.
+	for s.FaultStats().RetiredOutages == 0 {
 		if time.Now().After(deadline) {
-			t.Fatalf("no FailedRestarts counted; stats = %+v", s.FaultStats())
+			t.Fatalf("no RetiredOutages counted; stats = %+v", s.FaultStats())
 		}
 		time.Sleep(time.Millisecond)
 	}
 	st := s.FaultStats()
-	if st.FailedRestarts == 0 {
-		t.Fatalf("FailedRestarts = 0, want > 0 (stats %+v)", st)
+	if st.RetiredOutages == 0 {
+		t.Fatalf("RetiredOutages = 0, want > 0 (stats %+v)", st)
 	}
 }

@@ -38,12 +38,53 @@ type FaultStats struct {
 	Crashes int
 	// Restarts is the number of crashed nodes brought back.
 	Restarts int
-	// FailedRestarts is the number of restart attempts that errored — most
-	// commonly because a reconfiguration retired the node's region during its
-	// outage. Crashes == Restarts + FailedRestarts + (nodes currently down),
-	// so a store whose counters drift apart is observable instead of silently
-	// losing restarts.
+	// FailedRestarts is the number of restart attempts that errored. A failed
+	// restart does not release the node's crash budget: the node is still
+	// down, so freeing its slot would let a later crash push the shard past F
+	// and break its quorums. The injector retries after another Downtime, so
+	// one stuck node can count several failed attempts.
 	FailedRestarts int
+	// RetiredOutages is the number of outages released because a
+	// reconfiguration retired the node's region mid-outage (the node is gone
+	// with the region, so its budget is released without a restart).
+	// Crashes == Restarts + RetiredOutages + (nodes currently down), so a
+	// store whose counters drift apart is observable instead of silently
+	// losing restarts.
+	RetiredOutages int
+}
+
+// outage is one injected crash that has not been released yet.
+type outage struct {
+	since time.Time
+	node  int // global object ID
+	shard string
+}
+
+// injectorState is the injection loop's working state, kept outside the
+// goroutine so the tick logic is unit-testable against crafted topologies.
+type injectorState struct {
+	rng    *rand.Rand
+	down   []outage
+	downIn map[string]int // shard name -> nodes currently down
+}
+
+func newInjectorState(seed int64) *injectorState {
+	if seed == 0 {
+		seed = 1
+	}
+	return &injectorState{
+		rng:    rand.New(rand.NewSource(seed)),
+		downIn: make(map[string]int),
+	}
+}
+
+func (st *injectorState) isDown(node int) bool {
+	for _, o := range st.down {
+		if o.node == node {
+			return true
+		}
+	}
+	return false
 }
 
 // faultInjector is the store's background fault process.
@@ -51,6 +92,11 @@ type faultInjector struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+
+	// restartHook, when non-nil, replaces the cluster restart call. Tests
+	// inject restart failures that are not caused by region retirement to pin
+	// the crash-budget accounting.
+	restartHook func(node int) error
 
 	mu    sync.Mutex
 	stats FaultStats
@@ -63,32 +109,115 @@ func (fi *faultInjector) Stats() FaultStats {
 	return fi.stats
 }
 
+// restart brings one node back, via the test hook when one is installed.
+func (fi *faultInjector) restart(s *Store, node int) error {
+	if fi.restartHook != nil {
+		return fi.restartHook(node)
+	}
+	return s.set.Cluster().RestartObject(node)
+}
+
+// tick runs one injection step: release outages whose region was retired,
+// restart nodes whose downtime elapsed, rebuild the per-shard budget, and
+// attempt one crash. The shard list is re-read every tick so the injector
+// follows reconfiguration (new regions become targets, retired regions stop
+// being hit).
+func (fi *faultInjector) tick(s *Store, st *injectorState, now time.Time, opts FaultOptions) {
+	shards := s.set.Shards()
+	live := make(map[string]bool, len(shards))
+	for _, sh := range shards {
+		live[sh.Name] = true
+	}
+
+	// A retired region takes its nodes with it: outages whose shard left the
+	// table are released without a restart, and their budget goes with the
+	// region. This is also what keeps downIn from accumulating entries for
+	// retired names under churn — the budget map is rebuilt below from the
+	// outages that remain, all of which name live shards.
+	kept := st.down[:0]
+	for _, o := range st.down {
+		if !live[o.shard] {
+			fi.mu.Lock()
+			fi.stats.RetiredOutages++
+			fi.mu.Unlock()
+			continue
+		}
+		kept = append(kept, o)
+	}
+	st.down = kept
+
+	// Restart nodes whose downtime has elapsed. A failed restart of a node
+	// whose region is still live keeps the outage (and its crash budget):
+	// the node is still down, so releasing the slot would let the injector
+	// exceed F and break the shard's quorums. The attempt is retried after
+	// another Downtime.
+	if opts.Downtime > 0 {
+		kept = st.down[:0]
+		for i := range st.down {
+			o := st.down[i]
+			if now.Sub(o.since) < opts.Downtime {
+				kept = append(kept, o)
+				continue
+			}
+			err := fi.restart(s, o.node)
+			fi.mu.Lock()
+			if err == nil {
+				fi.stats.Restarts++
+			} else {
+				fi.stats.FailedRestarts++
+			}
+			fi.mu.Unlock()
+			if err == nil {
+				continue
+			}
+			o.since = now
+			kept = append(kept, o)
+		}
+		st.down = kept
+	}
+
+	// downIn is derived state — outages grouped by shard. Rebuilding it from
+	// the surviving outages keeps it exact through retirements and failed
+	// restarts alike.
+	for name := range st.downIn {
+		delete(st.downIn, name)
+	}
+	for _, o := range st.down {
+		st.downIn[o.shard]++
+	}
+
+	// One crash attempt: a random node of a random shard, only if the shard
+	// still has crash budget (down < F). Mid-reconfiguration the table can
+	// transiently expose no routable shard; skip the tick rather than index
+	// into an empty list.
+	if len(shards) == 0 {
+		return
+	}
+	sh := shards[st.rng.Intn(len(shards))]
+	if st.downIn[sh.Name] >= sh.Reg.Config().F {
+		return
+	}
+	node := sh.Base + st.rng.Intn(sh.Span)
+	if st.isDown(node) {
+		return
+	}
+	if err := s.set.Cluster().CrashObject(node); err != nil {
+		return
+	}
+	st.down = append(st.down, outage{since: now, node: node, shard: sh.Name})
+	st.downIn[sh.Name]++
+	fi.mu.Lock()
+	fi.stats.Crashes++
+	fi.mu.Unlock()
+}
+
 // start launches the injection loop against the store's shard set.
 func (fi *faultInjector) start(s *Store, opts FaultOptions) {
-	seed := opts.Seed
-	if seed == 0 {
-		seed = 1
-	}
 	fi.stop = make(chan struct{})
 	fi.wg.Add(1)
 	go func() {
 		defer fi.wg.Done()
-		rng := rand.New(rand.NewSource(seed))
-		type outage struct {
-			since time.Time
-			node  int // global object ID
-			shard string
-		}
-		var down []outage
-		downIn := make(map[string]int) // shard name -> nodes currently down
-		isDown := func(node int) bool {
-			for _, o := range down {
-				if o.node == node {
-					return true
-				}
-			}
-			return false
-		}
+		st := newInjectorState(opts.Seed)
 		ticker := time.NewTicker(opts.Interval)
 		defer ticker.Stop()
 		for {
@@ -96,50 +225,7 @@ func (fi *faultInjector) start(s *Store, opts FaultOptions) {
 			case <-fi.stop:
 				return
 			case now := <-ticker.C:
-				// Restart nodes whose downtime has elapsed. A node whose shard
-				// was retired by a reconfiguration in the meantime cannot be
-				// restarted; its outage is dropped with the region, but the
-				// failed attempt is counted so the Crashes/Restarts gap stays
-				// explainable from the stats alone.
-				if opts.Downtime > 0 {
-					kept := down[:0]
-					for _, o := range down {
-						if now.Sub(o.since) >= opts.Downtime {
-							downIn[o.shard]--
-							fi.mu.Lock()
-							if s.set.Cluster().RestartObject(o.node) == nil {
-								fi.stats.Restarts++
-							} else {
-								fi.stats.FailedRestarts++
-							}
-							fi.mu.Unlock()
-							continue
-						}
-						kept = append(kept, o)
-					}
-					down = kept
-				}
-				// One crash attempt: a random node of a random shard, only if
-				// the shard still has crash budget (down < F). The shard list
-				// is re-read every tick so the injector follows reconfiguration
-				// (new regions become targets, retired regions stop being hit).
-				shards := s.set.Shards()
-				sh := shards[rng.Intn(len(shards))]
-				if downIn[sh.Name] >= sh.Reg.Config().F {
-					continue
-				}
-				node := sh.Base + rng.Intn(sh.Span)
-				if isDown(node) {
-					continue
-				}
-				if err := s.set.Cluster().CrashObject(node); err != nil {
-					continue
-				}
-				down = append(down, outage{since: now, node: node, shard: sh.Name})
-				downIn[sh.Name]++
-				fi.mu.Lock()
-				fi.stats.Crashes++
-				fi.mu.Unlock()
+				fi.tick(s, st, now, opts)
 			}
 		}
 	}()

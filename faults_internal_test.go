@@ -1,0 +1,123 @@
+package spacebounds
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// newFaultFixture opens a small store with injection disabled (ticks are
+// driven by hand) and returns it with a fresh injector state.
+func newFaultFixture(t *testing.T, shards ...string) (*Store, *injectorState) {
+	t.Helper()
+	specs := make([]ShardSpec, 0, len(shards))
+	for _, name := range shards {
+		specs = append(specs, ShardSpec{Name: name})
+	}
+	s, err := Open(Options{ValueSize: 32, Shards: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s, newInjectorState(1)
+}
+
+// TestInjectorSkipsEmptyShardList pins the empty-topology guard: a tick that
+// observes no routable shard (reconfiguration can transiently retire every
+// route) must be a no-op instead of panicking in rng.Intn(0).
+func TestInjectorSkipsEmptyShardList(t *testing.T) {
+	s, st := newFaultFixture(t, "a")
+	s.set.Router().MarkRetired("a")
+	if got := len(s.set.Shards()); got != 0 {
+		t.Fatalf("fixture still has %d shards; want an empty list", got)
+	}
+	opts := FaultOptions{Interval: time.Millisecond}
+	for i := 0; i < 8; i++ {
+		s.faults.tick(s, st, time.Now(), opts) // must not panic
+	}
+	if stats := s.faults.Stats(); stats.Crashes != 0 {
+		t.Fatalf("crashes injected against an empty topology: %+v", stats)
+	}
+}
+
+// TestInjectorPrunesRetiredShardBudget pins the budget-map hygiene: outages
+// whose shard was retired are released (counted as RetiredOutages), and downIn
+// never keeps entries for names absent from the re-read shard list — under
+// reconfiguration churn the old code grew the map without bound.
+func TestInjectorPrunesRetiredShardBudget(t *testing.T) {
+	s, st := newFaultFixture(t, "a", "b")
+	now := time.Now()
+	st.down = []outage{{since: now, node: s.set.Shard("a").Base, shard: "a"}}
+	st.downIn = map[string]int{"a": 1, "ghost": 3} // "ghost" simulates accumulated stale entries
+	s.set.Router().MarkRetired("a")
+
+	s.faults.tick(s, st, now, FaultOptions{Interval: time.Millisecond})
+
+	if stats := s.faults.Stats(); stats.RetiredOutages != 1 {
+		t.Fatalf("retired outage not released: %+v", stats)
+	}
+	for name := range st.downIn {
+		if name != "b" {
+			t.Fatalf("downIn keeps entry for non-live shard %q: %v", name, st.downIn)
+		}
+	}
+	for _, o := range st.down {
+		if o.shard == "a" {
+			t.Fatalf("outage for retired shard survived: %+v", st.down)
+		}
+	}
+}
+
+// TestInjectorKeepsBudgetOnFailedRestart pins the crash-budget accounting: a
+// restart that fails while the node's region is still live must NOT release
+// the outage — the node is still down, and freeing its budget slot would let
+// the injector crash a second node in an F=1 shard and break its quorums. The
+// restart failure is injected via the hook, so it is exactly the
+// "down for reasons other than region retirement" case.
+func TestInjectorKeepsBudgetOnFailedRestart(t *testing.T) {
+	s, st := newFaultFixture(t, "a")
+	sh := s.set.Shard("a")
+	if err := s.set.Cluster().CrashObject(sh.Base); err != nil {
+		t.Fatal(err)
+	}
+	s.faults.restartHook = func(node int) error { return errors.New("injected restart failure") }
+
+	now := time.Now()
+	st.down = []outage{{since: now.Add(-time.Hour), node: sh.Base, shard: "a"}}
+	opts := FaultOptions{Interval: time.Millisecond, Downtime: time.Millisecond}
+	for i := 0; i < 32; i++ {
+		now = now.Add(2 * time.Millisecond)
+		s.faults.tick(s, st, now, opts)
+		if len(st.down) != 1 || st.downIn["a"] != 1 {
+			t.Fatalf("tick %d: failed restart released the outage: down=%v downIn=%v", i, st.down, st.downIn)
+		}
+	}
+	stats := s.faults.Stats()
+	if stats.Crashes != 0 {
+		t.Fatalf("injector crashed %d nodes while the shard's budget was exhausted (F=%d, 1 node already down)",
+			stats.Crashes, sh.Reg.Config().F)
+	}
+	if stats.FailedRestarts == 0 {
+		t.Fatalf("failed restart attempts not counted: %+v", stats)
+	}
+	if got := len(s.set.Cluster().CrashedObjects()); got != 1 {
+		t.Fatalf("%d nodes down, want exactly the original 1 (F=%d)", got, sh.Reg.Config().F)
+	}
+
+	// Once the restart succeeds the budget is released — the same tick's
+	// crash attempt may immediately use the freed slot, which is exactly the
+	// point: budget moves only on success, never on failure.
+	s.faults.restartHook = nil
+	now = now.Add(2 * time.Millisecond)
+	s.faults.tick(s, st, now, opts)
+	stats = s.faults.Stats()
+	if stats.Restarts != 1 {
+		t.Fatalf("successful restart not counted: %+v", stats)
+	}
+	if len(st.down) != stats.Crashes || st.downIn["a"] != stats.Crashes {
+		t.Fatalf("post-restart accounting off: down=%v downIn=%v stats=%+v", st.down, st.downIn, stats)
+	}
+	if got := len(s.set.Cluster().CrashedObjects()); got > sh.Reg.Config().F {
+		t.Fatalf("%d nodes down after restart tick, budget is F=%d", got, sh.Reg.Config().F)
+	}
+}

@@ -1,0 +1,466 @@
+package autoshard
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"spacebounds/internal/metrics"
+	"spacebounds/internal/reconfig"
+)
+
+// policyConfig is the baseline planner config the policy tests perturb.
+func policyConfig() Config {
+	return Config{
+		HotOps:        100,
+		ColdOps:       10,
+		SustainTicks:  3,
+		CooldownTicks: 5,
+	}
+}
+
+func mustPlanner(t *testing.T, cfg Config) *Planner {
+	t.Helper()
+	p, err := NewPlanner(cfg)
+	if err != nil {
+		t.Fatalf("NewPlanner: %v", err)
+	}
+	return p
+}
+
+func flat(ops float64, shards ...string) []Sample {
+	out := make([]Sample, len(shards))
+	for i, s := range shards {
+		out[i] = Sample{Shard: s, Ops: ops}
+	}
+	return out
+}
+
+// TestConfigValidation pins the hysteresis invariant: ColdOps at or above
+// HotOps, and configs with no signal at all, are rejected up front.
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewPlanner(Config{HotOps: 50, ColdOps: 50}); err == nil {
+		t.Fatal("ColdOps == HotOps accepted; the hysteresis band would be empty")
+	}
+	if _, err := NewPlanner(Config{}); err == nil {
+		t.Fatal("config with no thresholds accepted")
+	}
+	if _, err := NewPlanner(Config{HotOps: 50}); err != nil {
+		t.Fatalf("rate-only config rejected: %v", err)
+	}
+}
+
+// TestSustainedHotShardSplitsExactlyOnce: a shard that is hot every tick
+// produces exactly one split plan — the sustain window delays it, and the
+// one-in-flight gate blocks all further plans until the move resolves.
+func TestSustainedHotShardSplitsExactlyOnce(t *testing.T) {
+	p := mustPlanner(t, policyConfig())
+	plans := 0
+	var got Plan
+	for tick := 1; tick <= 50; tick++ {
+		pl, ok := p.Tick([]Sample{{Shard: "s0", Ops: 500}, {Shard: "s1", Ops: 50}})
+		if ok {
+			plans++
+			got = pl
+			if tick < 3 {
+				t.Fatalf("plan emitted at tick %d, inside the sustain window", tick)
+			}
+		}
+	}
+	if plans != 1 {
+		t.Fatalf("sustained hot shard produced %d plans, want exactly 1", plans)
+	}
+	if got.Move.Kind != reconfig.MoveSplit || got.Move.Shard != "s0" {
+		t.Fatalf("plan = %+v, want split of s0", got.Move)
+	}
+	if st := p.Stats(); st.Plans != 1 || st.Splits != 1 {
+		t.Fatalf("stats = %+v, want 1 plan / 1 split", st)
+	}
+}
+
+// TestFlappingLoadPlansNothing: load that oscillates faster than the sustain
+// window — hot one tick, cold or neutral the next — never accumulates a
+// streak, so the planner does nothing at all.
+func TestFlappingLoadPlansNothing(t *testing.T) {
+	p := mustPlanner(t, policyConfig())
+	for tick := 0; tick < 200; tick++ {
+		var ops float64
+		switch tick % 3 {
+		case 0:
+			ops = 500 // hot
+		case 1:
+			ops = 1 // cold
+		case 2:
+			ops = 50 // neutral band
+		}
+		if pl, ok := p.Tick(flat(ops, "s0", "s1")); ok {
+			t.Fatalf("tick %d: flapping load planned %+v", tick, pl.Move)
+		}
+	}
+	if st := p.Stats(); st.Plans != 0 {
+		t.Fatalf("flapping load produced %d plans, want 0", st.Plans)
+	}
+}
+
+// TestHysteresisNoOpposingMoves: after a split resolves, the planner cannot
+// turn around and merge inside the sustain-plus-cooldown window, even if the
+// successors immediately look cold — the opposite signal has to survive the
+// full sustain window after the cooldown expires.
+func TestHysteresisNoOpposingMoves(t *testing.T) {
+	cfg := policyConfig()
+	p := mustPlanner(t, cfg)
+
+	// Drive s0 hot until the split comes out.
+	var split bool
+	for tick := 0; tick < 10 && !split; tick++ {
+		_, split = p.Tick([]Sample{{Shard: "s0", Ops: 500}, {Shard: "s1", Ops: 50}})
+	}
+	if !split {
+		t.Fatal("no split emitted")
+	}
+	p.NoteResolved(true)
+
+	// The successors now look dead cold. No merge may appear until the
+	// cooldown has drained AND the cold signal has survived the sustain
+	// window — the two gates run concurrently, so the earliest legal
+	// opposing move is max(cooldown, sustain)+1 ticks after resolution.
+	successors := flat(0, "s0-a", "s0-b", "s1")
+	window := cfg.CooldownTicks
+	if cfg.SustainTicks > window {
+		window = cfg.SustainTicks
+	}
+	for tick := 1; tick <= window; tick++ {
+		if pl, ok := p.Tick(successors); ok {
+			t.Fatalf("opposing move %+v emitted %d ticks after the split; hysteresis window is %d", pl.Move, tick, window)
+		}
+	}
+	// One more tick completes the window; now the merge is legitimate.
+	pl, ok := p.Tick(successors)
+	if !ok || pl.Move.Kind != reconfig.MoveMerge {
+		t.Fatalf("after the full window, got (%+v, %v), want a merge", pl.Move, ok)
+	}
+}
+
+// TestCooldownHonored: with two independently hot shards, the second plan
+// waits out the full cooldown after the first resolves — even though its
+// streak was sustained the whole time.
+func TestCooldownHonored(t *testing.T) {
+	cfg := policyConfig()
+	p := mustPlanner(t, cfg)
+	samples := []Sample{{Shard: "s0", Ops: 500}, {Shard: "s1", Ops: 400}}
+
+	var firstTick int
+	for tick := 1; tick <= 10 && firstTick == 0; tick++ {
+		if pl, ok := p.Tick(samples); ok {
+			if pl.Move.Shard != "s0" {
+				t.Fatalf("first plan took %s, want the hotter s0", pl.Move.Shard)
+			}
+			firstTick = tick
+		}
+	}
+	if firstTick == 0 {
+		t.Fatal("no first plan emitted")
+	}
+	p.NoteResolved(true)
+
+	// The split took effect: s0 became two warm successors, s1 stays hot.
+	// s1's streak keeps accruing, so only the cooldown gates the second
+	// plan: it must appear on exactly the (CooldownTicks+1)-th tick after
+	// resolution, never earlier.
+	after := []Sample{
+		{Shard: "s0-a", Ops: 50}, {Shard: "s0-b", Ops: 50},
+		{Shard: "s1", Ops: 400},
+	}
+	for tick := 1; tick <= cfg.CooldownTicks; tick++ {
+		if pl, ok := p.Tick(after); ok {
+			t.Fatalf("plan %+v emitted %d ticks after resolution, inside the %d-tick cooldown", pl.Move, tick, cfg.CooldownTicks)
+		}
+	}
+	pl, ok := p.Tick(after)
+	if !ok || pl.Move.Shard != "s1" {
+		t.Fatalf("first post-cooldown tick: got (%+v, %v), want split of s1", pl.Move, ok)
+	}
+}
+
+// TestLatencyOnlyHeatDrains: a shard hot by latency alone is answered with a
+// drain (slow nodes), not a split (load).
+func TestLatencyOnlyHeatDrains(t *testing.T) {
+	cfg := policyConfig()
+	cfg.HotLatency = 0.5
+	p := mustPlanner(t, cfg)
+	samples := []Sample{{Shard: "s0", Ops: 50, LatencyP99: 2.0}, {Shard: "s1", Ops: 50}}
+	var got Plan
+	var ok bool
+	for tick := 0; tick < 10 && !ok; tick++ {
+		got, ok = p.Tick(samples)
+	}
+	if !ok || got.Move.Kind != reconfig.MoveDrain || got.Move.Shard != "s0" {
+		t.Fatalf("latency-only heat produced (%+v, %v), want drain of s0", got.Move, ok)
+	}
+}
+
+// TestTopologyBounds: MaxShards blocks splits at the cap and MinShards blocks
+// merges at the floor.
+func TestTopologyBounds(t *testing.T) {
+	cfg := policyConfig()
+	cfg.MaxShards = 2
+	cfg.MinShards = 2
+	p := mustPlanner(t, cfg)
+	for tick := 0; tick < 20; tick++ {
+		if pl, ok := p.Tick(flat(500, "s0", "s1")); ok {
+			t.Fatalf("split %+v emitted at the MaxShards cap", pl.Move)
+		}
+	}
+	p2 := mustPlanner(t, cfg)
+	for tick := 0; tick < 20; tick++ {
+		if pl, ok := p2.Tick(flat(0, "s0", "s1")); ok {
+			t.Fatalf("merge %+v emitted at the MinShards floor", pl.Move)
+		}
+	}
+}
+
+// TestMaxMovesBudget: the lifetime budget caps total plans no matter how long
+// the pressure lasts.
+func TestMaxMovesBudget(t *testing.T) {
+	cfg := policyConfig()
+	cfg.MaxMoves = 2
+	p := mustPlanner(t, cfg)
+	plans := 0
+	shards := []string{"s0", "s1"}
+	for tick := 0; tick < 200; tick++ {
+		if pl, ok := p.Tick(flat(500, shards...)); ok {
+			plans++
+			p.NoteResolved(true)
+			// Simulate the split taking effect.
+			shards = append(shards[:0], fmt.Sprintf("g%d-a", plans), fmt.Sprintf("g%d-b", plans), "s1")
+			_ = pl
+		}
+	}
+	if plans != 2 {
+		t.Fatalf("budget of 2 allowed %d plans", plans)
+	}
+}
+
+// TestMergePicksTwoColdest: with several sustained-cold shards the merge
+// takes the two coldest, deterministically.
+func TestMergePicksTwoColdest(t *testing.T) {
+	p := mustPlanner(t, policyConfig())
+	samples := []Sample{
+		{Shard: "s0", Ops: 8},
+		{Shard: "s1", Ops: 2},
+		{Shard: "s2", Ops: 5},
+	}
+	var got Plan
+	var ok bool
+	for tick := 0; tick < 10 && !ok; tick++ {
+		got, ok = p.Tick(samples)
+	}
+	if !ok || got.Move.Kind != reconfig.MoveMerge {
+		t.Fatalf("cold shards produced (%+v, %v), want a merge", got.Move, ok)
+	}
+	if got.Move.Shard != "s1" || got.Move.Shard2 != "s2" {
+		t.Fatalf("merge chose %s+%s, want the two coldest s1+s2", got.Move.Shard, got.Move.Shard2)
+	}
+}
+
+// driverHarness drives a Driver's Step directly, bypassing the ticker.
+type driverHarness struct {
+	samples   []Sample
+	applyErr  []error // consumed per Apply call
+	applied   []reconfig.Move
+	resumes   int
+	resumeErr error
+	inFlight  bool
+}
+
+func (h *driverHarness) driver(t *testing.T, reg *metrics.Registry) *Driver {
+	t.Helper()
+	p := mustPlanner(t, Config{HotOps: 100, ColdOps: 10, SustainTicks: 1, CooldownTicks: 1})
+	d, err := StartDriver(DriverConfig{
+		Planner:  p,
+		Interval: 1e9, // long; tests call Step directly
+		Sample:   func() []Sample { return h.samples },
+		Apply: func(mv reconfig.Move) error {
+			h.applied = append(h.applied, mv)
+			if len(h.applyErr) == 0 {
+				return nil
+			}
+			err := h.applyErr[0]
+			h.applyErr = h.applyErr[1:]
+			return err
+		},
+		Resume: func() (int, error) {
+			h.resumes++
+			if h.resumeErr != nil {
+				return 0, h.resumeErr
+			}
+			h.inFlight = false
+			return 1, nil
+		},
+		InFlight: func() bool { return h.inFlight },
+		Metrics:  reg,
+	})
+	if err != nil {
+		t.Fatalf("StartDriver: %v", err)
+	}
+	t.Cleanup(d.Stop)
+	return d
+}
+
+// TestDriverBackpressureDropsPlan: ErrMoveInFlight from Apply resolves the
+// plan as dropped — no pending state, no resume attempts.
+func TestDriverBackpressureDropsPlan(t *testing.T) {
+	h := &driverHarness{
+		samples:  flat(500, "s0", "s1"),
+		applyErr: []error{fmt.Errorf("busy: %w", reconfig.ErrMoveInFlight)},
+	}
+	d := h.driver(t, nil)
+	d.Step()
+	if len(h.applied) != 1 || h.resumes != 0 {
+		t.Fatalf("applied %d resumes %d, want 1 apply and no resumes", len(h.applied), h.resumes)
+	}
+	if st := d.Stats(); st.Dropped != 1 || st.Applied != 0 {
+		t.Fatalf("stats = %+v, want the plan dropped", st)
+	}
+	// The next eligible plan goes through Apply again (re-planned, not
+	// resumed).
+	d.Step() // cooldown tick
+	d.Step()
+	if len(h.applied) != 2 {
+		t.Fatalf("applied %d moves after cooldown, want 2", len(h.applied))
+	}
+}
+
+// TestDriverInterruptionResumesViaLedger: an interruption parks the plan;
+// later ticks call Resume (never Apply) until the ledger move completes, then
+// the plan resolves as resumed.
+func TestDriverInterruptionResumesViaLedger(t *testing.T) {
+	h := &driverHarness{
+		samples:  flat(500, "s0", "s1"),
+		applyErr: []error{fmt.Errorf("crashed: %w", reconfig.ErrInterrupted)},
+	}
+	h.inFlight = true
+	reg := metrics.NewRegistry()
+	d := h.driver(t, reg)
+
+	d.Step() // plan + interrupted apply
+	if len(h.applied) != 1 {
+		t.Fatalf("applied %d, want 1", len(h.applied))
+	}
+
+	// First resume attempt fails: still pending, still no new Apply.
+	h.resumeErr = fmt.Errorf("still down: %w", reconfig.ErrInterrupted)
+	d.Step()
+	if h.resumes != 1 || len(h.applied) != 1 {
+		t.Fatalf("after failed resume: resumes %d applied %d, want 1 and 1", h.resumes, len(h.applied))
+	}
+
+	// Second attempt completes the move from the ledger.
+	h.resumeErr = nil
+	d.Step()
+	if h.resumes != 2 || len(h.applied) != 1 {
+		t.Fatalf("after resume: resumes %d applied %d, want 2 and 1", h.resumes, len(h.applied))
+	}
+	if st := d.Stats(); st.Resumed != 1 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v, want exactly one resumed resolution", st)
+	}
+	if v := reg.Counter(metricMoves, "", metrics.L("outcome", "resumed")).Value(); v != 1 {
+		t.Fatalf("resumed counter = %d, want 1", v)
+	}
+}
+
+// TestDriverGenuineFailureInFlightResumes: a non-interruption error that
+// leaves the move in the ledger (InFlight true) is also resumed rather than
+// re-planned — the driver is alive and the move is its responsibility.
+func TestDriverGenuineFailureInFlightResumes(t *testing.T) {
+	h := &driverHarness{
+		samples:  flat(500, "s0", "s1"),
+		applyErr: []error{errors.New("node wedged mid-retire")},
+	}
+	h.inFlight = true
+	d := h.driver(t, nil)
+	d.Step()
+	d.Step()
+	if h.resumes != 1 || len(h.applied) != 1 {
+		t.Fatalf("resumes %d applied %d, want the wedged move resumed once and no re-plan", h.resumes, len(h.applied))
+	}
+	if st := d.Stats(); st.Resumed != 1 {
+		t.Fatalf("stats = %+v, want one resumed resolution", st)
+	}
+}
+
+// TestDriverAbortedFailureDrops: a genuine failure with a completed abort
+// (nothing left in the ledger) just drops the plan.
+func TestDriverAbortedFailureDrops(t *testing.T) {
+	h := &driverHarness{
+		samples:  flat(500, "s0", "s1"),
+		applyErr: []error{errors.New("seed write rejected; aborted")},
+	}
+	d := h.driver(t, nil)
+	d.Step()
+	if st := d.Stats(); st.Dropped != 1 || h.resumes != 0 {
+		t.Fatalf("stats = %+v resumes = %d, want a dropped plan and no resumes", st, h.resumes)
+	}
+}
+
+// TestMetersEagerRegistration: attaching a registry creates every autoshard
+// family and label combination before the first tick.
+func TestMetersEagerRegistration(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := &driverHarness{samples: nil}
+	h.driver(t, reg)
+	want := map[string]bool{
+		metricTicks: false, metricPlans: false, metricMoves: false,
+		metricHot: false, metricCold: false,
+	}
+	for _, f := range reg.Families() {
+		if _, ok := want[f.Name]; ok {
+			want[f.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("family %s not registered eagerly", name)
+		}
+	}
+}
+
+// TestRegistrySamplerDeltas: the sampler reports per-window deltas, not
+// cumulative counters, and quantiles come from the window's distribution
+// alone.
+func TestRegistrySamplerDeltas(t *testing.T) {
+	reg := metrics.NewRegistry()
+	ok := reg.Counter(sampleRoundsTotal, "quorum rounds completed by region and outcome", metrics.L("region", "s0"), metrics.L("outcome", "ok"))
+	errs := reg.Counter(sampleRoundsTotal, "quorum rounds completed by region and outcome", metrics.L("region", "s0"), metrics.L("outcome", "error"))
+	lat := reg.Histogram(sampleRoundSeconds, "quorum round latency by region", metrics.LatencyBuckets(), metrics.L("region", "s0"))
+
+	s := NewRegistrySampler(reg, func() []string { return []string{"s0"} })
+
+	ok.Add(10)
+	errs.Add(2)
+	lat.Observe(0.001)
+	first := s.Sample()
+	if len(first) != 1 || first[0].Ops != 12 {
+		t.Fatalf("first sample = %+v, want 12 ops", first)
+	}
+
+	// Second window: 5 more ops, all slow. The p99 must reflect only the
+	// window — the fast observation from window one must not drag it down.
+	ok.Add(5)
+	for i := 0; i < 5; i++ {
+		lat.Observe(1.0)
+	}
+	second := s.Sample()
+	if second[0].Ops != 5 {
+		t.Fatalf("second window ops = %v, want 5", second[0].Ops)
+	}
+	if second[0].LatencyP99 < 0.5 {
+		t.Fatalf("second window p99 = %v; cumulative snapshot leaked into the window", second[0].LatencyP99)
+	}
+
+	// An idle window reports zero ops.
+	third := s.Sample()
+	if third[0].Ops != 0 {
+		t.Fatalf("idle window ops = %v, want 0", third[0].Ops)
+	}
+}

@@ -1,0 +1,163 @@
+package autoshard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"spacebounds/internal/metrics"
+	"spacebounds/internal/reconfig"
+)
+
+// DriverConfig wires a Planner to a live store. The Sample/Apply/Resume hooks
+// keep the driver free of store types, so the facade, the benchmark harness
+// and tests each plug their own.
+type DriverConfig struct {
+	// Planner makes the decisions; required.
+	Planner *Planner
+	// Interval is the wall-clock tick period; required (> 0).
+	Interval time.Duration
+	// Sample returns one Sample per live shard; required.
+	Sample func() []Sample
+	// Apply pushes one move through the reconfiguration coordinator;
+	// required.
+	Apply func(reconfig.Move) error
+	// Resume re-drives an interrupted in-flight move from the ledger. It
+	// reports how many moves it completed. Required.
+	Resume func() (int, error)
+	// InFlight reports whether the coordinator still holds an unfinished
+	// move; optional, used to classify failures as resumable.
+	InFlight func() bool
+	// OnPlan, when set, observes every emitted plan (logging, test capture).
+	OnPlan func(Plan)
+	// Metrics, when set, receives the autoshard metric families.
+	Metrics *metrics.Registry
+}
+
+// Driver runs the control loop on its own goroutine: sample, tick the
+// planner, push the plan, absorb backpressure. Coordinator pushback is
+// handled, never escalated: ErrMoveInFlight means an operator (or fault
+// injector) is reconfiguring and the plan is dropped; an interruption or a
+// failure that leaves the move in the ledger parks the plan as pending, and
+// later ticks re-drive the move via Resume instead of re-planning.
+type Driver struct {
+	cfg DriverConfig
+	met *meters
+
+	mu      sync.Mutex
+	pending *Plan
+
+	halt chan struct{}
+	done chan struct{}
+}
+
+// StartDriver validates the wiring and starts the loop.
+func StartDriver(cfg DriverConfig) (*Driver, error) {
+	if cfg.Planner == nil || cfg.Sample == nil || cfg.Apply == nil || cfg.Resume == nil {
+		return nil, fmt.Errorf("autoshard: driver needs Planner, Sample, Apply and Resume")
+	}
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("autoshard: driver interval must be positive, got %v", cfg.Interval)
+	}
+	d := &Driver{
+		cfg:  cfg,
+		met:  newMeters(cfg.Metrics),
+		halt: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go d.run()
+	return d, nil
+}
+
+// Stop halts the loop and waits for the in-progress tick, if any, to return.
+// A move the coordinator is mid-way through is left in the ledger; the next
+// process (or ResumeMoves) picks it up — that is the ledger's job.
+func (d *Driver) Stop() {
+	select {
+	case <-d.halt:
+	default:
+		close(d.halt)
+	}
+	<-d.done
+}
+
+// Stats returns the planner's counters; safe to call concurrently with the
+// loop.
+func (d *Driver) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cfg.Planner.Stats()
+}
+
+func (d *Driver) run() {
+	defer close(d.done)
+	tick := time.NewTicker(d.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-d.halt:
+			return
+		case <-tick.C:
+			d.Step()
+		}
+	}
+}
+
+// Step runs one control-loop iteration. The loop calls it on every tick; it
+// is exported so tests and the benchmark harness can drive the same logic
+// without the wall clock.
+func (d *Driver) Step() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	if d.pending != nil {
+		// An earlier plan's move is stuck in the ledger. Re-drive it from
+		// where it stopped — re-planning would double-count the signal and
+		// ignore the half-applied topology.
+		if _, err := d.cfg.Resume(); err != nil {
+			// Still interrupted (or the resumer itself was superseded):
+			// keep the plan pending and try again next tick.
+			return
+		}
+		if d.cfg.InFlight != nil && d.cfg.InFlight() {
+			return
+		}
+		d.pending = nil
+		d.cfg.Planner.NoteResumed()
+		d.met.move("resumed")
+		return
+	}
+
+	plan, ok := d.cfg.Planner.Tick(d.cfg.Sample())
+	d.met.tick(d.cfg.Planner.Stats())
+	if !ok {
+		return
+	}
+	d.met.plan(plan.Move.Kind.String())
+	if d.cfg.OnPlan != nil {
+		d.cfg.OnPlan(plan)
+	}
+
+	err := d.cfg.Apply(plan.Move)
+	switch {
+	case err == nil:
+		d.cfg.Planner.NoteResolved(true)
+		d.met.move("applied")
+	case errors.Is(err, reconfig.ErrMoveInFlight):
+		// Someone else is reconfiguring. That is backpressure, not failure:
+		// drop the plan and re-observe the world after the cooldown.
+		d.cfg.Planner.NoteResolved(false)
+		d.met.move("dropped")
+	case reconfig.IsInterruption(err), d.cfg.InFlight != nil && d.cfg.InFlight():
+		// The move is in the ledger, half done. Park the plan; subsequent
+		// ticks resume the move rather than planning anew.
+		p := plan
+		d.pending = &p
+	default:
+		// A genuine failure with a completed abort: the topology is back
+		// where it started, so the plan is simply dropped.
+		d.cfg.Planner.NoteResolved(false)
+		d.met.move("dropped")
+	}
+}

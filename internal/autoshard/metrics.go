@@ -1,0 +1,72 @@
+package autoshard
+
+import "spacebounds/internal/metrics"
+
+// Metric family names exported by the controller. All families are registered
+// eagerly when a registry is attached, so dashboards and the doc-sync test
+// see them even before the first tick.
+const (
+	metricTicks = "spacebounds_autoshard_ticks_total"
+	metricPlans = "spacebounds_autoshard_plans_total"
+	metricMoves = "spacebounds_autoshard_moves_total"
+	metricHot   = "spacebounds_autoshard_hot_shards"
+	metricCold  = "spacebounds_autoshard_cold_shards"
+)
+
+// meters is the controller's instrumentation; a nil *meters (no registry)
+// no-ops throughout.
+type meters struct {
+	ticks *metrics.Counter
+	plans map[string]*metrics.Counter // by move kind
+	moves map[string]*metrics.Counter // by outcome
+	hot   *metrics.Gauge
+	cold  *metrics.Gauge
+}
+
+// newMeters registers every autoshard family and label combination up front.
+func newMeters(reg *metrics.Registry) *meters {
+	if reg == nil {
+		return nil
+	}
+	m := &meters{
+		ticks: reg.Counter(metricTicks, "autoshard control-loop ticks"),
+		plans: make(map[string]*metrics.Counter),
+		moves: make(map[string]*metrics.Counter),
+		hot:   reg.Gauge(metricHot, "shards currently carrying a hot streak"),
+		cold:  reg.Gauge(metricCold, "shards currently carrying a cold streak"),
+	}
+	for _, kind := range []string{"split", "merge", "drain"} {
+		m.plans[kind] = reg.Counter(metricPlans, "topology plans emitted by the autoshard planner", metrics.L("kind", kind))
+	}
+	for _, outcome := range []string{"applied", "dropped", "resumed"} {
+		m.moves[outcome] = reg.Counter(metricMoves, "autoshard plan resolutions", metrics.L("outcome", outcome))
+	}
+	return m
+}
+
+func (m *meters) tick(st Stats) {
+	if m == nil {
+		return
+	}
+	m.ticks.Inc()
+	m.hot.Set(int64(st.HotShards))
+	m.cold.Set(int64(st.ColdShards))
+}
+
+func (m *meters) plan(kind string) {
+	if m == nil {
+		return
+	}
+	if c := m.plans[kind]; c != nil {
+		c.Inc()
+	}
+}
+
+func (m *meters) move(outcome string) {
+	if m == nil {
+		return
+	}
+	if c := m.moves[outcome]; c != nil {
+		c.Inc()
+	}
+}

@@ -1,0 +1,121 @@
+package autoshard
+
+import (
+	"sort"
+
+	"spacebounds/internal/metrics"
+)
+
+// Family names the sampler reads. They belong to the dsys and shard layers;
+// the literals are repeated here because those packages keep them unexported,
+// and the metrics doc-sync test pins all of them to docs/METRICS.md, so a
+// rename there breaks loudly.
+const (
+	sampleRoundsTotal  = "spacebounds_dsys_quorum_rounds_total"
+	sampleRoundSeconds = "spacebounds_dsys_quorum_round_seconds"
+	sampleBatchSizeOps = "spacebounds_shard_batch_size_ops"
+)
+
+// RegistrySampler derives per-shard control signals from the metrics registry
+// the store already exports: op rate from the quorum-round counters, p99
+// latency from the quorum-round histogram, and queue depth from the batch
+// size histograms. Everything is computed as a delta against the previous
+// call, so each Sample describes exactly one tick window. The first call
+// establishes the baseline and reports the counters as-is (one warm-up tick
+// of inflated rates — the planner's sustain window absorbs it).
+type RegistrySampler struct {
+	reg    *metrics.Registry
+	shards func() []string
+	last   map[string]baseline
+}
+
+// baseline is one shard's counters as of the previous tick.
+type baseline struct {
+	rounds  int64
+	latency metrics.HistogramSnapshot
+	batchW  metrics.HistogramSnapshot
+	batchR  metrics.HistogramSnapshot
+}
+
+// NewRegistrySampler builds a sampler over the registry; shards enumerates
+// the live shard names each tick (retired shards fall out of the baseline
+// automatically).
+func NewRegistrySampler(reg *metrics.Registry, shards func() []string) *RegistrySampler {
+	return &RegistrySampler{reg: reg, shards: shards, last: make(map[string]baseline)}
+}
+
+// Sample reads the registry once and returns one Sample per live shard, in
+// shard-name order.
+func (s *RegistrySampler) Sample() []Sample {
+	names := s.shards()
+	sort.Strings(names)
+	out := make([]Sample, 0, len(names))
+	next := make(map[string]baseline, len(names))
+	for _, name := range names {
+		region := metrics.L("region", name)
+		sl := metrics.L("shard", name)
+		cur := baseline{
+			// Reading through the getters creates absent series, which is
+			// exactly right: a brand-new shard starts from zero.
+			rounds: s.reg.Counter(sampleRoundsTotal, "quorum rounds completed by region and outcome", region, metrics.L("outcome", "ok")).Value() +
+				s.reg.Counter(sampleRoundsTotal, "quorum rounds completed by region and outcome", region, metrics.L("outcome", "error")).Value(),
+			latency: s.reg.Histogram(sampleRoundSeconds, "quorum round latency by region", metrics.LatencyBuckets(), region).Snapshot(),
+			batchW:  s.reg.Histogram(sampleBatchSizeOps, "operations carried per shared quorum round", metrics.CountBuckets(), sl, metrics.L("lane", "write")).Snapshot(),
+			batchR:  s.reg.Histogram(sampleBatchSizeOps, "operations carried per shared quorum round", metrics.CountBuckets(), sl, metrics.L("lane", "read")).Snapshot(),
+		}
+		prev := s.last[name]
+		lat := snapshotDelta(cur.latency, prev.latency)
+		batch := snapshotDelta(cur.batchW, prev.batchW)
+		batch = addSnapshot(batch, snapshotDelta(cur.batchR, prev.batchR))
+		out = append(out, Sample{
+			Shard:      name,
+			Ops:        float64(cur.rounds - prev.rounds),
+			LatencyP99: lat.Quantile(0.99),
+			QueueDepth: batch.Mean(),
+		})
+		next[name] = cur
+	}
+	s.last = next
+	return out
+}
+
+// snapshotDelta subtracts a previous histogram snapshot from the current one,
+// yielding the distribution of just the window between them. A previous
+// snapshot with mismatched buckets (or none at all) yields the current
+// snapshot unchanged.
+func snapshotDelta(cur, prev metrics.HistogramSnapshot) metrics.HistogramSnapshot {
+	if prev.Count == 0 || len(prev.Counts) != len(cur.Counts) {
+		return cur
+	}
+	d := metrics.HistogramSnapshot{
+		Bounds: cur.Bounds,
+		Counts: make([]uint64, len(cur.Counts)),
+		Count:  cur.Count - prev.Count,
+		Sum:    cur.Sum - prev.Sum,
+	}
+	for i := range cur.Counts {
+		d.Counts[i] = cur.Counts[i] - prev.Counts[i]
+	}
+	return d
+}
+
+// addSnapshot merges two same-shaped snapshots (used to fold the read and
+// write batch lanes into one occupancy signal).
+func addSnapshot(a, b metrics.HistogramSnapshot) metrics.HistogramSnapshot {
+	if len(a.Counts) == 0 {
+		return b
+	}
+	if len(b.Counts) != len(a.Counts) {
+		return a
+	}
+	sum := metrics.HistogramSnapshot{
+		Bounds: a.Bounds,
+		Counts: make([]uint64, len(a.Counts)),
+		Count:  a.Count + b.Count,
+		Sum:    a.Sum + b.Sum,
+	}
+	for i := range a.Counts {
+		sum.Counts[i] = a.Counts[i] + b.Counts[i]
+	}
+	return sum
+}

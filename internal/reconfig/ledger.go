@@ -109,6 +109,13 @@ type MoveState struct {
 	// interruption, not a migration error); the entry stays in flight and
 	// Resume may take it over.
 	Interrupted bool
+	// Aborting marks a move whose rollback has started but not finished: the
+	// abort cause is recorded (AbortReason), and the table and successor
+	// regions may be partway unwound. The entry stays in flight; a driver that
+	// dies mid-abort leaves it Aborting+Interrupted, and Resume re-drives the
+	// rollback (idempotent table unwind, then region retirement) instead of
+	// the forward path.
+	Aborting bool
 	// Aborted marks a cleanly rolled-back move: the table is back to the
 	// pre-flip state and the successor regions are retired.
 	Aborted bool
@@ -129,6 +136,8 @@ func (m MoveState) String() string {
 		status = "done"
 	case m.Aborted:
 		status = "aborted(" + m.AbortReason + ")"
+	case m.Aborting:
+		status = "aborting(" + m.AbortReason + ")"
 	case m.Interrupted:
 		status = "interrupted"
 	}

@@ -13,7 +13,8 @@ import (
 // deterministic big-endian WireWriter/WireReader framing as the RMW codecs.
 
 // moveStateVersion guards the record layout; bump it on any field change.
-const moveStateVersion = 1
+// Version 2 added the Aborting flag (mid-rollback moves became resumable).
+const moveStateVersion = 2
 
 // EncodeMoveState serializes one ledger entry.
 func EncodeMoveState(m MoveState) []byte {
@@ -39,6 +40,7 @@ func EncodeMoveState(m MoveState) []byte {
 	w.Int(int(m.FlipStep))
 	w.Int(m.Resumes)
 	w.Bool(m.Interrupted)
+	w.Bool(m.Aborting)
 	w.Bool(m.Aborted)
 	w.Bytes([]byte(m.AbortReason))
 	w.Bool(m.Done)
@@ -93,6 +95,7 @@ func DecodeMoveState(payload []byte) (MoveState, error) {
 	m.FlipStep = int64(r.Int())
 	m.Resumes = r.Int()
 	m.Interrupted = r.Bool()
+	m.Aborting = r.Bool()
 	m.Aborted = r.Bool()
 	m.AbortReason = string(r.Bytes())
 	m.Done = r.Bool()

@@ -28,9 +28,10 @@ func TestMoveStateCodecRoundTrip(t *testing.T) {
 		AbortReason: "",
 	}
 	for name, m := range map[string]MoveState{
-		"full":    full,
-		"minimal": {ID: 1, Move: Move{Kind: MoveSplit, Shard: "s0"}},
-		"aborted": {ID: 2, Move: Move{Kind: MoveDrain, Shard: "s1"}, Aborted: true, AbortReason: "test abort"},
+		"full":     full,
+		"minimal":  {ID: 1, Move: Move{Kind: MoveSplit, Shard: "s0"}},
+		"aborted":  {ID: 2, Move: Move{Kind: MoveDrain, Shard: "s1"}, Aborted: true, AbortReason: "test abort"},
+		"aborting": {ID: 4, Move: Move{Kind: MoveSplit, Shard: "s2"}, Step: StepSeed, Aborting: true, Interrupted: true, AbortReason: "mid-rollback"},
 	} {
 		got, err := DecodeMoveState(EncodeMoveState(m))
 		if err != nil {

@@ -44,6 +44,10 @@ func (c *Coordinator) recordLocked(en *moveEntry) {
 //
 //   - any Done entry is an error — the journal proves the layout diverged
 //     from the initial one; reopen with the final layout or remove the WAL;
+//   - an entry that was mid-rollback (Aborting) is finalized as aborted: its
+//     successor regions died with the process before any client state could
+//     reach them, and the fresh process rebuilds the pre-move table, which is
+//     exactly the state the rollback was driving toward;
 //   - an in-flight entry at StepTableFlip or later is an error for the same
 //     reason (writes may live only in successor regions that no longer
 //     exist);
@@ -62,6 +66,14 @@ func (c *Coordinator) RestoreLedger(states []MoveState) error {
 		switch {
 		case m.Done:
 			return fmt.Errorf("reconfig: journal records completed move %d (%v); the journaled layout diverged from the initial one — reopen with the final layout or remove the WAL", m.ID, m.Move)
+		case !m.Aborted && m.Aborting:
+			// The driver died mid-rollback. The restart finished the rollback
+			// wholesale: the successor regions died with the process, no client
+			// state ever reached them (writes were held for the successors
+			// throughout the abort window), and the fresh process rebuilds the
+			// pre-move table. Finalize the abort and keep it as history.
+			m.Aborted = true
+			m.Interrupted = false
 		case !m.Aborted && m.Step >= StepTableFlip:
 			return fmt.Errorf("reconfig: journal records move %d (%v) past the table flip (step %v); its regions did not survive the restart — remove the WAL to start over", m.ID, m.Move, m.Step)
 		case !m.Aborted && m.Step == StepGrowRegions:

@@ -197,8 +197,12 @@ var ErrNoSeedWriter = errors.New("reconfig: register has no idempotent seed writ
 // it must not touch the ledger or the routing table again.
 var errSuperseded = errors.New("reconfig: move driver superseded by resume")
 
-// IsInterruption reports whether a move error left the move in flight for
-// Resume (as opposed to a clean abort or a validation failure).
+// IsInterruption reports whether a move error means the driver itself is
+// done for — dead, superseded by a resumer, or halted with the cluster — and
+// a *different* driver must Resume the in-flight move. A genuine step
+// failure at a stage with no rollback also leaves the move in flight, but
+// its error is NOT an interruption: the driver is alive and the move is
+// still its responsibility to Resume.
 func IsInterruption(err error) bool {
 	return errors.Is(err, ErrInterrupted) || errors.Is(err, dsys.ErrHalted) || errors.Is(err, errSuperseded)
 }
@@ -211,6 +215,11 @@ type Runner interface {
 	// Wait blocks until check() reports true. Controlled-mode runners yield
 	// to the scheduler between checks so the wait is itself schedulable.
 	Wait(check func() bool) error
+	// Checkpoint is a bare scheduling point: controlled-mode runners yield
+	// once so the scheduler can interleave (or crash) the driver between two
+	// ledger-recorded stages — the abort rollback uses it to make each of its
+	// stages individually interruptible. Live runners return nil immediately.
+	Checkpoint() error
 }
 
 // liveRunner runs migration steps inline against a live-mode set.
@@ -240,6 +249,9 @@ func (r *liveRunner) Wait(check func() bool) error {
 	}
 	return nil
 }
+
+// Checkpoint implements Runner: live drivers have no scheduler to yield to.
+func (r *liveRunner) Checkpoint() error { return nil }
 
 // controlledRunner runs migration steps as a controlled-mode client task,
 // yielding to the scheduling policy between condition checks. Everything it
@@ -272,6 +284,10 @@ func (r *controlledRunner) Wait(check func() bool) error {
 	}
 	return nil
 }
+
+// Checkpoint implements Runner: one yield, so the stage boundary is a real
+// scheduling point the adversary can land a controller crash on.
+func (r *controlledRunner) Checkpoint() error { return r.h.Yield() }
 
 // Coordinator executes moves against one shard.Set, writes the per-move step
 // ledger, and aggregates events and stats. Moves are serialized — at most one
@@ -436,8 +452,14 @@ func (c *Coordinator) begin(mv Move) (*moveEntry, error) {
 	return en, nil
 }
 
-// drive dispatches a (possibly resumed) move to its kind's executor.
+// drive dispatches a (possibly resumed) move to its kind's executor. An entry
+// whose previous driver died mid-rollback resumes the rollback, never the
+// forward path: the abort cause is already recorded, and re-running forward
+// steps against a half-unwound table would corrupt it.
 func (c *Coordinator) drive(r Runner, en *moveEntry, owner int64) (Event, error) {
+	if en.Aborting {
+		return c.driveAbort(r, en, owner, eventOf(en.MoveState), errors.New(en.AbortReason))
+	}
 	switch en.Move.Kind {
 	case MoveSplit, MoveDrain, MoveMerge:
 		return c.driveMigrate(r, en, owner)
@@ -550,7 +572,17 @@ func (c *Coordinator) finish(en *moveEntry, owner int64, ev Event, seeds int) bo
 // interrupt marks the entry in flight for Resume and wraps the step failure.
 func (c *Coordinator) interrupt(en *moveEntry, owner int64, ev Event, err error) (Event, error) {
 	c.markInterrupted(en, owner)
-	return ev, fmt.Errorf("%w: %v interrupted at step %v: %v", ErrInterrupted, en.Move, en.Step, err)
+	if IsInterruption(err) {
+		return ev, fmt.Errorf("%w: %v interrupted at step %v: %v", ErrInterrupted, en.Move, en.Step, err)
+	}
+	// A genuine failure at a stage with no rollback (the pre-retire waits,
+	// RetireShard) also leaves the entry resumable — but the error must keep
+	// its identity. Wrapping it in ErrInterrupted here would tell a live
+	// driver it was superseded, and a driver with no standby behind it would
+	// walk away from a move that is still its responsibility; the caller
+	// distinguishes "I am dead or superseded" (IsInterruption) from "my step
+	// failed; the move is interrupted and mine to Resume".
+	return ev, fmt.Errorf("%v interrupted at step %v: %w", en.Move, en.Step, err)
 }
 
 // stepErr routes a step failure: interruptions leave the entry in flight for
@@ -560,6 +592,93 @@ func (c *Coordinator) stepErr(en *moveEntry, owner int64, ev Event, err error, a
 		return c.interrupt(en, owner, ev, err)
 	}
 	return abort(err)
+}
+
+// beginAbort records that the entry's rollback has started (Aborting plus the
+// cause), unless the driver was superseded. Recording happens before any
+// unwind work so a driver crashed at any later point leaves an entry Resume
+// recognizes as mid-abort and re-drives through driveAbort, never forward.
+func (c *Coordinator) beginAbort(en *moveEntry, owner int64, cause error) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if en.owner != owner {
+		return false
+	}
+	if !en.Aborting {
+		en.Aborting = true
+		en.AbortReason = cause.Error()
+		c.recordLocked(en)
+	}
+	return true
+}
+
+// driveAbort executes (or resumes) the rollback of a flipped-but-not-activated
+// move: the routing table goes back to its pre-flip state and the successor
+// regions are retired. It is safe at any interleaving because writes were held
+// for the successors throughout — no client state can have reached them — and
+// every stage is idempotent: the router's abort operations gate on route state
+// (a repeat is a no-op), and retiring retired objects is harmless. The runner
+// checkpoints between stages are real scheduling points, so a controller can
+// crash mid-rollback and leave the entry Aborting+Interrupted; Resume finishes
+// the rollback from the top, re-running completed stages as no-ops.
+func (c *Coordinator) driveAbort(r Runner, en *moveEntry, owner int64, ev Event, cause error) (Event, error) {
+	set, rt := c.set, c.set.Router()
+	mv := en.Move
+	if !c.beginAbort(en, owner, cause) {
+		return ev, errSuperseded
+	}
+	if err := r.Checkpoint(); err != nil {
+		return c.interrupt(en, owner, ev, err)
+	}
+	if !c.owns(en, owner) {
+		return ev, errSuperseded
+	}
+	// Stage 1: roll the routing table back. For an add the origin's write hold
+	// is lifted first (ReleaseHold is a no-op when the hold is already gone).
+	switch mv.Kind {
+	case MoveMerge:
+		rt.AbortMerge(mv.Shard, mv.Shard2)
+	case MoveAdd:
+		if len(en.Sources) > 0 {
+			rt.ReleaseHold(en.Sources[0])
+		}
+		rt.AbortDedicated(mv.Shard)
+	default:
+		rt.AbortSuccessors(mv.Shard)
+	}
+	// Stage 2: drain successor readers. The rollback made the successors
+	// unroutable, so no new pin can appear — but a dual-epoch reader that
+	// pinned a seeding successor before the rollback may still be mid-RMW on
+	// its region, and retiring the region out from under it would strand the
+	// RMW (and with it the reader's fallback pin on the source) forever.
+	// Regions are only ever decommissioned once no live client can be mid-RMW
+	// on them; this wait is the abort-path mirror of the forward path's
+	// pre-retire drain. Write pins need no wait: a successor is Seeding for
+	// its whole abortable window, and seeding routes hold writes off.
+	if err := r.Wait(func() bool { return c.readsDrained(en.Successors) }); err != nil {
+		return c.interrupt(en, owner, ev, err)
+	}
+	if !c.owns(en, owner) {
+		return ev, errSuperseded
+	}
+	// Stage 3: decommission the successor regions and close the entry. An add
+	// also unregisters the burned route — a dedicated shard's name must equal
+	// its key, so the name has to be freed for a retry, not suffixed. The
+	// delete fails on a resume that already ran it; that is the idempotence
+	// working, not an error.
+	for _, name := range en.Successors {
+		if sh := set.Region(name); sh != nil {
+			_ = set.Cluster().RetireObjects(sh.Base, sh.Span)
+		}
+	}
+	if mv.Kind == MoveAdd {
+		_ = rt.DeleteRetiredRoute(mv.Shard)
+	}
+	c.markAborted(en, owner, cause)
+	if mv.Kind == MoveAdd {
+		return ev, fmt.Errorf("add of %q aborted: %w", mv.Shard, cause)
+	}
+	return ev, fmt.Errorf("migration of %v aborted: %w", mv, cause)
 }
 
 // freeName returns base, or — when an earlier aborted migration already
@@ -785,22 +904,11 @@ func (c *Coordinator) driveMigrate(r Runner, en *moveEntry, owner int64) (Event,
 	}
 	ev := eventOf(en.MoveState)
 
-	// abort rolls a flipped-but-not-activated move back: writes were held for
-	// the successors throughout, so no client state can have reached them.
+	// abort rolls a flipped-but-not-activated move back via the resumable,
+	// checkpointed rollback (driveAbort): writes were held for the successors
+	// throughout, so no client state can have reached them.
 	abort := func(cause error) (Event, error) {
-		if !c.owns(en, owner) {
-			return ev, errSuperseded
-		}
-		if mv.Kind == MoveMerge {
-			rt.AbortMerge(mv.Shard, mv.Shard2)
-		} else {
-			rt.AbortSuccessors(mv.Shard)
-		}
-		for _, sh := range succs {
-			_ = set.Cluster().RetireObjects(sh.Base, sh.Span)
-		}
-		c.markAborted(en, owner, cause)
-		return ev, fmt.Errorf("migration of %v aborted: %w", mv, cause)
+		return c.driveAbort(r, en, owner, ev, cause)
 	}
 
 	// Drain in-flight writes on every source.
@@ -987,17 +1095,11 @@ func (c *Coordinator) driveAdd(r Runner, en *moveEntry, owner int64) (Event, err
 	ev := eventOf(en.MoveState)
 	originName := en.Sources[0]
 	originSh := set.Shard(originName)
+	// abort rolls the flipped fork back via the resumable, checkpointed
+	// rollback. driveAbort releases the origin's write hold itself, so the
+	// pre-hold and post-hold failure paths share one rollback.
 	abort := func(cause error) (Event, error) {
-		if !c.owns(en, owner) {
-			return ev, errSuperseded
-		}
-		rt.AbortDedicated(key)
-		_ = set.Cluster().RetireObjects(succ.Base, succ.Span)
-		// Free the key for a retry: a dedicated shard's name must equal its
-		// key, so the burned route has to be unregistered, not suffixed.
-		_ = rt.DeleteRetiredRoute(key)
-		c.markAborted(en, owner, cause)
-		return ev, fmt.Errorf("add of %q aborted: %w", key, cause)
+		return c.driveAbort(r, en, owner, ev, cause)
 	}
 
 	// The fork read must supersede every completed write to the key, and a
@@ -1019,12 +1121,8 @@ func (c *Coordinator) driveAdd(r Runner, en *moveEntry, owner int64) (Event, err
 	if err := rt.HoldWrites(originName); err != nil {
 		return abort(err)
 	}
-	abortReleasing := func(cause error) (Event, error) {
-		rt.ReleaseHold(originName)
-		return abort(cause)
-	}
 	if err := r.Wait(func() bool { return c.writesDrained([]string{originName}) }); err != nil {
-		return c.stepErr(en, owner, ev, err, abortReleasing)
+		return c.stepErr(en, owner, ev, err, abort)
 	}
 	if !c.advance(en, owner, StepDrain, nil) {
 		return ev, errSuperseded
@@ -1032,7 +1130,7 @@ func (c *Coordinator) driveAdd(r Runner, en *moveEntry, owner int64) (Event, err
 	if en.Step < StepChooseValue {
 		latest, _, err := latestOf(r, originSh)
 		if err != nil {
-			return c.stepErr(en, owner, ev, err, abortReleasing)
+			return c.stepErr(en, owner, ev, err, abort)
 		}
 		if !c.advance(en, owner, StepChooseValue, func(st *MoveState) {
 			st.Winner, st.SeedValue, st.SeedChosen = originName, latest, true
@@ -1043,10 +1141,10 @@ func (c *Coordinator) driveAdd(r Runner, en *moveEntry, owner int64) (Event, err
 	if en.Step < StepSeed {
 		latest, ok := c.seedValue(en)
 		if !ok {
-			return abortReleasing(fmt.Errorf("ledger entry reached seeding with no recorded value"))
+			return abort(fmt.Errorf("ledger entry reached seeding with no recorded value"))
 		}
 		if err := seedInto(r, succ, latest); err != nil {
-			return c.stepErr(en, owner, ev, err, abortReleasing)
+			return c.stepErr(en, owner, ev, err, abort)
 		}
 		if !c.advance(en, owner, StepSeed, nil) {
 			return ev, errSuperseded

@@ -1,7 +1,9 @@
 package reconfig
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -593,6 +595,13 @@ func (r *interruptRunner) Wait(check func() bool) error {
 	return r.inner.Wait(check)
 }
 
+func (r *interruptRunner) Checkpoint() error {
+	if err := r.step(); err != nil {
+		return err
+	}
+	return r.inner.Checkpoint()
+}
+
 // TestInterruptedMovesResumeAtEveryStep kills the driver after every possible
 // number of runner calls, for every move kind, and requires that Resume
 // re-drives the interrupted move to completion with the migrated value
@@ -955,5 +964,211 @@ func TestMergeRejectsMixedEmulations(t *testing.T) {
 	}
 	if co.InFlight() != nil {
 		t.Fatal("rejected merge left an in-flight entry")
+	}
+}
+
+// abortInterruptRunner fails the failAt-th runner call with a genuine
+// (non-interruption) error — forcing the driver onto the abort path — and then
+// interrupts after budget further runner calls, so the sweep below can kill
+// the driver at every checkpoint of the rollback itself.
+type abortInterruptRunner struct {
+	inner  Runner
+	failAt int // 1-based runner call that fails with errBoom
+	budget int // runner calls allowed after the failure before ErrInterrupted
+	calls  int
+	failed bool
+}
+
+var errBoom = errors.New("injected migration failure")
+
+func (r *abortInterruptRunner) step() error {
+	r.calls++
+	if !r.failed {
+		if r.calls == r.failAt {
+			r.failed = true
+			return errBoom
+		}
+		return nil
+	}
+	if r.budget <= 0 {
+		return ErrInterrupted
+	}
+	r.budget--
+	return nil
+}
+
+func (r *abortInterruptRunner) RunOn(sh *shard.Shard, fn func(h *dsys.ClientHandle) error) error {
+	if err := r.step(); err != nil {
+		return err
+	}
+	return r.inner.RunOn(sh, fn)
+}
+
+func (r *abortInterruptRunner) Wait(check func() bool) error {
+	if err := r.step(); err != nil {
+		return err
+	}
+	return r.inner.Wait(check)
+}
+
+func (r *abortInterruptRunner) Checkpoint() error {
+	if err := r.step(); err != nil {
+		return err
+	}
+	return r.inner.Checkpoint()
+}
+
+// TestAbortInterruptedMidRollbackResumes closes the gap the per-step
+// interruption sweep left open: the rollback itself is a multi-stage protocol
+// now (record the abort, unwind the table, retire the successors), and a
+// controller can die between any two of its stages. The sweep injects a
+// genuine migration failure at every runner call of every abortable move kind
+// and then kills the driver after every possible number of rollback calls;
+// Resume must recognize the mid-abort entry (Aborting) and finish the
+// rollback — never re-drive the forward path — leaving the sources active,
+// the topology writable, and the move retryable.
+func TestAbortInterruptedMidRollbackResumes(t *testing.T) {
+	moves := []struct {
+		name string
+		mv   Move
+		key  string
+	}{
+		{name: "split", mv: Move{Kind: MoveSplit, Shard: "s0"}, key: "s0"},
+		{name: "drain", mv: Move{Kind: MoveDrain, Shard: "s0"}, key: "s0"},
+		{name: "merge", mv: Move{Kind: MoveMerge, Shard: "s0", Shard2: "s1"}, key: "s0"},
+		{name: "add", mv: Move{Kind: MoveAdd, Shard: "hot"}, key: "hot"},
+	}
+	for _, tc := range moves {
+		t.Run(tc.name, func(t *testing.T) {
+			midAbort := 0 // interruptions that landed inside the rollback
+		sweep:
+			for failAt := 1; failAt <= 64; failAt++ {
+				for budget := 0; budget < 4; budget++ {
+					set := newSet(t, 2)
+					co := NewCoordinator(set)
+					clean := NewLiveRunner(set, 1<<28)
+					want := value.Sequenced(7, failAt*8+budget+1, dataLen)
+					if err := set.Write(7, tc.key, want); err != nil {
+						set.Close()
+						t.Fatal(err)
+					}
+					r := &abortInterruptRunner{inner: clean, failAt: failAt, budget: budget}
+					_, err := co.Apply(r, tc.mv)
+					if !r.failed {
+						// failAt outlasted the move's runner calls: every
+						// failure point of this kind has been swept.
+						if err != nil {
+							set.Close()
+							t.Fatalf("failAt %d: clean run failed: %v", failAt, err)
+						}
+						set.Close()
+						break sweep
+					}
+					aborted := true
+					if IsInterruption(err) {
+						fl := co.InFlight()
+						if fl == nil || !fl.Interrupted {
+							set.Close()
+							t.Fatalf("failAt %d budget %d: interrupted move not in flight: %+v", failAt, budget, fl)
+						}
+						if fl.Aborting {
+							// Driver died mid-rollback. Resume must finish the
+							// rollback and surface the abort cause as a
+							// non-interruption error.
+							midAbort++
+							resumed, _, rerr := co.Resume(clean)
+							if !resumed || rerr == nil || IsInterruption(rerr) {
+								set.Close()
+								t.Fatalf("failAt %d budget %d: resume of mid-abort move = %v, %v", failAt, budget, resumed, rerr)
+							}
+						} else {
+							// The injected failure landed past the abort window
+							// (after activation every failure is a driver
+							// death); Resume completes the move forward.
+							aborted = false
+							resumed, _, rerr := co.Resume(clean)
+							if !resumed || rerr != nil {
+								set.Close()
+								t.Fatalf("failAt %d budget %d: resume past point of no return = %v, %v", failAt, budget, resumed, rerr)
+							}
+						}
+					} else if fl := co.InFlight(); fl != nil {
+						// The genuine failure landed on a stage with no
+						// rollback (the pre-retire wait): the entry stays
+						// resumable but the error keeps its identity — the
+						// driver is alive and the move is still its to finish.
+						if !errors.Is(err, errBoom) || !fl.Interrupted {
+							set.Close()
+							t.Fatalf("failAt %d budget %d: in-flight failure lost its cause: %v (%+v)", failAt, budget, err, fl)
+						}
+						if fl.Aborting {
+							midAbort++
+							resumed, _, rerr := co.Resume(clean)
+							if !resumed || rerr == nil || IsInterruption(rerr) {
+								set.Close()
+								t.Fatalf("failAt %d budget %d: resume of mid-abort move = %v, %v", failAt, budget, resumed, rerr)
+							}
+						} else {
+							aborted = false
+							resumed, _, rerr := co.Resume(clean)
+							if !resumed || rerr != nil {
+								set.Close()
+								t.Fatalf("failAt %d budget %d: resume past point of no return = %v, %v", failAt, budget, resumed, rerr)
+							}
+						}
+					} else if !errors.Is(err, errBoom) {
+						set.Close()
+						t.Fatalf("failAt %d budget %d: abort lost its cause: %v", failAt, budget, err)
+					}
+					if co.InFlight() != nil {
+						set.Close()
+						t.Fatalf("failAt %d budget %d: move still in flight: %+v", failAt, budget, co.InFlight())
+					}
+					ledger := co.Ledger()
+					last := ledger[len(ledger)-1]
+					if aborted && (!last.Aborted || !strings.Contains(last.AbortReason, "injected")) {
+						set.Close()
+						t.Fatalf("failAt %d budget %d: ledger entry = %+v", failAt, budget, last)
+					}
+					if !aborted && !last.Done {
+						set.Close()
+						t.Fatalf("failAt %d budget %d: ledger entry = %+v", failAt, budget, last)
+					}
+					// No route may be left mid-lifecycle, and the rolled-back
+					// (or completed) topology must serve reads and writes —
+					// for an aborted add this doubles as the proof the
+					// origin's write hold was released.
+					for _, name := range set.Router().Names() {
+						st := set.Router().RouteOf(name).State()
+						if st == shard.RouteSeeding || st == shard.RouteDraining {
+							set.Close()
+							t.Fatalf("failAt %d budget %d: route %s left %v", failAt, budget, name, st)
+						}
+					}
+					got, err := set.Read(9, tc.key)
+					if err != nil || !got.Equal(want) {
+						set.Close()
+						t.Fatalf("failAt %d budget %d: post-rollback read = %v, %v (want %v)", failAt, budget, got, err, want)
+					}
+					after := value.Sequenced(11, failAt*8+budget+2, dataLen)
+					if err := set.Write(11, tc.key, after); err != nil {
+						set.Close()
+						t.Fatalf("failAt %d budget %d: post-rollback write: %v", failAt, budget, err)
+					}
+					if aborted {
+						// The aborted move must be retryable on the restored
+						// topology (burned names freed or suffixed away).
+						if _, err := co.Apply(clean, tc.mv); err != nil {
+							set.Close()
+							t.Fatalf("failAt %d budget %d: retry after abort: %v", failAt, budget, err)
+						}
+					}
+					set.Close()
+				}
+			}
+			if midAbort < 2 {
+				t.Fatalf("sweep never interrupted the rollback at both checkpoints (midAbort=%d); the abort path lost its scheduling points", midAbort)
+			}
+		})
 	}
 }

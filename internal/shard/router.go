@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 )
 
@@ -675,6 +676,32 @@ func (r *Router) DeleteRetiredRoute(name string) error {
 		}
 	}
 	return nil
+}
+
+// Pins reports the clients currently holding read and write pins on the
+// named route, in ascending client order. It is a diagnostic for drain
+// stalls: a migration waiting on WritesDrained/ReadsDrained is waiting on
+// exactly these clients (minus the crashed ones).
+func (r *Router) Pins(name string) (readers, writers []int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byName[name]
+	if !ok {
+		return nil, nil
+	}
+	for c, n := range e.readPins {
+		if n > 0 {
+			readers = append(readers, c)
+		}
+	}
+	for c, n := range e.writePins {
+		if n > 0 {
+			writers = append(writers, c)
+		}
+	}
+	sort.Ints(readers)
+	sort.Ints(writers)
+	return readers, writers
 }
 
 // RouteOf returns the route installed under the given shard name, or nil.

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+
+	"spacebounds/internal/autoshard"
+	"spacebounds/internal/dsys"
+	"spacebounds/internal/reconfig"
+	"spacebounds/internal/shard"
+)
+
+// autoshardClientID is the autoshard controller task's client ID — its own
+// block far above the reconfiguration controller incarnations, and spared
+// from the generic client-crash move (the autoshard sweeps stress workload
+// shape, not controller death; controller-crash interleavings are the
+// reconfig sweeps' job).
+const autoshardClientID = 1 << 21
+
+// tickYields is how many scheduler yields the autoshard controller sleeps
+// between control-loop ticks — the controlled-mode stand-in for the live
+// driver's wall-clock interval. Per-tick thresholds are calibrated against
+// the workload progress one such sleep typically admits.
+const tickYields = 32
+
+// Workload shapes the autoshard harness can impose on the routed clients.
+// Each is a load pattern the controller is supposed to answer with a
+// different move.
+const (
+	// ShapeHotKey concentrates most operations on one key: its shard runs
+	// hot and the controller should split it.
+	ShapeHotKey = "hot-key"
+	// ShapeSkewFlip moves the hot spot to a different key halfway through
+	// the workload: the controller must follow the skew, not fight it.
+	ShapeSkewFlip = "skew-flip"
+	// ShapeColdShard confines all operations to a single key: every shard
+	// not serving it goes cold and the controller should merge the cold
+	// pair. The shape defaults the hot threshold out of reach — it tests
+	// downward convergence, and a split of the one loaded shard would eat
+	// the merge budget.
+	ShapeColdShard = "cold-shard"
+)
+
+// AutoReshardPlan runs the self-driving topology controller inside the
+// simulation: a spared controller task samples per-shard completed-op counts
+// every few scheduler yields, feeds them to the autoshard planner, and
+// applies the emitted plans through the coordinator — all on the
+// deterministic schedule, under the same fault adversary as the workload.
+// Mutually exclusive with ReconfigPlan (the two would fight over the
+// coordinator).
+type AutoReshardPlan struct {
+	// Shape selects the workload pattern (required; see the Shape constants).
+	Shape string
+	// MaxMoves caps the controller's lifetime move budget (default 3).
+	MaxMoves int
+	// HotOps and ColdOps override the per-tick thresholds (defaults 6 and 0:
+	// a shard is cold only when a tick brings it nothing at all).
+	HotOps, ColdOps float64
+	// SustainTicks and CooldownTicks override the planner windows
+	// (defaults 2 and 2 — the simulation's ticks are coarse already).
+	SustainTicks, CooldownTicks int
+}
+
+// Enabled reports whether the zero-value-off harness was requested.
+func (p AutoReshardPlan) Enabled() bool { return p.Shape != "" }
+
+func (p AutoReshardPlan) withDefaults() AutoReshardPlan {
+	if p.MaxMoves == 0 {
+		p.MaxMoves = 3
+	}
+	if p.HotOps == 0 {
+		if p.Shape == ShapeColdShard {
+			p.HotOps = 1 << 30 // splits effectively off; see ShapeColdShard
+		} else {
+			p.HotOps = 6
+		}
+	}
+	if p.SustainTicks == 0 {
+		p.SustainTicks = 2
+	}
+	if p.CooldownTicks == 0 {
+		p.CooldownTicks = 2
+	}
+	return p
+}
+
+// plannerConfig maps the plan onto the autoshard planner. MinShards 2 keeps
+// the controller from collapsing the whole store into one shard after the
+// workload quiesces.
+func (p AutoReshardPlan) plannerConfig() autoshard.Config {
+	return autoshard.Config{
+		HotOps:        p.HotOps,
+		ColdOps:       p.ColdOps,
+		SustainTicks:  p.SustainTicks,
+		CooldownTicks: p.CooldownTicks,
+		MaxMoves:      p.MaxMoves,
+		MinShards:     2,
+	}
+}
+
+// picker builds the per-client key-selection function for the plan's shape.
+// The returned function is pure in (rng, op index), so shaping is part of the
+// deterministic schedule.
+func (p AutoReshardPlan) picker(home string, totalOps int) func(*rand.Rand, int) string {
+	switch p.Shape {
+	case ShapeHotKey:
+		hot := KeySpaceName(0)
+		mix := defaultKeyMix(home)
+		return func(rng *rand.Rand, op int) string {
+			if rng.Float64() < 0.75 {
+				return hot
+			}
+			return mix(rng, op)
+		}
+	case ShapeSkewFlip:
+		early, late := KeySpaceName(0), KeySpaceName(2)
+		mix := defaultKeyMix(home)
+		return func(rng *rand.Rand, op int) string {
+			hot := early
+			if op >= totalOps/2 {
+				hot = late
+			}
+			if rng.Float64() < 0.75 {
+				return hot
+			}
+			return mix(rng, op)
+		}
+	case ShapeColdShard:
+		only := KeySpaceName(0)
+		return func(*rand.Rand, int) string { return only }
+	default:
+		return defaultKeyMix(home)
+	}
+}
+
+// opCounts tallies completed operations per serving shard — the simulation's
+// sampling surface, standing in for the live store's metrics registry. In
+// controlled mode only one task runs at a time; the mutex exists for the race
+// detector and the final read from the orchestrating goroutine.
+type opCounts struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func newOpCounts() *opCounts { return &opCounts{m: make(map[string]int64)} }
+
+func (o *opCounts) add(shard string) {
+	o.mu.Lock()
+	o.m[shard]++
+	o.mu.Unlock()
+}
+
+func (o *opCounts) get(shard string) int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.m[shard]
+}
+
+// autoshardScript builds the controller task: every tickYields scheduler
+// yields it samples the per-shard op deltas, ticks the planner, and pushes
+// the plan through the coordinator with a controlled runner. Backpressure
+// follows the live driver's contract — a move left in the ledger by a failed
+// step is resumed, never re-planned. The task returns once the workload has
+// wound down and no move is in flight, so the run quiesces with a settled
+// topology.
+func autoshardScript(set *shard.Set, co *reconfig.Coordinator, planner *autoshard.Planner, counts *opCounts, workloadDone func() bool) func(*dsys.ClientHandle) error {
+	return func(h *dsys.ClientHandle) error {
+		runner := reconfig.NewControlledRunner(h)
+		last := make(map[string]int64)
+		resuming := false
+		for {
+			for i := 0; i < tickYields; i++ {
+				if err := h.Yield(); err != nil {
+					return nil
+				}
+			}
+			if fl := co.InFlight(); fl != nil {
+				// A move is mid-flight (a step failed at a non-abortable
+				// stage, or an abort was interrupted): re-drive it from the
+				// ledger before doing anything else.
+				resuming = true
+				if _, _, err := co.Resume(runner); err != nil && reconfig.IsInterruption(err) {
+					return nil // cluster halted under the resume
+				}
+				continue
+			}
+			if resuming {
+				resuming = false
+				planner.NoteResumed()
+				continue
+			}
+
+			names := append([]string(nil), set.Router().ActiveLeafNames()...)
+			sort.Strings(names)
+			samples := make([]autoshard.Sample, 0, len(names))
+			for _, name := range names {
+				cur := counts.get(name)
+				samples = append(samples, autoshard.Sample{Shard: name, Ops: float64(cur - last[name])})
+				last[name] = cur
+			}
+			pl, ok := planner.Tick(samples)
+			if !ok {
+				if workloadDone() {
+					return nil
+				}
+				continue
+			}
+			_, err := co.Apply(runner, pl.Move)
+			switch {
+			case err == nil:
+				planner.NoteResolved(true)
+			case reconfig.IsInterruption(err):
+				return nil
+			case co.InFlight() != nil:
+				// Genuine failure, move still in the ledger: the next tick's
+				// in-flight branch resumes it.
+				resuming = true
+			default:
+				// Rejected or cleanly aborted; the topology is unchanged.
+				planner.NoteResolved(false)
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"testing"
+
+	"spacebounds/internal/reconfig"
+)
+
+// autoReshardConfig builds the harness config the sweeps use: three
+// same-provider shards (so merges have valid pairs), enough operations for
+// the controller's sampling windows to see the shape.
+func autoReshardConfig(seed int64, shape string) Config {
+	return Config{
+		Seed:         seed,
+		Shards:       []ShardPlan{{Provider: "adaptive"}, {Provider: "adaptive"}, {Provider: "adaptive"}},
+		Clients:      3,
+		OpsPerClient: 30,
+		AutoReshard:  AutoReshardPlan{Shape: shape},
+	}
+}
+
+// TestAutoReshardRejectsCombinedPlans pins the mutual exclusion: a config
+// with both a scripted move plan and the controller is a configuration
+// error, not a coin toss over the coordinator.
+func TestAutoReshardRejectsCombinedPlans(t *testing.T) {
+	cfg := autoReshardConfig(1, ShapeHotKey)
+	cfg.Reconfig = ReconfigPlan{Splits: 1}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Run accepted Reconfig and AutoReshard together")
+	}
+}
+
+// TestAutoReshardConvergesUnderShapedLoad is the harness's core claim, per
+// shape: across a seed sweep of adversary-faulted runs, every run converges
+// — clean verdicts, zero route leaks, zero unresolved moves, move budget
+// respected — and the shape actually provokes the controller: hot-key storms
+// produce splits, cold shards produce merges, and no shape worth its name
+// leaves the controller idle across the whole sweep.
+func TestAutoReshardConvergesUnderShapedLoad(t *testing.T) {
+	shapes := []struct {
+		shape string
+		want  func(Stats) bool
+		desc  string
+	}{
+		{ShapeHotKey, func(s Stats) bool { return s.splits > 0 }, "at least one split"},
+		{ShapeSkewFlip, func(s Stats) bool { return s.splits > 0 }, "at least one split"},
+		{ShapeColdShard, func(s Stats) bool { return s.merges > 0 }, "at least one merge"},
+	}
+	for _, sh := range shapes {
+		t.Run(sh.shape, func(t *testing.T) {
+			var total Stats
+			for seed := int64(1); seed <= 20; seed++ {
+				cfg := autoReshardConfig(seed, sh.shape)
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if res.Failed() {
+					t.Fatalf("seed %d failed to converge: violations %d, leaks %v, unresolved %+v",
+						seed, len(res.Violations()), res.RouteLeaks, res.Unresolved())
+				}
+				if res.Autoshard.Plans > int64(cfg.AutoReshard.withDefaults().MaxMoves) {
+					t.Fatalf("seed %d: controller emitted %d plans over its budget of %d",
+						seed, res.Autoshard.Plans, cfg.AutoReshard.withDefaults().MaxMoves)
+				}
+				for _, ev := range res.Reconfigs {
+					switch ev.Kind {
+					case reconfig.MoveSplit:
+						total.splits++
+					case reconfig.MoveMerge:
+						total.merges++
+					case reconfig.MoveDrain:
+						total.drains++
+					}
+				}
+			}
+			if !sh.want(total) {
+				t.Fatalf("shape %s never provoked %s across the sweep (splits %d, merges %d, drains %d)",
+					sh.shape, sh.desc, total.splits, total.merges, total.drains)
+			}
+		})
+	}
+}
+
+// Stats tallies applied moves by kind across a sweep.
+type Stats struct{ splits, merges, drains int }
+
+// TestAutoReshardDeterministic pins the purity claim for controller runs: the
+// same config replays to the identical fingerprint, controller decisions
+// included.
+func TestAutoReshardDeterministic(t *testing.T) {
+	cfg := autoReshardConfig(7, ShapeHotKey)
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(cfg, first.Fingerprint); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,7 @@ type controllerState struct {
 	kinds    []reconfig.MoveKind // planned moves in release order
 	released int                 // moves released by KindStartMove (or the end-of-workload drain)
 	started  int                 // moves handed to the coordinator
+	sabotage int                 // applies left to sabotage with an injected failure
 	active   int                 // index of the active incarnation
 	total    int                 // incarnation count (ControllerCrashes + 1)
 	crashed  bool                // the active incarnation was crashed and not yet replaced
@@ -67,10 +69,70 @@ func newControllerState(seed int64, plan ReconfigPlan) *controllerState {
 		}
 	}
 	return &controllerState{
-		rng:   rand.New(rand.NewSource(seed ^ 0x5eed4eca)),
-		kinds: kinds,
-		total: plan.ControllerCrashes + 1,
+		rng:      rand.New(rand.NewSource(seed ^ 0x5eed4eca)),
+		kinds:    kinds,
+		sabotage: plan.Sabotage,
+		total:    plan.ControllerCrashes + 1,
 	}
+}
+
+// takeSabotage consumes one sabotage slot and draws the runner call the
+// injected failure lands on. The draw comes from the controller's own seeded
+// rng, so which step a sabotaged move dies at is part of the deterministic
+// schedule. Low call numbers land inside the abort window (every runner call
+// of a migrate move before the final retire wait is abortable); a draw past
+// the move's call count simply lets the move complete.
+func (c *controllerState) takeSabotage() (failAt int, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sabotage <= 0 {
+		return 0, false
+	}
+	c.sabotage--
+	return 1 + c.rng.Intn(8), true
+}
+
+// errSabotage is the injected genuine failure: the driver must classify it as
+// a migration error (abort), never as an interruption.
+var errSabotage = errors.New("sim: sabotaged migration step")
+
+// sabotageRunner delegates to the incarnation's controlled runner but fails
+// the failAt-th runner call with errSabotage, once. Checkpoints count as
+// calls, so a sabotaged-and-crashed move's rollback consumes schedule like
+// any other work.
+type sabotageRunner struct {
+	inner  reconfig.Runner
+	failAt int
+	calls  int
+}
+
+func (r *sabotageRunner) step() error {
+	r.calls++
+	if r.calls == r.failAt {
+		return errSabotage
+	}
+	return nil
+}
+
+func (r *sabotageRunner) RunOn(sh *shard.Shard, fn func(h *dsys.ClientHandle) error) error {
+	if err := r.step(); err != nil {
+		return err
+	}
+	return r.inner.RunOn(sh, fn)
+}
+
+func (r *sabotageRunner) Wait(check func() bool) error {
+	if err := r.step(); err != nil {
+		return err
+	}
+	return r.inner.Wait(check)
+}
+
+func (r *sabotageRunner) Checkpoint() error {
+	if err := r.step(); err != nil {
+		return err
+	}
+	return r.inner.Checkpoint()
 }
 
 func (c *controllerState) view() ctrlView {
@@ -251,11 +313,18 @@ func controllerScript(set *shard.Set, co *reconfig.Coordinator, ctrl *controller
 				continue
 			}
 			if mv, ok := ctrl.nextMove(set); ok {
-				if _, err := co.Apply(runner, mv); err != nil && reconfig.IsInterruption(err) {
+				run := runner
+				if failAt, ok := ctrl.takeSabotage(); ok {
+					// A sabotaged move fails a genuine migration step and must
+					// roll back; the rollback's checkpoints are scheduling
+					// points the adversary can crash this incarnation on.
+					run = &sabotageRunner{inner: runner, failAt: failAt}
+				}
+				if _, err := co.Apply(run, mv); err != nil && reconfig.IsInterruption(err) {
 					return nil
 				}
-				// A cleanly aborted move (e.g. a migration read starved by
-				// the adversary) was rolled back; move on.
+				// A cleanly aborted move (sabotaged, or e.g. a migration read
+				// starved by the adversary) was rolled back; move on.
 				continue
 			}
 			if ctrl.exhausted() {

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"spacebounds/internal/autoshard"
 	"spacebounds/internal/dsys"
 	"spacebounds/internal/metrics"
 	"spacebounds/internal/reconfig"
@@ -142,7 +143,59 @@ type Options struct {
 	// moves each record a trace of their ledger steps. Nil disables tracing
 	// at the same one-branch cost as Metrics (see docs/TRACING.md).
 	Trace *Tracer
+	// AutoReshard enables the self-driving topology controller (zero value:
+	// disabled): a background loop that samples per-shard load from the
+	// store's metrics and splits hot shards, merges cold ones, and drains
+	// shards whose nodes run slow, through the same reconfiguration
+	// coordinator the SplitShard/MergeShards/DrainShard methods use. The
+	// controller needs instrumentation; when Options.Metrics is nil it
+	// creates a private registry (visible through Store.Metrics). See
+	// docs/OPERATIONS.md for tuning guidance.
+	AutoReshard AutoReshardOptions
 }
+
+// AutoReshardOptions configures the autoshard controller. Setting Interval
+// enables it; thresholds are compared against per-interval deltas, so they
+// scale with the interval. At least one of HotOps, HotLatency, HotQueue or
+// ColdOps must be set, and ColdOps must sit strictly below HotOps when both
+// are — the gap between them is the hysteresis band in which the controller
+// does nothing.
+type AutoReshardOptions struct {
+	// Interval is the control-loop tick period (> 0 enables the controller).
+	Interval time.Duration
+	// HotOps is the per-interval operation count at or above which a shard
+	// runs hot and becomes a split candidate (0 disables the rate signal).
+	HotOps float64
+	// ColdOps is the per-interval operation count at or below which a shard
+	// runs cold and becomes a merge candidate.
+	ColdOps float64
+	// HotLatency is the p99 quorum-round latency at or above which a shard
+	// runs hot. A shard hot by latency alone is drained onto fresh nodes
+	// rather than split (0 disables the latency signal).
+	HotLatency time.Duration
+	// HotQueue is the mean batch occupancy at or above which a shard runs
+	// hot (0 disables the queue signal).
+	HotQueue float64
+	// SustainTicks is how many consecutive hot or cold ticks a shard must
+	// show before the controller acts (default 3).
+	SustainTicks int
+	// CooldownTicks is how many ticks the controller rests after every
+	// resolved move (default 5).
+	CooldownTicks int
+	// MaxMoves caps the total moves the controller will ever make
+	// (0 = unlimited).
+	MaxMoves int
+	// MinShards and MaxShards bound the topology: no merge below the floor,
+	// no split above the cap (defaults 1 and unlimited).
+	MinShards, MaxShards int
+}
+
+// enabled reports whether the zero-value-off controller was requested.
+func (a AutoReshardOptions) enabled() bool { return a.Interval > 0 }
+
+// ReshardStats are the autoshard controller's counters; see
+// Store.AutoReshardStats.
+type ReshardStats = autoshard.Stats
 
 // Metrics is the store's metrics registry: counters, gauges, and fixed-bucket
 // latency histograms exported in Prometheus text format (Handler, or Serve
@@ -246,9 +299,10 @@ type Store struct {
 	reconMu       sync.Mutex // serializes reconfiguration moves
 	nextMigClient int        // next migration-writer client ID
 
-	metrics *Metrics     // nil unless Options.Metrics was set
-	tracer  *Tracer      // nil unless Options.Trace was set
-	wal     *wal.Journal // nil unless Options.Durability was set
+	metrics *Metrics          // nil unless Options.Metrics was set
+	tracer  *Tracer           // nil unless Options.Trace was set
+	wal     *wal.Journal      // nil unless Options.Durability was set
+	reshard *autoshard.Driver // nil unless Options.AutoReshard was set
 
 	// resumeHook, when non-nil, replaces ResumeMoves in RestartNode's resume
 	// phase; tests inject failures here to exercise the ErrResumeFailed path.
@@ -317,7 +371,69 @@ func Open(opts Options) (*Store, error) {
 	if opts.Faults.enabled() {
 		store.faults.start(store, opts.Faults)
 	}
+	if opts.AutoReshard.enabled() {
+		if err := store.startAutoReshard(opts.AutoReshard); err != nil {
+			store.faults.halt()
+			set.Close()
+			if store.wal != nil {
+				store.wal.Close()
+			}
+			return nil, err
+		}
+	}
 	return store, nil
+}
+
+// startAutoReshard builds and starts the autoshard control loop against the
+// store's registry, instrumenting into a private one when the caller passed
+// none — the controller's signals are the store's own metrics, so enabling it
+// implies instrumentation.
+func (s *Store) startAutoReshard(opts AutoReshardOptions) error {
+	reg := s.metrics
+	if reg == nil {
+		reg = NewMetrics()
+		s.set.SetMetrics(reg)
+		s.recon.SetMetrics(reg)
+		s.metrics = reg
+	}
+	planner, err := autoshard.NewPlanner(autoshard.Config{
+		HotOps:        opts.HotOps,
+		ColdOps:       opts.ColdOps,
+		HotLatency:    opts.HotLatency.Seconds(),
+		HotQueue:      opts.HotQueue,
+		SustainTicks:  opts.SustainTicks,
+		CooldownTicks: opts.CooldownTicks,
+		MaxMoves:      opts.MaxMoves,
+		MinShards:     opts.MinShards,
+		MaxShards:     opts.MaxShards,
+	})
+	if err != nil {
+		return err
+	}
+	sampler := autoshard.NewRegistrySampler(reg, s.Shards)
+	s.reshard, err = autoshard.StartDriver(autoshard.DriverConfig{
+		Planner:  planner,
+		Interval: opts.Interval,
+		Sample:   sampler.Sample,
+		Apply: func(mv reconfig.Move) error {
+			_, err := s.apply(mv)
+			return err
+		},
+		Resume:   s.ResumeMoves,
+		InFlight: func() bool { return s.recon.InFlight() != nil },
+		Metrics:  reg,
+	})
+	return err
+}
+
+// AutoReshardStats returns the autoshard controller's counters (ticks, plans
+// by kind, resolutions, current hot/cold census). The zero value when the
+// controller is disabled.
+func (s *Store) AutoReshardStats() ReshardStats {
+	if s.reshard == nil {
+		return ReshardStats{}
+	}
+	return s.reshard.Stats()
 }
 
 // openJournal opens the write-ahead log, replays whatever it holds into the
@@ -784,10 +900,16 @@ func (s *Store) ReconfigStats() ReconfigStats {
 	}
 }
 
-// Close stops fault injection and shuts the cluster down — including, for a
-// store backed by a remote cluster, the transport behind it. It implements
-// io.Closer; closing an already-closed store is a no-op.
+// Close stops the autoshard controller and fault injection, then shuts the
+// cluster down — including, for a store backed by a remote cluster, the
+// transport behind it. The controller stops first so no new move starts while
+// the cluster is going away; a move it was mid-way through stays in the
+// ledger for the next open's ResumeMoves. Close implements io.Closer; closing
+// an already-closed store is a no-op.
 func (s *Store) Close() error {
+	if s.reshard != nil {
+		s.reshard.Stop()
+	}
 	s.faults.halt()
 	s.set.Close()
 	if s.wal != nil {
